@@ -1,0 +1,29 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-paper examples docs-check all
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every table/figure at the paper's full 32M scale (~30 min).
+bench-paper:
+	REPRO_BENCH_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/graph_two_hop.py
+	$(PYTHON) examples/skew_sweep.py
+	$(PYTHON) examples/gpu_tuning.py
+	$(PYTHON) examples/volcano_hub_query.py
+	$(PYTHON) examples/pcie_placement.py
+	$(PYTHON) examples/sales_analytics.py
+
+all: test bench

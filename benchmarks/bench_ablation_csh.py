@@ -1,0 +1,80 @@
+"""Ablations for CSH's design knobs: sample rate and skew threshold.
+
+The paper fixes these by hand ("e.g., 1%", "e.g., 2"); these benches map
+the sensitivity around those choices at a fixed high-skew point.
+"""
+
+import pytest
+
+from repro.analysis.analytic import analytic_cbase, analytic_csh
+from repro.bench.runner import get_workload
+from repro.core.csh.pipeline import CSHConfig
+
+from conftest import run_once
+
+N = 1 << 21
+THETA = 0.9
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload(N, THETA, seed=13)
+
+
+@pytest.fixture(scope="module")
+def cbase_seconds(workload):
+    return analytic_cbase(workload).simulated_seconds
+
+
+def sweep_sample_rate(workload):
+    out = {}
+    for rate in (0.001, 0.005, 0.01, 0.05, 0.1):
+        res = analytic_csh(workload, CSHConfig(sample_rate=rate))
+        out[rate] = res
+    return out
+
+
+def sweep_threshold(workload):
+    out = {}
+    for threshold in (1, 2, 3, 4, 8):
+        res = analytic_csh(workload, CSHConfig(freq_threshold=threshold))
+        out[threshold] = res
+    return out
+
+
+def test_ablation_sample_rate(benchmark, workload, cbase_seconds):
+    results = run_once(benchmark, sweep_sample_rate, workload)
+    print(f"\nCSH sample-rate ablation (n={N}, zipf={THETA}, "
+          f"cbase={cbase_seconds:.3g}s)")
+    print(f"{'rate':>8}{'seconds':>11}{'skew keys':>11}{'speedup':>9}")
+    for rate, res in results.items():
+        print(f"{rate:>8}{res.simulated_seconds:>10.4g}s"
+              f"{res.meta['skewed_keys']:>11}"
+              f"{cbase_seconds / res.simulated_seconds:>8.1f}x")
+    # Larger samples detect at least as many skewed keys.
+    keys = [res.meta["skewed_keys"] for res in results.values()]
+    assert keys == sorted(keys)
+    # Every setting beats the baseline at this skew level.
+    for res in results.values():
+        assert res.simulated_seconds < cbase_seconds
+
+
+def test_ablation_threshold(benchmark, workload, cbase_seconds):
+    results = run_once(benchmark, sweep_threshold, workload)
+    print(f"\nCSH threshold ablation (n={N}, zipf={THETA})")
+    print(f"{'threshold':>10}{'seconds':>11}{'skew keys':>11}")
+    for threshold, res in results.items():
+        print(f"{threshold:>10}{res.simulated_seconds:>10.4g}s"
+              f"{res.meta['skewed_keys']:>11}")
+    # Raising the threshold shrinks the detected key set.
+    keys = [res.meta["skewed_keys"] for res in results.values()]
+    assert keys == sorted(keys, reverse=True)
+    # The paper's default (2) must beat the baseline.
+    assert results[2].simulated_seconds < cbase_seconds
+
+
+def test_all_settings_keep_output_exact(workload):
+    expected = workload.output_count()
+    for rate in (0.001, 0.1):
+        res = analytic_csh(workload, CSHConfig(sample_rate=rate))
+        assert res.output_count == expected

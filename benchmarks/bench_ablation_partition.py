@@ -1,0 +1,75 @@
+"""Ablation: radix partitioning fanout and pass structure.
+
+The radix join's two-pass design exists to bound per-pass fanout (the
+TLB-miss motivation in Boncz/Manegold/Kersten).  This bench maps total
+time against pass structure and partition size at low and high skew.
+"""
+
+import pytest
+
+from repro.analysis.analytic import analytic_cbase
+from repro.bench.runner import get_workload
+from repro.cpu.radix_join import CbaseConfig
+
+from conftest import run_once
+
+N = 1 << 21
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {theta: get_workload(N, theta, seed=13) for theta in (0.0, 0.9)}
+
+
+def sweep_bits(workloads):
+    configs = {
+        "1 pass x 10 bits": CbaseConfig(bits_pass1=10, bits_pass2=0),
+        "2 pass 5+5 bits": CbaseConfig(bits_pass1=5, bits_pass2=5),
+        "2 pass 7+3 bits": CbaseConfig(bits_pass1=7, bits_pass2=3),
+        "2 pass 6+6 bits": CbaseConfig(bits_pass1=6, bits_pass2=6),
+        "2 pass 8+8 bits": CbaseConfig(bits_pass1=8, bits_pass2=8),
+    }
+    out = {}
+    for label, config in configs.items():
+        out[label] = {theta: analytic_cbase(wl, config)
+                      for theta, wl in workloads.items()}
+    return out
+
+
+def test_ablation_partition_bits(benchmark, workloads):
+    results = run_once(benchmark, sweep_bits, workloads)
+    print(f"\nCbase partitioning ablation (n={N})")
+    print(f"{'config':<18}{'zipf 0.0':>12}{'zipf 0.9':>12}")
+    for label, by_theta in results.items():
+        print(f"{label:<18}"
+              f"{by_theta[0.0].simulated_seconds:>11.4g}s"
+              f"{by_theta[0.9].simulated_seconds:>11.4g}s")
+    # Same fanout split across passes must agree on output.
+    outputs = {res[0.9].output_count for res in results.values()}
+    assert len(outputs) == 1
+    # The join phase depends only on the final fanout, not on how the
+    # bits were split across passes (task order — and hence the greedy
+    # schedule — differs slightly, so compare with a small tolerance).
+    for label in ("2 pass 5+5 bits", "2 pass 7+3 bits"):
+        assert (results[label][0.0].phase("join").simulated_seconds
+                == pytest.approx(
+                    results["1 pass x 10 bits"][0.0]
+                    .phase("join").simulated_seconds, rel=0.05))
+    # A second pass costs a second copy of the data.
+    one = results["1 pass x 10 bits"][0.0].phase("partition")
+    two = results["2 pass 5+5 bits"][0.0].phase("partition")
+    assert two.counters.tuple_moves == 2 * one.counters.tuple_moves
+    # At high skew, no fanout rescues the baseline: the dominant-key task
+    # is invariant (same-key tuples cannot be split by radix bits).
+    joins = [res[0.9].phase("join").simulated_seconds
+             for res in results.values()]
+    assert max(joins) < 1.6 * min(joins)
+
+
+def test_fanout_does_not_change_partition_cost_shape(workloads):
+    """Partition-phase cost scales with passes, not with skew."""
+    config = CbaseConfig(bits_pass1=6, bits_pass2=6)
+    lo = analytic_cbase(workloads[0.0], config)
+    hi = analytic_cbase(workloads[0.9], config)
+    assert (hi.phase("partition").simulated_seconds
+            < 2.5 * lo.phase("partition").simulated_seconds)

@@ -1,0 +1,77 @@
+"""Ablation: CPU thread scaling under skew.
+
+The paper's core CPU observation is that adding workers cannot help Cbase
+once a single skewed join task dominates the queue.  This bench scales the
+simulated pool from 1 to 40 workers and shows Cbase flat-lining at high
+skew while CSH keeps scaling (its skew work is spread evenly over the
+S-partitioning threads).
+"""
+
+import pytest
+
+from repro.analysis.analytic import analytic_cbase, analytic_csh
+from repro.bench.runner import get_workload
+from repro.core.csh.pipeline import CSHConfig
+from repro.cpu.radix_join import CbaseConfig
+
+from conftest import run_once
+
+N = 1 << 21
+THREADS = (1, 5, 10, 20, 40)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {theta: get_workload(N, theta, seed=13) for theta in (0.0, 1.0)}
+
+
+def sweep_threads(workloads):
+    out = {"cbase": {}, "csh": {}}
+    for t in THREADS:
+        out["cbase"][t] = {
+            theta: analytic_cbase(wl, CbaseConfig(n_threads=t))
+            for theta, wl in workloads.items()}
+        out["csh"][t] = {
+            theta: analytic_csh(wl, CSHConfig(n_threads=t))
+            for theta, wl in workloads.items()}
+    return out
+
+
+def test_ablation_thread_scaling(benchmark, workloads):
+    results = run_once(benchmark, sweep_threads, workloads)
+    print(f"\nThread-scaling ablation (n={N})")
+    print(f"{'threads':>8}{'cbase z=0':>12}{'cbase z=1':>12}"
+          f"{'csh z=0':>12}{'csh z=1':>12}")
+    for t in THREADS:
+        print(f"{t:>8}"
+              f"{results['cbase'][t][0.0].simulated_seconds:>11.4g}s"
+              f"{results['cbase'][t][1.0].simulated_seconds:>11.4g}s"
+              f"{results['csh'][t][0.0].simulated_seconds:>11.4g}s"
+              f"{results['csh'][t][1.0].simulated_seconds:>11.4g}s")
+
+    # At zipf 0 both algorithms scale well: 20 threads >= 5x over 1.
+    for alg in ("cbase", "csh"):
+        t1 = results[alg][1][0.0].simulated_seconds
+        t20 = results[alg][20][0.0].simulated_seconds
+        assert t1 / t20 > 5
+
+    # At zipf 1.0 Cbase barely improves from 10 to 40 workers: the
+    # dominant-key task bounds the makespan.
+    cb10 = results["cbase"][10][1.0].simulated_seconds
+    cb40 = results["cbase"][40][1.0].simulated_seconds
+    assert cb10 / cb40 < 1.5
+
+    # CSH keeps a real parallel speedup at zipf 1.0.
+    csh10 = results["csh"][10][1.0].simulated_seconds
+    csh40 = results["csh"][40][1.0].simulated_seconds
+    assert csh10 / csh40 > 2.0
+
+
+def test_more_threads_never_hurt(workloads):
+    wl = workloads[1.0]
+    prev = None
+    for t in THREADS:
+        now = analytic_cbase(wl, CbaseConfig(n_threads=t)).simulated_seconds
+        if prev is not None:
+            assert now <= prev * 1.0001
+        prev = now

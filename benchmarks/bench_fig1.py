@@ -1,0 +1,52 @@
+"""Figure 1: performance impact of skewed join keys on the baselines.
+
+Regenerates both subfigures — the partition/join time breakdown of Cbase
+(1a) and Gbase (1b) as the zipf factor varies from 0 to 1 — and asserts
+the paper's observations: partition time stays flat, join time rockets and
+dominates at high skew.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_figure1
+from repro.bench.paper import FIGURE_THETAS
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def figure1_data():
+    return run_figure1()
+
+
+def test_fig1a_cbase_breakdown(benchmark, figure1_data):
+    data = run_once(benchmark, run_figure1)
+    fig1a = data["fig1a"]
+    partition = fig1a["partition"]
+    join = fig1a["join"]
+    # "the partition time stays relatively stable"
+    assert max(partition.values()) < 3 * min(partition.values())
+    # "the execution time of the join phase rockets as the zipf factor
+    # increases"
+    assert join[1.0] > 100 * join[0.0]
+    # "It dominates the execution time at high skew cases (0.8-1)"
+    for theta in (0.8, 0.9, 1.0):
+        assert join[theta] > partition[theta]
+
+
+def test_fig1b_gbase_breakdown(benchmark, figure1_data):
+    data = run_once(benchmark, run_figure1)
+    fig1b = data["fig1b"]
+    partition = fig1b["partition"]
+    join = fig1b["join"]
+    assert max(partition.values()) < 3 * min(partition.values())
+    assert join[1.0] > 100 * join[0.0]
+    for theta in (0.8, 0.9, 1.0):
+        assert join[theta] > partition[theta]
+
+
+def test_fig1_join_growth_is_monotone(figure1_data):
+    for fig in ("fig1a", "fig1b"):
+        join = figure1_data[fig]["join"]
+        values = [join[t] for t in FIGURE_THETAS if t >= 0.4]
+        assert values == sorted(values)

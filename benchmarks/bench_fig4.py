@@ -1,0 +1,65 @@
+"""Figure 4: hash join performance varying the zipf factor.
+
+Regenerates the full five-algorithm sweep (4a: Cbase vs cbase-npj vs CSH;
+4b: Gbase vs GSH) and asserts the paper's claims: parity at low skew,
+large skew-conscious wins at high skew, and cbase-npj as the worst CPU
+performer.
+"""
+
+import pytest
+
+from repro.analysis.speedup import parity_band
+from repro.bench.experiments import run_figure4
+from repro.bench.paper import FIGURE_THETAS, LOW_SKEW_RANGE
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def figure4_data():
+    return run_figure4()
+
+
+def test_fig4a_cpu_joins(benchmark, figure4_data):
+    data = run_once(benchmark, run_figure4)
+    fig4a = data["fig4a"]
+    # "Cbase-npj is the worst performing solution."
+    for theta in FIGURE_THETAS:
+        assert fig4a["cbase-npj"][theta] >= fig4a["cbase"][theta]
+        assert fig4a["cbase-npj"][theta] >= fig4a["csh"][theta]
+    # "CSH is comparable to Cbase at low to medium skew (0-0.4)."
+    assert parity_band(data["points"], "csh", "cbase", LOW_SKEW_RANGE,
+                       tolerance=0.5)
+    # "As the data is more and more skewed, CSH sees higher improvement."
+    assert fig4a["cbase"][1.0] > 3 * fig4a["csh"][1.0]
+
+
+def test_fig4b_gpu_joins(benchmark, figure4_data):
+    data = run_once(benchmark, run_figure4)
+    fig4b = data["fig4b"]
+    # "GSH is comparable to Gbase [at] 0-0.4."
+    assert parity_band(data["points"], "gsh", "gbase", LOW_SKEW_RANGE,
+                       tolerance=0.6)
+    # "GSH also sees significant improvement over Gbase."
+    assert fig4b["gbase"][1.0] > 3 * fig4b["gsh"][1.0]
+
+
+def test_fig4_speedup_claims(figure4_data):
+    """Speedup maxima live in the medium-to-high skew band, like the
+    paper's 'up to 8.0x / 13.5x for zipf 0.5-1.0'."""
+    cpu_theta, cpu_speedup = figure4_data["cpu_best"]
+    gpu_theta, gpu_speedup = figure4_data["gpu_best"]
+    assert 0.5 <= cpu_theta <= 1.0
+    assert 0.5 <= gpu_theta <= 1.0
+    assert cpu_speedup > 2.0
+    assert gpu_speedup > 2.0
+
+
+def test_fig4_speedup_grows_with_skew(figure4_data):
+    """The CSH/Cbase and GSH/Gbase ratios increase toward high skew."""
+    a = figure4_data["fig4a"]
+    b = figure4_data["fig4b"]
+    assert (a["cbase"][1.0] / a["csh"][1.0]
+            > a["cbase"][0.5] / a["csh"][0.5])
+    assert (b["gbase"][1.0] / b["gsh"][1.0]
+            > b["gbase"][0.5] / b["gsh"][0.5])

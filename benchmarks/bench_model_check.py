@@ -1,0 +1,51 @@
+"""Model-vs-paper gate: cell-by-cell comparison against Table I.
+
+Runs only at the paper's full scale (``REPRO_BENCH_SCALE=paper``), where
+the paper's absolute numbers apply.  Asserts the reproduction contract:
+most Table I cells within a small factor of the paper, and the headline
+growth/speedup shapes intact.
+"""
+
+import pytest
+
+from repro.analysis.model_check import check_against_table1
+from repro.bench.experiments import run_table1
+from repro.bench.paper import PAPER_N_TUPLES
+from repro.bench.runner import bench_tuples
+
+from conftest import run_once
+
+paper_scale = pytest.mark.skipif(
+    bench_tuples() != PAPER_N_TUPLES,
+    reason="model check against the paper's absolute numbers requires "
+           "REPRO_BENCH_SCALE=paper",
+)
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    return run_table1()
+
+
+@paper_scale
+def test_model_check_against_table1(benchmark, table1_rows):
+    rows = run_once(benchmark, run_table1)
+    check = check_against_table1(rows)
+    print()
+    print(check.report())
+    # Reproduction contract: the model tracks the paper's Table I to
+    # within small factors across six orders of magnitude of absolute
+    # values.
+    assert check.median_ratio() == pytest.approx(1.0, abs=0.6)
+    assert check.cells_within(3.0) >= 0.75
+    assert check.cells_within(10.0) == 1.0
+
+
+@paper_scale
+def test_headline_growth_factors(table1_rows):
+    """Cbase join grows ~47000x from zipf 0.5 to 1.0 in the paper; the
+    model must reproduce explosive growth of the same character."""
+    growth = table1_rows["cbase join"][1.0] / table1_rows["cbase join"][0.5]
+    assert growth > 1000
+    growth_gpu = table1_rows["gbase join"][1.0] / table1_rows["gbase join"][0.5]
+    assert growth_gpu > 1000

@@ -1,0 +1,54 @@
+"""Section V-B scale-up: larger input tables at zipf 0.7.
+
+The paper scales both tables to 560 M tuples (Gbase then occupies 38.5 GB
+of the A100's 40 GB) and reports CSH 3.5x over Cbase and GSH 10.4x over
+Gbase.  The default harness runs a proportionally larger-than-sweep table;
+``REPRO_BENCH_SCALE=paper`` runs the full 560 M-tuple configuration via
+the capped-domain histogram (see AnalyticWorkload.from_zipf).
+"""
+
+import os
+
+import pytest
+
+from repro.bench.experiments import run_scaleup
+from repro.bench.paper import PAPER_N_TUPLES, SCALEUP_N_TUPLES
+from repro.bench.runner import bench_tuples
+
+from conftest import run_once
+
+
+def scaleup_tuples() -> int:
+    if bench_tuples() == PAPER_N_TUPLES:
+        return SCALEUP_N_TUPLES
+    return 4 * bench_tuples()
+
+
+@pytest.fixture(scope="module")
+def scaleup_data():
+    return run_scaleup(n=scaleup_tuples())
+
+
+def test_scaleup(benchmark, scaleup_data):
+    data = run_once(benchmark, run_scaleup, n=scaleup_tuples())
+    # The skew-conscious joins keep winning at scale (paper: 3.5x / 10.4x).
+    assert data["cpu_speedup"] > 1.5
+    assert data["gpu_speedup"] > 2.0
+
+
+def test_scaleup_speedup_bands(scaleup_data):
+    """Both speedups stay within an order of magnitude of the paper's."""
+    assert 1.5 < scaleup_data["cpu_speedup"] < 40
+    assert 2.0 < scaleup_data["gpu_speedup"] < 110
+
+
+def test_scaleup_phase_structure(scaleup_data):
+    results = scaleup_data["results"]
+    # Cbase's join phase dominates its total at zipf 0.7.
+    cb = results["cbase"]
+    assert (cb.phase("join").simulated_seconds
+            > cb.phase("partition").simulated_seconds)
+    # GSH's skew steps engage (large partitions were detected).
+    gsh = results["gsh"]
+    assert gsh.meta["large_partitions"] >= 1
+    assert gsh.meta["skewed_keys"] >= 1

@@ -1,0 +1,78 @@
+"""Extension: table-size scaling at fixed skew.
+
+The paper samples two sizes (32 M and 560 M at zipf 0.7) and reports that
+the skew-conscious wins persist.  This bench fills in the curve: sweep the
+table size at fixed zipf factors and track each speedup — the CPU ratio
+grows with size (the dominant task grows quadratically while CSH spreads
+it), while the GPU ratio saturates once the skew kernel is bandwidth
+bound.
+"""
+
+import pytest
+
+from repro.analysis.analytic import (
+    AnalyticWorkload,
+    analytic_cbase,
+    analytic_csh,
+    analytic_gbase,
+    analytic_gsh,
+)
+
+from conftest import run_once
+
+SIZES = (1 << 18, 1 << 20, 1 << 22)
+THETA = 0.9
+
+
+def sweep_sizes():
+    out = {}
+    for n in SIZES:
+        wl = AnalyticWorkload.from_zipf(n, n, THETA, seed=21)
+        cb = analytic_cbase(wl)
+        csh = analytic_csh(wl)
+        gb = analytic_gbase(wl)
+        gsh = analytic_gsh(wl)
+        out[n] = {
+            "cpu_speedup": cb.simulated_seconds / csh.simulated_seconds,
+            "gpu_speedup": gb.simulated_seconds / gsh.simulated_seconds,
+            "cbase": cb.simulated_seconds,
+            "csh": csh.simulated_seconds,
+            "gbase": gb.simulated_seconds,
+            "gsh": gsh.simulated_seconds,
+        }
+    return out
+
+
+@pytest.fixture(scope="module")
+def size_data():
+    return sweep_sizes()
+
+
+def test_size_scaling(benchmark, size_data):
+    data = run_once(benchmark, sweep_sizes)
+    print(f"\nSize scaling at zipf {THETA}")
+    print(f"{'tuples':>10}{'cbase':>11}{'csh':>11}{'cpu x':>8}"
+          f"{'gbase':>11}{'gsh':>11}{'gpu x':>8}")
+    for n, row in data.items():
+        print(f"{n:>10}{row['cbase']:>10.4g}s{row['csh']:>10.4g}s"
+              f"{row['cpu_speedup']:>7.1f}x"
+              f"{row['gbase']:>10.4g}s{row['gsh']:>10.4g}s"
+              f"{row['gpu_speedup']:>7.1f}x")
+    # Skew-conscious joins win at every size.
+    for row in data.values():
+        assert row["cpu_speedup"] > 1.5
+        assert row["gpu_speedup"] > 1.5
+
+
+def test_cpu_speedup_grows_with_size(size_data):
+    """Cbase's dominant task grows with n^2 while CSH's skew work spreads
+    over the workers, so the ratio widens with table size."""
+    speedups = [size_data[n]["cpu_speedup"] for n in SIZES]
+    assert speedups[-1] > speedups[0]
+
+
+def test_absolute_times_grow_superlinearly(size_data):
+    """Output at fixed zipf grows ~quadratically in n, so baseline time
+    must grow far faster than the 16x input growth."""
+    assert (size_data[SIZES[-1]]["cbase"]
+            > 30 * size_data[SIZES[0]]["cbase"])

@@ -1,0 +1,68 @@
+"""Table I: execution time breakdown for zipf factors 0.5-1.0.
+
+Regenerates all eight rows (Cbase partition/join, CSH sample+part/NM-join,
+Gbase partition/join, GSH partition/all-other) and asserts the breakdown
+shape the paper reports.  At ``REPRO_BENCH_SCALE=paper`` the render shows
+the paper's own rows side by side.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_table1
+from repro.bench.paper import TABLE1_THETAS
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    return run_table1()
+
+
+def test_table1(benchmark, table1_rows):
+    rows = run_once(benchmark, run_table1)
+    assert set(rows) == {
+        "cbase partition", "cbase join", "csh sample+part", "csh nm-join",
+        "gbase partition", "gbase join", "gsh partition", "gsh all other",
+    }
+    for row in rows.values():
+        assert set(row) == set(TABLE1_THETAS)
+
+
+def test_table1_partition_rows_flat(table1_rows):
+    """Cbase and Gbase partition rows barely move across the sweep."""
+    for label in ("cbase partition", "gbase partition"):
+        row = table1_rows[label]
+        assert max(row.values()) < 2.5 * min(row.values())
+
+
+def test_table1_join_rows_rocket(table1_rows):
+    """Cbase join grows by orders of magnitude from 0.5 to 1.0 (paper:
+    0.16s -> 7593s); Gbase join likewise (52ms -> 643s)."""
+    assert table1_rows["cbase join"][1.0] > 100 * table1_rows["cbase join"][0.5]
+    assert table1_rows["gbase join"][1.0] > 100 * table1_rows["gbase join"][0.5]
+
+
+def test_table1_skew_conscious_rows_beat_baselines_at_high_skew(table1_rows):
+    """The rows the paper compares: Cbase join vs CSH sample+part, and
+    Gbase join vs GSH all other — both process the skewed tuples."""
+    for theta in (0.8, 0.9, 1.0):
+        assert (table1_rows["cbase join"][theta]
+                > 2 * table1_rows["csh sample+part"][theta])
+        assert (table1_rows["gbase join"][theta]
+                > 2 * table1_rows["gsh all other"][theta])
+
+
+def test_table1_csh_nm_join_stays_small(table1_rows):
+    """CSH's NM-join never explodes: detection strips the heavy keys, so
+    the normal join phase stays orders of magnitude below Cbase's join."""
+    assert (table1_rows["csh nm-join"][1.0]
+            < 0.01 * table1_rows["cbase join"][1.0])
+
+
+def test_table1_gsh_partition_grows_modestly(table1_rows):
+    """GSH partition grows with skew (5.9ms -> 24.5ms in the paper) but
+    stays within a small factor."""
+    row = table1_rows["gsh partition"]
+    assert row[1.0] > row[0.5]
+    assert row[1.0] < 20 * row[0.5]

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""GPU what-if analysis on the SIMT cost simulator.
+
+Explores the GSH design space the paper fixes by hand: the top-k skewed
+keys per large partition, the large-partition threshold, and the device
+itself (the paper's A100 vs a smaller V100-class part).  All runs join the
+same skewed tables, so the outputs must agree while the simulated times
+shift with the configuration.
+
+Run:  python examples/gpu_tuning.py [n_tuples] [zipf_factor]
+"""
+
+import sys
+
+from repro import GSHConfig, GSHJoin, GbaseConfig, GbaseJoin, ZipfWorkload
+from repro.gpu.device import A100, V100_LIKE
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1 << 17
+    theta = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+
+    join_input = ZipfWorkload(n, n, theta=theta, seed=3).generate()
+    print(f"{n} tuples per table, zipf {theta}\n")
+
+    baseline = GbaseJoin(GbaseConfig(device=A100)).run(join_input)
+    print(f"gbase on {A100.name}: {baseline.simulated_seconds:.4g}s "
+          f"({baseline.meta['join_blocks']} join blocks)\n")
+
+    print("GSH: top-k sensitivity (keys stripped per large partition)")
+    print(f"{'top_k':>6}{'simulated':>12}{'skew keys':>11}{'speedup':>9}")
+    reference = None
+    for top_k in (1, 2, 3, 5, 8):
+        result = GSHJoin(GSHConfig(device=A100, top_k=top_k)).run(join_input)
+        if reference is None:
+            reference = result
+        assert result.output_count == baseline.output_count
+        keys = len(result.meta["skewed_keys"])
+        print(f"{top_k:>6}{result.simulated_seconds:>11.4g}s{keys:>11}"
+              f"{baseline.simulated_seconds / result.simulated_seconds:>8.1f}x")
+
+    print("\nGSH: large-partition threshold sensitivity")
+    print(f"{'factor':>7}{'simulated':>12}{'large parts':>13}")
+    for factor in (0.5, 1.0, 2.0, 4.0):
+        result = GSHJoin(GSHConfig(device=A100,
+                                   large_partition_factor=factor)
+                         ).run(join_input)
+        assert result.output_count == baseline.output_count
+        print(f"{factor:>7}{result.simulated_seconds:>11.4g}s"
+              f"{result.meta['large_partitions']:>13}")
+
+    print("\nDevice comparison (same workload, same algorithm)")
+    for device in (A100, V100_LIKE):
+        gbase = GbaseJoin(GbaseConfig(device=device)).run(join_input)
+        gsh = GSHJoin(GSHConfig(device=device)).run(join_input)
+        assert gsh.output_count == gbase.output_count
+        print(f"  {device.name:<16} gbase {gbase.simulated_seconds:>9.4g}s   "
+              f"gsh {gsh.simulated_seconds:>9.4g}s   "
+              f"speedup {gbase.simulated_seconds / gsh.simulated_seconds:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

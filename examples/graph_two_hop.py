@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Graph analytics: counting 2-hop paths in a power-law graph.
+
+The paper's motivating scenario (Section I): vertex degrees of real-world
+graphs follow power laws, so joins over edge tables see heavily skewed
+keys.  This example generates a power-law graph, self-joins its edge table
+(R.dst = S.src enumerates paths a -> b -> c), and shows how the
+skew-conscious joins treat the hub vertices.
+
+Run:  python examples/graph_two_hop.py [n_vertices] [n_edges]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import CSHConfig, CSHJoin, CbaseJoin, GSHJoin, GbaseJoin
+from repro.data import count_two_hop_paths, power_law_graph, two_hop_join_input
+
+
+def main() -> None:
+    n_vertices = int(sys.argv[1]) if len(sys.argv) > 1 else 20000
+    n_edges = int(sys.argv[2]) if len(sys.argv) > 2 else 200000
+
+    print(f"Generating power-law graph: {n_vertices} vertices, "
+          f"{n_edges} edges ...")
+    graph = power_law_graph(n_vertices, n_edges, exponent=2.0, seed=7)
+    degrees = graph.in_degrees()
+    top = np.sort(degrees)[::-1][:5]
+    print(f"hottest in-degrees: {top.tolist()} "
+          f"(median {int(np.median(degrees[degrees > 0]))}) — "
+          "hub vertices make the join keys skewed\n")
+
+    join_input = two_hop_join_input(graph)
+    expected = count_two_hop_paths(graph)
+
+    cbase = CbaseJoin().run(join_input)
+    csh = CSHJoin(CSHConfig(sample_rate=0.02)).run(join_input)
+    gbase = GbaseJoin().run(join_input)
+    gsh = GSHJoin().run(join_input)
+
+    for result in (cbase, csh, gbase, gsh):
+        assert result.output_count == expected, result.algorithm
+    print(f"2-hop paths: {expected} (all algorithms agree with the "
+          "closed-form count)\n")
+
+    print(f"{'algorithm':<8}{'simulated':>12}")
+    print("-" * 22)
+    for result in (cbase, csh, gbase, gsh):
+        print(f"{result.algorithm:<8}{result.simulated_seconds:>11.4g}s")
+
+    hubs = csh.meta["skewed_keys"]
+    covered = csh.meta["skewed_output"]
+    print(f"\nCSH detected {hubs} hub vertices; their paths account for "
+          f"{covered / max(expected, 1):.1%} of the output")
+    print(f"CSH speedup over Cbase: "
+          f"{cbase.simulated_seconds / csh.simulated_seconds:.2f}x; "
+          f"GSH over Gbase: "
+          f"{gbase.simulated_seconds / gsh.simulated_seconds:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Sales analytics: skewed PK-FK joins through the full stack.
+
+Generates a star schema where a few big accounts place most orders (the
+sales-world equivalent of graph hubs), then answers two questions:
+
+1. Which regions earn the most revenue?  (query layer: orders ⋈ customers
+   grouped by region)
+2. How much faster is the skew-conscious join on this schema?  (the CSH /
+   Cbase and GSH / Gbase pipelines on the same join input)
+
+Run:  python examples/sales_analytics.py [n_customers] [n_orders]
+"""
+
+import sys
+
+from repro import CSHJoin, CbaseJoin, GSHJoin, GbaseJoin
+from repro.cpu.stats import heavy_key_share
+from repro.data.sales import generate_sales
+from repro.query import GroupByAggregate, HashJoin, TableScan, TopK
+
+
+def main() -> None:
+    n_customers = int(sys.argv[1]) if len(sys.argv) > 1 else 20000
+    n_orders = int(sys.argv[2]) if len(sys.argv) > 2 else 400000
+
+    sales = generate_sales(n_customers=n_customers, n_orders=n_orders,
+                           n_line_items=2 * n_orders, seed=13)
+    share = heavy_key_share(sales.orders.keys, top_k=10)
+    print(f"{n_customers} customers, {n_orders} orders; the top-10 "
+          f"accounts place {share:.1%} of all orders\n")
+
+    # SELECT region, count(*), sum(value) FROM orders JOIN customers
+    # ON orders.customer = customers.id GROUP BY region
+    # ORDER BY revenue DESC LIMIT 5
+    orders = TableScan({"customer": sales.orders.keys,
+                        "value": sales.orders.payloads}, batch_size=65536)
+    customers = TableScan({"customer": sales.customers.keys,
+                           "region": sales.customers.payloads})
+    joined = HashJoin(orders, customers, "customer", "customer",
+                      skew_aware=True)
+    by_region = GroupByAggregate(joined, key="region", aggs={
+        "orders": ("count", None),
+        "revenue": ("sum", "value"),
+    })
+    top = TopK(by_region, by="revenue", k=5).collect()
+
+    print(f"{'region':>7}{'orders':>10}{'revenue':>14}")
+    print("-" * 31)
+    for region, n, revenue in zip(top.column("region").tolist(),
+                                  top.column("orders").tolist(),
+                                  top.column("revenue").tolist()):
+        print(f"{region:>7}{n:>10}{revenue:>14,}")
+
+    join_input = sales.orders_with_customers()
+    cbase = CbaseJoin().run(join_input)
+    csh = CSHJoin().run(join_input)
+    gbase = GbaseJoin().run(join_input)
+    gsh = GSHJoin().run(join_input)
+    assert csh.matches(cbase) and gsh.matches(gbase)
+    print(f"\norders ⋈ customers output: {cbase.output_count} rows")
+    print(f"CSH vs Cbase: {cbase.simulated_seconds / csh.simulated_seconds:.2f}x   "
+          f"GSH vs Gbase: {gbase.simulated_seconds / gsh.simulated_seconds:.2f}x")
+    print("(PK-FK joins bound each probe to one match, so wins here stay "
+          "moderate —")
+    print(" the explosive case needs heavy hitters on both sides, as in "
+          "the paper's workload.)")
+
+
+if __name__ == "__main__":
+    main()

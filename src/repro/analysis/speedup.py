@@ -1,0 +1,71 @@
+"""Speedup calculations and sweep summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class SweepPoint:
+    """One point of a parameter sweep: parameter value -> algorithm times."""
+
+    parameter: float
+    seconds: Dict[str, float]
+
+
+def speedup(baseline_seconds: float, improved_seconds: float) -> float:
+    """How many times faster the improved time is than the baseline."""
+    if improved_seconds <= 0:
+        raise ConfigError("improved time must be positive")
+    return baseline_seconds / improved_seconds
+
+
+def speedup_series(points: Sequence[SweepPoint], baseline: str,
+                   improved: str) -> List[Tuple[float, float]]:
+    """(parameter, speedup) for each sweep point."""
+    series = []
+    for point in points:
+        series.append((
+            point.parameter,
+            speedup(point.seconds[baseline], point.seconds[improved]),
+        ))
+    return series
+
+
+def max_speedup(points: Sequence[SweepPoint], baseline: str, improved: str,
+                parameter_range: Tuple[float, float] = None) -> Tuple[float, float]:
+    """The (parameter, speedup) of the best improvement in a sweep.
+
+    ``parameter_range`` restricts the search, mirroring the paper's "up to
+    8.0x improvement for ... the zipf factor is 0.5-1.0" phrasing.
+    """
+    best = None
+    for point in points:
+        if parameter_range is not None:
+            lo, hi = parameter_range
+            if not lo <= point.parameter <= hi:
+                continue
+        s = speedup(point.seconds[baseline], point.seconds[improved])
+        if best is None or s > best[1]:
+            best = (point.parameter, s)
+    if best is None:
+        raise ConfigError("no sweep points in the requested range")
+    return best
+
+
+def parity_band(points: Sequence[SweepPoint], a: str, b: str,
+                parameter_range: Tuple[float, float],
+                tolerance: float = 0.5) -> bool:
+    """True if the two algorithms stay within ``1 +- tolerance`` of each
+    other across the range (the paper's low-skew comparability claim)."""
+    for point in points:
+        lo, hi = parameter_range
+        if not lo <= point.parameter <= hi:
+            continue
+        ratio = point.seconds[a] / point.seconds[b]
+        if not (1 - tolerance) <= ratio <= 1 / (1 - tolerance):
+            return False
+    return True

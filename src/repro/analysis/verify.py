@@ -1,0 +1,43 @@
+"""Join-result verification."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.analysis.expected import expected_output
+from repro.data.relation import JoinInput
+from repro.errors import VerificationError
+from repro.exec.result import JoinResult, compare_results
+
+
+def verify_result(result: JoinResult, join_input: JoinInput) -> None:
+    """Raise :class:`VerificationError` unless the result is exact."""
+    count, checksum = expected_output(join_input)
+    if result.output_count != count:
+        raise VerificationError(
+            f"{result.algorithm}: output count {result.output_count} != "
+            f"expected {count}"
+        )
+    if result.output_checksum != checksum:
+        raise VerificationError(
+            f"{result.algorithm}: output checksum "
+            f"{result.output_checksum:#x} != expected {checksum:#x}"
+        )
+
+
+def verify_agreement(results: Iterable[JoinResult]) -> None:
+    """Raise unless all results agree on (count, checksum)."""
+    results = list(results)
+    message = compare_results(results)
+    if message is not None:
+        raise VerificationError(message)
+
+
+def verify_all(results: Iterable[JoinResult],
+               join_input: JoinInput) -> List[JoinResult]:
+    """Verify each result against ground truth and mutual agreement."""
+    results = list(results)
+    for result in results:
+        verify_result(result, join_input)
+    verify_agreement(results)
+    return results

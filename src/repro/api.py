@@ -1,0 +1,78 @@
+"""High-level convenience API.
+
+``join(r, s, algorithm="csh")`` runs any of the five pipelines on a pair of
+relations and returns a :class:`repro.exec.result.JoinResult`.  The
+per-algorithm classes remain available for configured runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.core.csh import CSHConfig, CSHJoin
+from repro.core.gsh import GSHConfig, GSHJoin
+from repro.cpu.no_partition_join import NoPartitionConfig, NoPartitionJoin
+from repro.cpu.radix_join import CbaseConfig, CbaseJoin
+from repro.data.relation import JoinInput, Relation
+from repro.errors import ConfigError
+from repro.exec.result import JoinResult
+from repro.gpu.gbase import GbaseConfig, GbaseJoin
+
+#: Registry of algorithm name -> (pipeline class, config class).
+ALGORITHMS = {
+    "cbase": (CbaseJoin, CbaseConfig),
+    "cbase-npj": (NoPartitionJoin, NoPartitionConfig),
+    "csh": (CSHJoin, CSHConfig),
+    "gbase": (GbaseJoin, GbaseConfig),
+    "gsh": (GSHJoin, GSHConfig),
+}
+
+#: Algorithms that run on the CPU substrate / the GPU simulator.
+CPU_ALGORITHMS = ("cbase", "cbase-npj", "csh")
+GPU_ALGORITHMS = ("gbase", "gsh")
+
+
+def make_join(algorithm: str, config=None):
+    """Instantiate a pipeline by name, optionally with a config object."""
+    try:
+        cls, config_cls = ALGORITHMS[algorithm]
+    except KeyError:
+        raise ConfigError(
+            f"unknown algorithm {algorithm!r}; choose from "
+            f"{sorted(ALGORITHMS)}"
+        ) from None
+    if config is None:
+        return cls()
+    if not isinstance(config, config_cls):
+        raise ConfigError(
+            f"{algorithm} expects a {config_cls.__name__}, got "
+            f"{type(config).__name__}"
+        )
+    return cls(config)
+
+
+def join(
+    r: Union[Relation, JoinInput],
+    s: Optional[Relation] = None,
+    algorithm: str = "csh",
+    config=None,
+) -> JoinResult:
+    """Join two relations on their key columns with the named algorithm.
+
+    Accepts either two relations or a prepared :class:`JoinInput`.
+    """
+    if isinstance(r, JoinInput):
+        join_input = r
+        if s is not None:
+            raise ConfigError("pass either a JoinInput or two relations")
+    else:
+        if s is None:
+            raise ConfigError("a second relation is required")
+        join_input = JoinInput(r=r, s=s)
+    return make_join(algorithm, config).run(join_input)
+
+
+def run_all(join_input: JoinInput,
+            algorithms=tuple(ALGORITHMS)) -> Dict[str, JoinResult]:
+    """Run several algorithms on the same input (results keyed by name)."""
+    return {name: make_join(name).run(join_input) for name in algorithms}

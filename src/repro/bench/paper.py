@@ -1,0 +1,56 @@
+"""The paper's reported numbers, used for side-by-side comparison.
+
+Source: "CPU and GPU Hash Joins on Skewed Data", ICDE 2024 — Table I,
+Figure 4's derived claims (Section V-B), and the scale-up paragraph.
+All values in seconds.
+"""
+
+from __future__ import annotations
+
+#: Table I: execution time breakdown, zipf factor 0.5 .. 1.0.
+#: (The Gbase partition entry for 0.8 is printed as "6.9s" in the paper —
+#: an obvious typo for 6.9 ms given the surrounding row; recorded as ms.)
+TABLE1 = {
+    "cbase partition": {0.5: 0.29, 0.6: 0.29, 0.7: 0.29, 0.8: 0.29,
+                        0.9: 0.28, 1.0: 0.26},
+    "cbase join": {0.5: 0.16, 0.6: 0.59, 0.7: 7.05, 0.8: 96.9,
+                   0.9: 1084.0, 1.0: 7593.0},
+    "csh sample+part": {0.5: 0.22, 0.6: 0.36, 0.7: 2.24, 0.8: 17.6,
+                        0.9: 152.0, 1.0: 941.0},
+    "csh nm-join": {0.5: 0.25, 0.6: 0.47, 0.7: 0.9, 0.8: 1.65,
+                    0.9: 2.36, 1.0: 2.55},
+    "gbase partition": {0.5: 6.78e-3, 0.6: 6.6e-3, 0.7: 6.8e-3,
+                        0.8: 6.9e-3, 0.9: 7.0e-3, 1.0: 7.4e-3},
+    "gbase join": {0.5: 52e-3, 0.6: 0.33, 0.7: 1.7, 0.8: 16.0,
+                   0.9: 115.0, 1.0: 643.0},
+    "gsh partition": {0.5: 5.9e-3, 0.6: 5.9e-3, 0.7: 6.1e-3,
+                      0.8: 7.7e-3, 0.9: 12.8e-3, 1.0: 24.5e-3},
+    "gsh all other": {0.5: 25.8e-3, 0.6: 49.3e-3, 0.7: 0.214,
+                      0.8: 1.17, 0.9: 9.37, 1.0: 54.5},
+}
+
+#: Zipf factors covered by Table I.
+TABLE1_THETAS = (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+#: Figure 1 / Figure 4 sweep range.
+FIGURE_THETAS = (0.0, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+#: Paper workload: both tables hold 32 M tuples of 4 B key + 4 B payload.
+PAPER_N_TUPLES = 32_000_000
+
+#: Section V-B claims.
+MAX_CPU_SPEEDUP = 8.0        # CSH over Cbase, zipf 0.5-1.0
+MAX_GPU_SPEEDUP = 13.5       # GSH over Gbase, zipf 0.5-1.0
+LOW_SKEW_RANGE = (0.0, 0.4)  # where CSH ~ Cbase and GSH ~ Gbase
+
+#: "When the zipf factor is 1.0, CSH detects 870 skewed [keys], which
+#: contribute to about 99.6% of the total output."
+DETECTED_SKEWED_KEYS_AT_1 = 870
+SKEWED_OUTPUT_SHARE_AT_1 = 0.996
+
+#: Scale-up experiment: 560 M tuples, zipf 0.7.
+SCALEUP_N_TUPLES = 560_000_000
+SCALEUP_THETA = 0.7
+SCALEUP_CPU_SPEEDUP = 3.5    # CSH over Cbase
+SCALEUP_GPU_SPEEDUP = 10.4   # GSH over Gbase
+SCALEUP_GBASE_MEMORY_GB = 38.5

@@ -1,0 +1,79 @@
+"""Plain-text renderers for bench tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scale rendering matching the paper's mixed ms/s style."""
+    if seconds == 0:
+        return "0"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3g}ms"
+    return f"{seconds:.3g}s"
+
+
+def render_table(
+    rows: Dict[str, Dict[float, float]],
+    columns: Sequence[float],
+    title: str,
+    reference: Optional[Dict[str, Dict[float, float]]] = None,
+) -> str:
+    """Render a Table-I-style breakdown.
+
+    ``rows`` maps row label -> {zipf factor: seconds}; when ``reference``
+    (the paper's numbers) is given, each model row is followed by the
+    paper's row for side-by-side comparison.
+    """
+    label_width = max(len(label) for label in rows) + 9
+    header = "zipf factor".ljust(label_width) + "".join(
+        f"{c:>11}" for c in columns)
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for label, values in rows.items():
+        cells = "".join(
+            f"{format_seconds(values[c]):>11}" if c in values else
+            f"{'-':>11}"
+            for c in columns)
+        lines.append(f"{label} (model)".ljust(label_width) + cells)
+        if reference and label in reference:
+            ref = reference[label]
+            cells = "".join(
+                f"{format_seconds(ref[c]):>11}" if c in ref else f"{'-':>11}"
+                for c in columns)
+            lines.append(f"{label} (paper)".ljust(label_width) + cells)
+    lines.append("=" * len(header))
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Dict[str, Dict[float, float]],
+    x_values: Sequence[float],
+    title: str,
+    x_label: str = "zipf",
+) -> str:
+    """Render figure data as an aligned text table (one row per x)."""
+    names = list(series)
+    header = f"{x_label:>6}" + "".join(f"{n:>14}" for n in names)
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for x in x_values:
+        cells = "".join(
+            f"{format_seconds(series[n][x]):>14}" if x in series[n]
+            else f"{'-':>14}"
+            for n in names)
+        lines.append(f"{x:>6}" + cells)
+    lines.append("=" * len(header))
+    return "\n".join(lines)
+
+
+def render_csv(series: Dict[str, Dict[float, float]],
+               x_values: Sequence[float], x_label: str = "zipf") -> str:
+    """CSV rendering of figure data (for external plotting)."""
+    names = list(series)
+    lines = [",".join([x_label] + names)]
+    for x in x_values:
+        cells = [str(x)] + [
+            repr(series[n].get(x, "")) for n in names
+        ]
+        lines.append(",".join(cells))
+    return "\n".join(lines)

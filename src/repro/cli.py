@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``    — join one generated workload with one or all algorithms.
+* ``sweep``  — Figure-4-style zipf sweep.
+* ``bench``  — regenerate one of the paper's tables/figures.
+
+Examples::
+
+    python -m repro run --theta 1.0 --tuples 262144 --algorithm csh
+    python -m repro run --theta 0.9 --all --counters
+    python -m repro sweep --tuples 1048576 --analytic
+    python -m repro bench table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.api import ALGORITHMS, make_join, run_all
+from repro.analysis.analytic import ANALYTIC_EXECUTORS, AnalyticWorkload
+from repro.analysis.verify import verify_all
+from repro.bench.experiments import (
+    run_detection,
+    run_figure1,
+    run_figure4,
+    run_scaleup,
+    run_table1,
+)
+from repro.bench.tables import render_series
+from repro.data.io import load_join_input, save_join_input
+from repro.data.zipf import ZipfWorkload
+from repro.exec.report import comparison_report, result_report
+
+BENCH_COMMANDS = {
+    "fig1": run_figure1,
+    "fig4": run_figure4,
+    "table1": run_table1,
+    "scaleup": run_scaleup,
+    "detection": run_detection,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Skew-conscious hash joins (ICDE 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="join one generated workload")
+    run_p.add_argument("--tuples", "-n", type=int, default=1 << 17,
+                       help="tuples per table (default 131072)")
+    run_p.add_argument("--theta", "-t", type=float, default=0.9,
+                       help="zipf factor (default 0.9)")
+    run_p.add_argument("--seed", type=int, default=42)
+    run_p.add_argument("--algorithm", "-a", choices=sorted(ALGORITHMS),
+                       default="csh")
+    run_p.add_argument("--all", action="store_true",
+                       help="run every algorithm and compare")
+    run_p.add_argument("--counters", action="store_true",
+                       help="print the operation counters")
+    run_p.add_argument("--analytic", action="store_true",
+                       help="use the histogram-driven paper-scale path")
+    run_p.add_argument("--load", metavar="FILE",
+                       help="join a saved .npz workload instead of "
+                            "generating one")
+    run_p.add_argument("--save", metavar="FILE",
+                       help="save the generated workload to a .npz file")
+
+    sweep_p = sub.add_parser("sweep", help="zipf sweep across algorithms")
+    sweep_p.add_argument("--tuples", "-n", type=int, default=1 << 16)
+    sweep_p.add_argument("--seed", type=int, default=42)
+    sweep_p.add_argument("--analytic", action="store_true")
+    sweep_p.add_argument("--thetas", type=str,
+                         default="0,0.25,0.5,0.75,1.0",
+                         help="comma-separated zipf factors")
+
+    bench_p = sub.add_parser("bench", help="regenerate a paper experiment")
+    bench_p.add_argument("experiment", choices=sorted(BENCH_COMMANDS))
+    return parser
+
+
+def _cmd_run(args) -> int:
+    if args.analytic:
+        wl = AnalyticWorkload.from_zipf(args.tuples, args.tuples,
+                                        args.theta, seed=args.seed)
+        if args.all:
+            results = [ANALYTIC_EXECUTORS[name](wl)
+                       for name in sorted(ALGORITHMS)]
+            print(comparison_report(results, baseline="cbase"))
+        else:
+            print(result_report(ANALYTIC_EXECUTORS[args.algorithm](wl),
+                                counters=args.counters))
+        return 0
+    if args.load:
+        join_input = load_join_input(args.load)
+    else:
+        workload = ZipfWorkload(args.tuples, args.tuples, args.theta,
+                                seed=args.seed)
+        join_input = workload.generate()
+    if args.save:
+        save_join_input(join_input, args.save)
+        print(f"workload saved to {args.save}")
+    if args.all:
+        results = run_all(join_input)
+        verify_all(results.values(), join_input)
+        print(comparison_report(list(results.values()), baseline="cbase"))
+    else:
+        result = make_join(args.algorithm).run(join_input)
+        print(result_report(result, counters=args.counters))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    thetas = [float(t) for t in args.thetas.split(",") if t.strip()]
+    algorithms = sorted(ALGORITHMS)
+    series = {alg: {} for alg in algorithms}
+    for theta in thetas:
+        if args.analytic:
+            wl = AnalyticWorkload.from_zipf(args.tuples, args.tuples,
+                                            theta, seed=args.seed)
+            for alg in algorithms:
+                series[alg][theta] = (
+                    ANALYTIC_EXECUTORS[alg](wl).simulated_seconds)
+        else:
+            join_input = ZipfWorkload(args.tuples, args.tuples, theta,
+                                      seed=args.seed).generate()
+            results = run_all(join_input)
+            for alg, res in results.items():
+                series[alg][theta] = res.simulated_seconds
+    print(render_series(series, thetas,
+                        f"zipf sweep — {args.tuples} tuples per table"))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    BENCH_COMMANDS[args.experiment]()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+    except BrokenPipeError:  # output truncated by a closed pipe (| head)
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

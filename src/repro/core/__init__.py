@@ -1,0 +1,8 @@
+"""The paper's contribution: skew-conscious hash joins CSH and GSH."""
+
+from repro.core.adaptive import AdaptiveConfig, AdaptiveJoin
+from repro.core.csh import CSHConfig, CSHJoin
+from repro.core.gsh import GSHConfig, GSHJoin
+
+__all__ = ["CSHJoin", "CSHConfig", "GSHJoin", "GSHConfig",
+           "AdaptiveJoin", "AdaptiveConfig"]

@@ -1,0 +1,24 @@
+"""CSH: CPU Skew-conscious Hash join."""
+
+from repro.core.csh.checkup import SkewCheckupTable, SkewedPartitionSet
+from repro.core.csh.detector import SkewDetection, detect_skewed_keys
+from repro.core.csh.hybrid_partition import (
+    HybridPartitionR,
+    HybridPartitionS,
+    partition_r_hybrid,
+    partition_s_hybrid,
+)
+from repro.core.csh.pipeline import CSHConfig, CSHJoin
+
+__all__ = [
+    "SkewCheckupTable",
+    "SkewedPartitionSet",
+    "SkewDetection",
+    "detect_skewed_keys",
+    "HybridPartitionR",
+    "HybridPartitionS",
+    "partition_r_hybrid",
+    "partition_s_hybrid",
+    "CSHConfig",
+    "CSHJoin",
+]

@@ -1,0 +1,80 @@
+"""CSH skew detection: sample R before partitioning.
+
+Section IV-A, step (1): "CSH samples (e.g., 1%) keys from table R and uses
+a hash table to compute the frequencies of the sampled keys.  If the
+frequency of a key exceeds the pre-defined threshold (e.g., 2), the key is
+marked as a skewed key.  Each skewed key is allocated a skewed partition."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.csh.checkup import SkewCheckupTable
+from repro.cpu.linear_table import count_sample_frequencies
+from repro.errors import ConfigError
+from repro.exec.counters import OpCounters
+from repro.types import SeedLike, make_rng
+
+
+@dataclass
+class SkewDetection:
+    """Result of the pre-partition sampling pass."""
+
+    checkup: SkewCheckupTable
+    sample_size: int
+    counters: OpCounters
+
+    @property
+    def skewed_keys(self) -> np.ndarray:
+        """The detected skewed keys (sorted)."""
+        return self.checkup.keys
+
+    @property
+    def n_skewed(self) -> int:
+        """Number of detected skewed keys."""
+        return len(self.checkup)
+
+
+def detect_skewed_keys(
+    r_keys: np.ndarray,
+    sample_rate: float = 0.01,
+    freq_threshold: int = 2,
+    seed: SeedLike = 0,
+    max_skewed: int = None,
+) -> SkewDetection:
+    """Sample R's keys and mark frequent sampled keys as skewed.
+
+    ``max_skewed`` optionally caps the number of skewed keys (most frequent
+    first); the paper does not cap, and the default keeps that behaviour.
+    """
+    if not 0 < sample_rate <= 1:
+        raise ConfigError(f"sample_rate must be in (0, 1], got {sample_rate}")
+    if freq_threshold < 1:
+        raise ConfigError(f"freq_threshold must be >= 1, got {freq_threshold}")
+    r_keys = np.asarray(r_keys, dtype=np.uint32)
+    n = r_keys.size
+    sample_size = max(int(round(n * sample_rate)), min(n, 1))
+    rng = make_rng(seed)
+    counters = OpCounters()
+    if sample_size == 0:
+        return SkewDetection(
+            checkup=SkewCheckupTable(np.empty(0, dtype=np.uint32)),
+            sample_size=0, counters=counters,
+        )
+    idx = rng.integers(0, n, size=sample_size)
+    sample = r_keys[idx]
+    freq = count_sample_frequencies(sample, counters=counters)
+    skewed = freq.above_threshold(freq_threshold)
+    if max_skewed is not None and skewed.size > max_skewed:
+        # above_threshold preserves descending frequency order.
+        skewed = skewed[:max_skewed]
+    counters.seq_tuple_reads += sample_size  # reading the sampled tuples
+    counters.bytes_read += 8 * sample_size
+    return SkewDetection(
+        checkup=SkewCheckupTable(skewed),
+        sample_size=sample_size,
+        counters=counters,
+    )

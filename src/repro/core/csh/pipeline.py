@@ -1,0 +1,162 @@
+"""CSH: the CPU Skew-conscious Hash join (the paper's Section IV-A).
+
+Pipeline: (1) detect skewed keys by sampling R; (2) partition R, diverting
+skewed tuples into per-key skewed partitions; (3) partition S, joining
+skewed S tuples against the skewed partitions on the fly (hybrid-hash-join
+style); (4) NM-join the remaining normal partition pairs exactly like
+Cbase's join phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.csh.detector import SkewDetection, detect_skewed_keys
+from repro.core.csh.checkup import SkewCheckupTable
+from repro.core.csh.hybrid_partition import partition_r_hybrid, partition_s_hybrid
+from repro.cpu.spacesaving import streaming_skew_detection
+from repro.exec.counters import OpCounters
+from repro.cpu.join_phase import join_partition_pairs
+from repro.cpu.partition import choose_radix_bits
+from repro.cpu.threads import ThreadPool
+from repro.data.relation import JoinInput
+from repro.errors import ConfigError
+from repro.exec.cost_model import CPUCostModel, DEFAULT_CPU_COST_MODEL
+from repro.exec.output import DEFAULT_CAPACITY
+from repro.exec.phase import PhaseTimer
+from repro.exec.result import JoinResult
+from repro.types import SeedLike
+
+
+@dataclass(frozen=True)
+class CSHConfig:
+    """Tuning knobs for CSH (paper defaults: 1% sample, threshold 2)."""
+
+    n_threads: int = 20
+    sample_rate: float = 0.01
+    freq_threshold: int = 2
+    #: Skew detection strategy: "sample" (the paper's) or "spacesaving"
+    #: (extension: one-pass Misra-Gries summary with guaranteed recall).
+    detector: str = "sample"
+    #: Minimum key frequency treated as skewed by the streaming detector.
+    min_skew_frequency: float = 1e-4
+    target_partition_tuples: int = 2048
+    bits_pass1: Optional[int] = None
+    bits_pass2: Optional[int] = None
+    output_capacity: int = DEFAULT_CAPACITY
+    cost_model: CPUCostModel = DEFAULT_CPU_COST_MODEL
+    sample_seed: SeedLike = 0
+
+    def __post_init__(self):
+        if self.n_threads <= 0:
+            raise ConfigError("n_threads must be positive")
+        if not 0 < self.sample_rate <= 1:
+            raise ConfigError("sample_rate must be in (0, 1]")
+        if self.freq_threshold < 1:
+            raise ConfigError("freq_threshold must be >= 1")
+        if self.detector not in ("sample", "spacesaving"):
+            raise ConfigError(
+                f"unknown detector {self.detector!r}; use 'sample' or "
+                "'spacesaving'")
+        if not 0 < self.min_skew_frequency < 1:
+            raise ConfigError("min_skew_frequency must be in (0, 1)")
+
+    def resolve_bits(self, n_tuples: int) -> Tuple[int, int]:
+        """Radix bit widths for the two partition passes."""
+        if self.bits_pass1 is not None:
+            return self.bits_pass1, self.bits_pass2 or 0
+        return choose_radix_bits(n_tuples, self.target_partition_tuples)
+
+
+class CSHJoin:
+    """The CSH pipeline."""
+
+    name = "csh"
+
+    def __init__(self, config: CSHConfig = CSHConfig()):
+        self.config = config
+        self.pool = ThreadPool(config.n_threads, config.cost_model)
+
+    def run(self, join_input: JoinInput) -> JoinResult:
+        """Execute CSH: sample, hybrid partition, NM-join."""
+        cfg = self.config
+        r, s = join_input.r, join_input.s
+        bits1, bits2 = cfg.resolve_bits(max(len(r), len(s)))
+        result = JoinResult(
+            algorithm=self.name, n_r=len(r), n_s=len(s),
+            output_count=0, output_checksum=0,
+            meta={"bits_pass1": bits1, "bits_pass2": bits2},
+        )
+
+        with PhaseTimer("sample") as timer:
+            detection = self._detect(r.keys)
+            # Detection parallelizes across the pool like every other phase.
+            timer.finish(
+                simulated_seconds=(
+                    cfg.cost_model.seconds(detection.counters) / cfg.n_threads
+                ),
+                counters=detection.counters,
+                skewed_keys=float(detection.n_skewed),
+                sample_size=float(detection.sample_size),
+            )
+        result.phases.append(timer.result)
+        result.meta["skewed_keys"] = detection.n_skewed
+
+        with PhaseTimer("partition") as timer:
+            part_r = partition_r_hybrid(r, detection.checkup, bits1, bits2,
+                                        self.pool)
+            part_s = partition_s_hybrid(
+                s, detection.checkup, part_r.skewed, bits1, bits2,
+                self.pool, cfg.output_capacity,
+            )
+            timer.finish(
+                simulated_seconds=(part_r.simulated_seconds
+                                   + part_s.simulated_seconds),
+                counters=part_r.counters + part_s.counters,
+                skewed_r_tuples=float(part_r.n_skewed_tuples),
+                skewed_s_tuples=float(part_s.n_skewed_tuples),
+                skewed_output=float(part_s.summary.count),
+            )
+        result.phases.append(timer.result)
+        result.meta["skewed_r_tuples"] = part_r.n_skewed_tuples
+        result.meta["skewed_s_tuples"] = part_s.n_skewed_tuples
+        result.meta["skewed_output"] = part_s.summary.count
+
+        with PhaseTimer("nm-join") as timer:
+            phase = join_partition_pairs(
+                part_r.normal, part_s.normal, self.pool,
+                output_capacity=cfg.output_capacity,
+            )
+            timer.finish(
+                simulated_seconds=phase.simulated_seconds,
+                counters=phase.counters,
+                task_count=phase.task_count,
+                idle_fraction=phase.schedule.idle_fraction,
+            )
+        result.phases.append(timer.result)
+
+        result.output_count = part_s.summary.count + phase.summary.count
+        result.output_checksum = (
+            part_s.summary.checksum + phase.summary.checksum
+        ) & ((1 << 64) - 1)
+        return result
+
+    def _detect(self, r_keys) -> SkewDetection:
+        """Run the configured skew detector over R's key column."""
+        cfg = self.config
+        if cfg.detector == "sample":
+            return detect_skewed_keys(
+                r_keys,
+                sample_rate=cfg.sample_rate,
+                freq_threshold=cfg.freq_threshold,
+                seed=cfg.sample_seed,
+            )
+        counters = OpCounters()
+        skewed = streaming_skew_detection(
+            r_keys, min_frequency=cfg.min_skew_frequency, counters=counters)
+        return SkewDetection(
+            checkup=SkewCheckupTable(skewed),
+            sample_size=int(len(r_keys)),
+            counters=counters,
+        )

@@ -1,0 +1,25 @@
+"""GSH: GPU Skew-conscious Hash join."""
+
+from repro.core.gsh.detector import (
+    GpuSkewDetection,
+    PartitionSkewInfo,
+    detect_partition_skew,
+    find_large_partitions,
+)
+from repro.core.gsh.pipeline import GSHConfig, GSHJoin
+from repro.core.gsh.skew_join import SkewJoinResult, skew_join_phase
+from repro.core.gsh.split import SkewedArrays, SplitResult, split_large_partitions
+
+__all__ = [
+    "GpuSkewDetection",
+    "PartitionSkewInfo",
+    "detect_partition_skew",
+    "find_large_partitions",
+    "SkewedArrays",
+    "SplitResult",
+    "split_large_partitions",
+    "SkewJoinResult",
+    "skew_join_phase",
+    "GSHConfig",
+    "GSHJoin",
+]

@@ -1,0 +1,150 @@
+"""GSH skew detection: sample large partitions after partitioning.
+
+Section IV-B, step (2): after the partition phase the size of every
+partition is known; partitions above a threshold are *large*.  For each
+large partition GSH samples ~1% of its tuples, counts frequencies in a
+linear-probing hash table, and marks the top-k most frequent keys (k = 3 in
+the paper's experiments) as skewed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.cpu.linear_table import count_sample_frequencies
+from repro.cpu.partition import PartitionedRelation
+from repro.errors import ConfigError
+from repro.exec.counters import OpCounters
+from repro.types import SeedLike, make_rng
+
+
+@dataclass
+class PartitionSkewInfo:
+    """Skewed keys detected in one large partition."""
+
+    partition: int
+    skewed_keys: np.ndarray
+    sample_size: int
+
+
+@dataclass
+class GpuSkewDetection:
+    """Detection outcome across all large partitions."""
+
+    large_partitions: np.ndarray
+    per_partition: List[PartitionSkewInfo] = field(default_factory=list)
+    #: Per-large-partition block counters (one detection block each).
+    block_counters: List[OpCounters] = field(default_factory=list)
+
+    @property
+    def n_large(self) -> int:
+        """Number of large partitions."""
+        return int(self.large_partitions.size)
+
+    def skewed_keys_of(self, partition: int) -> np.ndarray:
+        """Skewed keys detected in one partition."""
+        for info in self.per_partition:
+            if info.partition == partition:
+                return info.skewed_keys
+        return np.empty(0, dtype=np.uint32)
+
+    def all_skewed_keys(self) -> np.ndarray:
+        """Union of skewed keys over all large partitions."""
+        if not self.per_partition:
+            return np.empty(0, dtype=np.uint32)
+        return np.unique(np.concatenate(
+            [info.skewed_keys for info in self.per_partition]
+        ))
+
+
+def find_large_partitions(
+    part_r: PartitionedRelation,
+    part_s: PartitionedRelation,
+    threshold_tuples: int,
+) -> np.ndarray:
+    """Partitions whose R or S side exceeds the size threshold."""
+    if threshold_tuples <= 0:
+        raise ConfigError("threshold_tuples must be positive")
+    r_sizes = part_r.sizes()
+    s_sizes = part_s.sizes()
+    return np.flatnonzero((r_sizes > threshold_tuples)
+                          | (s_sizes > threshold_tuples))
+
+
+def detect_partition_skew(
+    part_r: PartitionedRelation,
+    part_s: PartitionedRelation,
+    threshold_tuples: int,
+    sample_rate: float = 0.01,
+    top_k: int = 3,
+    seed: SeedLike = 0,
+    adaptive_k: bool = False,
+    max_k: int = 64,
+) -> GpuSkewDetection:
+    """Sample each large partition (both sides) and take its top-k keys.
+
+    With ``adaptive_k=True`` the per-partition k follows the paper's
+    selection rule directly — "k should be chosen to remove most skewed
+    keys so that the normal partition containing the remaining tuples can
+    fit into the shared memory": the smallest k (capped at ``max_k``)
+    whose estimated removal brings the partition under the threshold.
+    ``top_k`` then acts as the minimum.
+    """
+    if not 0 < sample_rate <= 1:
+        raise ConfigError("sample_rate must be in (0, 1]")
+    if top_k < 1:
+        raise ConfigError("top_k must be >= 1")
+    if adaptive_k and max_k < top_k:
+        raise ConfigError("max_k must be >= top_k")
+    rng = make_rng(seed)
+    large = find_large_partitions(part_r, part_s, threshold_tuples)
+    detection = GpuSkewDetection(large_partitions=large)
+    for p in large:
+        p = int(p)
+        r_keys, _ = part_r.partition(p)
+        s_keys, _ = part_s.partition(p)
+        pool = np.concatenate([r_keys, s_keys])
+        n = pool.size
+        sample_size = max(int(round(n * sample_rate)), min(n, 1))
+        counters = OpCounters()
+        idx = rng.integers(0, n, size=sample_size)
+        freq = count_sample_frequencies(pool[idx], counters=counters)
+        counters.seq_tuple_reads += sample_size
+        counters.bytes_read += 8 * sample_size
+        k = top_k
+        if adaptive_k:
+            k = _choose_k(freq.counts, n, sample_size, threshold_tuples,
+                          min_k=top_k, max_k=max_k)
+        detection.per_partition.append(PartitionSkewInfo(
+            partition=p,
+            skewed_keys=np.sort(freq.top_k(k)).astype(np.uint32),
+            sample_size=sample_size,
+        ))
+        detection.block_counters.append(counters)
+    return detection
+
+
+def _choose_k(sampled_counts: np.ndarray, partition_tuples: int,
+              sample_size: int, threshold_tuples: int,
+              min_k: int, max_k: int) -> int:
+    """Smallest k whose estimated removal fits the partition in memory.
+
+    Sampled frequencies scale by ``partition_tuples / sample_size`` to
+    estimate each hot key's true tuple count; keys are stripped greedily
+    (they arrive sorted by frequency) until the remainder estimate drops
+    under the threshold or ``max_k`` is reached.
+    """
+    if sample_size <= 0 or sampled_counts.size == 0:
+        return min_k
+    scale = partition_tuples / sample_size
+    remaining = float(partition_tuples)
+    k = 0
+    for count in sampled_counts[:max_k]:
+        if k >= min_k and remaining <= threshold_tuples:
+            break
+        remaining -= float(count) * scale
+        k += 1
+    return max(k, min_k)

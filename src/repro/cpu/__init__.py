@@ -1,0 +1,87 @@
+"""CPU substrate and baselines: hashing, partitioning, tables, Cbase, npj."""
+
+from repro.cpu.chained_table import ChainedHashTable
+from repro.cpu.hashing import (
+    bits_for,
+    bucket_ids,
+    hash_key,
+    hash_keys,
+    next_pow2,
+    radix_bits,
+)
+from repro.cpu.join_phase import JoinPhaseResult, join_one_pair, join_partition_pairs
+from repro.cpu.linear_table import (
+    FrequencyCount,
+    LinearProbingCounter,
+    count_sample_frequencies,
+)
+from repro.cpu.no_partition_join import NoPartitionConfig, NoPartitionJoin
+from repro.cpu.partition import (
+    PartitionedRelation,
+    PartitionPassResult,
+    choose_radix_bits,
+    partition_pass,
+    partition_relation,
+    refine_pass,
+)
+from repro.cpu.radix_join import CbaseConfig, CbaseJoin
+from repro.cpu.segments import split_segments
+from repro.cpu.spacesaving import (
+    HeavyHitter,
+    SpaceSavingSummary,
+    streaming_skew_detection,
+)
+from repro.cpu.stats import (
+    PartitionStats,
+    heavy_key_share,
+    min_achievable_partition_size,
+    partition_stats,
+    skew_report,
+)
+from repro.cpu.task_queue import (
+    ScheduleResult,
+    greedy_schedule,
+    makespan_bounds,
+    static_makespan,
+)
+from repro.cpu.threads import ThreadPool
+
+__all__ = [
+    "hash_keys",
+    "hash_key",
+    "radix_bits",
+    "bucket_ids",
+    "next_pow2",
+    "bits_for",
+    "split_segments",
+    "greedy_schedule",
+    "static_makespan",
+    "makespan_bounds",
+    "ScheduleResult",
+    "ThreadPool",
+    "PartitionedRelation",
+    "PartitionPassResult",
+    "partition_pass",
+    "partition_relation",
+    "refine_pass",
+    "choose_radix_bits",
+    "ChainedHashTable",
+    "LinearProbingCounter",
+    "FrequencyCount",
+    "count_sample_frequencies",
+    "JoinPhaseResult",
+    "join_partition_pairs",
+    "join_one_pair",
+    "CbaseJoin",
+    "CbaseConfig",
+    "NoPartitionJoin",
+    "NoPartitionConfig",
+    "SpaceSavingSummary",
+    "HeavyHitter",
+    "streaming_skew_detection",
+    "PartitionStats",
+    "partition_stats",
+    "heavy_key_share",
+    "min_achievable_partition_size",
+    "skew_report",
+]

@@ -1,0 +1,126 @@
+"""cbase-npj: the no-partition hash join baseline.
+
+The paper also compares against "a no-partition join in the same code
+repository" as Cbase.  It builds one global chained hash table over R in
+parallel and probes it with S in parallel.  Because the table far exceeds
+the CPU caches, every head fetch and chain step is an uncached random
+memory access — which is why Figure 4a shows it as the worst performer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.chained_table import ChainedHashTable
+from repro.exec.matching import emit_matches
+from repro.cpu.hashing import hash_keys, next_pow2
+from repro.cpu.segments import split_segments
+from repro.cpu.threads import ThreadPool
+from repro.data.relation import JoinInput
+from repro.errors import ConfigError
+from repro.exec.counters import OpCounters
+from repro.exec.cost_model import CPUCostModel, DEFAULT_CPU_COST_MODEL
+from repro.exec.output import DEFAULT_CAPACITY, JoinOutputBuffer, combine_summaries
+from repro.exec.phase import PhaseTimer
+from repro.exec.result import JoinResult
+
+
+@dataclass(frozen=True)
+class NoPartitionConfig:
+    """Tuning knobs for the no-partition join."""
+
+    n_threads: int = 20
+    output_capacity: int = DEFAULT_CAPACITY
+    cost_model: CPUCostModel = DEFAULT_CPU_COST_MODEL
+
+    def __post_init__(self):
+        if self.n_threads <= 0:
+            raise ConfigError("n_threads must be positive")
+
+
+class NoPartitionJoin:
+    """cbase-npj: global chained table, parallel build and probe."""
+
+    name = "cbase-npj"
+
+    def __init__(self, config: NoPartitionConfig = NoPartitionConfig()):
+        self.config = config
+        self.pool = ThreadPool(config.n_threads, config.cost_model)
+
+    def run(self, join_input: JoinInput) -> JoinResult:
+        """Execute cbase-npj: global build, then parallel probe."""
+        cfg = self.config
+        r, s = join_input.r, join_input.s
+        result = JoinResult(
+            algorithm=self.name, n_r=len(r), n_s=len(s),
+            output_count=0, output_checksum=0,
+        )
+        table = ChainedHashTable(next_pow2(max(len(r), 1)))
+
+        with PhaseTimer("build") as timer:
+            build_counters = OpCounters()
+            table.build(r.keys, r.payloads, counters=build_counters,
+                        random_access=True)
+            per_thread = self._split_counters(build_counters, len(r),
+                                              cfg.n_threads)
+            timer.finish(
+                simulated_seconds=self.pool.static_phase_seconds(per_thread),
+                counters=build_counters,
+            )
+        result.phases.append(timer.result)
+
+        with PhaseTimer("probe") as timer:
+            per_thread, summaries, total = self._probe(table, s)
+            timer.finish(
+                simulated_seconds=self.pool.static_phase_seconds(per_thread),
+                counters=total,
+            )
+        result.phases.append(timer.result)
+        summary = combine_summaries(summaries)
+        result.output_count = summary.count
+        result.output_checksum = summary.checksum
+        return result
+
+    @staticmethod
+    def _split_counters(total: OpCounters, n: int, n_threads: int):
+        """Distribute uniform per-tuple counters across thread segments."""
+        if n == 0:
+            return [OpCounters() for _ in range(n_threads)]
+        per_thread = []
+        for a, b in split_segments(n, n_threads):
+            frac = (b - a) / n
+            per_thread.append(OpCounters(
+                **{k: int(round(v * frac)) for k, v in total.as_dict().items()}
+            ))
+        return per_thread
+
+    def _probe(self, table: ChainedHashTable, s):
+        """Probe S in per-thread segments against the global table."""
+        cfg = self.config
+        hashes = hash_keys(s.keys)
+        buckets = table._bucket_of(hashes)
+        steps_per_tuple = table._chain_lengths[buckets]
+        per_thread = []
+        summaries = []
+        total = OpCounters()
+        for a, b in split_segments(len(s), cfg.n_threads):
+            counters = OpCounters()
+            n_seg = b - a
+            buf = JoinOutputBuffer(cfg.output_capacity)
+            summary = emit_matches(
+                table.keys, table.payloads,
+                s.keys[a:b], s.payloads[a:b], buf,
+            )
+            steps = int(steps_per_tuple[a:b].sum()) if n_seg else 0
+            counters.hash_ops += n_seg
+            counters.seq_tuple_reads += n_seg
+            counters.bytes_read += 8 * n_seg
+            counters.chain_steps += steps
+            counters.key_compares += steps
+            counters.random_accesses += steps + n_seg
+            counters.output_tuples += summary.count
+            counters.bytes_written += 8 * summary.count
+            per_thread.append(counters)
+            summaries.append(summary)
+            total += counters
+        return per_thread, summaries, total

@@ -1,0 +1,34 @@
+"""Static work division: equal-sized segments per thread.
+
+The paper's Cbase "divides the input relation into equal-sized segments and
+assigns the segments to threads" for the first partitioning pass.  This
+module implements that split.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigError
+
+
+def split_segments(n: int, n_threads: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into ``n_threads`` near-equal [start, stop) spans.
+
+    Every thread gets either ``floor(n / n_threads)`` or one more element;
+    empty segments are returned for threads beyond ``n`` so callers can
+    keep per-thread bookkeeping aligned with the pool size.
+    """
+    if n < 0:
+        raise ConfigError(f"n must be non-negative, got {n}")
+    if n_threads <= 0:
+        raise ConfigError(f"n_threads must be positive, got {n_threads}")
+    base = n // n_threads
+    extra = n % n_threads
+    segments = []
+    start = 0
+    for t in range(n_threads):
+        size = base + (1 if t < extra else 0)
+        segments.append((start, start + size))
+        start += size
+    return segments

@@ -1,0 +1,92 @@
+"""Partition and workload diagnostics.
+
+Quantifies the phenomena the paper describes qualitatively: partition-size
+imbalance, the share of tuples carried by heavy keys, and the theoretical
+limit of radix splitting (no partition can shrink below its largest key's
+multiplicity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cpu.partition import PartitionedRelation
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Summary statistics of one partitioned relation."""
+
+    fanout: int
+    n_tuples: int
+    min_size: int
+    max_size: int
+    mean_size: float
+    #: max partition size / mean partition size.
+    imbalance: float
+    #: Fraction of non-empty partitions.
+    occupancy: float
+    #: Coefficient of variation of partition sizes.
+    cv: float
+
+
+def partition_stats(partitioned: PartitionedRelation) -> PartitionStats:
+    """Compute size statistics over a partitioned relation."""
+    sizes = partitioned.sizes()
+    if sizes.size == 0:
+        raise WorkloadError("relation has no partitions")
+    mean = float(sizes.mean())
+    return PartitionStats(
+        fanout=partitioned.fanout,
+        n_tuples=partitioned.n,
+        min_size=int(sizes.min()),
+        max_size=int(sizes.max()),
+        mean_size=mean,
+        imbalance=float(sizes.max() / mean) if mean else 0.0,
+        occupancy=float((sizes > 0).mean()),
+        cv=float(sizes.std() / mean) if mean else 0.0,
+    )
+
+
+def heavy_key_share(keys: np.ndarray, top_k: int = 1) -> float:
+    """Fraction of tuples carried by the ``top_k`` most frequent keys."""
+    keys = np.asarray(keys)
+    if keys.size == 0:
+        return 0.0
+    _, counts = np.unique(keys, return_counts=True)
+    counts = np.sort(counts)[::-1]
+    return float(counts[:max(top_k, 0)].sum() / keys.size)
+
+
+def min_achievable_partition_size(keys: np.ndarray) -> int:
+    """The multiplicity of the most frequent key.
+
+    No radix refinement — however many bits — can produce a partition
+    smaller than this, because tuples sharing a key share every hash bit
+    (the paper's core observation about why splitting cannot fix skew).
+    """
+    keys = np.asarray(keys)
+    if keys.size == 0:
+        return 0
+    _, counts = np.unique(keys, return_counts=True)
+    return int(counts.max())
+
+
+def skew_report(keys: np.ndarray, top_k: int = 5) -> str:
+    """Short human-readable skew summary of a key column."""
+    keys = np.asarray(keys)
+    if keys.size == 0:
+        return "empty key column"
+    uniq, counts = np.unique(keys, return_counts=True)
+    order = np.argsort(counts)[::-1]
+    lines = [
+        f"{keys.size} tuples, {uniq.size} distinct keys",
+        f"heaviest keys cover {heavy_key_share(keys, top_k):.1%} of tuples:",
+    ]
+    for i in order[:top_k]:
+        lines.append(f"  key {int(uniq[i])}: {int(counts[i])} tuples "
+                     f"({counts[i] / keys.size:.2%})")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Task-queue scheduling simulation.
+
+Cbase (and CSH's reuse of its machinery) balances load by pushing partition
+tasks and join tasks into a queue from which worker threads repeatedly pop
+the next task.  That behaviour is exactly a greedy list schedule: each task,
+in queue order, starts on the worker that becomes free first.  The makespan
+of that schedule *is* the phase's simulated time, and it is what exposes the
+paper's core CPU finding — one skewed join task dominating the entire join
+phase no matter how many workers are available.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of a simulated task-queue run."""
+
+    makespan: float
+    #: Finish time of each worker.
+    worker_finish: np.ndarray
+    #: Index of the worker that executed each task (queue order).
+    assignment: np.ndarray
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of total worker-time spent idle before the makespan."""
+        if self.makespan == 0:
+            return 0.0
+        busy = float(self.worker_finish.sum())
+        capacity = self.makespan * self.worker_finish.size
+        return max(0.0, 1.0 - busy / capacity)
+
+
+def greedy_schedule(task_seconds: Sequence[float], n_workers: int) -> ScheduleResult:
+    """Simulate a FIFO task queue drained by ``n_workers`` workers.
+
+    Tasks are taken in the given order; each goes to the worker with the
+    earliest finish time (the worker that "pops the queue" first).  Returns
+    the schedule makespan, per-worker finish times, and the assignment.
+    """
+    if n_workers <= 0:
+        raise ConfigError(f"n_workers must be positive, got {n_workers}")
+    costs = np.asarray(task_seconds, dtype=np.float64)
+    if costs.ndim != 1:
+        raise ConfigError("task_seconds must be a 1-D sequence")
+    if np.any(costs < 0):
+        raise ConfigError("task costs must be non-negative")
+    finish = np.zeros(n_workers, dtype=np.float64)
+    assignment = np.zeros(costs.size, dtype=np.int64)
+    if costs.size == 0:
+        return ScheduleResult(0.0, finish, assignment)
+    # Heap of (finish_time, worker_id); ties broken by worker id, which makes
+    # the simulation deterministic.
+    heap: List = [(0.0, w) for w in range(n_workers)]
+    heapq.heapify(heap)
+    for i, cost in enumerate(costs):
+        t, w = heapq.heappop(heap)
+        t += float(cost)
+        finish[w] = t
+        assignment[i] = w
+        heapq.heappush(heap, (t, w))
+    return ScheduleResult(float(finish.max()), finish, assignment)
+
+
+def makespan_bounds(task_seconds: Sequence[float], n_workers: int) -> tuple:
+    """Classic lower/upper bounds for any list schedule.
+
+    Returns ``(lower, upper)`` where lower = max(total / workers, max task)
+    and upper = total / workers + max task.  Used by tests to sanity-check
+    the greedy schedule and by the GPU scheduler's fast path.
+    """
+    costs = np.asarray(task_seconds, dtype=np.float64)
+    if costs.size == 0:
+        return 0.0, 0.0
+    total = float(costs.sum())
+    longest = float(costs.max())
+    lower = max(total / n_workers, longest)
+    upper = total / n_workers + longest
+    return lower, upper
+
+
+def static_makespan(per_worker_seconds: Sequence[float]) -> float:
+    """Makespan of statically pre-assigned work: the slowest worker."""
+    costs = np.asarray(per_worker_seconds, dtype=np.float64)
+    if costs.size == 0:
+        return 0.0
+    if np.any(costs < 0):
+        raise ConfigError("worker costs must be non-negative")
+    return float(costs.max())

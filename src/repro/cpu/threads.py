@@ -1,0 +1,57 @@
+"""Simulated CPU thread pool.
+
+The paper runs all CPU joins with 20 threads.  Python executes the
+(numpy-vectorized) work in one process; this module reproduces the *timing
+structure* of the multi-threaded original: work is decomposed into the same
+per-thread segments or queue tasks as the real code, per-unit costs come
+from the exact operation counters, and a phase's simulated time is the
+makespan of its schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cpu.task_queue import ScheduleResult, greedy_schedule, static_makespan
+from repro.errors import ConfigError
+from repro.exec.counters import OpCounters
+from repro.exec.cost_model import CPUCostModel, DEFAULT_CPU_COST_MODEL
+
+
+@dataclass
+class ThreadPool:
+    """A pool of ``n_threads`` simulated workers with a shared cost model."""
+
+    n_threads: int = 20
+    cost_model: CPUCostModel = DEFAULT_CPU_COST_MODEL
+
+    def __post_init__(self):
+        if self.n_threads <= 0:
+            raise ConfigError(f"n_threads must be positive, got {self.n_threads}")
+
+    def static_phase_seconds(self, per_thread: Sequence[OpCounters]) -> float:
+        """Simulated time of a statically divided phase (slowest thread)."""
+        return static_makespan(
+            [self.cost_model.seconds(c) for c in per_thread]
+        )
+
+    def queue_phase_seconds(
+        self,
+        task_counters: Sequence[OpCounters],
+        extra_task_seconds: Optional[Sequence[float]] = None,
+    ) -> ScheduleResult:
+        """Simulated time of a task-queue phase.
+
+        ``extra_task_seconds`` lets callers add per-task costs the counters
+        do not capture (none by default).  Each task also pays the cost
+        model's fixed dispatch overhead.
+        """
+        costs: List[float] = [
+            self.cost_model.task_seconds(c) for c in task_counters
+        ]
+        if extra_task_seconds is not None:
+            if len(extra_task_seconds) != len(costs):
+                raise ConfigError("extra_task_seconds length mismatch")
+            costs = [c + e for c, e in zip(costs, extra_task_seconds)]
+        return greedy_schedule(costs, self.n_threads)

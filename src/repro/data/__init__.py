@@ -1,0 +1,49 @@
+"""Workload generation: relations, zipf tables, graphs, histograms."""
+
+from repro.data.generators import (
+    constant_key_input,
+    input_from_frequencies,
+    sequential_input,
+    uniform_input,
+)
+from repro.data.graph import (
+    EdgeTable,
+    count_two_hop_paths,
+    power_law_graph,
+    two_hop_join_input,
+)
+from repro.data.histogram import KeyHistogram, join_output_checksum, join_output_count
+from repro.data.io import (
+    load_join_input,
+    load_relation,
+    save_join_input,
+    save_relation,
+)
+from repro.data.relation import JoinInput, Relation
+from repro.data.sales import SalesWorkload, generate_sales
+from repro.data.zipf import ZipfWorkload, zipf_probabilities, zipf_rank_counts_approx
+
+__all__ = [
+    "Relation",
+    "JoinInput",
+    "KeyHistogram",
+    "join_output_count",
+    "join_output_checksum",
+    "ZipfWorkload",
+    "zipf_probabilities",
+    "zipf_rank_counts_approx",
+    "uniform_input",
+    "sequential_input",
+    "constant_key_input",
+    "input_from_frequencies",
+    "EdgeTable",
+    "power_law_graph",
+    "two_hop_join_input",
+    "count_two_hop_paths",
+    "save_relation",
+    "load_relation",
+    "save_join_input",
+    "load_join_input",
+    "SalesWorkload",
+    "generate_sales",
+]

@@ -1,0 +1,95 @@
+"""Additional workload generators beyond the paper's zipf tables.
+
+These cover the unit/property-test space (uniform, sequential, constant,
+hand-written histograms) and the example applications.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.data.relation import JoinInput, Relation
+from repro.errors import WorkloadError
+from repro.types import KEY_DTYPE, SeedLike, make_rng
+
+
+def uniform_input(n_r: int, n_s: int, n_keys: Optional[int] = None,
+                  seed: SeedLike = 0) -> JoinInput:
+    """Uniformly distributed keys shared by both tables."""
+    if n_keys is None:
+        n_keys = max(n_r, n_s, 1)
+    rng = make_rng(seed)
+    r = Relation.from_keys(
+        rng.integers(0, n_keys, size=n_r, dtype=np.uint64).astype(KEY_DTYPE),
+        seed=rng, name="R")
+    s = Relation.from_keys(
+        rng.integers(0, n_keys, size=n_s, dtype=np.uint64).astype(KEY_DTYPE),
+        seed=rng, name="S")
+    return JoinInput(r=r, s=s, meta={"generator": "uniform", "n_keys": n_keys})
+
+
+def sequential_input(n: int, seed: SeedLike = 0) -> JoinInput:
+    """Primary-key/foreign-key style input: R keys 0..n-1, S a shuffle."""
+    rng = make_rng(seed)
+    r_keys = np.arange(n, dtype=KEY_DTYPE)
+    s_keys = rng.permutation(n).astype(KEY_DTYPE)
+    return JoinInput(
+        r=Relation.from_keys(r_keys, seed=rng, name="R"),
+        s=Relation.from_keys(s_keys, seed=rng, name="S"),
+        meta={"generator": "sequential"},
+    )
+
+
+def constant_key_input(n_r: int, n_s: int, key: int = 7,
+                       seed: SeedLike = 0) -> JoinInput:
+    """Degenerate full-skew input: every tuple shares one key.
+
+    The join output is the full cartesian product — the extreme point of the
+    paper's skew axis and a stress test for the skew-handling paths.
+    """
+    rng = make_rng(seed)
+    r = Relation.from_keys(np.full(n_r, key, dtype=KEY_DTYPE), seed=rng, name="R")
+    s = Relation.from_keys(np.full(n_s, key, dtype=KEY_DTYPE), seed=rng, name="S")
+    return JoinInput(r=r, s=s, meta={"generator": "constant", "key": key})
+
+
+def input_from_frequencies(
+    r_freqs: Sequence[int],
+    s_freqs: Sequence[int],
+    keys: Optional[Sequence[int]] = None,
+    seed: SeedLike = 0,
+    shuffle: bool = True,
+) -> JoinInput:
+    """Build an input with exactly the given per-key frequencies.
+
+    ``r_freqs[i]`` and ``s_freqs[i]`` are the number of occurrences of key
+    ``keys[i]`` (default: key i) in R and S respectively.  Useful for
+    hand-constructed skew scenarios in tests.
+    """
+    r_freqs = np.asarray(r_freqs, dtype=np.int64)
+    s_freqs = np.asarray(s_freqs, dtype=np.int64)
+    if r_freqs.shape != s_freqs.shape:
+        raise WorkloadError("r_freqs and s_freqs must have equal length")
+    if np.any(r_freqs < 0) or np.any(s_freqs < 0):
+        raise WorkloadError("frequencies must be non-negative")
+    if keys is None:
+        key_arr = np.arange(r_freqs.size, dtype=KEY_DTYPE)
+    else:
+        key_arr = np.asarray(keys, dtype=KEY_DTYPE)
+        if key_arr.size != r_freqs.size:
+            raise WorkloadError("keys must match the frequency arrays")
+        if np.unique(key_arr).size != key_arr.size:
+            raise WorkloadError("keys must be unique")
+    rng = make_rng(seed)
+    r_keys = np.repeat(key_arr, r_freqs)
+    s_keys = np.repeat(key_arr, s_freqs)
+    if shuffle:
+        r_keys = rng.permutation(r_keys)
+        s_keys = rng.permutation(s_keys)
+    return JoinInput(
+        r=Relation.from_keys(r_keys, seed=rng, name="R"),
+        s=Relation.from_keys(s_keys, seed=rng, name="S"),
+        meta={"generator": "frequencies"},
+    )

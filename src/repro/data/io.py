@@ -1,0 +1,103 @@
+"""Persistence for relations and join inputs (.npz archives).
+
+Lets users generate a workload once and reuse it across runs or share it
+between machines — the workflow the paper's own experiments imply (fixed
+generated tables swept over algorithms).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.data.relation import JoinInput, Relation
+from repro.errors import WorkloadError
+
+_FORMAT_KEY = "repro_format"
+_FORMAT_VERSION = 1
+
+
+def save_relation(rel: Relation, path: Union[str, os.PathLike]) -> None:
+    """Write one relation to a compressed .npz archive."""
+    np.savez_compressed(
+        path,
+        **{
+            _FORMAT_KEY: np.int64(_FORMAT_VERSION),
+            "kind": np.bytes_(b"relation"),
+            "name": np.bytes_(rel.name.encode()),
+            "keys": rel.keys,
+            "payloads": rel.payloads,
+        },
+    )
+
+
+def load_relation(path: Union[str, os.PathLike]) -> Relation:
+    """Read a relation written by :func:`save_relation`."""
+    with np.load(path) as data:
+        _check_format(data, b"relation", path)
+        return Relation(
+            data["keys"],
+            data["payloads"],
+            name=bytes(data["name"]).decode(),
+        )
+
+
+def save_join_input(join_input: JoinInput,
+                    path: Union[str, os.PathLike]) -> None:
+    """Write a full join input (both tables) to one archive."""
+    meta_keys = sorted(str(k) for k in join_input.meta)
+    meta_blob = "\n".join(
+        f"{k}={join_input.meta[k]!r}" for k in meta_keys
+    )
+    np.savez_compressed(
+        path,
+        **{
+            _FORMAT_KEY: np.int64(_FORMAT_VERSION),
+            "kind": np.bytes_(b"join_input"),
+            "r_name": np.bytes_(join_input.r.name.encode()),
+            "r_keys": join_input.r.keys,
+            "r_payloads": join_input.r.payloads,
+            "s_name": np.bytes_(join_input.s.name.encode()),
+            "s_keys": join_input.s.keys,
+            "s_payloads": join_input.s.payloads,
+            "meta": np.bytes_(meta_blob.encode()),
+        },
+    )
+
+
+def load_join_input(path: Union[str, os.PathLike]) -> JoinInput:
+    """Read a join input written by :func:`save_join_input`.
+
+    The meta mapping is restored as informational strings only.
+    """
+    with np.load(path) as data:
+        _check_format(data, b"join_input", path)
+        meta = {}
+        blob = bytes(data["meta"]).decode()
+        for line in blob.splitlines():
+            if "=" in line:
+                key, _, value = line.partition("=")
+                meta[key] = value
+        return JoinInput(
+            r=Relation(data["r_keys"], data["r_payloads"],
+                       name=bytes(data["r_name"]).decode()),
+            s=Relation(data["s_keys"], data["s_payloads"],
+                       name=bytes(data["s_name"]).decode()),
+            meta=meta,
+        )
+
+
+def _check_format(data, expected_kind: bytes, path) -> None:
+    if _FORMAT_KEY not in data:
+        raise WorkloadError(f"{path} is not a repro archive")
+    if int(data[_FORMAT_KEY]) != _FORMAT_VERSION:
+        raise WorkloadError(
+            f"{path}: unsupported archive version {int(data[_FORMAT_KEY])}"
+        )
+    if bytes(data["kind"]) != expected_kind:
+        raise WorkloadError(
+            f"{path}: expected a {expected_kind.decode()} archive, found "
+            f"{bytes(data['kind']).decode()}"
+        )

@@ -1,0 +1,98 @@
+"""Relations: the paper's narrow <4-byte key, 4-byte payload> tables.
+
+A :class:`Relation` is a pair of equal-length ``uint32`` columns.  All join
+algorithms in this library consume and produce relations in this layout,
+matching the workload of the paper's Section III/V (32 M tuples of
+4 B key + 4 B payload per table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.types import KEY_DTYPE, PAYLOAD_DTYPE, TUPLE_BYTES, SeedLike, make_rng
+
+
+@dataclass
+class Relation:
+    """A column-oriented table of (key, payload) tuples."""
+
+    keys: np.ndarray
+    payloads: np.ndarray
+    name: str = "rel"
+
+    def __post_init__(self):
+        self.keys = np.ascontiguousarray(self.keys, dtype=KEY_DTYPE)
+        self.payloads = np.ascontiguousarray(self.payloads, dtype=PAYLOAD_DTYPE)
+        if self.keys.ndim != 1 or self.payloads.ndim != 1:
+            raise WorkloadError("relation columns must be 1-D arrays")
+        if self.keys.shape != self.payloads.shape:
+            raise WorkloadError(
+                f"column length mismatch: {self.keys.size} keys vs "
+                f"{self.payloads.size} payloads"
+            )
+
+    def __len__(self) -> int:
+        return int(self.keys.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the relation in bytes (8 bytes per tuple)."""
+        return len(self) * TUPLE_BYTES
+
+    def take(self, index: np.ndarray) -> "Relation":
+        """Return a new relation of the tuples at the given positions."""
+        return Relation(self.keys[index], self.payloads[index], name=self.name)
+
+    def slice(self, start: int, stop: int) -> "Relation":
+        """Return a zero-copy view of tuples in [start, stop)."""
+        return Relation(self.keys[start:stop], self.payloads[start:stop],
+                        name=self.name)
+
+    def concat(self, other: "Relation") -> "Relation":
+        """Return a new relation with the tuples of both inputs."""
+        return Relation(
+            np.concatenate([self.keys, other.keys]),
+            np.concatenate([self.payloads, other.payloads]),
+            name=self.name,
+        )
+
+    @staticmethod
+    def empty(name: str = "rel") -> "Relation":
+        """An empty instance."""
+        return Relation(
+            np.empty(0, dtype=KEY_DTYPE), np.empty(0, dtype=PAYLOAD_DTYPE), name=name
+        )
+
+    @staticmethod
+    def from_keys(keys: np.ndarray, seed: SeedLike = None,
+                  name: str = "rel") -> "Relation":
+        """Build a relation with the given keys and random payloads."""
+        keys = np.asarray(keys, dtype=KEY_DTYPE)
+        rng = make_rng(seed)
+        payloads = rng.integers(0, 2**32, size=keys.size, dtype=np.uint64)
+        return Relation(keys, payloads.astype(PAYLOAD_DTYPE), name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation(name={self.name!r}, n={len(self)})"
+
+
+@dataclass
+class JoinInput:
+    """A pair of relations to be joined on their key columns."""
+
+    r: Relation
+    s: Relation
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if len(self.r) == 0 or len(self.s) == 0:
+            # Empty inputs are allowed; joins of empty relations are empty.
+            pass
+
+    def swapped(self) -> "JoinInput":
+        """Return the same input with R and S exchanged."""
+        return JoinInput(r=self.s, s=self.r, meta=dict(self.meta))

@@ -1,0 +1,117 @@
+"""A skewed sales schema (TPC-H-flavoured) for realistic join workloads.
+
+Real sales data is skewed the same way graphs are: a few large accounts
+place most orders, and a few popular products dominate line items.  This
+module generates a small star schema with zipf-distributed foreign keys,
+giving the examples and tests PK-FK joins whose probe side is skewed —
+the second real-world scenario (after graphs) where skew-conscious joins
+earn their keep.
+
+Schema:
+
+* ``customers``  — primary key per customer; payload = region id.
+* ``orders``     — FK ``customer``, payload = order value in cents.
+* ``line_items`` — FK ``order``, payload = product id (itself zipf).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.relation import JoinInput, Relation
+from repro.data.zipf import zipf_probabilities
+from repro.errors import WorkloadError
+from repro.types import KEY_DTYPE, PAYLOAD_DTYPE, SeedLike, make_rng
+
+#: Default skew of the customer -> orders relationship.
+DEFAULT_CUSTOMER_SKEW = 0.9
+
+#: Default skew of the product popularity distribution.
+DEFAULT_PRODUCT_SKEW = 1.0
+
+
+@dataclass
+class SalesWorkload:
+    """A generated star schema."""
+
+    customers: Relation
+    orders: Relation
+    line_items: Relation
+    #: Order id column aligned with ``line_items`` rows.
+    n_regions: int
+
+    def orders_with_customers(self) -> JoinInput:
+        """Join input for orders ⋈ customers (R = customers PK side)."""
+        return JoinInput(r=self.customers, s=self.orders,
+                         meta={"generator": "sales",
+                               "join": "orders-customers"})
+
+    def line_items_with_orders(self) -> JoinInput:
+        """Join input for line_items ⋈ orders (R = orders PK side).
+
+        R keys are order ids (the orders' row index), S keys are the line
+        items' order FKs.
+        """
+        order_pk = Relation(
+            np.arange(len(self.orders), dtype=KEY_DTYPE),
+            self.orders.payloads,
+            name="orders_pk",
+        )
+        return JoinInput(r=order_pk, s=self.line_items,
+                         meta={"generator": "sales",
+                               "join": "lineitems-orders"})
+
+
+def _zipf_draw(rng: np.random.Generator, n: int, domain: int,
+               theta: float) -> np.ndarray:
+    probs = zipf_probabilities(domain, theta)
+    cumulative = np.cumsum(probs)
+    cumulative[-1] = 1.0
+    ranks = np.searchsorted(cumulative, rng.random(n), side="right")
+    # Shuffle rank -> id so hot keys are not the smallest ids.
+    ids = rng.permutation(domain).astype(KEY_DTYPE)
+    return ids[ranks]
+
+
+def generate_sales(
+    n_customers: int = 10_000,
+    n_orders: int = 100_000,
+    n_line_items: int = 400_000,
+    customer_skew: float = DEFAULT_CUSTOMER_SKEW,
+    product_skew: float = DEFAULT_PRODUCT_SKEW,
+    n_products: int = 1_000,
+    n_regions: int = 25,
+    seed: SeedLike = 0,
+) -> SalesWorkload:
+    """Generate the full schema with zipf-skewed foreign keys."""
+    if min(n_customers, n_orders, n_line_items, n_products, n_regions) <= 0:
+        raise WorkloadError("all table sizes must be positive")
+    rng = make_rng(seed)
+
+    customers = Relation(
+        np.arange(n_customers, dtype=KEY_DTYPE),
+        rng.integers(0, n_regions, n_customers,
+                     dtype=np.uint32).astype(PAYLOAD_DTYPE),
+        name="customers",
+    )
+    orders = Relation(
+        _zipf_draw(rng, n_orders, n_customers, customer_skew),
+        rng.integers(100, 100_000, n_orders,
+                     dtype=np.uint32).astype(PAYLOAD_DTYPE),
+        name="orders",
+    )
+    line_items = Relation(
+        # Orders with more line items: FK also zipf over order ids.
+        _zipf_draw(rng, n_line_items, n_orders, customer_skew / 2),
+        _zipf_draw(rng, n_line_items, n_products,
+                   product_skew).astype(PAYLOAD_DTYPE),
+        name="line_items",
+    )
+    return SalesWorkload(
+        customers=customers,
+        orders=orders,
+        line_items=line_items,
+        n_regions=n_regions,
+    )

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised by this package derive from :class:`ReproError`, so
+callers can catch one type to handle any library failure.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An algorithm or device configuration is invalid."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification is invalid (bad sizes, probabilities, ...)."""
+
+
+class ExecutionError(ReproError):
+    """An executor reached an inconsistent internal state."""
+
+
+class VerificationError(ReproError):
+    """A join result failed verification against the expected output."""
+
+
+class CapacityError(ReproError):
+    """A fixed-capacity structure (hash table, buffer) cannot hold its input."""

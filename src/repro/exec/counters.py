@@ -1,0 +1,130 @@
+"""Operation counters shared by all executors.
+
+Every join executor in this library — CPU baselines, GPU kernels running on
+the SIMT simulator, and the analytic paper-scale path — reports its work as
+an :class:`OpCounters` value.  The cost models in
+:mod:`repro.exec.cost_model` convert counters into simulated seconds; the
+analytic module in :mod:`repro.analysis.analytic` recomputes the same
+counters from key histograms without executing, which is what lets the
+benchmarks reason about the paper's 32 M and 560 M tuple configurations.
+
+Counters use plain Python integers so that paper-scale quantities
+(~5 * 10**12 output tuples at zipf 1.0) never overflow.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+
+@dataclass
+class OpCounters:
+    """Exact operation counts for one task, block, phase, or whole join.
+
+    CPU-oriented fields:
+
+    * ``hash_ops`` — hash function evaluations.
+    * ``table_inserts`` — hash-table insert operations.
+    * ``chain_steps`` — hash-chain node visits while probing or inserting
+      (each is a dependent memory access).
+    * ``key_compares`` — key equality checks after reaching a chain node.
+    * ``tuple_moves`` — tuples copied during partitioning/splitting
+      (one read + one write of 8 bytes each).
+    * ``seq_tuple_reads`` — tuples read by sequential scans.
+    * ``output_tuples`` — join result tuples produced.
+    * ``sample_ops`` — tuples touched by skew-detection sampling.
+
+    GPU-oriented fields (also maintained by CPU executors where meaningful,
+    but only priced by the GPU cost model):
+
+    * ``atomic_ops`` — atomic read-modify-write operations.
+    * ``sync_barriers`` — ``__syncthreads``-style block barriers.
+    * ``divergent_steps`` — extra serialized warp-steps caused by
+      intra-warp divergence.
+    * ``random_accesses`` — non-coalesced (random) memory accesses.
+
+    Byte-level traffic:
+
+    * ``bytes_read`` / ``bytes_written`` — total memory traffic, used by the
+      bandwidth terms of the cost models.
+    """
+
+    hash_ops: int = 0
+    table_inserts: int = 0
+    chain_steps: int = 0
+    key_compares: int = 0
+    tuple_moves: int = 0
+    seq_tuple_reads: int = 0
+    output_tuples: int = 0
+    sample_ops: int = 0
+    atomic_ops: int = 0
+    sync_barriers: int = 0
+    divergent_steps: int = 0
+    random_accesses: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def __add__(self, other: "OpCounters") -> "OpCounters":
+        if not isinstance(other, OpCounters):
+            return NotImplemented
+        return OpCounters(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in dataclasses.fields(self)
+            }
+        )
+
+    def __iadd__(self, other: "OpCounters") -> "OpCounters":
+        if not isinstance(other, OpCounters):
+            return NotImplemented
+        for f in dataclasses.fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def scaled(self, factor: int) -> "OpCounters":
+        """Return a copy with every counter multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return OpCounters(
+            **{f.name: getattr(self, f.name) * factor for f in dataclasses.fields(self)}
+        )
+
+    def copy(self) -> "OpCounters":
+        """Deep copy of the counters."""
+        return OpCounters(**self.as_dict())
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the counters as a plain ``{name: value}`` dict."""
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    def total_ops(self) -> int:
+        """Sum of all operation counts (excluding the byte-traffic fields)."""
+        byte_fields = {"bytes_read", "bytes_written"}
+        return sum(
+            getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name not in byte_fields
+        )
+
+    def is_zero(self) -> bool:
+        """True if every counter is zero."""
+        return all(getattr(self, f.name) == 0 for f in dataclasses.fields(self))
+
+    @staticmethod
+    def field_names() -> Iterable[str]:
+        """Names of all counter fields."""
+        return [f.name for f in dataclasses.fields(OpCounters)]
+
+    @staticmethod
+    def sum(items: Iterable["OpCounters"]) -> "OpCounters":
+        """Sum an iterable of counters into a fresh OpCounters."""
+        total = OpCounters()
+        for item in items:
+            total += item
+        return total
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{k}={v}" for k, v in self.as_dict().items() if v]
+        return "OpCounters(" + ", ".join(parts) + ")"

@@ -1,0 +1,119 @@
+"""Key-equality matching helpers shared by CPU and GPU executors.
+
+These compute the exact join output (count, checksum, and materialized
+pairs while small) between two tuple sets, group-wise by key.  They are the
+functional core every probe implementation delegates to; operation
+*accounting* stays in the callers, which know what the scalar/SIMT
+algorithm would have paid.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exec.output import JoinOutputBuffer, OutputSummary
+
+_U64_MASK = (1 << 64) - 1
+
+#: Materialize real output pairs only while the expansion stays this small;
+#: beyond it only the closed-form count/checksum is recorded.
+MATERIALIZE_LIMIT = 1 << 21
+
+
+def match_group_stats(
+    r_keys: np.ndarray,
+    r_payloads: np.ndarray,
+    s_keys: np.ndarray,
+    s_payloads: np.ndarray,
+) -> Tuple[int, int]:
+    """Exact (count, checksum) of the equi-join of two tuple sets."""
+    if r_keys.size == 0 or s_keys.size == 0:
+        return 0, 0
+    r_uniq, r_inv = np.unique(r_keys, return_inverse=True)
+    s_uniq, s_inv = np.unique(s_keys, return_inverse=True)
+    shared, idx_r, idx_s = np.intersect1d(
+        r_uniq, s_uniq, assume_unique=True, return_indices=True
+    )
+    if shared.size == 0:
+        return 0, 0
+    r_counts = np.bincount(r_inv, minlength=r_uniq.size)
+    s_counts = np.bincount(s_inv, minlength=s_uniq.size)
+    total = int(np.sum(r_counts[idx_r].astype(object)
+                       * s_counts[idx_s].astype(object)))
+    r_sums = np.zeros(r_uniq.size, dtype=np.uint64)
+    s_sums = np.zeros(s_uniq.size, dtype=np.uint64)
+    np.add.at(r_sums, r_inv, r_payloads.astype(np.uint64))
+    np.add.at(s_sums, s_inv, s_payloads.astype(np.uint64))
+    checksum = int(np.sum(r_sums[idx_r] * s_sums[idx_s], dtype=np.uint64))
+    return total, checksum & _U64_MASK
+
+
+def emit_matches(
+    r_keys: np.ndarray,
+    r_payloads: np.ndarray,
+    s_keys: np.ndarray,
+    s_payloads: np.ndarray,
+    buffer: JoinOutputBuffer,
+) -> OutputSummary:
+    """Join two tuple sets on key equality and feed the output buffer.
+
+    Real pairs are written to the ring while the expansion is small; beyond
+    :data:`MATERIALIZE_LIMIT` the buffer receives the closed-form summary
+    only (overwrite-on-full semantics discard the bulk anyway).
+    """
+    summary = OutputSummary()
+    total, checksum = match_group_stats(r_keys, r_payloads, s_keys, s_payloads)
+    if total == 0:
+        return summary
+    if total <= MATERIALIZE_LIMIT:
+        pairs_r, pairs_s = expand_pairs(r_keys, r_payloads, s_keys, s_payloads)
+        buffer.write_pairs(pairs_r, pairs_s)
+    else:
+        buffer.count += total
+        buffer.checksum = (buffer.checksum + checksum) & _U64_MASK
+    summary.add_pairs_sum(total, checksum)
+    return summary
+
+
+def expand_pairs(
+    r_keys: np.ndarray,
+    r_payloads: np.ndarray,
+    s_keys: np.ndarray,
+    s_payloads: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Materialize all matching (r_payload, s_payload) pairs, vectorized."""
+    if r_keys.size == 0 or s_keys.size == 0:
+        return np.empty(0, np.uint32), np.empty(0, np.uint32)
+    r_order = np.argsort(r_keys, kind="stable")
+    rk = r_keys[r_order]
+    rp = r_payloads[r_order]
+    group_keys, group_start = np.unique(rk, return_index=True)
+    group_count = np.diff(np.append(group_start, rk.size))
+    pos = np.searchsorted(group_keys, s_keys)
+    pos = np.clip(pos, 0, max(group_keys.size - 1, 0))
+    hit = (group_keys[pos] == s_keys) if group_keys.size else np.zeros(
+        s_keys.size, bool)
+    cnt_per_s = np.where(hit, group_count[pos], 0)
+    total = int(cnt_per_s.sum())
+    if total == 0:
+        return np.empty(0, np.uint32), np.empty(0, np.uint32)
+    s_rep = np.repeat(np.arange(s_keys.size), cnt_per_s)
+    run_origin = np.repeat(np.cumsum(cnt_per_s) - cnt_per_s, cnt_per_s)
+    within = np.arange(total) - run_origin
+    r_idx = np.repeat(np.where(hit, group_start[pos], 0), cnt_per_s) + within
+    return rp[r_idx], s_payloads[s_rep]
+
+
+def per_key_match_counts(
+    query_keys: np.ndarray, target_keys: np.ndarray
+) -> np.ndarray:
+    """For each query key, how many target tuples share it."""
+    if target_keys.size == 0 or query_keys.size == 0:
+        return np.zeros(query_keys.size, dtype=np.int64)
+    t_uniq, t_counts = np.unique(target_keys, return_counts=True)
+    pos = np.searchsorted(t_uniq, query_keys)
+    pos_clipped = np.minimum(pos, t_uniq.size - 1)
+    hit = t_uniq[pos_clipped] == query_keys
+    return np.where(hit, t_counts[pos_clipped], 0).astype(np.int64)

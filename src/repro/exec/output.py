@@ -1,0 +1,173 @@
+"""Join output buffers.
+
+The paper models a volcano-style consumer of the join output: each CPU
+thread (or GPU thread block) owns a fixed-capacity output buffer, and when
+the buffer is full it is simply overwritten from the start (Section III).
+:class:`JoinOutputBuffer` reproduces that behaviour, while additionally
+maintaining two order-independent summaries used for correctness checks:
+
+* ``count`` — the total number of output tuples produced, and
+* ``checksum`` — ``sum(r_payload * s_payload) mod 2**64`` over all produced
+  pairs.  Because multiplication distributes over addition mod 2**64, the
+  checksum of a full cartesian product for one key equals
+  ``sum(R payloads) * sum(S payloads)``, so skew-handling fast paths and the
+  analytic verifier can compute it without enumerating the pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+_U64_MASK = (1 << 64) - 1
+
+#: Default per-worker output-buffer capacity, in tuples.
+DEFAULT_CAPACITY = 65536
+
+
+class JoinOutputBuffer:
+    """Fixed-capacity ring buffer of join output tuples.
+
+    Tuples are (r_payload, s_payload) pairs of ``uint32``.  Writes wrap
+    around and overwrite earlier output, exactly like the repeatedly
+    overwritten per-thread buffers in the paper's experimental setup.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ConfigError(f"output buffer capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._r = np.zeros(self.capacity, dtype=np.uint32)
+        self._s = np.zeros(self.capacity, dtype=np.uint32)
+        self._pos = 0
+        self.count = 0
+        self.checksum = 0
+
+    def write_pairs(self, r_payloads: np.ndarray, s_payloads: np.ndarray) -> int:
+        """Append matched pairs; returns the number of tuples written.
+
+        ``r_payloads`` and ``s_payloads`` must be equal-length 1-D arrays:
+        element ``i`` of each forms one output tuple.
+        """
+        r_payloads = np.asarray(r_payloads, dtype=np.uint32)
+        s_payloads = np.asarray(s_payloads, dtype=np.uint32)
+        if r_payloads.shape != s_payloads.shape or r_payloads.ndim != 1:
+            raise ValueError("payload arrays must be 1-D and of equal length")
+        n = int(r_payloads.size)
+        if n == 0:
+            return 0
+        prod = r_payloads.astype(np.uint64) * s_payloads.astype(np.uint64)
+        partial = int(np.sum(prod, dtype=np.uint64))
+        self.checksum = (self.checksum + partial) & _U64_MASK
+        self.count += n
+        self._store(r_payloads, s_payloads)
+        return n
+
+    def write_cartesian(self, r_payloads: np.ndarray, s_payloads: np.ndarray) -> int:
+        """Append the full cartesian product R x S of matched payloads.
+
+        This is the skewed-key fast path: the count and checksum are
+        computed in closed form, and only the *tail* of the product (the
+        last ``capacity`` pairs in row-major order) is materialized into the
+        ring, which is all that overwrite-on-full semantics can retain.
+        """
+        r_payloads = np.asarray(r_payloads, dtype=np.uint32).ravel()
+        s_payloads = np.asarray(s_payloads, dtype=np.uint32).ravel()
+        nr, ns = int(r_payloads.size), int(s_payloads.size)
+        total = nr * ns
+        if total == 0:
+            return 0
+        sum_r = int(np.sum(r_payloads.astype(np.uint64), dtype=np.uint64))
+        sum_s = int(np.sum(s_payloads.astype(np.uint64), dtype=np.uint64))
+        self.checksum = (self.checksum + sum_r * sum_s) & _U64_MASK
+        self.count += total
+        keep = min(total, self.capacity)
+        # Row-major tail: the last `keep` pairs of
+        # [(r_0,s_0),...,(r_0,s_{ns-1}),(r_1,s_0),...].
+        flat_start = total - keep
+        idx = np.arange(flat_start, total)
+        tail_r = r_payloads[idx // ns]
+        tail_s = s_payloads[idx % ns]
+        if keep < total:
+            # The ring position advances by `total` writes overall.
+            skipped = total - keep
+            self._pos = (self._pos + skipped) % self.capacity
+        self._store(tail_r, tail_s)
+        return total
+
+    def _store(self, r_payloads: np.ndarray, s_payloads: np.ndarray) -> None:
+        n = int(r_payloads.size)
+        if n >= self.capacity:
+            # Only the final `capacity` tuples survive a wrapping write.
+            tail_r = r_payloads[n - self.capacity:]
+            tail_s = s_payloads[n - self.capacity:]
+            # After writing n tuples starting at _pos, the cursor lands at
+            # (_pos + n) % capacity; the surviving tuples are laid out so
+            # that the oldest surviving tuple sits at the cursor.
+            end = (self._pos + n) % self.capacity
+            order = (np.arange(self.capacity) + end) % self.capacity
+            self._r[order] = tail_r
+            self._s[order] = tail_s
+            self._pos = end
+            return
+        end = self._pos + n
+        if end <= self.capacity:
+            self._r[self._pos:end] = r_payloads
+            self._s[self._pos:end] = s_payloads
+            self._pos = end % self.capacity
+        else:
+            first = self.capacity - self._pos
+            self._r[self._pos:] = r_payloads[:first]
+            self._s[self._pos:] = s_payloads[:first]
+            rest = n - first
+            self._r[:rest] = r_payloads[first:]
+            self._s[:rest] = s_payloads[first:]
+            self._pos = rest
+
+    def snapshot(self) -> np.ndarray:
+        """Return the retained tuples as an ``(n, 2)`` array (for tests)."""
+        n = min(self.count, self.capacity)
+        if n < self.capacity:
+            return np.stack([self._r[:n], self._s[:n]], axis=1)
+        order = (np.arange(self.capacity) + self._pos) % self.capacity
+        return np.stack([self._r[order], self._s[order]], axis=1)
+
+    def merge_summary(self, other: "JoinOutputBuffer") -> None:
+        """Fold another buffer's count/checksum into this one (buffers are
+        per-worker; totals are aggregated at the end of a join)."""
+        self.count += other.count
+        self.checksum = (self.checksum + other.checksum) & _U64_MASK
+
+
+def combine_summaries(buffers) -> "OutputSummary":
+    """Aggregate per-worker buffers into one (count, checksum) summary."""
+    count = 0
+    checksum = 0
+    for buf in buffers:
+        count += buf.count
+        checksum = (checksum + buf.checksum) & _U64_MASK
+    return OutputSummary(count=count, checksum=checksum)
+
+
+class OutputSummary:
+    """Order-independent summary of a join's output."""
+
+    __slots__ = ("count", "checksum")
+
+    def __init__(self, count: int = 0, checksum: int = 0):
+        self.count = count
+        self.checksum = checksum & _U64_MASK
+
+    def add_pairs_sum(self, count: int, checksum_delta: int) -> None:
+        """Fold a (count, checksum delta) contribution in."""
+        self.count += count
+        self.checksum = (self.checksum + checksum_delta) & _U64_MASK
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, OutputSummary):
+            return NotImplemented
+        return self.count == other.count and self.checksum == other.checksum
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OutputSummary(count={self.count}, checksum={self.checksum:#x})"

@@ -1,0 +1,78 @@
+"""Phase timing helper.
+
+Wraps the construction of :class:`repro.exec.result.PhaseResult` values so
+pipelines can write::
+
+    with PhaseTimer("partition") as timer:
+        ...  # do the work, fill counters, compute makespan
+        timer.finish(simulated_seconds=makespan, counters=total)
+    result.phases.append(timer.result)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.errors import ExecutionError
+from repro.exec.counters import OpCounters
+from repro.exec.result import PhaseResult
+
+
+class PhaseTimer:
+    """Context manager that measures wall time for one pipeline phase."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._start: Optional[float] = None
+        self._wall: Optional[float] = None
+        self._simulated: Optional[float] = None
+        self._counters: OpCounters = OpCounters()
+        self._task_count = 0
+        self._details: Dict[str, float] = {}
+
+    def __enter__(self) -> "PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start is not None:
+            self._wall = time.perf_counter() - self._start
+        if exc_type is None and self._simulated is None:
+            raise ExecutionError(
+                f"phase {self.name!r} exited without calling finish()"
+            )
+
+    def finish(
+        self,
+        simulated_seconds: float,
+        counters: Optional[OpCounters] = None,
+        task_count: int = 0,
+        **details: float,
+    ) -> None:
+        """Record the phase outcome; must be called inside the ``with``."""
+        if simulated_seconds < 0:
+            raise ExecutionError(
+                f"phase {self.name!r} reported negative simulated time"
+            )
+        self._simulated = simulated_seconds
+        if counters is not None:
+            self._counters = counters
+        self._task_count = task_count
+        self._details.update(details)
+
+    @property
+    def result(self) -> PhaseResult:
+        """The completed PhaseResult."""
+        if self._simulated is None or self._wall is None:
+            raise ExecutionError(
+                f"phase {self.name!r} queried before completion"
+            )
+        return PhaseResult(
+            name=self.name,
+            simulated_seconds=self._simulated,
+            counters=self._counters,
+            wall_seconds=self._wall,
+            task_count=self._task_count,
+            details=dict(self._details),
+        )

@@ -1,0 +1,98 @@
+"""Human-readable reports for join results.
+
+Formats a :class:`repro.exec.result.JoinResult` — or a comparison of
+several — into aligned text for terminals and logs.  Used by the CLI and
+the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exec.result import JoinResult
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds == 0:
+        return "0"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.3g}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3g}ms"
+    return f"{seconds:.4g}s"
+
+
+def _fmt_count(value: int) -> str:
+    if value >= 10_000_000:
+        return f"{value:.3e}"
+    return f"{value:,}"
+
+
+def result_report(result: JoinResult, counters: bool = False) -> str:
+    """Multi-line report of one join result."""
+    lines = [
+        f"algorithm:      {result.algorithm}"
+        + ("  [analytic]" if result.meta.get("analytic") else ""),
+        f"input:          |R| = {_fmt_count(result.n_r)}, "
+        f"|S| = {_fmt_count(result.n_s)}",
+        f"output:         {_fmt_count(result.output_count)} tuples "
+        f"(checksum {result.output_checksum:#018x})",
+        f"simulated time: {_fmt_seconds(result.simulated_seconds)}",
+        "phases:",
+    ]
+    width = max((len(p.name) for p in result.phases), default=4) + 2
+    total = result.simulated_seconds or 1.0
+    for phase in result.phases:
+        share = phase.simulated_seconds / total
+        bar = "#" * int(round(share * 30))
+        lines.append(
+            f"  {phase.name:<{width}}{_fmt_seconds(phase.simulated_seconds):>10}"
+            f"  {share:>6.1%}  {bar}"
+        )
+        for key, value in phase.details.items():
+            lines.append(f"  {'':<{width}}  - {key} = {value:g}")
+    if counters:
+        lines.append("operation counters:")
+        for name, value in result.counters.as_dict().items():
+            if value:
+                lines.append(f"  {name:<18}{_fmt_count(value):>22}")
+    interesting = {k: v for k, v in result.meta.items()
+                   if k not in ("analytic",) and not k.startswith("bits_")}
+    if interesting:
+        lines.append("meta:")
+        for key, value in interesting.items():
+            lines.append(f"  {key} = {value}")
+    return "\n".join(lines)
+
+
+def comparison_report(results: Sequence[JoinResult],
+                      baseline: str = None) -> str:
+    """Side-by-side totals for several results on the same input."""
+    results = list(results)
+    if not results:
+        return "(no results)"
+    if baseline is None:
+        baseline = results[0].algorithm
+    base_seconds = next(
+        (r.simulated_seconds for r in results if r.algorithm == baseline),
+        results[0].simulated_seconds,
+    )
+    width = max(len(r.algorithm) for r in results) + 2
+    lines = [
+        f"{'algorithm':<{width}}{'simulated':>12}{'vs ' + baseline:>12}"
+        f"{'output':>16}",
+        "-" * (width + 40),
+    ]
+    for result in results:
+        ratio = base_seconds / result.simulated_seconds \
+            if result.simulated_seconds else float("inf")
+        lines.append(
+            f"{result.algorithm:<{width}}"
+            f"{_fmt_seconds(result.simulated_seconds):>12}"
+            f"{ratio:>11.2f}x"
+            f"{_fmt_count(result.output_count):>16}"
+        )
+    agreed = len({(r.output_count, r.output_checksum) for r in results}) == 1
+    lines.append("")
+    lines.append("outputs agree" if agreed else "WARNING: OUTPUTS DISAGREE")
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""JSON-serializable records of join results.
+
+Experiment logging support: convert a :class:`JoinResult` (including its
+phase breakdown and counters) to plain dicts and back, so sweeps can be
+archived and re-rendered without re-running.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.errors import ReproError
+from repro.exec.counters import OpCounters
+from repro.exec.result import JoinResult, PhaseResult
+
+_FORMAT_VERSION = 1
+
+
+def phase_to_dict(phase: PhaseResult) -> Dict:
+    """Plain-dict form of one phase result."""
+    return {
+        "name": phase.name,
+        "simulated_seconds": phase.simulated_seconds,
+        "wall_seconds": phase.wall_seconds,
+        "task_count": phase.task_count,
+        "counters": {k: v for k, v in phase.counters.as_dict().items() if v},
+        "details": dict(phase.details),
+    }
+
+
+def phase_from_dict(data: Dict) -> PhaseResult:
+    """Rebuild a phase result from its dict form."""
+    counters = OpCounters(**data.get("counters", {}))
+    return PhaseResult(
+        name=data["name"],
+        simulated_seconds=data["simulated_seconds"],
+        counters=counters,
+        wall_seconds=data.get("wall_seconds", 0.0),
+        task_count=data.get("task_count", 0),
+        details=dict(data.get("details", {})),
+    )
+
+
+def result_to_dict(result: JoinResult) -> Dict:
+    """Plain-dict form of a join result (JSON compatible)."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "algorithm": result.algorithm,
+        "n_r": result.n_r,
+        "n_s": result.n_s,
+        "output_count": result.output_count,
+        "output_checksum": result.output_checksum,
+        "phases": [phase_to_dict(p) for p in result.phases],
+        "meta": _jsonable_meta(result.meta),
+    }
+
+
+def result_from_dict(data: Dict) -> JoinResult:
+    """Rebuild a join result from its dict form."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ReproError(f"unsupported result format version: {version!r}")
+    return JoinResult(
+        algorithm=data["algorithm"],
+        n_r=data["n_r"],
+        n_s=data["n_s"],
+        output_count=data["output_count"],
+        output_checksum=data["output_checksum"],
+        phases=[phase_from_dict(p) for p in data["phases"]],
+        meta=dict(data.get("meta", {})),
+    )
+
+
+def result_to_json(result: JoinResult, indent: int = None) -> str:
+    """JSON string form of a join result."""
+    return json.dumps(result_to_dict(result), indent=indent)
+
+
+def result_from_json(text: str) -> JoinResult:
+    """Rebuild a join result from JSON."""
+    return result_from_dict(json.loads(text))
+
+
+def results_to_json(results: List[JoinResult], indent: int = None) -> str:
+    """Serialize a list of results (e.g. one sweep)."""
+    return json.dumps([result_to_dict(r) for r in results], indent=indent)
+
+
+def results_from_json(text: str) -> List[JoinResult]:
+    """Rebuild a list of join results from JSON."""
+    return [result_from_dict(d) for d in json.loads(text)]
+
+
+def _jsonable_meta(meta: Dict) -> Dict:
+    out = {}
+    for key, value in meta.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        elif isinstance(value, (list, tuple)):
+            out[key] = [int(v) if hasattr(v, "__int__") else v
+                        for v in value]
+        else:
+            out[key] = str(value)
+    return out

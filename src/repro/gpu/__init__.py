@@ -1,0 +1,66 @@
+"""GPU substrate: device specs, SIMT cost simulator, kernels, Gbase."""
+
+from repro.gpu.bucket_chain import (
+    BucketChain,
+    BucketChainedPartitions,
+    sublist_ranges,
+)
+from repro.gpu.device import A100, V100_LIKE, DeviceSpec
+from repro.gpu.occupancy import Occupancy, device_concurrency, occupancy_for
+from repro.gpu.transfer import (
+    NVLINK3,
+    PCIE4_X16,
+    Interconnect,
+    table_transfer_seconds,
+    transfer_break_even_tuples,
+    with_transfer,
+)
+from repro.gpu.gbase import GbaseConfig, GbaseJoin
+from repro.gpu.kernel import BlockWork, KernelLaunch, uniform_grid
+from repro.gpu.partitioning import (
+    GpuPartitionResult,
+    choose_gpu_bits,
+    gbase_partition,
+    gsh_partition,
+)
+from repro.gpu.scheduler import (
+    BlockGroup,
+    makespan_from_block_seconds,
+    makespan_from_groups,
+)
+from repro.gpu.simulator import GPUSimulator, cost_model_for
+from repro.gpu.warp import ProbeRounds, lockstep_probe_rounds
+
+__all__ = [
+    "DeviceSpec",
+    "A100",
+    "V100_LIKE",
+    "GPUSimulator",
+    "cost_model_for",
+    "BlockWork",
+    "KernelLaunch",
+    "uniform_grid",
+    "BlockGroup",
+    "makespan_from_groups",
+    "makespan_from_block_seconds",
+    "ProbeRounds",
+    "lockstep_probe_rounds",
+    "choose_gpu_bits",
+    "gbase_partition",
+    "gsh_partition",
+    "GpuPartitionResult",
+    "GbaseJoin",
+    "GbaseConfig",
+    "BucketChain",
+    "BucketChainedPartitions",
+    "sublist_ranges",
+    "Occupancy",
+    "occupancy_for",
+    "device_concurrency",
+    "Interconnect",
+    "PCIE4_X16",
+    "NVLINK3",
+    "with_transfer",
+    "table_transfer_seconds",
+    "transfer_break_even_tuples",
+]

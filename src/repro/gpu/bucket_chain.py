@@ -1,0 +1,121 @@
+"""Gbase's bucket-chained partition layout.
+
+Section II-B: "All threads scan and copy tuples to the buckets of target
+partitions.  If a bucket is full, Gbase allocates a new bucket and links
+the buckets of a partition in a linked list."  The join phase's skew
+handling then "decomposes a long linked list of buckets in an R partition
+into multiple disjoint sub lists".
+
+This module materializes that layout: fixed-size buckets drawn from a
+global pool, linked per partition, with the sub-list decomposition used by
+the Gbase join phase to size its per-block work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.cpu.partition import PartitionedRelation
+from repro.errors import ConfigError
+
+#: Default tuples per bucket (Gbase uses small fixed-size buckets).
+DEFAULT_BUCKET_TUPLES = 512
+
+
+@dataclass
+class BucketChain:
+    """One partition's linked list of buckets.
+
+    ``buckets`` lists (start, stop) tuple ranges into the partition's
+    contiguous storage, in chain order; the last bucket may be partial.
+    """
+
+    partition: int
+    buckets: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def n_buckets(self) -> int:
+        """Number of buckets in the chain."""
+        return len(self.buckets)
+
+    @property
+    def n_tuples(self) -> int:
+        """Total tuples across the chain's buckets."""
+        return sum(b - a for a, b in self.buckets)
+
+    def sublists(self, max_tuples: int) -> List[List[Tuple[int, int]]]:
+        """Decompose the chain into disjoint sub-lists of whole buckets.
+
+        Each sub-list holds at most ``max_tuples`` tuples (rounded up to
+        bucket granularity — a bucket is never split, matching Gbase's
+        bucket-at-a-time decomposition).
+        """
+        if max_tuples <= 0:
+            raise ConfigError("max_tuples must be positive")
+        sublists: List[List[Tuple[int, int]]] = []
+        current: List[Tuple[int, int]] = []
+        current_tuples = 0
+        for a, b in self.buckets:
+            size = b - a
+            if current and current_tuples + size > max_tuples:
+                sublists.append(current)
+                current = []
+                current_tuples = 0
+            current.append((a, b))
+            current_tuples += size
+        if current:
+            sublists.append(current)
+        return sublists
+
+
+@dataclass
+class BucketChainedPartitions:
+    """All partitions of a relation as bucket chains."""
+
+    chains: List[BucketChain]
+    bucket_tuples: int
+
+    @property
+    def total_buckets(self) -> int:
+        """Buckets across all partitions."""
+        return sum(c.n_buckets for c in self.chains)
+
+    def chain(self, partition: int) -> BucketChain:
+        """The bucket chain of one partition."""
+        return self.chains[partition]
+
+    @staticmethod
+    def from_partitioned(
+        partitioned: PartitionedRelation,
+        bucket_tuples: int = DEFAULT_BUCKET_TUPLES,
+    ) -> "BucketChainedPartitions":
+        """Lay out an already-partitioned relation as bucket chains.
+
+        The contiguous per-partition storage is viewed as a chain of
+        fixed-size buckets; this matches what Gbase's allocator produces
+        up to bucket addresses, which the cost model does not price.
+        """
+        if bucket_tuples <= 0:
+            raise ConfigError("bucket_tuples must be positive")
+        chains = []
+        for p in range(partitioned.fanout):
+            lo, hi = int(partitioned.offsets[p]), int(partitioned.offsets[p + 1])
+            buckets = [(a, min(a + bucket_tuples, hi))
+                       for a in range(lo, hi, bucket_tuples)]
+            chains.append(BucketChain(partition=p, buckets=buckets))
+        return BucketChainedPartitions(chains=chains,
+                                       bucket_tuples=bucket_tuples)
+
+
+def sublist_ranges(chain: BucketChain, max_tuples: int) -> List[Tuple[int, int]]:
+    """Flatten a chain's sub-lists into contiguous (start, stop) ranges.
+
+    Buckets of one partition are contiguous in this layout, so each
+    sub-list collapses to a single range — the form the Gbase join kernel
+    consumes.
+    """
+    ranges = []
+    for sublist in chain.sublists(max_tuples):
+        ranges.append((sublist[0][0], sublist[-1][1]))
+    return ranges

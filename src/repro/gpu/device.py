@@ -1,0 +1,85 @@
+"""GPU device specifications.
+
+The paper's GPU experiments run on an NVIDIA A100-PCIE-40GB: 108 SMs, 6912
+CUDA cores, 192 KB L1/shared memory per SM, 40 MB L2, 40 GB global memory
+(~1555 GB/s).  :data:`A100` encodes those numbers; other presets exist for
+sensitivity experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+from repro.types import TUPLE_BYTES
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static hardware description of a simulated GPU."""
+
+    name: str
+    sm_count: int
+    #: Shared memory budget one thread block may use, bytes.
+    shared_mem_per_block: int
+    #: L1/shared memory physically present per SM, bytes.
+    shared_mem_per_sm: int
+    l2_bytes: int
+    global_mem_bytes: int
+    #: Peak global-memory bandwidth, bytes/second.
+    bandwidth: float
+    threads_per_block: int = 256
+    warp_size: int = 32
+
+    def __post_init__(self):
+        if self.sm_count <= 0:
+            raise ConfigError("sm_count must be positive")
+        if self.threads_per_block % self.warp_size != 0:
+            raise ConfigError("threads_per_block must be a warp multiple")
+        if self.shared_mem_per_block > self.shared_mem_per_sm:
+            raise ConfigError(
+                "per-block shared memory cannot exceed the SM's physical size"
+            )
+
+    @property
+    def warps_per_block(self) -> int:
+        """Warps per thread block."""
+        return self.threads_per_block // self.warp_size
+
+    @property
+    def shared_capacity_tuples(self) -> int:
+        """How many 8-byte tuples (plus chain pointers and bucket heads)
+        a shared-memory hash table can hold: tuple (8 B) + next pointer
+        (4 B) + amortized bucket head (4 B) = 16 B per entry."""
+        return self.shared_mem_per_block // (TUPLE_BYTES + 8)
+
+    def fits_global(self, n_bytes: int) -> bool:
+        """True if the byte count fits in global memory."""
+        return n_bytes <= self.global_mem_bytes
+
+    def with_overrides(self, **kwargs) -> "DeviceSpec":
+        """Return a modified copy (sensitivity experiments)."""
+        return replace(self, **kwargs)
+
+
+#: The paper's device (Section V-A).
+A100 = DeviceSpec(
+    name="A100-PCIE-40GB",
+    sm_count=108,
+    shared_mem_per_block=96 * 1024,
+    shared_mem_per_sm=192 * 1024,
+    l2_bytes=40 * 1024 * 1024,
+    global_mem_bytes=40 * 1024 * 1024 * 1024,
+    bandwidth=1.555e12,
+)
+
+#: A smaller device preset for scale-sensitivity experiments.
+V100_LIKE = DeviceSpec(
+    name="V100-like",
+    sm_count=80,
+    shared_mem_per_block=64 * 1024,
+    shared_mem_per_sm=128 * 1024,
+    l2_bytes=6 * 1024 * 1024,
+    global_mem_bytes=16 * 1024 * 1024 * 1024,
+    bandwidth=0.9e12,
+)

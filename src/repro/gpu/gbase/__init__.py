@@ -1,0 +1,16 @@
+"""Gbase: the baseline GPU hash join."""
+
+from repro.gpu.gbase.join_kernels import (
+    GpuJoinPhaseResult,
+    gbase_join_phase,
+    probe_block_counters,
+)
+from repro.gpu.gbase.pipeline import GbaseConfig, GbaseJoin
+
+__all__ = [
+    "GbaseJoin",
+    "GbaseConfig",
+    "gbase_join_phase",
+    "probe_block_counters",
+    "GpuJoinPhaseResult",
+]

@@ -1,0 +1,158 @@
+"""Gbase's join phase kernels.
+
+One thread block joins a pair of R/S partitions using a chained hash table
+in shared memory.  Skew handling (Section II-B): a long R partition is
+decomposed into disjoint sub-lists, and one block per sub-list joins it
+against the *full* S partition — so S tuples are re-read and re-probed once
+per sub-list, and the skew of S itself is not addressed.
+
+Output coordination uses the write bitmap (Section III): at every chain
+step each thread atomically sets its bit, the block synchronizes, and
+threads count bits to compute write offsets — so long chains multiply
+atomics and barriers.  The block cost model below prices exactly those
+terms:
+
+* lockstep probe steps (rounds x per-round longest chain) — divergence;
+* one barrier per lockstep step — the write-bitmap synchronization;
+* one atomic per useful chain step — the write-intention bit;
+* one full read of the S partition per sub-list block;
+* output bytes per block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cpu.hashing import bucket_ids, bits_for, next_pow2
+from repro.cpu.partition import PartitionedRelation
+from repro.gpu.bucket_chain import (
+    DEFAULT_BUCKET_TUPLES,
+    BucketChain,
+    sublist_ranges,
+)
+from repro.exec.counters import OpCounters
+from repro.exec.matching import emit_matches, per_key_match_counts
+from repro.exec.output import (
+    DEFAULT_CAPACITY,
+    JoinOutputBuffer,
+    OutputSummary,
+    combine_summaries,
+)
+from repro.gpu.kernel import BlockWork
+from repro.gpu.simulator import GPUSimulator
+from repro.gpu.warp import lockstep_probe_rounds
+
+
+@dataclass
+class GpuJoinPhaseResult:
+    """Outcome of a GPU join kernel over partition pairs."""
+
+    summary: OutputSummary
+    seconds: float
+    counters: OpCounters
+    n_blocks: int
+    buffers: List[JoinOutputBuffer] = field(default_factory=list)
+
+
+def probe_block_counters(
+    r_keys: np.ndarray,
+    r_hashes: np.ndarray,
+    s_keys: np.ndarray,
+    s_hashes: np.ndarray,
+    block_threads: int,
+    bucket_bits: int,
+) -> OpCounters:
+    """Exact block cost of building over R and probing all of S."""
+    n_r = int(r_keys.size)
+    n_s = int(s_keys.size)
+    counters = OpCounters(
+        hash_ops=n_r + n_s,
+        table_inserts=n_r,
+        bytes_read=8 * (n_r + n_s),
+    )
+    if n_r == 0 or n_s == 0:
+        return counters
+    chain_len = np.bincount(bucket_ids(r_hashes, bucket_bits),
+                            minlength=1 << bucket_bits)
+    per_probe = chain_len[bucket_ids(s_hashes, bucket_bits)]
+    rounds = lockstep_probe_rounds(per_probe, block_threads)
+    lockstep_steps = rounds.paid_steps // block_threads
+    counters.chain_steps += lockstep_steps
+    counters.sync_barriers += lockstep_steps  # write-bitmap barrier per step
+    counters.atomic_ops += rounds.useful_steps  # write-intention bits
+    counters.key_compares += rounds.useful_steps
+    counters.divergent_steps += rounds.divergent_steps
+    matches = int(per_key_match_counts(s_keys, r_keys).sum())
+    counters.output_tuples += matches
+    counters.bytes_written += 8 * matches
+    return counters
+
+
+def gbase_join_phase(
+    part_r: PartitionedRelation,
+    part_s: PartitionedRelation,
+    sim: GPUSimulator,
+    sublist_capacity: Optional[int] = None,
+    output_capacity: int = DEFAULT_CAPACITY,
+    kernel_name: str = "gbase_join",
+    pairs: Optional[Sequence[int]] = None,
+) -> GpuJoinPhaseResult:
+    """Join aligned partition pairs, with sub-list skew decomposition.
+
+    ``sublist_capacity`` bounds the R tuples per block; R partitions above
+    it are split into sub-lists, each joined against the full S partition
+    by its own block (``None`` disables decomposition — one block per pair,
+    which is GSH's NM-join behaviour).
+    """
+    if part_r.fanout != part_s.fanout:
+        raise ValueError("R and S partition fanouts differ")
+    if pairs is None:
+        r_sizes = part_r.sizes()
+        s_sizes = part_s.sizes()
+        pairs = np.flatnonzero((r_sizes > 0) & (s_sizes > 0))
+    device = sim.device
+    work: List[BlockWork] = []
+    # Buffers model the per-block output rings; a bounded pool is shared
+    # round-robin (count/checksum are unaffected by which ring a pair uses).
+    buffers = [
+        JoinOutputBuffer(output_capacity)
+        for _ in range(max(1, min(len(pairs), 64)))
+    ]
+    summaries: List[OutputSummary] = []
+    table_buckets = next_pow2(max(device.shared_capacity_tuples, 2))
+    bucket_bits = bits_for(table_buckets)
+    for i, p in enumerate(pairs):
+        p = int(p)
+        r_keys, r_pays = part_r.partition(p)
+        s_keys, s_pays = part_s.partition(p)
+        r_hashes = part_r.partition_hashes(p)
+        s_hashes = part_s.partition_hashes(p)
+        n_r = int(r_keys.size)
+        if sublist_capacity is not None and n_r > sublist_capacity:
+            # Decompose the partition's bucket chain into sub-lists of
+            # whole buckets; each sub-list becomes one block's build side.
+            chain = BucketChain(partition=p, buckets=[
+                (a, min(a + DEFAULT_BUCKET_TUPLES, n_r))
+                for a in range(0, n_r, DEFAULT_BUCKET_TUPLES)
+            ])
+            ranges = sublist_ranges(chain, sublist_capacity)
+        else:
+            ranges = [(0, n_r)]
+        for a, b in ranges:
+            work.append(BlockWork(1, probe_block_counters(
+                r_keys[a:b], r_hashes[a:b], s_keys, s_hashes,
+                device.threads_per_block, bucket_bits,
+            )))
+        buf = buffers[i % len(buffers)]
+        summaries.append(emit_matches(r_keys, r_pays, s_keys, s_pays, buf))
+    launch = sim.launch(kernel_name, work)
+    return GpuJoinPhaseResult(
+        summary=combine_summaries(summaries),
+        seconds=launch.seconds,
+        counters=launch.counters,
+        n_blocks=launch.n_blocks,
+        buffers=buffers,
+    )

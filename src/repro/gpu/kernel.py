@@ -1,0 +1,62 @@
+"""Kernel abstractions for the SIMT cost simulator.
+
+A kernel launch is described by its *block work*: groups of blocks sharing
+identical per-block operation counters.  The simulator prices each block
+with the GPU cost model and computes the launch's makespan over the
+device's SMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigError
+from repro.exec.counters import OpCounters
+
+
+@dataclass
+class BlockWork:
+    """``count`` blocks, each performing the same operation counts."""
+
+    count: int
+    counters: OpCounters
+
+    def __post_init__(self):
+        if self.count < 0:
+            raise ConfigError("block count must be non-negative")
+
+    @property
+    def total_counters(self) -> OpCounters:
+        """Counters summed over all units."""
+        return self.counters.scaled(self.count)
+
+
+@dataclass
+class KernelLaunch:
+    """A completed (simulated) kernel launch."""
+
+    name: str
+    seconds: float
+    counters: OpCounters
+    n_blocks: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"KernelLaunch({self.name!r}, {self.seconds:.6g}s, "
+                f"{self.n_blocks} blocks)")
+
+
+def uniform_grid(n_items: int, items_per_block: int,
+                 per_item: OpCounters) -> List[BlockWork]:
+    """Split ``n_items`` of identical work into a uniform grid of blocks."""
+    if items_per_block <= 0:
+        raise ConfigError("items_per_block must be positive")
+    if n_items == 0:
+        return []
+    full_blocks, remainder = divmod(n_items, items_per_block)
+    work: List[BlockWork] = []
+    if full_blocks:
+        work.append(BlockWork(full_blocks, per_item.scaled(items_per_block)))
+    if remainder:
+        work.append(BlockWork(1, per_item.scaled(remainder)))
+    return work

@@ -1,0 +1,51 @@
+"""GPU memory-access accounting helpers.
+
+Converts logical accesses into the byte traffic and latency events the cost
+model prices:
+
+* **Coalesced** accesses — consecutive threads touching consecutive
+  elements — move exactly the requested bytes (Section II-A: "optimize data
+  access to the global memory (e.g., with memory coalescing) to take
+  advantage of the high bandwidth").
+* **Uncoalesced/random** accesses fetch a full 32-byte sector per element
+  and additionally pay a per-access latency term (``random_accesses`` in
+  the counters).
+* **Dependent chain walks** (bucket-chain probes) serialize on latency and
+  are priced per step (``chain_steps``).
+"""
+
+from __future__ import annotations
+
+from repro.exec.counters import OpCounters
+
+#: Bytes fetched per uncoalesced element access (one DRAM sector).
+SECTOR_BYTES = 32
+
+
+def coalesced_read(counters: OpCounters, n_bytes: int) -> None:
+    """Account a perfectly coalesced global read of ``n_bytes``."""
+    counters.bytes_read += n_bytes
+
+
+def coalesced_write(counters: OpCounters, n_bytes: int) -> None:
+    """Account a perfectly coalesced global write of ``n_bytes``."""
+    counters.bytes_written += n_bytes
+
+
+def random_read(counters: OpCounters, n_elements: int,
+                element_bytes: int = 8) -> None:
+    """Account ``n_elements`` scattered reads (sector-amplified traffic)."""
+    counters.random_accesses += n_elements
+    counters.bytes_read += n_elements * max(element_bytes, SECTOR_BYTES)
+
+
+def random_write(counters: OpCounters, n_elements: int,
+                 element_bytes: int = 8) -> None:
+    """Account ``n_elements`` scattered writes (sector-amplified traffic)."""
+    counters.random_accesses += n_elements
+    counters.bytes_written += n_elements * max(element_bytes, SECTOR_BYTES)
+
+
+def shared_chain_walk(counters: OpCounters, n_steps: int) -> None:
+    """Account dependent pointer-chase steps in shared memory."""
+    counters.chain_steps += n_steps

@@ -1,0 +1,71 @@
+"""SM occupancy: how many blocks an SM can host concurrently.
+
+The cost models price blocks as if one block owns an SM (the calibration
+against Table I absorbs average occupancy into the per-operation
+constants), but occupancy is still needed for what-if analysis: a kernel
+whose blocks use most of the shared memory cannot overlap blocks on an SM,
+while a lean kernel can.  The scheduler accepts an explicit
+``blocks_per_sm`` for such studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.gpu.device import DeviceSpec
+
+#: Hardware cap on resident blocks per SM (Ampere).
+MAX_BLOCKS_PER_SM = 32
+
+#: Hardware cap on resident threads per SM (Ampere).
+MAX_THREADS_PER_SM = 2048
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Occupancy of one kernel configuration on one device."""
+
+    blocks_per_sm: int
+    limited_by: str
+
+    @property
+    def concurrent_blocks_per_device(self) -> int:
+        """Resident blocks per SM."""
+        return self.blocks_per_sm  # per SM; multiply by sm_count externally
+
+
+def occupancy_for(
+    device: DeviceSpec,
+    shared_mem_per_block: int,
+    threads_per_block: int = None,
+) -> Occupancy:
+    """Blocks an SM can host given the kernel's resource usage."""
+    if threads_per_block is None:
+        threads_per_block = device.threads_per_block
+    if threads_per_block <= 0:
+        raise ConfigError("threads_per_block must be positive")
+    if shared_mem_per_block < 0:
+        raise ConfigError("shared memory usage cannot be negative")
+    if shared_mem_per_block > device.shared_mem_per_sm:
+        raise ConfigError(
+            f"block uses {shared_mem_per_block} B shared memory but the SM "
+            f"only has {device.shared_mem_per_sm} B"
+        )
+    limits = {"blocks": MAX_BLOCKS_PER_SM}
+    limits["threads"] = MAX_THREADS_PER_SM // threads_per_block
+    if shared_mem_per_block > 0:
+        limits["shared_memory"] = (device.shared_mem_per_sm
+                                   // shared_mem_per_block)
+    blocks = min(limits.values())
+    if blocks == 0:
+        raise ConfigError("kernel configuration cannot be scheduled at all")
+    limiter = min(limits, key=lambda k: limits[k])
+    return Occupancy(blocks_per_sm=blocks, limited_by=limiter)
+
+
+def device_concurrency(device: DeviceSpec, shared_mem_per_block: int,
+                       threads_per_block: int = None) -> int:
+    """Total concurrently resident blocks across the device."""
+    occ = occupancy_for(device, shared_mem_per_block, threads_per_block)
+    return occ.blocks_per_sm * device.sm_count

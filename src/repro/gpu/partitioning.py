@@ -1,0 +1,154 @@
+"""GPU partition phases for Gbase and GSH.
+
+Functionally, both produce shared-memory-sized radix partitions (two
+passes, like the CPU radix join); what differs — and what the cost model
+prices — is *how* the data is moved:
+
+* **Gbase** (Section II-B): bucket-chaining with dynamic buffer allocation.
+  Threads append tuples to the buckets of target partitions (one atomic
+  slot reservation per register batch of 4 tuples); a shared-memory reorder
+  makes the global writes coalesced.  Work per tuple is constant, so the
+  phase is flat in skew — matching Table I's steady 6.6–7.4 ms row.
+* **GSH** (Section IV-B): a "simple count then partition procedure, which
+  avoids the complexity of dynamic buffer allocation", i.e. histogram +
+  prefix scan + plain scattered writes.  Pass 2 processes one pass-1
+  partition per thread block, so a giant skewed partition lengthens the
+  phase — matching Table I's GSH partition row growing from 5.9 ms to
+  24.5 ms.
+
+The cost construction lives in ``*_partition_cost`` so the executed
+pipelines and the analytic paper-scale path price partitioning through the
+exact same code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.cpu.hashing import hash_keys
+from repro.cpu.partition import (
+    PartitionedRelation,
+    choose_radix_bits,
+    partition_pass,
+    refine_pass,
+)
+from repro.exec.counters import OpCounters
+from repro.gpu.kernel import BlockWork
+from repro.gpu.primitives import (
+    TUPLES_PER_BLOCK,
+    bucket_chain_append_kernel,
+    histogram_kernel,
+    prefix_scan_kernel,
+    scatter_kernel,
+)
+from repro.gpu.simulator import GPUSimulator
+
+#: Kept as the public name for the grid-stride block size.
+PARTITION_TUPLES_PER_BLOCK = TUPLES_PER_BLOCK
+
+#: Gbase's register-reorder batch size (tuples per atomic slot reservation).
+GBASE_REORDER_BATCH = 4
+
+#: Per-tuple work of one GSH count-then-scatter pass (histogram scan +
+#: scattered copy); used for per-partition pass-2 blocks.
+GSH_PASS_PER_TUPLE = OpCounters(
+    hash_ops=2,
+    tuple_moves=1,
+    seq_tuple_reads=2,
+    random_accesses=1,
+    bytes_read=16,
+    bytes_written=8,
+)
+
+
+def choose_gpu_bits(n_tuples: int, shared_capacity_tuples: int) -> Tuple[int, int]:
+    """Radix bits so final partitions fit the shared-memory hash table."""
+    return choose_radix_bits(n_tuples, max(shared_capacity_tuples, 1),
+                             max_total_bits=22)
+
+
+@dataclass
+class GpuPartitionResult:
+    """Functional partitions plus the phase's simulated time/counters."""
+
+    partitioned: PartitionedRelation
+    seconds: float
+    counters: OpCounters
+
+
+def gbase_partition_cost(sim: GPUSimulator, n: int, two_pass: bool,
+                         label: str) -> float:
+    """Launches for Gbase's bucket-chaining passes; returns seconds."""
+    work = bucket_chain_append_kernel(n, GBASE_REORDER_BATCH)
+    seconds = sim.launch(f"gbase_partition_pass1_{label}", work).seconds
+    if two_pass:
+        seconds += sim.launch(f"gbase_partition_pass2_{label}", work).seconds
+    return seconds
+
+
+def gsh_partition_cost(sim: GPUSimulator, n: int, fanout1: int,
+                       pass2_sizes: Sequence[int], label: str) -> float:
+    """Launches for GSH's count-then-scatter passes; returns seconds.
+
+    Pass 1 is histogram + prefix scan + scatter over the whole table;
+    pass 2 refines each pass-1 partition with one thread block, so its
+    makespan tracks ``max(pass2_sizes)``.
+    """
+    seconds = sim.launch(f"gsh_histogram_pass1_{label}",
+                         histogram_kernel(n)).seconds
+    seconds += sim.launch(f"gsh_scan_pass1_{label}",
+                          prefix_scan_kernel(fanout1)).seconds
+    seconds += sim.launch(f"gsh_scatter_pass1_{label}",
+                          scatter_kernel(n, coalesced=False)).seconds
+    if pass2_sizes is not None and len(pass2_sizes) > 0:
+        work = [BlockWork(1, GSH_PASS_PER_TUPLE.scaled(int(m)))
+                for m in pass2_sizes if m > 0]
+        seconds += sim.launch(f"gsh_partition_pass2_{label}", work).seconds
+    return seconds
+
+
+def gbase_partition(
+    keys: np.ndarray,
+    payloads: np.ndarray,
+    bits1: int,
+    bits2: int,
+    sim: GPUSimulator,
+    label: str,
+) -> GpuPartitionResult:
+    """Two-pass bucket-chaining partitioning (Gbase)."""
+    hashes = hash_keys(keys)
+    pass1 = partition_pass(keys, payloads, hashes, 0, bits1, n_threads=1)
+    before = len(sim.launches)
+    seconds = gbase_partition_cost(sim, int(keys.size), bits2 > 0, label)
+    counters = OpCounters.sum(l.counters for l in sim.launches[before:])
+    current = pass1.partitioned
+    if bits2 > 0:
+        current = refine_pass(current, bits1, bits2).partitioned
+    return GpuPartitionResult(partitioned=current, seconds=seconds,
+                              counters=counters)
+
+
+def gsh_partition(
+    keys: np.ndarray,
+    payloads: np.ndarray,
+    bits1: int,
+    bits2: int,
+    sim: GPUSimulator,
+    label: str,
+) -> GpuPartitionResult:
+    """Two-pass count-then-scatter partitioning (GSH)."""
+    hashes = hash_keys(keys)
+    pass1 = partition_pass(keys, payloads, hashes, 0, bits1, n_threads=1)
+    pass2_sizes = pass1.partitioned.sizes() if bits2 > 0 else []
+    before = len(sim.launches)
+    seconds = gsh_partition_cost(sim, int(keys.size), 1 << bits1,
+                                 pass2_sizes, label)
+    counters = OpCounters.sum(l.counters for l in sim.launches[before:])
+    current = pass1.partitioned
+    if bits2 > 0:
+        current = refine_pass(current, bits1, bits2).partitioned
+    return GpuPartitionResult(partitioned=current, seconds=seconds,
+                              counters=counters)

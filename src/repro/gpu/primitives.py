@@ -1,0 +1,80 @@
+"""Device-side building blocks: histogram, prefix scan, scatter.
+
+These are the three kernels a count-then-scatter partitioning pass is made
+of (GSH's "simple count then partition procedure"), expressed as block
+work for the SIMT simulator.  Gbase's bucket-chaining pass is a single
+scan-and-append kernel and is also described here.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigError
+from repro.exec.counters import OpCounters
+from repro.gpu.kernel import BlockWork, uniform_grid
+
+#: Tuples processed per thread block in grid-strided kernels.
+TUPLES_PER_BLOCK = 4096
+
+
+def histogram_kernel(n_tuples: int) -> List[BlockWork]:
+    """Count tuples per target partition: one read + one hash each."""
+    per_tuple = OpCounters(
+        seq_tuple_reads=1, hash_ops=1, bytes_read=8,
+    )
+    return uniform_grid(n_tuples, TUPLES_PER_BLOCK, per_tuple)
+
+
+def prefix_scan_kernel(n_elements: int) -> List[BlockWork]:
+    """Exclusive prefix sum over per-block histograms.
+
+    Work is linear in the histogram size with one barrier per scan level;
+    histogram sizes are tiny next to the data, so this kernel exists for
+    structural fidelity more than cost.
+    """
+    if n_elements < 0:
+        raise ConfigError("n_elements must be non-negative")
+    if n_elements == 0:
+        return []
+    levels = max(n_elements.bit_length(), 1)
+    per_element = OpCounters(
+        seq_tuple_reads=1,
+        bytes_read=4,
+        bytes_written=4,
+    )
+    work = uniform_grid(n_elements, TUPLES_PER_BLOCK, per_element)
+    work.append(BlockWork(1, OpCounters(sync_barriers=levels)))
+    return work
+
+
+def scatter_kernel(n_tuples: int, coalesced: bool) -> List[BlockWork]:
+    """Copy each tuple to its partition slot.
+
+    ``coalesced=True`` models Gbase's shared-memory reorder + coalesced
+    writes; ``False`` models GSH's plain scattered writes (each write pays
+    a random-access latency term on top of its bytes).
+    """
+    per_tuple = OpCounters(
+        seq_tuple_reads=1, hash_ops=1, tuple_moves=1,
+        bytes_read=8, bytes_written=8,
+        random_accesses=0 if coalesced else 1,
+    )
+    return uniform_grid(n_tuples, TUPLES_PER_BLOCK, per_tuple)
+
+
+def bucket_chain_append_kernel(n_tuples: int, reorder_batch: int) -> List[BlockWork]:
+    """Gbase's one-kernel partitioning pass: scan, reserve a bucket slot
+    per register batch (one atomic), reorder in shared memory, write
+    coalesced."""
+    if reorder_batch <= 0:
+        raise ConfigError("reorder_batch must be positive")
+    per_batch = OpCounters(
+        hash_ops=reorder_batch,
+        tuple_moves=reorder_batch,
+        atomic_ops=1,
+        bytes_read=8 * reorder_batch,
+        bytes_written=8 * reorder_batch,
+    )
+    batches = -(-n_tuples // reorder_batch) if n_tuples else 0
+    return uniform_grid(batches, TUPLES_PER_BLOCK // reorder_batch, per_batch)

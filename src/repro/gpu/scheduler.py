@@ -1,0 +1,70 @@
+"""Block scheduling: from per-block costs to kernel makespan.
+
+A CUDA kernel's grid of thread blocks is dispatched to SMs as they free up
+— the same greedy list schedule as a CPU task queue, at much larger scale.
+For kernels with millions of blocks an exact heap simulation is wasteful;
+the classic list-scheduling bounds are tight when blocks are numerous, so
+the scheduler uses ``max(total_work / SMs, longest_block)`` (the greedy
+lower bound, within one block length of the exact makespan) and falls back
+to exact simulation for small grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.cpu.task_queue import greedy_schedule
+from repro.errors import ConfigError
+
+#: Below this many blocks the scheduler simulates the exact greedy schedule.
+EXACT_SCHEDULE_LIMIT = 8192
+
+
+@dataclass(frozen=True)
+class BlockGroup:
+    """``count`` identical blocks costing ``seconds`` each."""
+
+    count: int
+    seconds: float
+
+    def __post_init__(self):
+        if self.count < 0 or self.seconds < 0:
+            raise ConfigError("block group must have non-negative count/cost")
+
+    @property
+    def total(self) -> float:
+        """Aggregate seconds of the group."""
+        return self.count * self.seconds
+
+
+def makespan_from_groups(groups: Sequence[BlockGroup], sm_count: int) -> float:
+    """Makespan of heterogeneous block groups over ``sm_count`` SMs."""
+    if sm_count <= 0:
+        raise ConfigError("sm_count must be positive")
+    groups = [g for g in groups if g.count > 0]
+    if not groups:
+        return 0.0
+    total = sum(g.total for g in groups)
+    longest = max(g.seconds for g in groups)
+    n_blocks = sum(g.count for g in groups)
+    if n_blocks <= EXACT_SCHEDULE_LIMIT:
+        costs: List[float] = []
+        for g in groups:
+            costs.extend([g.seconds] * g.count)
+        return greedy_schedule(costs, sm_count).makespan
+    return max(total / sm_count, longest)
+
+
+def makespan_from_block_seconds(block_seconds: np.ndarray, sm_count: int) -> float:
+    """Makespan of explicit per-block costs over ``sm_count`` SMs."""
+    costs = np.asarray(block_seconds, dtype=np.float64)
+    if costs.size == 0:
+        return 0.0
+    if np.any(costs < 0):
+        raise ConfigError("block costs must be non-negative")
+    if costs.size <= EXACT_SCHEDULE_LIMIT:
+        return greedy_schedule(costs, sm_count).makespan
+    return max(float(costs.sum()) / sm_count, float(costs.max()))

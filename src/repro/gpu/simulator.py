@@ -1,0 +1,69 @@
+"""The GPU simulator facade.
+
+Prices kernel launches (block work -> seconds) against a device spec and
+the GPU cost model, and keeps a timeline of launches so pipelines can
+report per-phase simulated times.  Kernels on one stream serialize, so a
+phase's time is the sum of its launches' makespans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.errors import ConfigError
+from repro.exec.counters import OpCounters
+from repro.exec.cost_model import GPUCostModel
+from repro.gpu.device import A100, DeviceSpec
+from repro.gpu.kernel import BlockWork, KernelLaunch
+from repro.gpu.scheduler import BlockGroup, makespan_from_groups
+
+
+def cost_model_for(device: DeviceSpec, **overrides) -> GPUCostModel:
+    """A GPU cost model whose bandwidth/SM terms come from the device."""
+    return GPUCostModel(
+        device_bandwidth=device.bandwidth,
+        sm_count=device.sm_count,
+        **overrides,
+    )
+
+
+@dataclass
+class GPUSimulator:
+    """Simulated GPU: device spec + cost model + launch timeline."""
+
+    device: DeviceSpec = A100
+    cost_model: GPUCostModel = None
+    launches: List[KernelLaunch] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.cost_model is None:
+            self.cost_model = cost_model_for(self.device)
+        if self.cost_model.sm_count != self.device.sm_count:
+            raise ConfigError(
+                "cost model and device disagree on the SM count"
+            )
+
+    def launch(self, name: str, work: Sequence[BlockWork]) -> KernelLaunch:
+        """Price one kernel launch and record it on the timeline."""
+        groups = [
+            BlockGroup(w.count, self.cost_model.block_seconds(w.counters))
+            for w in work if w.count > 0
+        ]
+        makespan = makespan_from_groups(groups, self.device.sm_count)
+        seconds = makespan + self.cost_model.kernel_launch_s
+        counters = OpCounters.sum(w.total_counters for w in work)
+        n_blocks = sum(w.count for w in work)
+        launch = KernelLaunch(name=name, seconds=seconds,
+                              counters=counters, n_blocks=n_blocks)
+        self.launches.append(launch)
+        return launch
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all launch makespans."""
+        return sum(l.seconds for l in self.launches)
+
+    def reset(self) -> None:
+        """Clear the launch timeline."""
+        self.launches.clear()

@@ -1,0 +1,96 @@
+"""Host-device transfer modelling (heterogeneous placement extension).
+
+The paper joins GPU-resident data: "Since the data transfer cost between
+the CPU and the GPU can be substantial, it is a promising solution to
+place a portion of the data in the GPU global memory" (Section II-B,
+citing heterogeneous CPU-GPU placement work).  This module models the
+option the paper sets aside — shipping one or both tables over the
+interconnect before joining — so placement trade-offs can be explored:
+for how much skew does (transfer + GSH) still beat a CPU-side CSH?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.exec.result import JoinResult, PhaseResult
+from repro.types import TUPLE_BYTES
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """A host-device link."""
+
+    name: str
+    #: Sustained bandwidth in bytes/second.
+    bandwidth: float
+    #: Per-transfer latency in seconds (driver + DMA setup).
+    latency: float = 10e-6
+
+    def __post_init__(self):
+        if self.bandwidth <= 0:
+            raise ConfigError("bandwidth must be positive")
+        if self.latency < 0:
+            raise ConfigError("latency cannot be negative")
+
+    def transfer_seconds(self, n_bytes: int) -> float:
+        """Time to move ``n_bytes`` in one transfer."""
+        if n_bytes < 0:
+            raise ConfigError("cannot transfer a negative byte count")
+        if n_bytes == 0:
+            return 0.0
+        return self.latency + n_bytes / self.bandwidth
+
+
+#: The paper's machine uses a PCIe A100 ("A100-PCIE-40GB"): PCIe 4.0 x16.
+PCIE4_X16 = Interconnect(name="PCIe 4.0 x16", bandwidth=25e9)
+
+#: An NVLink-class link for comparison.
+NVLINK3 = Interconnect(name="NVLink 3", bandwidth=250e9)
+
+
+def table_transfer_seconds(n_tuples: int,
+                           link: Interconnect = PCIE4_X16) -> float:
+    """Time to ship one table of 8-byte tuples to the device."""
+    return link.transfer_seconds(n_tuples * TUPLE_BYTES)
+
+
+def with_transfer(result: JoinResult, link: Interconnect = PCIE4_X16,
+                  ship_r: bool = True, ship_s: bool = True) -> JoinResult:
+    """Return a copy of a GPU join result with a transfer phase prepended.
+
+    Models running the same join on host-resident tables: the selected
+    tables are shipped before the first kernel.
+    """
+    n_bytes = (result.n_r * TUPLE_BYTES if ship_r else 0) \
+        + (result.n_s * TUPLE_BYTES if ship_s else 0)
+    phase = PhaseResult(
+        name="transfer",
+        simulated_seconds=link.transfer_seconds(n_bytes),
+        details={"bytes": float(n_bytes)},
+    )
+    return JoinResult(
+        algorithm=f"{result.algorithm}+transfer",
+        n_r=result.n_r,
+        n_s=result.n_s,
+        output_count=result.output_count,
+        output_checksum=result.output_checksum,
+        phases=[phase, *result.phases],
+        meta={**result.meta, "interconnect": link.name},
+    )
+
+
+def transfer_break_even_tuples(cpu_seconds_per_tuple: float,
+                               gpu_seconds_per_tuple: float,
+                               link: Interconnect = PCIE4_X16) -> float:
+    """Tuples above which shipping to the GPU pays off.
+
+    Solves ``n * cpu = transfer(n * 16B) + n * gpu`` for per-tuple rates
+    (both tables shipped).  Returns ``inf`` when the GPU never wins.
+    """
+    gain = cpu_seconds_per_tuple - gpu_seconds_per_tuple
+    cost_per_tuple = 2 * TUPLE_BYTES / link.bandwidth
+    if gain <= cost_per_tuple:
+        return float("inf")
+    return link.latency / (gain - cost_per_tuple)

@@ -1,0 +1,40 @@
+"""Vectorized volcano query layer.
+
+The consumer side of the paper's experimental setup: operators that
+process join output batch by batch — scans, filters, projections, a
+(skew-aware) hash join, aggregation, and top-k.
+"""
+
+from repro.query.aggregate import (
+    AGG_FUNCTIONS,
+    GroupByAggregate,
+    ScalarAggregate,
+    TopK,
+)
+from repro.query.batch import Batch
+from repro.query.hash_join import HashJoin
+from repro.query.operators import (
+    DEFAULT_BATCH_SIZE,
+    Filter,
+    Limit,
+    Materialize,
+    Operator,
+    Project,
+    TableScan,
+)
+
+__all__ = [
+    "Batch",
+    "Operator",
+    "TableScan",
+    "Filter",
+    "Project",
+    "Limit",
+    "Materialize",
+    "HashJoin",
+    "GroupByAggregate",
+    "ScalarAggregate",
+    "TopK",
+    "AGG_FUNCTIONS",
+    "DEFAULT_BATCH_SIZE",
+]

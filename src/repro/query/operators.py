@@ -1,0 +1,163 @@
+"""Core volcano operators: scan, filter, project, limit, materialize.
+
+Operators are iterables of :class:`repro.query.batch.Batch`; composing
+them builds a vectorized volcano pipeline.  Each operator documents its
+output schema so plans can be checked before execution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.errors import ConfigError
+from repro.query.batch import Batch
+
+#: Default tuples per batch.
+DEFAULT_BATCH_SIZE = 65536
+
+
+class Operator:
+    """Base class: an iterable of batches with a declared schema."""
+
+    def schema(self) -> List[str]:
+        """Output column names."""
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Batch]:
+        raise NotImplementedError
+
+    def collect(self) -> Batch:
+        """Execute the pipeline and concatenate all output batches."""
+        batches = list(self)
+        if not batches:
+            return Batch.empty(self.schema())
+        return Batch.concat(batches)
+
+
+class TableScan(Operator):
+    """Emit a set of columns in fixed-size batches."""
+
+    def __init__(self, columns: Dict[str, np.ndarray],
+                 batch_size: int = DEFAULT_BATCH_SIZE):
+        if batch_size <= 0:
+            raise ConfigError("batch_size must be positive")
+        self._table = Batch(dict(columns))
+        self._batch_size = batch_size
+
+    @staticmethod
+    def from_relation(rel: Relation, key_name: str = "key",
+                      payload_name: str = "payload",
+                      batch_size: int = DEFAULT_BATCH_SIZE) -> "TableScan":
+        """Build from a relation's key column."""
+        return TableScan({key_name: rel.keys, payload_name: rel.payloads},
+                         batch_size=batch_size)
+
+    def schema(self) -> List[str]:
+        """Output column names."""
+        return self._table.schema
+
+    def __iter__(self) -> Iterator[Batch]:
+        n = len(self._table)
+        for start in range(0, n, self._batch_size):
+            yield Batch({
+                name: col[start:start + self._batch_size]
+                for name, col in self._table.columns.items()
+            })
+
+
+class Filter(Operator):
+    """Keep rows where ``predicate(batch) -> bool mask`` holds."""
+
+    def __init__(self, child: Operator,
+                 predicate: Callable[[Batch], np.ndarray]):
+        self._child = child
+        self._predicate = predicate
+
+    def schema(self) -> List[str]:
+        """Output column names."""
+        return self._child.schema()
+
+    def __iter__(self) -> Iterator[Batch]:
+        for batch in self._child:
+            mask = np.asarray(self._predicate(batch), dtype=bool)
+            filtered = batch.filter(mask)
+            if len(filtered):
+                yield filtered
+
+
+class Project(Operator):
+    """Select, rename, and/or compute columns.
+
+    ``columns`` maps output name -> input name (str) or a callable
+    ``batch -> ndarray``.
+    """
+
+    def __init__(self, child: Operator, columns: Dict[str, object]):
+        self._child = child
+        self._columns = dict(columns)
+
+    def schema(self) -> List[str]:
+        """Output column names."""
+        return list(self._columns)
+
+    def __iter__(self) -> Iterator[Batch]:
+        for batch in self._child:
+            out = {}
+            for name, spec in self._columns.items():
+                if callable(spec):
+                    out[name] = np.asarray(spec(batch))
+                else:
+                    out[name] = batch.column(spec)
+            yield Batch(out)
+
+
+class Limit(Operator):
+    """Stop after emitting ``n`` rows."""
+
+    def __init__(self, child: Operator, n: int):
+        if n < 0:
+            raise ConfigError("limit must be non-negative")
+        self._child = child
+        self._n = n
+
+    def schema(self) -> List[str]:
+        """Output column names."""
+        return self._child.schema()
+
+    def __iter__(self) -> Iterator[Batch]:
+        remaining = self._n
+        for batch in self._child:
+            if remaining <= 0:
+                return
+            if len(batch) <= remaining:
+                remaining -= len(batch)
+                yield batch
+            else:
+                yield Batch({name: col[:remaining]
+                             for name, col in batch.columns.items()})
+                return
+
+
+class Materialize(Operator):
+    """Buffer a child's full output and replay it (pipeline breaker)."""
+
+    def __init__(self, child: Operator):
+        self._child = child
+        self._buffered: Optional[Batch] = None
+
+    def schema(self) -> List[str]:
+        """Output column names."""
+        return self._child.schema()
+
+    def _ensure(self) -> Batch:
+        if self._buffered is None:
+            self._buffered = self._child.collect()
+        return self._buffered
+
+    def __iter__(self) -> Iterator[Batch]:
+        buffered = self._ensure()
+        if len(buffered):
+            yield buffered

@@ -1,0 +1,29 @@
+"""Shared type aliases used across the repro library."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+#: The dtype used for join keys (paper: 4-byte keys).
+KEY_DTYPE = np.uint32
+
+#: The dtype used for payloads (paper: 4-byte payloads).
+PAYLOAD_DTYPE = np.uint32
+
+#: The number of bytes in one stored tuple (4 B key + 4 B payload).
+TUPLE_BYTES = 8
+
+#: The number of bytes in one join output tuple (R payload + S payload).
+OUTPUT_TUPLE_BYTES = 8
+
+#: Anything accepted as a random seed by the generators.
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike) -> np.random.Generator:
+    """Return a numpy Generator from an int seed, Generator, or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

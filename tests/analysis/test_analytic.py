@@ -1,0 +1,186 @@
+"""Analytic-vs-executed equivalence: the license for paper-scale claims."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.analytic import (
+    ANALYTIC_EXECUTORS,
+    AnalyticWorkload,
+    analytic_cbase,
+    analytic_csh,
+    analytic_gbase,
+    analytic_gsh,
+    analytic_npj,
+    analytic_run,
+    simulate_csh_detection,
+)
+from repro.core.csh import CSHConfig, CSHJoin, detect_skewed_keys
+from repro.core.gsh import GSHJoin
+from repro.cpu import CbaseJoin, NoPartitionJoin
+from repro.data.generators import constant_key_input, uniform_input
+from repro.data.zipf import ZipfWorkload
+from repro.errors import WorkloadError
+
+
+def make_pair(theta, n=30000, seed=3):
+    ji = ZipfWorkload(n, n, theta=theta, seed=seed).generate()
+    return ji, AnalyticWorkload.from_join_input(ji)
+
+
+class TestWorkload:
+    def test_from_join_input_counts(self):
+        ji = uniform_input(5000, 6000, n_keys=700, seed=1)
+        wl = AnalyticWorkload.from_join_input(ji)
+        assert wl.n_r == 5000
+        assert wl.n_s == 6000
+        from tests.conftest import expected_summary
+        assert wl.output_count() == expected_summary(ji)[0]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            AnalyticWorkload(np.array([1, 1]), np.array([1, 1]),
+                             np.array([1, 1]))
+        with pytest.raises(WorkloadError):
+            AnalyticWorkload(np.array([1]), np.array([1, 2]), np.array([1]))
+
+    def test_zero_count_keys_dropped(self):
+        wl = AnalyticWorkload(np.array([1, 2, 3]), np.array([1, 0, 0]),
+                              np.array([0, 0, 2]))
+        assert wl.keys.tolist() == [1, 3]
+
+    def test_from_zipf_small_exact(self):
+        wl = AnalyticWorkload.from_zipf(10000, 10000, 0.9, seed=5)
+        assert wl.n_r == 10000
+        assert wl.n_s == 10000
+
+    def test_from_zipf_capped_domain(self):
+        wl = AnalyticWorkload.from_zipf(200000, 200000, 0.7,
+                                        n_keys=200000, seed=5,
+                                        max_distinct=1 << 12)
+        # The capped path approximates totals (Poisson head/expected tail).
+        assert abs(wl.n_r - 200000) < 5000
+        assert np.unique(wl.keys).size == wl.keys.size
+
+
+class TestCbaseEquivalence:
+    @pytest.mark.parametrize("theta", [0.0, 0.5, 1.0])
+    def test_counters_and_seconds_exact(self, theta):
+        ji, wl = make_pair(theta)
+        ex = CbaseJoin().run(ji)
+        an = analytic_cbase(wl)
+        assert an.output_count == ex.output_count
+        for name in ("partition", "join"):
+            assert (an.phase(name).counters.as_dict()
+                    == ex.phase(name).counters.as_dict())
+            assert an.phase(name).simulated_seconds == pytest.approx(
+                ex.phase(name).simulated_seconds, rel=1e-12)
+
+    def test_split_path_exact(self):
+        ji = constant_key_input(40000, 40000, seed=1)
+        wl = AnalyticWorkload.from_join_input(ji)
+        ex = CbaseJoin().run(ji)
+        an = analytic_cbase(wl)
+        assert ex.phase("partition").details.get("split_partitions", 0) >= 1
+        assert (an.phase("partition").details.get("split_partitions", 0)
+                == ex.phase("partition").details.get("split_partitions"))
+        assert an.simulated_seconds == pytest.approx(ex.simulated_seconds,
+                                                     rel=1e-12)
+
+
+class TestNpjEquivalence:
+    @pytest.mark.parametrize("theta", [0.0, 0.8])
+    def test_totals_exact_seconds_close(self, theta):
+        ji, wl = make_pair(theta)
+        ex = NoPartitionJoin().run(ji)
+        an = analytic_npj(wl)
+        assert an.output_count == ex.output_count
+        assert an.counters.as_dict() == ex.counters.as_dict()
+        assert an.simulated_seconds == pytest.approx(ex.simulated_seconds,
+                                                     rel=0.15)
+
+
+class TestCshEquivalence:
+    @pytest.mark.parametrize("theta", [0.0, 0.7, 1.0])
+    def test_with_injected_keys(self, theta):
+        ji, wl = make_pair(theta)
+        det = detect_skewed_keys(ji.r.keys, 0.01, 2, seed=0)
+        ex = CSHJoin(CSHConfig()).run(ji)
+        an = analytic_csh(wl, CSHConfig(), skewed_keys=det.skewed_keys)
+        assert an.output_count == ex.output_count
+        # NM-join is exact; partition totals are exact, seconds approximate.
+        assert (an.phase("nm-join").counters.as_dict()
+                == ex.phase("nm-join").counters.as_dict())
+        assert an.phase("nm-join").simulated_seconds == pytest.approx(
+            ex.phase("nm-join").simulated_seconds, rel=1e-12)
+        assert an.phase("partition").simulated_seconds == pytest.approx(
+            ex.phase("partition").simulated_seconds, rel=0.15)
+        assert an.meta["skewed_output"] == ex.meta["skewed_output"]
+
+    def test_simulated_detection_is_plausible(self):
+        wl = AnalyticWorkload.from_zipf(50000, 50000, 1.0, seed=2)
+        keys = simulate_csh_detection(wl, CSHConfig())
+        assert keys.size > 0
+        # the hottest key must be detected
+        hottest = wl.keys[np.argmax(wl.cr)]
+        assert hottest in keys.tolist()
+
+
+class TestGpuEquivalence:
+    @pytest.mark.parametrize("theta", [0.0, 1.0])
+    def test_gbase_close(self, theta):
+        ji, wl = make_pair(theta)
+        ex = GbaseRun(ji)
+        an = analytic_gbase(wl)
+        assert an.output_count == ex.output_count
+        assert an.phase("partition").simulated_seconds == pytest.approx(
+            ex.phase("partition").simulated_seconds, rel=1e-9)
+        assert an.phase("join").simulated_seconds == pytest.approx(
+            ex.phase("join").simulated_seconds, rel=0.4)
+
+    @pytest.mark.parametrize("theta", [0.0, 1.0])
+    def test_gsh_close(self, theta):
+        ji, wl = make_pair(theta)
+        ex = GSHJoin().run(ji)
+        an = analytic_gsh(wl)
+        assert an.output_count == ex.output_count
+        assert an.phase("partition").simulated_seconds == pytest.approx(
+            ex.phase("partition").simulated_seconds, rel=0.05)
+        assert an.phase("skew-join").simulated_seconds == pytest.approx(
+            ex.phase("skew-join").simulated_seconds, rel=0.2)
+        assert an.simulated_seconds == pytest.approx(ex.simulated_seconds,
+                                                     rel=0.4)
+
+
+def GbaseRun(ji):
+    from repro.gpu import GbaseJoin
+    return GbaseJoin().run(ji)
+
+
+class TestRegistry:
+    def test_all_five_registered(self):
+        assert set(ANALYTIC_EXECUTORS) == {
+            "cbase", "cbase-npj", "csh", "gbase", "gsh"}
+
+    def test_analytic_run_dispatch(self):
+        wl = AnalyticWorkload.from_zipf(2000, 2000, 0.5, seed=1)
+        res = analytic_run("cbase", wl)
+        assert res.algorithm == "cbase"
+        assert res.meta["analytic"] is True
+
+    def test_unknown_name(self):
+        wl = AnalyticWorkload.from_zipf(100, 100, 0.5, seed=1)
+        with pytest.raises(WorkloadError):
+            analytic_run("bogus", wl)
+
+
+@given(st.integers(0, 2**31), st.floats(0.0, 1.0))
+@settings(max_examples=10, deadline=None)
+def test_cbase_equivalence_property(seed, theta):
+    ji = ZipfWorkload(4000, 4000, theta=theta, seed=seed).generate()
+    wl = AnalyticWorkload.from_join_input(ji)
+    ex = CbaseJoin().run(ji)
+    an = analytic_cbase(wl)
+    assert an.counters.as_dict() == ex.counters.as_dict()
+    assert an.simulated_seconds == pytest.approx(ex.simulated_seconds,
+                                                 rel=1e-12)

@@ -1,0 +1,124 @@
+"""Tests for expected-output math, verification, and speedup helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.expected import (
+    expected_output,
+    expected_top_key_frequency,
+    expected_zipf_output_count,
+    output_share_of_top_keys,
+)
+from repro.analysis.speedup import (
+    SweepPoint,
+    max_speedup,
+    parity_band,
+    speedup,
+    speedup_series,
+)
+from repro.analysis.verify import verify_agreement, verify_all, verify_result
+from repro.cpu import CbaseJoin
+from repro.data.generators import uniform_input
+from repro.data.zipf import ZipfWorkload
+from repro.errors import ConfigError, VerificationError
+from repro.exec.result import JoinResult
+
+
+class TestExpected:
+    def test_expected_output_matches_run(self):
+        ji = uniform_input(3000, 3000, n_keys=500, seed=1)
+        count, checksum = expected_output(ji)
+        res = CbaseJoin().run(ji)
+        assert res.output_count == count
+        assert res.output_checksum == checksum
+
+    def test_top_key_frequency_reproduces_paper_observation(self):
+        """Paper: at 32M tuples / zipf 1.0 the most popular key is shared
+        by ~1.79M tuples per table."""
+        freq = expected_top_key_frequency(32_000_000, 32_000_000, 1.0)
+        assert 1.6e6 < freq < 2.0e6
+
+    def test_zipf_output_count_close_to_sampled(self):
+        n, k, theta = 50000, 50000, 0.9
+        ji = ZipfWorkload(n, n, theta=theta, seed=3).generate()
+        count, _ = expected_output(ji)
+        estimate = expected_zipf_output_count(n, n, k, theta)
+        assert count == pytest.approx(estimate, rel=0.35)
+
+    def test_output_share_reproduces_996_claim(self):
+        """Paper: at zipf 1.0, the ~870 hottest keys produce ~99.6% of the
+        output."""
+        share = output_share_of_top_keys(32_000_000, 1.0, 870)
+        assert 0.99 < share < 1.0
+
+    def test_output_share_monotone(self):
+        s1 = output_share_of_top_keys(10000, 1.0, 10)
+        s2 = output_share_of_top_keys(10000, 1.0, 100)
+        assert s2 > s1
+
+
+class TestVerify:
+    def test_verify_result_passes_and_fails(self):
+        ji = uniform_input(1000, 1000, seed=2)
+        res = CbaseJoin().run(ji)
+        verify_result(res, ji)  # should not raise
+        bad = JoinResult(algorithm="bad", n_r=1000, n_s=1000,
+                         output_count=res.output_count + 1,
+                         output_checksum=res.output_checksum)
+        with pytest.raises(VerificationError):
+            verify_result(bad, ji)
+
+    def test_verify_checksum_mismatch(self):
+        ji = uniform_input(1000, 1000, seed=2)
+        res = CbaseJoin().run(ji)
+        bad = JoinResult(algorithm="bad", n_r=1000, n_s=1000,
+                         output_count=res.output_count,
+                         output_checksum=res.output_checksum ^ 1)
+        with pytest.raises(VerificationError):
+            verify_result(bad, ji)
+
+    def test_verify_agreement(self):
+        a = JoinResult("a", 1, 1, 5, 9)
+        b = JoinResult("b", 1, 1, 5, 9)
+        verify_agreement([a, b])
+        c = JoinResult("c", 1, 1, 6, 9)
+        with pytest.raises(VerificationError):
+            verify_agreement([a, c])
+
+    def test_verify_all(self):
+        ji = uniform_input(500, 500, seed=4)
+        results = [CbaseJoin().run(ji)]
+        assert verify_all(results, ji) == results
+
+
+class TestSpeedup:
+    def points(self):
+        return [
+            SweepPoint(0.0, {"base": 1.0, "new": 1.0}),
+            SweepPoint(0.5, {"base": 2.0, "new": 1.0}),
+            SweepPoint(1.0, {"base": 8.0, "new": 1.0}),
+        ]
+
+    def test_speedup(self):
+        assert speedup(8.0, 2.0) == 4.0
+        with pytest.raises(ConfigError):
+            speedup(1.0, 0.0)
+
+    def test_series(self):
+        series = speedup_series(self.points(), "base", "new")
+        assert series == [(0.0, 1.0), (0.5, 2.0), (1.0, 8.0)]
+
+    def test_max_speedup_with_range(self):
+        param, s = max_speedup(self.points(), "base", "new",
+                               parameter_range=(0.5, 1.0))
+        assert (param, s) == (1.0, 8.0)
+        param, s = max_speedup(self.points(), "base", "new",
+                               parameter_range=(0.0, 0.5))
+        assert (param, s) == (0.5, 2.0)
+        with pytest.raises(ConfigError):
+            max_speedup(self.points(), "base", "new",
+                        parameter_range=(2.0, 3.0))
+
+    def test_parity_band(self):
+        assert parity_band(self.points(), "base", "new", (0.0, 0.0))
+        assert not parity_band(self.points(), "base", "new", (0.0, 1.0))

@@ -1,0 +1,65 @@
+"""Tests for the model-vs-paper shape checker."""
+
+import pytest
+
+from repro.analysis.model_check import (
+    CellCheck,
+    ShapeCheck,
+    check_against_table1,
+)
+from repro.bench.paper import TABLE1, TABLE1_THETAS
+from repro.errors import ConfigError
+
+
+def perfect_model_rows():
+    """Model rows that equal the paper exactly."""
+    return {row: dict(values) for row, values in TABLE1.items()}
+
+
+def test_perfect_match_has_unit_ratios():
+    check = check_against_table1(perfect_model_rows())
+    assert check.worst_ratio() == pytest.approx(1.0)
+    assert check.median_ratio() == pytest.approx(1.0)
+    assert check.cells_within(1.0001) == 1.0
+
+
+def test_cell_count_covers_full_table():
+    check = check_against_table1(perfect_model_rows())
+    assert len(check.cells) == len(TABLE1) * len(TABLE1_THETAS)
+
+
+def test_scaled_model_detected():
+    rows = perfect_model_rows()
+    for theta in rows["cbase join"]:
+        rows["cbase join"][theta] *= 3.0
+    check = check_against_table1(rows)
+    assert check.worst_ratio() == pytest.approx(3.0)
+    assert check.cells_within(2.0) < 1.0
+    assert check.cells_within(3.0001) == 1.0
+
+
+def test_missing_row_rejected():
+    rows = perfect_model_rows()
+    del rows["gsh all other"]
+    with pytest.raises(ConfigError):
+        check_against_table1(rows)
+
+
+def test_cells_within_validation():
+    check = check_against_table1(perfect_model_rows())
+    with pytest.raises(ConfigError):
+        check.cells_within(0.5)
+
+
+def test_report_renders():
+    check = check_against_table1(perfect_model_rows())
+    text = check.report()
+    assert "median ratio" in text
+    assert "cbase join" in text
+
+
+def test_cell_ratio_symmetry():
+    cell = CellCheck("row", 1.0, paper_seconds=2.0, model_seconds=1.0)
+    assert cell.ratio == 0.5
+    check = ShapeCheck(cells=[cell])
+    assert check.worst_ratio() == 2.0

@@ -1,0 +1,148 @@
+"""Tests for the bench harness: runner caching, renderers, experiments."""
+
+import pytest
+
+import repro.bench.runner as runner
+from repro.bench.experiments import (
+    run_detection,
+    run_figure1,
+    run_figure4,
+    run_scaleup,
+    run_table1,
+)
+from repro.bench.paper import PAPER_N_TUPLES, TABLE1, TABLE1_THETAS
+from repro.bench.tables import (
+    format_seconds,
+    render_csv,
+    render_series,
+    render_table,
+)
+
+TINY = 1 << 14
+THETAS = (0.0, 0.5, 1.0)
+
+
+@pytest.fixture(autouse=True)
+def clean_caches():
+    runner.clear_caches()
+    yield
+    runner.clear_caches()
+
+
+class TestRunner:
+    def test_bench_tuples_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert runner.bench_tuples() == runner.DEFAULT_BENCH_TUPLES
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        assert runner.bench_tuples() == PAPER_N_TUPLES
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "12345")
+        assert runner.bench_tuples() == 12345
+
+    def test_workload_cache_reuses_objects(self):
+        a = runner.get_workload(TINY, 0.5)
+        b = runner.get_workload(TINY, 0.5)
+        assert a is b
+        c = runner.get_workload(TINY, 0.6)
+        assert c is not a
+
+    def test_result_cache(self):
+        a = runner.run_algorithm("cbase", TINY, 0.5)
+        b = runner.run_algorithm("cbase", TINY, 0.5)
+        assert a is b
+
+    def test_sweep_structure(self):
+        results = runner.sweep(("cbase", "csh"), THETAS, n=TINY)
+        assert set(results) == set(THETAS)
+        for algs in results.values():
+            assert set(algs) == {"cbase", "csh"}
+        points = runner.sweep_points(results)
+        assert [p.parameter for p in points] == sorted(THETAS)
+
+    def test_scale_label(self):
+        assert "paper scale" in runner.scale_label(PAPER_N_TUPLES)
+        assert "reduced" in runner.scale_label(1000)
+
+
+class TestRenderers:
+    def test_format_seconds(self):
+        assert format_seconds(0) == "0"
+        assert format_seconds(0.052).endswith("ms")
+        assert format_seconds(3.2).endswith("s")
+
+    def test_render_table_with_reference(self):
+        rows = {"cbase join": {0.5: 1.0, 1.0: 100.0}}
+        ref = {"cbase join": {0.5: 0.16, 1.0: 7593.0}}
+        text = render_table(rows, (0.5, 1.0), "T", reference=ref)
+        assert "cbase join (model)" in text
+        assert "cbase join (paper)" in text
+
+    def test_render_table_missing_cell_dash(self):
+        rows = {"r": {0.5: 1.0}}
+        text = render_table(rows, (0.5, 1.0), "T")
+        assert "-" in text.splitlines()[-2]
+
+    def test_render_series_and_csv(self):
+        series = {"a": {0.0: 1.0, 1.0: 2.0}, "b": {0.0: 3.0, 1.0: 4.0}}
+        text = render_series(series, (0.0, 1.0), "title")
+        assert "title" in text and "a" in text and "b" in text
+        csv = render_csv(series, (0.0, 1.0))
+        lines = csv.splitlines()
+        assert lines[0] == "zipf,a,b"
+        assert lines[1].startswith("0.0,")
+
+
+class TestExperiments:
+    def test_figure1_structure(self, capsys):
+        data = run_figure1(thetas=THETAS, n=TINY)
+        for fig in ("fig1a", "fig1b"):
+            assert set(data[fig]) == {"partition", "join"}
+            assert set(data[fig]["join"]) == set(THETAS)
+        assert "Figure 1a" in capsys.readouterr().out
+
+    def test_figure4_structure(self, capsys):
+        data = run_figure4(thetas=THETAS, n=TINY)
+        assert set(data["fig4a"]) == {"cbase", "cbase-npj", "csh"}
+        assert set(data["fig4b"]) == {"gbase", "gsh"}
+        assert data["cpu_best"][1] > 0
+        out = capsys.readouterr().out
+        assert "max CPU speedup" in out
+
+    def test_table1_covers_paper_rows(self, capsys):
+        rows = run_table1(thetas=TABLE1_THETAS, n=TINY)
+        assert set(rows) == set(TABLE1)
+        assert "Table I" in capsys.readouterr().out
+
+    def test_scaleup_small(self, capsys):
+        data = run_scaleup(n=TINY * 2, theta=0.7)
+        assert data["cpu_speedup"] > 0
+        assert data["gpu_speedup"] > 0
+        assert "Scale-up" in capsys.readouterr().out
+
+    def test_detection_small(self, capsys):
+        data = run_detection(n=TINY, theta=1.0, sample_rate=0.01)
+        assert data["skewed_keys"] >= 1
+        assert 0 < data["share"] <= 1
+        assert "detected skewed keys" in capsys.readouterr().out
+
+
+class TestCsvExport:
+    def test_export_writes_when_env_set(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BENCH_OUTPUT", str(tmp_path))
+        run_figure1(thetas=(0.0, 1.0), n=TINY)
+        capsys.readouterr()
+        fig1a = (tmp_path / "fig1a.csv").read_text()
+        assert fig1a.splitlines()[0] == "zipf,partition,join"
+        assert (tmp_path / "fig1b.csv").exists()
+
+    def test_no_export_without_env(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_BENCH_OUTPUT", raising=False)
+        run_figure1(thetas=(0.0,), n=TINY)
+        capsys.readouterr()
+        assert not list(tmp_path.iterdir())
+
+    def test_table1_export(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BENCH_OUTPUT", str(tmp_path))
+        run_table1(thetas=(0.5, 1.0), n=TINY)
+        capsys.readouterr()
+        text = (tmp_path / "table1.csv").read_text()
+        assert "cbase join" in text

@@ -1,0 +1,175 @@
+"""Tests for CSH: detection, checkup table, hybrid partition, pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.csh import (
+    CSHConfig,
+    CSHJoin,
+    SkewCheckupTable,
+    SkewedPartitionSet,
+    detect_skewed_keys,
+)
+from repro.cpu.radix_join import CbaseJoin
+from repro.data.generators import (
+    constant_key_input,
+    input_from_frequencies,
+    uniform_input,
+)
+from repro.data.zipf import ZipfWorkload
+from repro.errors import ConfigError
+from repro.exec.counters import OpCounters
+from tests.conftest import assert_result_correct
+
+
+class TestCheckupTable:
+    def test_lookup_hits_and_misses(self):
+        table = SkewCheckupTable(np.array([10, 20, 30], dtype=np.uint32))
+        ids = table.lookup(np.array([20, 5, 30, 31], dtype=np.uint32))
+        assert ids.tolist() == [1, -1, 2, -1]
+
+    def test_lookup_counts_probe_work(self):
+        table = SkewCheckupTable(np.array([1], dtype=np.uint32))
+        c = OpCounters()
+        table.lookup(np.arange(10, dtype=np.uint32), counters=c)
+        assert c.hash_ops == 10
+        assert c.key_compares == 10
+
+    def test_empty_table_all_normal(self):
+        table = SkewCheckupTable(np.empty(0, dtype=np.uint32))
+        ids = table.lookup(np.arange(5, dtype=np.uint32))
+        assert np.all(ids == -1)
+
+    def test_duplicate_skew_keys_deduped(self):
+        table = SkewCheckupTable(np.array([7, 7, 7], dtype=np.uint32))
+        assert len(table) == 1
+        assert table.part_id_of(7) == 0
+
+
+class TestSkewedPartitionSet:
+    def test_fill_groups_by_part_id(self):
+        s = SkewedPartitionSet(3)
+        pids = np.array([2, 0, 2, 0], dtype=np.int64)
+        keys = np.array([9, 5, 9, 5], dtype=np.uint32)
+        pays = np.array([1, 2, 3, 4], dtype=np.uint32)
+        s.fill(pids, keys, pays)
+        assert s.size_of(0) == 2
+        assert s.size_of(1) == 0
+        assert s.size_of(2) == 2
+        assert sorted(s.payloads[0].tolist()) == [2, 4]
+        assert s.total_tuples() == 4
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigError):
+            SkewedPartitionSet(-1)
+
+
+class TestDetection:
+    def test_detects_heavy_key(self):
+        # key 0 occupies half the table; a 10% sample must see it >= 2 times
+        ji = input_from_frequencies([5000, *([1] * 5000)],
+                                    [1, *([1] * 5000)], seed=0)
+        det = detect_skewed_keys(ji.r.keys, sample_rate=0.1,
+                                 freq_threshold=2, seed=1)
+        assert 0 in det.skewed_keys.tolist()
+
+    def test_uniform_input_detects_few(self):
+        keys = np.random.default_rng(0).permutation(
+            np.arange(20000)).astype(np.uint32)
+        det = detect_skewed_keys(keys, sample_rate=0.01, freq_threshold=2)
+        assert det.n_skewed <= 5  # only unlucky sample collisions
+
+    def test_sample_size_and_counters(self):
+        keys = np.arange(1000, dtype=np.uint32)
+        det = detect_skewed_keys(keys, sample_rate=0.05)
+        assert det.sample_size == 50
+        assert det.counters.sample_ops == 50
+
+    def test_max_skewed_caps_result(self):
+        keys = np.repeat(np.arange(10, dtype=np.uint32), 100)
+        det = detect_skewed_keys(keys, sample_rate=0.5, freq_threshold=2,
+                                 max_skewed=3)
+        assert det.n_skewed <= 3
+
+    def test_validation(self):
+        keys = np.arange(10, dtype=np.uint32)
+        with pytest.raises(ConfigError):
+            detect_skewed_keys(keys, sample_rate=0.0)
+        with pytest.raises(ConfigError):
+            detect_skewed_keys(keys, freq_threshold=0)
+
+
+class TestCSHPipeline:
+    def test_correct_on_fixtures(self, small_uniform, small_skewed,
+                                 tiny_input):
+        for ji in (small_uniform, small_skewed, tiny_input):
+            assert_result_correct(CSHJoin().run(ji), ji)
+
+    def test_phases(self, small_uniform):
+        res = CSHJoin().run(small_uniform)
+        assert [p.name for p in res.phases] == ["sample", "partition",
+                                                "nm-join"]
+
+    def test_matches_cbase_exactly(self):
+        for theta in (0.0, 0.6, 1.0):
+            ji = ZipfWorkload(20000, 20000, theta=theta, seed=8).generate()
+            assert CSHJoin().run(ji).matches(CbaseJoin().run(ji))
+
+    def test_full_skew_handled_in_partition_phase(self):
+        """With one dominant key, nearly all output comes from the hybrid
+        partition phase, not NM-join."""
+        ji = constant_key_input(5000, 5000, seed=1)
+        res = CSHJoin(CSHConfig(sample_rate=0.05)).run(ji)
+        assert_result_correct(res, ji)
+        assert res.meta["skewed_output"] == res.output_count
+        assert res.meta["skewed_keys"] >= 1
+
+    def test_beats_cbase_under_heavy_skew(self):
+        ji = ZipfWorkload(60000, 60000, theta=1.0, seed=4).generate()
+        csh = CSHJoin().run(ji)
+        cbase = CbaseJoin().run(ji)
+        assert csh.matches(cbase)
+        assert cbase.simulated_seconds > 3 * csh.simulated_seconds
+
+    def test_comparable_at_low_skew(self):
+        """Figure 4a: CSH ~ Cbase for zipf 0-0.4."""
+        ji = ZipfWorkload(60000, 60000, theta=0.2, seed=4).generate()
+        csh = CSHJoin().run(ji)
+        cbase = CbaseJoin().run(ji)
+        ratio = csh.simulated_seconds / cbase.simulated_seconds
+        assert 0.5 < ratio < 1.5
+
+    def test_skewed_s_tuples_not_copied(self):
+        """Hybrid partitioning: skewed S tuples are read once, never moved."""
+        ji = constant_key_input(1000, 1000, seed=2)
+        res = CSHJoin(CSHConfig(sample_rate=0.1)).run(ji)
+        part = res.phase("partition")
+        # S-side moves happen only for normal tuples; with every tuple
+        # skewed, tuple moves come from the R side only.
+        assert part.counters.tuple_moves <= len(ji.r) + 1
+        assert_result_correct(res, ji)
+
+    def test_detection_false_positive_is_harmless(self):
+        """A key marked skewed but absent from S produces no output and
+        no wrong results."""
+        ji = input_from_frequencies([50, 1], [0, 1], seed=3)
+        cfg = CSHConfig(sample_rate=0.9, freq_threshold=2)
+        res = CSHJoin(cfg).run(ji)
+        assert_result_correct(res, ji)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            CSHConfig(sample_rate=1.5)
+        with pytest.raises(ConfigError):
+            CSHConfig(freq_threshold=0)
+        with pytest.raises(ConfigError):
+            CSHConfig(n_threads=-1)
+
+
+@given(st.integers(0, 2**32 - 1), st.floats(0.0, 1.0))
+@settings(max_examples=20, deadline=None)
+def test_csh_always_agrees_with_cbase(seed, theta):
+    ji = ZipfWorkload(3000, 3000, theta=theta, seed=seed).generate()
+    assert CSHJoin(CSHConfig(n_threads=4)).run(ji).matches(
+        CbaseJoin().run(ji))

@@ -1,0 +1,116 @@
+"""Tests for the chained hash table, including grouped == lockstep."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.chained_table import ChainedHashTable
+from repro.errors import CapacityError
+from repro.exec.counters import OpCounters
+from repro.exec.output import JoinOutputBuffer
+
+rel_strategy = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(0, 500)),
+    min_size=0, max_size=60,
+)
+
+
+def to_cols(pairs):
+    k = np.array([p[0] for p in pairs], dtype=np.uint32)
+    v = np.array([p[1] for p in pairs], dtype=np.uint32)
+    return k, v
+
+
+def test_build_then_double_build_rejected():
+    t = ChainedHashTable(8)
+    t.build(np.array([1], np.uint32), np.array([2], np.uint32))
+    with pytest.raises(CapacityError):
+        t.build(np.array([1], np.uint32), np.array([2], np.uint32))
+
+
+def test_probe_before_build_rejected():
+    t = ChainedHashTable(8)
+    buf = JoinOutputBuffer(8)
+    with pytest.raises(CapacityError):
+        t.probe_grouped(np.array([1], np.uint32), np.array([2], np.uint32), buf)
+
+
+def test_bucket_count_rounded_to_pow2():
+    assert ChainedHashTable(100).n_buckets == 128
+
+
+def test_chain_lengths_count_entries():
+    keys = np.array([5, 5, 5, 9], dtype=np.uint32)
+    t = ChainedHashTable(4)
+    t.build(keys, keys)
+    assert t._chain_lengths.sum() == 4
+    assert t.max_chain_length() >= 3  # the three 5s share a bucket
+
+
+def test_build_counters():
+    t = ChainedHashTable(16)
+    c = OpCounters()
+    t.build(np.arange(10, dtype=np.uint32), np.arange(10, dtype=np.uint32),
+            counters=c)
+    assert c.table_inserts == 10
+    assert c.hash_ops == 10
+    assert c.random_accesses == 0
+
+
+def test_build_random_access_flag():
+    t = ChainedHashTable(16)
+    c = OpCounters()
+    t.build(np.arange(10, dtype=np.uint32), np.arange(10, dtype=np.uint32),
+            counters=c, random_access=True)
+    assert c.random_accesses == 10
+
+
+def test_probe_counts_full_chain_walks():
+    """A chained-table probe walks the whole chain of its bucket."""
+    keys = np.full(50, 3, dtype=np.uint32)
+    t = ChainedHashTable(8)
+    t.build(keys, keys)
+    c = OpCounters()
+    buf = JoinOutputBuffer(1 << 12)
+    t.probe_grouped(np.array([3], np.uint32), np.array([1], np.uint32),
+                    buf, counters=c)
+    assert c.chain_steps == 50
+    assert c.key_compares == 50
+    assert c.output_tuples == 50
+
+
+@given(rel_strategy, rel_strategy)
+@settings(max_examples=100, deadline=None)
+def test_grouped_and_lockstep_agree(r_pairs, s_pairs):
+    """The fast grouped probe must be indistinguishable from the literal
+    chain walk: same counters, same output summary."""
+    rk, rv = to_cols(r_pairs)
+    sk, sv = to_cols(s_pairs)
+    t1 = ChainedHashTable(8)
+    t1.build(rk, rv)
+    t2 = ChainedHashTable(8)
+    t2.build(rk, rv)
+    c1, c2 = OpCounters(), OpCounters()
+    b1, b2 = JoinOutputBuffer(1 << 12), JoinOutputBuffer(1 << 12)
+    s1 = t1.probe_grouped(sk, sv, b1, counters=c1)
+    s2 = t2.probe_lockstep(sk, sv, b2, counters=c2)
+    assert s1.count == s2.count
+    assert s1.checksum == s2.checksum
+    assert c1.as_dict() == c2.as_dict()
+    assert sorted(map(tuple, b1.snapshot().tolist())) == sorted(
+        map(tuple, b2.snapshot().tolist()))
+
+
+@given(rel_strategy, rel_strategy)
+@settings(max_examples=60, deadline=None)
+def test_probe_against_dict_semantics(r_pairs, s_pairs):
+    rk, rv = to_cols(r_pairs)
+    sk, sv = to_cols(s_pairs)
+    t = ChainedHashTable(16)
+    t.build(rk, rv)
+    buf = JoinOutputBuffer(1 << 12)
+    summary = t.probe_grouped(sk, sv, buf)
+    from collections import Counter
+    r_count = Counter(rk.tolist())
+    expect = sum(r_count.get(k, 0) for k in sk.tolist())
+    assert summary.count == expect

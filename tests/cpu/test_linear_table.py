@@ -1,0 +1,66 @@
+"""Tests for the linear-probing frequency counter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.linear_table import (
+    LinearProbingCounter,
+    count_sample_frequencies,
+)
+from repro.errors import CapacityError
+from repro.exec.counters import OpCounters
+
+
+def test_counts_are_exact():
+    keys = np.array([4, 4, 4, 2, 2, 9], dtype=np.uint32)
+    freq = count_sample_frequencies(keys)
+    got = dict(zip(freq.keys.tolist(), freq.counts.tolist()))
+    assert got == {4: 3, 2: 2, 9: 1}
+
+
+def test_results_sorted_by_frequency_desc():
+    keys = np.array([1, 2, 2, 3, 3, 3], dtype=np.uint32)
+    freq = count_sample_frequencies(keys)
+    assert freq.counts.tolist() == [3, 2, 1]
+    assert freq.keys[0] == 3
+
+
+def test_above_threshold_and_top_k():
+    keys = np.repeat(np.array([7, 8, 9], dtype=np.uint32), [5, 2, 1])
+    freq = count_sample_frequencies(keys)
+    assert set(freq.above_threshold(2).tolist()) == {7, 8}
+    assert freq.top_k(1).tolist() == [7]
+    assert freq.top_k(0).size == 0
+
+
+def test_capacity_error_when_overfull():
+    table = LinearProbingCounter(8)
+    with pytest.raises(CapacityError):
+        table.insert_all(np.arange(100, dtype=np.uint32))
+
+
+def test_counters_account_probe_work():
+    c = OpCounters()
+    keys = np.repeat(np.array([1, 2, 3], dtype=np.uint32), 4)
+    count_sample_frequencies(keys, counters=c)
+    assert c.sample_ops == 12
+    assert c.hash_ops == 12
+    assert c.chain_steps >= 12  # at least one slot visit per sample
+
+
+def test_empty_sample():
+    freq = count_sample_frequencies(np.empty(0, dtype=np.uint32))
+    assert freq.keys.size == 0
+
+
+@given(st.lists(st.integers(0, 50), min_size=0, max_size=150))
+@settings(max_examples=60)
+def test_counts_match_numpy_unique(keys_list):
+    keys = np.array(keys_list, dtype=np.uint32)
+    freq = count_sample_frequencies(keys)
+    uniq, counts = np.unique(keys, return_counts=True)
+    got = dict(zip(freq.keys.tolist(), freq.counts.tolist()))
+    assert got == dict(zip(uniq.tolist(), counts.tolist()))
+    # descending order
+    assert all(a >= b for a, b in zip(freq.counts, freq.counts[1:]))

@@ -1,0 +1,110 @@
+"""Tests for segment splitting and the task-queue schedule simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.segments import split_segments
+from repro.cpu.task_queue import (
+    greedy_schedule,
+    makespan_bounds,
+    static_makespan,
+)
+from repro.errors import ConfigError
+
+
+def test_split_segments_cover_range():
+    segs = split_segments(10, 3)
+    assert segs == [(0, 4), (4, 7), (7, 10)]
+
+
+def test_split_segments_more_threads_than_items():
+    segs = split_segments(2, 5)
+    assert len(segs) == 5
+    sizes = [b - a for a, b in segs]
+    assert sum(sizes) == 2
+    assert max(sizes) <= 1
+
+
+def test_split_segments_validation():
+    with pytest.raises(ConfigError):
+        split_segments(-1, 2)
+    with pytest.raises(ConfigError):
+        split_segments(5, 0)
+
+
+@given(st.integers(0, 10000), st.integers(1, 64))
+@settings(max_examples=60)
+def test_split_segments_properties(n, t):
+    segs = split_segments(n, t)
+    assert len(segs) == t
+    assert segs[0][0] == 0
+    assert segs[-1][1] == n
+    sizes = [b - a for a, b in segs]
+    assert sum(sizes) == n
+    assert max(sizes) - min(sizes) <= 1
+    for (a1, b1), (a2, b2) in zip(segs, segs[1:]):
+        assert b1 == a2
+
+
+def test_greedy_schedule_single_worker_is_sum():
+    res = greedy_schedule([1.0, 2.0, 3.0], 1)
+    assert res.makespan == pytest.approx(6.0)
+
+
+def test_greedy_schedule_dominant_task():
+    """One huge task dominates regardless of worker count — the paper's
+    skewed join-task phenomenon."""
+    costs = [100.0] + [1.0] * 50
+    res = greedy_schedule(costs, 20)
+    assert res.makespan == pytest.approx(100.0)
+    assert res.idle_fraction > 0.8
+
+
+def test_greedy_schedule_balanced_tasks():
+    res = greedy_schedule([1.0] * 40, 20)
+    assert res.makespan == pytest.approx(2.0)
+    assert res.idle_fraction == pytest.approx(0.0)
+
+
+def test_greedy_schedule_assignment_is_fifo():
+    res = greedy_schedule([5.0, 1.0, 1.0], 2)
+    # task 0 -> worker 0; tasks 1,2 -> worker 1
+    assert res.assignment.tolist() == [0, 1, 1]
+
+
+def test_greedy_schedule_empty():
+    res = greedy_schedule([], 4)
+    assert res.makespan == 0.0
+
+
+def test_greedy_schedule_validation():
+    with pytest.raises(ConfigError):
+        greedy_schedule([1.0], 0)
+    with pytest.raises(ConfigError):
+        greedy_schedule([-1.0], 2)
+
+
+def test_static_makespan():
+    assert static_makespan([0.5, 2.0, 1.0]) == 2.0
+    assert static_makespan([]) == 0.0
+    with pytest.raises(ConfigError):
+        static_makespan([-1.0])
+
+
+@given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=200),
+       st.integers(1, 32))
+@settings(max_examples=80)
+def test_greedy_within_list_schedule_bounds(costs, workers):
+    res = greedy_schedule(costs, workers)
+    lower, upper = makespan_bounds(costs, workers)
+    assert res.makespan >= lower - 1e-9
+    assert res.makespan <= upper + 1e-9
+
+
+@given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=100))
+@settings(max_examples=40)
+def test_more_workers_never_slower(costs):
+    m4 = greedy_schedule(costs, 4).makespan
+    m8 = greedy_schedule(costs, 8).makespan
+    assert m8 <= m4 + 1e-9

@@ -1,0 +1,125 @@
+"""Tests for the Space-Saving heavy-hitter summary and its CSH hookup."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.csh import CSHConfig, CSHJoin
+from repro.cpu import CbaseJoin
+from repro.cpu.spacesaving import (
+    SpaceSavingSummary,
+    streaming_skew_detection,
+)
+from repro.data.generators import input_from_frequencies
+from repro.data.zipf import ZipfWorkload
+from repro.errors import ConfigError
+from repro.exec.counters import OpCounters
+from tests.conftest import assert_result_correct
+
+
+class TestSummary:
+    def test_exact_when_under_capacity(self):
+        s = SpaceSavingSummary(capacity=16)
+        keys = np.repeat(np.array([1, 2, 3], np.uint32), [5, 3, 1])
+        s.update(keys)
+        detected, report = s.heavy_hitters(threshold=3)
+        assert detected.tolist() == [1, 2]
+        by_key = {h.key: h for h in report}
+        assert by_key[1].count_lower == 5
+        assert by_key[1].count_upper == 5
+
+    def test_eviction_keeps_heavy_keys(self):
+        """With 2 counters and one dominant key, the dominant key must
+        survive any eviction pattern (the Space-Saving guarantee)."""
+        rng = np.random.default_rng(0)
+        keys = np.concatenate([
+            np.full(1000, 7, np.uint32),
+            rng.integers(100, 200, 300).astype(np.uint32),
+        ])
+        keys = rng.permutation(keys)
+        s = SpaceSavingSummary(capacity=8)
+        s.update(keys)
+        detected, _ = s.heavy_hitters(threshold=500)
+        assert 7 in detected.tolist()
+
+    def test_guarantee_threshold(self):
+        s = SpaceSavingSummary(capacity=10)
+        s.update(np.arange(100, dtype=np.uint32))
+        assert s.guarantee_threshold() == 10.0
+
+    def test_counters_account_full_scan(self):
+        c = OpCounters()
+        s = SpaceSavingSummary(capacity=4)
+        s.update(np.arange(50, dtype=np.uint32), counters=c)
+        assert c.seq_tuple_reads == 50
+        assert c.hash_ops == 50
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SpaceSavingSummary(0)
+        with pytest.raises(ConfigError):
+            streaming_skew_detection(np.arange(4, dtype=np.uint32),
+                                     min_frequency=0.0)
+
+
+class TestStreamingDetection:
+    def test_detects_all_keys_above_frequency(self):
+        freqs = [4000, 2000, 500] + [1] * 500
+        ji = input_from_frequencies(freqs, freqs, seed=1)
+        detected = streaming_skew_detection(ji.r.keys, min_frequency=0.05)
+        n = sum(freqs)
+        truth = {i for i, f in enumerate(freqs) if f >= 0.05 * n}
+        assert truth <= set(detected.tolist())
+
+    def test_no_false_positives_from_light_keys(self):
+        """Reported keys must genuinely be frequent: lower bounds filter
+        the eviction-inflated estimates."""
+        freqs = [3000] + [2] * 800
+        ji = input_from_frequencies(freqs, freqs, seed=2)
+        n = sum(freqs)
+        detected = streaming_skew_detection(ji.r.keys, min_frequency=0.1)
+        counts = np.bincount(ji.r.keys)
+        for key in detected.tolist():
+            assert counts[key] >= 0.1 * n
+
+    @given(st.integers(0, 2**31), st.floats(0.5, 1.0))
+    @settings(max_examples=10, deadline=None)
+    def test_hottest_key_always_found(self, seed, theta):
+        ji = ZipfWorkload(8000, 10, theta=theta, seed=seed).generate()
+        counts = np.bincount(ji.r.keys)
+        if counts.max() < 0.01 * len(ji.r):
+            return
+        detected = streaming_skew_detection(ji.r.keys, min_frequency=0.01)
+        assert counts.argmax() in detected.tolist()
+
+
+class TestCSHIntegration:
+    def test_spacesaving_detector_correct(self):
+        ji = ZipfWorkload(20000, 20000, theta=1.0, seed=5).generate()
+        cfg = CSHConfig(detector="spacesaving", min_skew_frequency=1e-3)
+        res = CSHJoin(cfg).run(ji)
+        assert_result_correct(res, ji)
+        assert res.matches(CbaseJoin().run(ji))
+        assert res.meta["skewed_keys"] > 0
+
+    def test_streaming_detects_more_than_small_sample(self):
+        ji = ZipfWorkload(50000, 50000, theta=1.0, seed=6).generate()
+        stream = CSHJoin(CSHConfig(detector="spacesaving",
+                                   min_skew_frequency=2e-4)).run(ji)
+        sampled = CSHJoin(CSHConfig(sample_rate=0.002)).run(ji)
+        assert stream.meta["skewed_keys"] >= sampled.meta["skewed_keys"]
+        assert stream.matches(sampled)
+
+    def test_detector_validation(self):
+        with pytest.raises(ConfigError):
+            CSHConfig(detector="magic")
+        with pytest.raises(ConfigError):
+            CSHConfig(min_skew_frequency=1.5)
+
+    def test_streaming_detection_cost_scales_with_table(self):
+        """The extension's price: detection touches every tuple."""
+        ji = ZipfWorkload(30000, 30000, theta=0.9, seed=7).generate()
+        stream = CSHJoin(CSHConfig(detector="spacesaving")).run(ji)
+        sampled = CSHJoin(CSHConfig(sample_rate=0.01)).run(ji)
+        assert (stream.phase("sample").counters.seq_tuple_reads
+                > 50 * sampled.phase("sample").counters.seq_tuple_reads)

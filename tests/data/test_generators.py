@@ -1,0 +1,73 @@
+"""Tests for the auxiliary workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    constant_key_input,
+    input_from_frequencies,
+    sequential_input,
+    uniform_input,
+)
+from repro.errors import WorkloadError
+
+
+def test_uniform_sizes_and_key_range():
+    ji = uniform_input(100, 200, n_keys=50, seed=1)
+    assert len(ji.r) == 100 and len(ji.s) == 200
+    assert ji.r.keys.max() < 50
+    assert ji.s.keys.max() < 50
+
+
+def test_uniform_default_key_domain():
+    ji = uniform_input(64, 32, seed=0)
+    assert ji.meta["n_keys"] == 64
+
+
+def test_sequential_is_pk_fk():
+    ji = sequential_input(128, seed=2)
+    assert sorted(ji.r.keys.tolist()) == list(range(128))
+    assert sorted(ji.s.keys.tolist()) == list(range(128))
+    # every S key matches exactly one R key -> output = n
+    from tests.conftest import expected_summary
+    count, _ = expected_summary(ji)
+    assert count == 128
+
+
+def test_constant_key_is_full_cartesian():
+    ji = constant_key_input(6, 7, key=42, seed=0)
+    assert np.all(ji.r.keys == 42)
+    from tests.conftest import expected_summary
+    count, _ = expected_summary(ji)
+    assert count == 42
+
+
+def test_input_from_frequencies_exact_counts():
+    ji = input_from_frequencies([3, 0, 2], [1, 4, 2], seed=0)
+    r_counts = np.bincount(ji.r.keys, minlength=3)
+    s_counts = np.bincount(ji.s.keys, minlength=3)
+    assert r_counts.tolist() == [3, 0, 2]
+    assert s_counts.tolist() == [1, 4, 2]
+
+
+def test_input_from_frequencies_custom_keys():
+    ji = input_from_frequencies([2], [3], keys=[77], seed=0)
+    assert np.all(ji.r.keys == 77)
+    assert np.all(ji.s.keys == 77)
+
+
+def test_input_from_frequencies_validation():
+    with pytest.raises(WorkloadError):
+        input_from_frequencies([1, 2], [1])
+    with pytest.raises(WorkloadError):
+        input_from_frequencies([-1], [1])
+    with pytest.raises(WorkloadError):
+        input_from_frequencies([1, 1], [1, 1], keys=[5, 5])
+    with pytest.raises(WorkloadError):
+        input_from_frequencies([1, 1], [1, 1], keys=[5])
+
+
+def test_input_from_frequencies_unshuffled_order():
+    ji = input_from_frequencies([2, 1], [0, 1], shuffle=False, seed=0)
+    assert ji.r.keys.tolist() == [0, 0, 1]
+    assert ji.s.keys.tolist() == [1]

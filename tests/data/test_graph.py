@@ -1,0 +1,73 @@
+"""Tests for the power-law graph workloads."""
+
+import numpy as np
+import pytest
+
+from repro.data.graph import (
+    EdgeTable,
+    count_two_hop_paths,
+    power_law_graph,
+    two_hop_join_input,
+)
+from repro.errors import WorkloadError
+from tests.conftest import expected_summary
+
+
+def test_power_law_graph_shapes():
+    g = power_law_graph(1000, 5000, seed=1)
+    assert len(g) == 5000
+    assert g.n_vertices <= 1000
+    assert g.src.dtype == np.uint32
+
+
+def test_power_law_graph_rejects_bad_args():
+    with pytest.raises(WorkloadError):
+        power_law_graph(0, 10)
+    with pytest.raises(WorkloadError):
+        power_law_graph(10, 10, exponent=1.0)
+
+
+def test_degrees_are_skewed():
+    g = power_law_graph(2000, 40000, exponent=2.0, seed=3)
+    deg = g.out_degrees()
+    # the hottest vertex should dwarf the median degree
+    assert deg.max() > 20 * max(np.median(deg[deg > 0]), 1)
+
+
+def test_two_hop_join_counts_paths():
+    g = EdgeTable(src=np.array([0, 1, 1, 2], np.uint32),
+                  dst=np.array([1, 2, 3, 0], np.uint32))
+    # paths: 0->1->2, 0->1->3, 1->2->0, 2->0->1
+    assert count_two_hop_paths(g) == 4
+    ji = two_hop_join_input(g)
+    count, _ = expected_summary(ji)
+    assert count == 4
+
+
+def test_two_hop_output_pairs_are_endpoints():
+    g = EdgeTable(src=np.array([0], np.uint32),
+                  dst=np.array([1], np.uint32))
+    g2 = EdgeTable(src=np.concatenate([g.src, [1]]).astype(np.uint32),
+                   dst=np.concatenate([g.dst, [2]]).astype(np.uint32))
+    ji = two_hop_join_input(g2)
+    from repro.cpu import CbaseJoin
+    res = CbaseJoin().run(ji)
+    assert res.output_count == 1  # only 0->1->2
+
+
+def test_join_count_matches_formula_on_random_graph():
+    g = power_law_graph(500, 3000, seed=9)
+    ji = two_hop_join_input(g)
+    count, _ = expected_summary(ji)
+    assert count == count_two_hop_paths(g)
+
+
+def test_edge_table_validation():
+    with pytest.raises(WorkloadError):
+        EdgeTable(src=np.zeros(2, np.uint32), dst=np.zeros(3, np.uint32))
+
+
+def test_empty_edge_table():
+    g = EdgeTable(src=np.empty(0, np.uint32), dst=np.empty(0, np.uint32))
+    assert g.n_vertices == 0
+    assert count_two_hop_paths(g) == 0

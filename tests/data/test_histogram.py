@@ -1,0 +1,89 @@
+"""Tests for key histograms and ground-truth join summaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.generators import input_from_frequencies
+from repro.data.histogram import (
+    KeyHistogram,
+    join_output_checksum,
+    join_output_count,
+)
+from repro.data.relation import Relation
+from repro.errors import WorkloadError
+
+U64 = (1 << 64) - 1
+
+
+def test_from_relation_counts():
+    rel = Relation.from_keys(np.array([3, 1, 3, 3, 2], np.uint32), seed=0)
+    hist = KeyHistogram.from_relation(rel)
+    assert hist.total == 5
+    assert hist.distinct == 3
+    assert hist.count_of(3) == 3
+    assert hist.count_of(99) == 0
+
+
+def test_histogram_sorts_unsorted_input():
+    hist = KeyHistogram(np.array([5, 1, 3]), np.array([1, 2, 3]))
+    assert hist.keys.tolist() == [1, 3, 5]
+    assert hist.counts.tolist() == [2, 3, 1]
+
+
+def test_histogram_rejects_duplicates_and_negatives():
+    with pytest.raises(WorkloadError):
+        KeyHistogram(np.array([1, 1]), np.array([2, 3]))
+    with pytest.raises(WorkloadError):
+        KeyHistogram(np.array([1, 2]), np.array([1, -1]))
+
+
+def test_top_k():
+    hist = KeyHistogram(np.array([1, 2, 3]), np.array([5, 9, 1]))
+    keys, counts = hist.top_k(2)
+    assert keys.tolist() == [2, 1]
+    assert counts.tolist() == [9, 5]
+    assert hist.top_k(0)[0].size == 0
+    assert hist.top_k(10)[0].size == 3
+
+
+def test_align_with():
+    a = KeyHistogram(np.array([1, 2, 3]), np.array([1, 2, 3]))
+    b = KeyHistogram(np.array([2, 3, 4]), np.array([20, 30, 40]))
+    shared, ca, cb = a.align_with(b)
+    assert shared.tolist() == [2, 3]
+    assert ca.tolist() == [2, 3]
+    assert cb.tolist() == [20, 30]
+
+
+def test_join_output_count_simple():
+    ji = input_from_frequencies([2, 3, 0], [4, 0, 5], seed=0)
+    hr = KeyHistogram.from_relation(ji.r)
+    hs = KeyHistogram.from_relation(ji.s)
+    assert join_output_count(hr, hs) == 2 * 4
+
+
+def test_join_output_count_huge_values_use_object_math():
+    hr = KeyHistogram(np.array([1]), np.array([2**40]))
+    hs = KeyHistogram(np.array([1]), np.array([2**40]))
+    assert join_output_count(hr, hs) == 2**80
+
+
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 200)),
+                min_size=0, max_size=25),
+       st.lists(st.tuples(st.integers(0, 5), st.integers(0, 200)),
+                min_size=0, max_size=25))
+@settings(max_examples=80)
+def test_checksum_matches_pairwise_definition(r_list, s_list):
+    rk = np.array([t[0] for t in r_list], dtype=np.uint32)
+    rp = np.array([t[1] for t in r_list], dtype=np.uint32)
+    sk = np.array([t[0] for t in s_list], dtype=np.uint32)
+    sp = np.array([t[1] for t in s_list], dtype=np.uint32)
+    r = Relation(rk, rp)
+    s = Relation(sk, sp)
+    expect = 0
+    for a, pa in zip(rk, rp):
+        for b, pb in zip(sk, sp):
+            if a == b:
+                expect = (expect + int(pa) * int(pb)) & U64
+    assert join_output_checksum(r, s) == expect

@@ -1,0 +1,61 @@
+"""Tests for relation/join-input persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import uniform_input
+from repro.data.io import (
+    load_join_input,
+    load_relation,
+    save_join_input,
+    save_relation,
+)
+from repro.data.relation import Relation
+from repro.data.zipf import ZipfWorkload
+from repro.errors import WorkloadError
+
+
+def test_relation_round_trip(tmp_path):
+    rel = Relation.from_keys(np.arange(1000, dtype=np.uint32), seed=1,
+                             name="my_table")
+    path = tmp_path / "rel.npz"
+    save_relation(rel, path)
+    loaded = load_relation(path)
+    assert loaded.name == "my_table"
+    assert np.array_equal(loaded.keys, rel.keys)
+    assert np.array_equal(loaded.payloads, rel.payloads)
+
+
+def test_join_input_round_trip(tmp_path):
+    ji = ZipfWorkload(5000, 4000, theta=0.9, seed=2).generate()
+    path = tmp_path / "input.npz"
+    save_join_input(ji, path)
+    loaded = load_join_input(path)
+    assert np.array_equal(loaded.r.keys, ji.r.keys)
+    assert np.array_equal(loaded.s.payloads, ji.s.payloads)
+    assert loaded.r.name == ji.r.name
+    assert "theta" in loaded.meta
+
+
+def test_loaded_input_joins_identically(tmp_path):
+    from repro.cpu import CbaseJoin
+    ji = uniform_input(3000, 3000, seed=4)
+    path = tmp_path / "input.npz"
+    save_join_input(ji, path)
+    loaded = load_join_input(path)
+    assert CbaseJoin().run(loaded).matches(CbaseJoin().run(ji))
+
+
+def test_kind_mismatch_rejected(tmp_path):
+    rel = Relation.from_keys(np.arange(10, dtype=np.uint32), seed=0)
+    path = tmp_path / "rel.npz"
+    save_relation(rel, path)
+    with pytest.raises(WorkloadError):
+        load_join_input(path)
+
+
+def test_non_archive_rejected(tmp_path):
+    path = tmp_path / "junk.npz"
+    np.savez(path, foo=np.arange(3))
+    with pytest.raises(WorkloadError):
+        load_relation(path)

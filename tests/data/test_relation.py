@@ -1,0 +1,71 @@
+"""Tests for Relation and JoinInput."""
+
+import numpy as np
+import pytest
+
+from repro.data.relation import JoinInput, Relation
+from repro.errors import WorkloadError
+
+
+def test_relation_enforces_dtypes():
+    rel = Relation(np.array([1, 2], dtype=np.int64),
+                   np.array([3, 4], dtype=np.int64))
+    assert rel.keys.dtype == np.uint32
+    assert rel.payloads.dtype == np.uint32
+
+
+def test_relation_rejects_mismatched_columns():
+    with pytest.raises(WorkloadError):
+        Relation(np.zeros(3, np.uint32), np.zeros(2, np.uint32))
+
+
+def test_relation_rejects_2d():
+    with pytest.raises(WorkloadError):
+        Relation(np.zeros((2, 2), np.uint32), np.zeros((2, 2), np.uint32))
+
+
+def test_len_and_nbytes():
+    rel = Relation.from_keys(np.arange(10, dtype=np.uint32), seed=0)
+    assert len(rel) == 10
+    assert rel.nbytes == 80
+
+
+def test_take_and_slice():
+    rel = Relation(np.arange(6, dtype=np.uint32),
+                   np.arange(6, dtype=np.uint32) * 10)
+    taken = rel.take(np.array([1, 3]))
+    assert taken.keys.tolist() == [1, 3]
+    assert taken.payloads.tolist() == [10, 30]
+    sliced = rel.slice(2, 4)
+    assert sliced.keys.tolist() == [2, 3]
+
+
+def test_concat():
+    a = Relation.from_keys(np.array([1], np.uint32), seed=0)
+    b = Relation.from_keys(np.array([2], np.uint32), seed=0)
+    c = a.concat(b)
+    assert c.keys.tolist() == [1, 2]
+    assert len(c) == 2
+
+
+def test_empty():
+    rel = Relation.empty()
+    assert len(rel) == 0
+
+
+def test_from_keys_deterministic_payloads():
+    keys = np.array([5, 6, 7], dtype=np.uint32)
+    a = Relation.from_keys(keys, seed=3)
+    b = Relation.from_keys(keys, seed=3)
+    assert np.array_equal(a.payloads, b.payloads)
+
+
+def test_join_input_swapped():
+    ji = JoinInput(
+        r=Relation.from_keys(np.array([1], np.uint32), seed=0, name="R"),
+        s=Relation.from_keys(np.array([2], np.uint32), seed=0, name="S"),
+        meta={"x": 1},
+    )
+    sw = ji.swapped()
+    assert sw.r.name == "S" and sw.s.name == "R"
+    assert sw.meta == {"x": 1}

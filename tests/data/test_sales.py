@@ -1,0 +1,71 @@
+"""Tests for the sales-schema workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.stats import heavy_key_share
+from repro.data.sales import generate_sales
+from repro.errors import WorkloadError
+from tests.conftest import assert_result_correct, expected_summary
+
+
+@pytest.fixture(scope="module")
+def sales():
+    return generate_sales(n_customers=2000, n_orders=20000,
+                          n_line_items=50000, seed=7)
+
+
+def test_shapes(sales):
+    assert len(sales.customers) == 2000
+    assert len(sales.orders) == 20000
+    assert len(sales.line_items) == 50000
+
+
+def test_fk_domains(sales):
+    assert sales.orders.keys.max() < 2000
+    assert sales.line_items.keys.max() < 20000
+    assert sales.customers.payloads.max() < sales.n_regions
+
+
+def test_customer_pk_unique(sales):
+    assert np.unique(sales.customers.keys).size == 2000
+
+
+def test_orders_are_skewed(sales):
+    """The top accounts must dominate, unlike a uniform FK."""
+    assert heavy_key_share(sales.orders.keys, top_k=20) > 0.15
+
+
+def test_orders_join_is_pk_fk(sales):
+    """Every order matches exactly one customer: output == |orders|."""
+    ji = sales.orders_with_customers()
+    count, _ = expected_summary(ji)
+    assert count == len(sales.orders)
+
+
+def test_line_items_join_is_pk_fk(sales):
+    ji = sales.line_items_with_orders()
+    count, _ = expected_summary(ji)
+    assert count == len(sales.line_items)
+
+
+def test_all_algorithms_agree_on_sales_join(sales):
+    from repro import run_all
+    ji = sales.orders_with_customers()
+    results = run_all(ji)
+    for res in results.values():
+        assert_result_correct(res, ji)
+
+
+def test_determinism():
+    a = generate_sales(n_customers=100, n_orders=500, n_line_items=800,
+                       seed=3)
+    b = generate_sales(n_customers=100, n_orders=500, n_line_items=800,
+                       seed=3)
+    assert np.array_equal(a.orders.keys, b.orders.keys)
+    assert np.array_equal(a.line_items.payloads, b.line_items.payloads)
+
+
+def test_validation():
+    with pytest.raises(WorkloadError):
+        generate_sales(n_customers=0)

@@ -1,0 +1,118 @@
+"""Tests for the paper's interval-array zipf workload generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.zipf import (
+    ZipfWorkload,
+    zipf_probabilities,
+    zipf_rank_counts_approx,
+)
+from repro.errors import WorkloadError
+
+
+def test_probabilities_sum_to_one():
+    p = zipf_probabilities(1000, 0.9)
+    assert p.sum() == pytest.approx(1.0)
+    assert np.all(p > 0)
+
+
+def test_theta_zero_is_uniform():
+    p = zipf_probabilities(64, 0.0)
+    assert np.allclose(p, 1 / 64)
+
+
+def test_probabilities_strictly_decreasing_for_positive_theta():
+    p = zipf_probabilities(100, 0.7)
+    assert np.all(np.diff(p) < 0)
+
+
+def test_probabilities_reject_bad_args():
+    with pytest.raises(WorkloadError):
+        zipf_probabilities(0, 1.0)
+    with pytest.raises(WorkloadError):
+        zipf_probabilities(10, -0.5)
+
+
+def test_generate_shapes_and_dtypes():
+    wl = ZipfWorkload(500, 700, theta=0.5, seed=1)
+    ji = wl.generate()
+    assert len(ji.r) == 500 and len(ji.s) == 700
+    assert ji.r.keys.dtype == np.uint32
+    assert ji.meta["theta"] == 0.5
+
+
+def test_same_seed_same_tables():
+    a = ZipfWorkload(300, 300, theta=1.0, seed=9).generate()
+    b = ZipfWorkload(300, 300, theta=1.0, seed=9).generate()
+    assert np.array_equal(a.r.keys, b.r.keys)
+    assert np.array_equal(a.s.keys, b.s.keys)
+
+
+def test_r_and_s_share_hot_keys_at_high_skew():
+    """The shared interval/key arrays make both tables' heavy hitter the
+    same key — the paper's 'highly skewed case' construction."""
+    wl = ZipfWorkload(20000, 20000, theta=1.0, seed=4)
+    ji = wl.generate()
+    r_top = np.bincount(ji.r.keys).argmax()
+    s_top = np.bincount(ji.s.keys).argmax()
+    assert r_top == s_top == wl.key_for_rank(1)
+
+
+def test_hot_key_frequency_tracks_zipf_head():
+    n = 50000
+    wl = ZipfWorkload(n, n, theta=1.0, seed=2)
+    ji = wl.generate()
+    top_count = np.bincount(ji.r.keys).max()
+    expected = wl.probabilities[0] * n
+    assert abs(top_count - expected) < 5 * np.sqrt(expected) + 10
+
+
+def test_key_for_rank_bounds():
+    wl = ZipfWorkload(10, 10, theta=0.5, seed=0)
+    with pytest.raises(WorkloadError):
+        wl.key_for_rank(0)
+    with pytest.raises(WorkloadError):
+        wl.key_for_rank(11)
+
+
+def test_sample_rank_counts_totals():
+    wl = ZipfWorkload(1000, 1000, theta=0.8, seed=7)
+    counts = wl.sample_rank_counts(12345)
+    assert counts.sum() == 12345
+    assert counts[0] >= counts[100]  # rank 1 should dominate rank 101
+
+
+def test_histograms_align_keys():
+    wl = ZipfWorkload(2000, 3000, theta=0.6, seed=5)
+    hr, hs = wl.histograms()
+    assert hr.total == 2000
+    assert hs.total == 3000
+    assert np.array_equal(hr.keys, hs.keys)
+
+
+def test_negative_sizes_rejected():
+    with pytest.raises(WorkloadError):
+        ZipfWorkload(-1, 10, theta=0.5)
+
+
+def test_rank_counts_approx_total_close():
+    n = 200000
+    counts = zipf_rank_counts_approx(n, 50000, 0.9, seed=3, exact_head=1024)
+    assert abs(int(counts.sum()) - n) < 0.02 * n
+    assert counts[0] > counts[1000]
+
+
+def test_rank_counts_approx_head_is_stochastic_tail_expected():
+    counts = zipf_rank_counts_approx(10000, 1000, 0.5, seed=1, exact_head=10)
+    assert counts.size == 1000
+    assert np.all(counts >= 0)
+
+
+@given(st.integers(1, 2000), st.floats(0.0, 1.2))
+@settings(max_examples=30, deadline=None)
+def test_probabilities_normalized_property(n_keys, theta):
+    p = zipf_probabilities(n_keys, theta)
+    assert p.size == n_keys
+    assert p.sum() == pytest.approx(1.0, rel=1e-9)

@@ -1,0 +1,64 @@
+"""Statistical validation of the zipf generator against its target pmf."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.data.zipf import ZipfWorkload, zipf_probabilities
+
+
+@pytest.mark.parametrize("theta", [0.0, 0.5, 1.0])
+def test_chi_square_goodness_of_fit(theta):
+    """Drawn counts must be consistent with the target zipf pmf."""
+    n_keys = 50
+    n = 200_000
+    wl = ZipfWorkload(n, n, theta=theta, n_keys=n_keys, seed=123)
+    counts = wl.sample_rank_counts(n)
+    expected = zipf_probabilities(n_keys, theta) * n
+    chi2, p_value = stats.chisquare(counts, expected)
+    assert p_value > 1e-4, f"chi2={chi2}, p={p_value}"
+
+
+def test_rank_frequency_ordering_statistical():
+    """Head ranks should dominate tail ranks overwhelmingly."""
+    wl = ZipfWorkload(100_000, 1, theta=1.0, n_keys=1000, seed=5)
+    counts = wl.sample_rank_counts(100_000)
+    assert counts[0] > counts[10] > counts[100]
+    # rank-1 frequency ~ n / H(1000) ~ 13350
+    expected = 100_000 * zipf_probabilities(1000, 1.0)[0]
+    assert abs(counts[0] - expected) < 6 * np.sqrt(expected)
+
+
+def test_materialized_table_matches_rank_counts_distribution():
+    """Keys drawn by generate() follow the same distribution as
+    sample_rank_counts (two independent draws, same pmf)."""
+    n, n_keys, theta = 100_000, 40, 0.8
+    wl = ZipfWorkload(n, n, theta=theta, n_keys=n_keys, seed=9)
+    ji = wl.generate()
+    key_counts = np.bincount(ji.r.keys, minlength=n_keys).astype(float)
+    # map counts back to ranks via the key-of-rank table
+    by_rank = key_counts[wl._key_of_rank]
+    expected = zipf_probabilities(n_keys, theta) * n
+    chi2, p_value = stats.chisquare(by_rank, expected)
+    assert p_value > 1e-4
+
+
+def test_r_and_s_hot_sets_overlap():
+    """The shared interval/key arrays must align the two tables' heavy
+    hitters (the paper's 'highly skewed case' requirement)."""
+    wl = ZipfWorkload(50_000, 50_000, theta=1.0, seed=3)
+    ji = wl.generate()
+    top_r = set(np.argsort(np.bincount(ji.r.keys))[-10:].tolist())
+    top_s = set(np.argsort(np.bincount(ji.s.keys))[-10:].tolist())
+    assert len(top_r & top_s) >= 7
+
+
+def test_poisson_approx_head_matches_exact_distribution():
+    """zipf_rank_counts_approx's head should agree with exact draws in
+    distribution (mean within sampling error for the hottest rank)."""
+    from repro.data.zipf import zipf_rank_counts_approx
+    n, n_keys, theta = 200_000, 5000, 0.9
+    approx = zipf_rank_counts_approx(n, n_keys, theta, seed=1,
+                                     exact_head=256)
+    expected_top = zipf_probabilities(n_keys, theta)[0] * n
+    assert abs(approx[0] - expected_top) < 6 * np.sqrt(expected_top)

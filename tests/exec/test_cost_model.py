@@ -1,0 +1,76 @@
+"""Tests for the CPU and GPU cost models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.exec.cost_model import CPUCostModel, GPUCostModel
+from repro.exec.counters import OpCounters
+
+
+def test_cpu_zero_counters_cost_nothing():
+    assert CPUCostModel().seconds(OpCounters()) == 0.0
+
+
+def test_cpu_seconds_prices_each_field():
+    model = CPUCostModel(hash_ns=2.0, chain_step_ns=1.0, output_write_ns=1.0)
+    c = OpCounters(hash_ops=1000, chain_steps=500, output_tuples=250)
+    expected = (1000 * 2.0 + 500 * 1.0 + 250 * 1.0) * 1e-9
+    assert model.seconds(c) == pytest.approx(expected)
+
+
+def test_cpu_task_overhead_added_once():
+    model = CPUCostModel(task_overhead_ns=2000.0)
+    c = OpCounters(hash_ops=1)
+    assert model.task_seconds(c) - model.seconds(c) == pytest.approx(2e-6)
+
+
+def test_cpu_bytes_not_priced_directly():
+    model = CPUCostModel()
+    assert model.seconds(OpCounters(bytes_read=10**9)) == 0.0
+
+
+def test_gpu_bandwidth_terms():
+    model = GPUCostModel(device_bandwidth=1e12, bandwidth_efficiency=0.5,
+                         sm_count=100)
+    assert model.effective_bandwidth == pytest.approx(5e11)
+    assert model.per_sm_bandwidth == pytest.approx(5e9)
+    c = OpCounters(bytes_read=5_000_000_000)
+    assert model.block_memory_seconds(c) == pytest.approx(1.0)
+
+
+def test_gpu_block_seconds_combines_compute_and_memory():
+    model = GPUCostModel()
+    c = OpCounters(sync_barriers=10**6, bytes_written=10**8)
+    total = model.block_seconds(c)
+    assert total == pytest.approx(
+        model.block_compute_seconds(c) + model.block_memory_seconds(c)
+    )
+    assert total > 0
+
+
+def test_gpu_rejects_bad_config():
+    with pytest.raises(ConfigError):
+        GPUCostModel(sm_count=0)
+    with pytest.raises(ConfigError):
+        GPUCostModel(bandwidth_efficiency=0.0)
+    with pytest.raises(ConfigError):
+        GPUCostModel(bandwidth_efficiency=1.5)
+
+
+@given(st.integers(0, 10**12), st.integers(0, 10**12))
+def test_cpu_cost_additive(a, b):
+    model = CPUCostModel()
+    ca = OpCounters(chain_steps=a)
+    cb = OpCounters(chain_steps=b)
+    assert model.seconds(ca + cb) == pytest.approx(
+        model.seconds(ca) + model.seconds(cb)
+    )
+
+
+@given(st.integers(0, 10**10))
+def test_cpu_cost_monotone_in_output(n):
+    model = CPUCostModel()
+    assert model.seconds(OpCounters(output_tuples=n + 1)) >= model.seconds(
+        OpCounters(output_tuples=n)
+    )

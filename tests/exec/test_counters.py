@@ -1,0 +1,91 @@
+"""Unit and property tests for OpCounters."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exec.counters import OpCounters
+
+FIELDS = list(OpCounters.field_names())
+
+counter_values = st.integers(min_value=0, max_value=10**15)
+counters_strategy = st.builds(
+    OpCounters, **{name: counter_values for name in FIELDS}
+)
+
+
+def test_default_is_zero():
+    assert OpCounters().is_zero()
+    assert OpCounters().total_ops() == 0
+
+
+def test_add_combines_fields():
+    a = OpCounters(hash_ops=3, output_tuples=7)
+    b = OpCounters(hash_ops=2, chain_steps=5)
+    c = a + b
+    assert c.hash_ops == 5
+    assert c.output_tuples == 7
+    assert c.chain_steps == 5
+    # operands untouched
+    assert a.hash_ops == 3
+    assert b.chain_steps == 5
+
+
+def test_iadd_mutates_in_place():
+    a = OpCounters(key_compares=1)
+    a += OpCounters(key_compares=2, sync_barriers=4)
+    assert a.key_compares == 3
+    assert a.sync_barriers == 4
+
+
+def test_scaled():
+    a = OpCounters(tuple_moves=3, bytes_read=8)
+    b = a.scaled(4)
+    assert b.tuple_moves == 12
+    assert b.bytes_read == 32
+    assert a.tuple_moves == 3
+
+
+def test_scaled_rejects_negative():
+    with pytest.raises(ValueError):
+        OpCounters().scaled(-1)
+
+
+def test_sum_of_iterable():
+    items = [OpCounters(hash_ops=i) for i in range(5)]
+    assert OpCounters.sum(items).hash_ops == 10
+
+
+def test_total_ops_excludes_bytes():
+    c = OpCounters(hash_ops=2, bytes_read=1000, bytes_written=500)
+    assert c.total_ops() == 2
+
+
+def test_copy_is_independent():
+    a = OpCounters(atomic_ops=1)
+    b = a.copy()
+    b.atomic_ops += 1
+    assert a.atomic_ops == 1
+
+
+def test_large_values_do_not_overflow():
+    huge = 5 * 10**12
+    c = OpCounters(output_tuples=huge) + OpCounters(output_tuples=huge)
+    assert c.output_tuples == 2 * huge
+
+
+@given(counters_strategy, counters_strategy)
+def test_addition_commutes(a, b):
+    assert (a + b).as_dict() == (b + a).as_dict()
+
+
+@given(counters_strategy, st.integers(min_value=0, max_value=1000))
+def test_scaling_matches_repeated_addition(c, k):
+    total = OpCounters.sum(c for _ in range(k))
+    assert total.as_dict() == c.scaled(k).as_dict()
+
+
+@given(counters_strategy)
+def test_as_dict_round_trip(c):
+    assert OpCounters(**c.as_dict()).as_dict() == c.as_dict()

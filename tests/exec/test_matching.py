@@ -1,0 +1,102 @@
+"""Tests for the shared key-matching helpers."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.exec.matching import (
+    emit_matches,
+    expand_pairs,
+    match_group_stats,
+    per_key_match_counts,
+)
+from repro.exec.output import JoinOutputBuffer
+
+U64 = (1 << 64) - 1
+
+
+def brute_force(r_keys, r_pays, s_keys, s_pays):
+    count = 0
+    checksum = 0
+    pairs = []
+    for rk, rp in zip(r_keys, r_pays):
+        for sk, sp in zip(s_keys, s_pays):
+            if rk == sk:
+                count += 1
+                checksum = (checksum + int(rp) * int(sp)) & U64
+                pairs.append((int(rp), int(sp)))
+    return count, checksum, pairs
+
+
+small_rel = st.lists(
+    st.tuples(st.integers(0, 7), st.integers(0, 1000)), min_size=0, max_size=30
+)
+
+
+@given(small_rel, small_rel)
+@settings(max_examples=120)
+def test_match_group_stats_matches_brute_force(r_list, s_list):
+    rk = np.array([t[0] for t in r_list], dtype=np.uint32)
+    rp = np.array([t[1] for t in r_list], dtype=np.uint32)
+    sk = np.array([t[0] for t in s_list], dtype=np.uint32)
+    sp = np.array([t[1] for t in s_list], dtype=np.uint32)
+    count, checksum, _ = brute_force(rk, rp, sk, sp)
+    got_count, got_checksum = match_group_stats(rk, rp, sk, sp)
+    assert got_count == count
+    assert got_checksum == checksum
+
+
+@given(small_rel, small_rel)
+@settings(max_examples=120)
+def test_expand_pairs_matches_brute_force_multiset(r_list, s_list):
+    rk = np.array([t[0] for t in r_list], dtype=np.uint32)
+    rp = np.array([t[1] for t in r_list], dtype=np.uint32)
+    sk = np.array([t[0] for t in s_list], dtype=np.uint32)
+    sp = np.array([t[1] for t in s_list], dtype=np.uint32)
+    _, _, pairs = brute_force(rk, rp, sk, sp)
+    er, es = expand_pairs(rk, rp, sk, sp)
+    got = sorted(zip(er.tolist(), es.tolist()))
+    assert got == sorted(pairs)
+
+
+@given(small_rel, small_rel)
+@settings(max_examples=80)
+def test_emit_matches_summary(r_list, s_list):
+    rk = np.array([t[0] for t in r_list], dtype=np.uint32)
+    rp = np.array([t[1] for t in r_list], dtype=np.uint32)
+    sk = np.array([t[0] for t in s_list], dtype=np.uint32)
+    sp = np.array([t[1] for t in s_list], dtype=np.uint32)
+    count, checksum, _ = brute_force(rk, rp, sk, sp)
+    buf = JoinOutputBuffer(1 << 12)
+    summary = emit_matches(rk, rp, sk, sp, buf)
+    assert summary.count == count == buf.count
+    assert summary.checksum == checksum == buf.checksum
+
+
+def test_per_key_match_counts():
+    target = np.array([5, 5, 7, 9], dtype=np.uint32)
+    query = np.array([5, 7, 8, 9, 10], dtype=np.uint32)
+    got = per_key_match_counts(query, target)
+    assert got.tolist() == [2, 1, 0, 1, 0]
+
+
+def test_per_key_match_counts_empty():
+    assert per_key_match_counts(
+        np.empty(0, np.uint32), np.array([1], np.uint32)
+    ).size == 0
+    assert per_key_match_counts(
+        np.array([1], np.uint32), np.empty(0, np.uint32)
+    ).tolist() == [0]
+
+
+def test_emit_matches_large_group_uses_summary_only():
+    """Beyond MATERIALIZE_LIMIT the ring gets no pairs but exact totals."""
+    n = 1 << 11  # n*n = 4M pairs > MATERIALIZE_LIMIT (2M)
+    rk = np.zeros(n, dtype=np.uint32)
+    rp = np.ones(n, dtype=np.uint32)
+    sk = np.zeros(n, dtype=np.uint32)
+    sp = np.full(n, 2, dtype=np.uint32)
+    buf = JoinOutputBuffer(16)
+    summary = emit_matches(rk, rp, sk, sp, buf)
+    assert summary.count == n * n
+    assert summary.checksum == (n * n * 2) & U64
+    assert buf.count == n * n

@@ -1,0 +1,140 @@
+"""Tests for the ring output buffer and its closed-form checksums."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.exec.output import JoinOutputBuffer, OutputSummary, combine_summaries
+
+U64 = (1 << 64) - 1
+
+
+def reference_checksum(r, s):
+    return int(sum((int(a) * int(b)) & U64 for a, b in zip(r, s)) & U64)
+
+
+def test_rejects_non_positive_capacity():
+    with pytest.raises(ConfigError):
+        JoinOutputBuffer(0)
+
+
+def test_write_pairs_counts_and_checksums():
+    buf = JoinOutputBuffer(16)
+    r = np.array([1, 2, 3], dtype=np.uint32)
+    s = np.array([4, 5, 6], dtype=np.uint32)
+    assert buf.write_pairs(r, s) == 3
+    assert buf.count == 3
+    assert buf.checksum == 1 * 4 + 2 * 5 + 3 * 6
+
+
+def test_write_pairs_rejects_mismatched_shapes():
+    buf = JoinOutputBuffer(4)
+    with pytest.raises(ValueError):
+        buf.write_pairs(np.zeros(2, np.uint32), np.zeros(3, np.uint32))
+
+
+def test_ring_overwrite_keeps_last_capacity_tuples():
+    buf = JoinOutputBuffer(4)
+    r = np.arange(10, dtype=np.uint32)
+    buf.write_pairs(r, r)
+    assert buf.count == 10
+    snap = buf.snapshot()
+    assert snap.shape == (4, 2)
+    assert sorted(snap[:, 0].tolist()) == [6, 7, 8, 9]
+
+
+def test_incremental_writes_wrap_consistently():
+    buf = JoinOutputBuffer(4)
+    for i in range(7):
+        buf.write_pairs(np.array([i], np.uint32), np.array([i], np.uint32))
+    snap = buf.snapshot()
+    assert sorted(snap[:, 0].tolist()) == [3, 4, 5, 6]
+
+
+def test_cartesian_matches_explicit_pairs():
+    r = np.array([3, 5], dtype=np.uint32)
+    s = np.array([7, 11, 13], dtype=np.uint32)
+    a = JoinOutputBuffer(64)
+    a.write_cartesian(r, s)
+    b = JoinOutputBuffer(64)
+    rr = np.repeat(r, s.size)
+    ss = np.tile(s, r.size)
+    b.write_pairs(rr, ss)
+    assert a.count == b.count == 6
+    assert a.checksum == b.checksum
+    assert sorted(map(tuple, a.snapshot().tolist())) == sorted(
+        map(tuple, b.snapshot().tolist()))
+
+
+def test_cartesian_overflowing_ring_keeps_tail():
+    r = np.arange(1, 4, dtype=np.uint32)      # 3 R tuples
+    s = np.arange(10, 15, dtype=np.uint32)    # 5 S tuples -> 15 pairs
+    buf = JoinOutputBuffer(4)
+    buf.write_cartesian(r, s)
+    assert buf.count == 15
+    snap = buf.snapshot()
+    # Last 4 pairs in row-major order: (3,11),(3,12),(3,13),(3,14)
+    assert sorted(map(tuple, snap.tolist())) == [
+        (3, 11), (3, 12), (3, 13), (3, 14)
+    ]
+
+
+def test_empty_writes_are_noops():
+    buf = JoinOutputBuffer(4)
+    assert buf.write_pairs(np.empty(0, np.uint32), np.empty(0, np.uint32)) == 0
+    assert buf.write_cartesian(np.empty(0, np.uint32),
+                               np.arange(3, dtype=np.uint32)) == 0
+    assert buf.count == 0 and buf.checksum == 0
+
+
+def test_merge_and_combine_summaries():
+    a = JoinOutputBuffer(4)
+    b = JoinOutputBuffer(4)
+    a.write_pairs(np.array([2], np.uint32), np.array([3], np.uint32))
+    b.write_pairs(np.array([5], np.uint32), np.array([7], np.uint32))
+    combined = combine_summaries([a, b])
+    assert combined.count == 2
+    assert combined.checksum == 2 * 3 + 5 * 7
+    a.merge_summary(b)
+    assert a.count == 2 and a.checksum == combined.checksum
+
+
+def test_output_summary_equality():
+    assert OutputSummary(1, 2) == OutputSummary(1, 2)
+    assert OutputSummary(1, 2) != OutputSummary(1, 3)
+
+
+@given(
+    st.lists(st.integers(0, 2**32 - 1), min_size=0, max_size=40),
+    st.lists(st.integers(0, 2**32 - 1), min_size=0, max_size=40),
+)
+@settings(max_examples=60)
+def test_cartesian_checksum_closed_form(r_list, s_list):
+    """(sum r)(sum s) mod 2^64 == sum over pairs r*s mod 2^64."""
+    r = np.array(r_list, dtype=np.uint32)
+    s = np.array(s_list, dtype=np.uint32)
+    buf = JoinOutputBuffer(8)
+    buf.write_cartesian(r, s)
+    expect = (sum(map(int, r_list)) * sum(map(int, s_list))) & U64
+    assert buf.checksum == expect
+    assert buf.count == len(r_list) * len(s_list)
+
+
+@given(st.lists(st.tuples(st.integers(0, 2**32 - 1),
+                          st.integers(0, 2**32 - 1)),
+                min_size=1, max_size=200),
+       st.integers(1, 16))
+@settings(max_examples=40)
+def test_ring_retains_exactly_last_capacity(pairs, capacity):
+    buf = JoinOutputBuffer(capacity)
+    r = np.array([p[0] for p in pairs], dtype=np.uint32)
+    s = np.array([p[1] for p in pairs], dtype=np.uint32)
+    buf.write_pairs(r, s)
+    keep = min(len(pairs), capacity)
+    snap = buf.snapshot()
+    assert snap.shape[0] == keep
+    assert sorted(map(tuple, snap.tolist())) == sorted(
+        (int(a), int(b)) for a, b in pairs[-keep:]
+    )
+    assert buf.checksum == reference_checksum(r, s)

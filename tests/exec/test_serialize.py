@@ -1,0 +1,70 @@
+"""Tests for JSON serialization of join results."""
+
+import json
+
+import pytest
+
+from repro.cpu import CbaseJoin
+from repro.data.generators import uniform_input
+from repro.errors import ReproError
+from repro.exec.serialize import (
+    result_from_dict,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+    results_from_json,
+    results_to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def sample_result():
+    ji = uniform_input(2000, 2000, seed=3)
+    return CbaseJoin().run(ji)
+
+
+def test_round_trip_preserves_everything(sample_result):
+    restored = result_from_dict(result_to_dict(sample_result))
+    assert restored.algorithm == sample_result.algorithm
+    assert restored.output_count == sample_result.output_count
+    assert restored.output_checksum == sample_result.output_checksum
+    assert restored.simulated_seconds == pytest.approx(
+        sample_result.simulated_seconds)
+    assert [p.name for p in restored.phases] == [
+        p.name for p in sample_result.phases]
+    assert (restored.phase("join").counters.as_dict()
+            == sample_result.phase("join").counters.as_dict())
+
+
+def test_json_round_trip(sample_result):
+    text = result_to_json(sample_result, indent=2)
+    json.loads(text)  # valid JSON
+    restored = result_from_json(text)
+    assert restored.matches(sample_result)
+
+
+def test_results_list_round_trip(sample_result):
+    text = results_to_json([sample_result, sample_result])
+    restored = results_from_json(text)
+    assert len(restored) == 2
+    assert all(r.matches(sample_result) for r in restored)
+
+
+def test_zero_counters_are_elided(sample_result):
+    data = result_to_dict(sample_result)
+    for phase in data["phases"]:
+        assert all(v != 0 for v in phase["counters"].values())
+
+
+def test_version_check():
+    with pytest.raises(ReproError):
+        result_from_dict({"format_version": 999})
+
+
+def test_meta_is_jsonable():
+    from repro.core.gsh import GSHJoin
+    from repro.data.zipf import ZipfWorkload
+    ji = ZipfWorkload(20000, 20000, theta=1.0, seed=1).generate()
+    res = GSHJoin().run(ji)  # meta contains a list of numpy ints
+    text = result_to_json(res)
+    assert result_from_json(text).output_count == res.output_count

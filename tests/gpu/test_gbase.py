@@ -1,0 +1,106 @@
+"""Tests for the Gbase GPU join and its partition/join kernels."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.hashing import hash_keys
+from repro.data.generators import constant_key_input, uniform_input
+from repro.data.zipf import ZipfWorkload
+from repro.gpu.device import A100
+from repro.gpu.gbase import GbaseConfig, GbaseJoin, gbase_join_phase
+from repro.gpu.partitioning import (
+    choose_gpu_bits,
+    gbase_partition,
+    gsh_partition,
+)
+from repro.gpu.simulator import GPUSimulator
+from tests.conftest import assert_result_correct
+
+
+def test_choose_gpu_bits_respects_capacity():
+    b1, b2 = choose_gpu_bits(1 << 20, 4096)
+    assert (1 << 20) >> (b1 + b2) <= 4096
+
+
+def make_sim():
+    return GPUSimulator(device=A100)
+
+
+class TestGpuPartitioning:
+    def test_gbase_partition_is_permutation(self):
+        ji = uniform_input(20000, 1, n_keys=5000, seed=1)
+        sim = make_sim()
+        res = gbase_partition(ji.r.keys, ji.r.payloads, 4, 3, sim, "r")
+        assert sorted(res.partitioned.keys.tolist()) == sorted(
+            ji.r.keys.tolist())
+        assert res.seconds > 0
+        assert res.counters.atomic_ops > 0  # bucket slot reservations
+
+    def test_gsh_partition_is_permutation(self):
+        ji = uniform_input(20000, 1, n_keys=5000, seed=1)
+        sim = make_sim()
+        res = gsh_partition(ji.r.keys, ji.r.payloads, 4, 3, sim, "r")
+        assert sorted(res.partitioned.keys.tolist()) == sorted(
+            ji.r.keys.tolist())
+        assert res.counters.atomic_ops == 0  # count-then-scatter
+        assert res.counters.random_accesses > 0  # scattered writes
+
+    def test_gbase_partition_flat_under_skew(self):
+        """Gbase partition cost ignores skew (Table I row 5)."""
+        sim1, sim2 = make_sim(), make_sim()
+        lo = ZipfWorkload(50000, 1, theta=0.0, seed=1).generate()
+        hi = ZipfWorkload(50000, 1, theta=1.0, seed=1).generate()
+        t_lo = gbase_partition(lo.r.keys, lo.r.payloads, 4, 3, sim1, "r").seconds
+        t_hi = gbase_partition(hi.r.keys, hi.r.payloads, 4, 3, sim2, "r").seconds
+        assert t_hi == pytest.approx(t_lo, rel=0.01)
+
+    def test_gsh_partition_grows_with_skew(self):
+        """GSH's per-partition pass-2 blocks slow down on a giant
+        partition (Table I row 7: 5.9 ms -> 24.5 ms)."""
+        sim1, sim2 = make_sim(), make_sim()
+        lo = ZipfWorkload(100000, 1, theta=0.0, seed=1).generate()
+        hi = constant_key_input(100000, 1, seed=1)
+        t_lo = gsh_partition(lo.r.keys, lo.r.payloads, 4, 3, sim1, "r").seconds
+        t_hi = gsh_partition(hi.r.keys, hi.r.payloads, 4, 3, sim2, "r").seconds
+        assert t_hi > 2 * t_lo
+
+
+class TestGbasePipeline:
+    def test_correct_on_fixtures(self, small_uniform, small_skewed,
+                                 tiny_input):
+        for ji in (small_uniform, small_skewed, tiny_input):
+            assert_result_correct(GbaseJoin().run(ji), ji)
+
+    def test_phases(self, small_uniform):
+        res = GbaseJoin().run(small_uniform)
+        assert [p.name for p in res.phases] == ["partition", "join"]
+        assert res.meta["device"] == "A100-PCIE-40GB"
+
+    def test_sublists_multiply_blocks_for_large_partitions(self):
+        ji = constant_key_input(30000, 30000, seed=0)
+        few = GbaseJoin(GbaseConfig(sublist_capacity=30000)).run(ji)
+        many = GbaseJoin(GbaseConfig(sublist_capacity=1000)).run(ji)
+        assert many.meta["join_blocks"] > few.meta["join_blocks"]
+        assert many.matches(few)
+
+    def test_join_time_rockets_with_skew(self):
+        lo = ZipfWorkload(60000, 60000, theta=0.2, seed=2).generate()
+        hi = ZipfWorkload(60000, 60000, theta=1.0, seed=2).generate()
+        t_lo = GbaseJoin().run(lo).phase("join").simulated_seconds
+        t_hi = GbaseJoin().run(hi).phase("join").simulated_seconds
+        assert t_hi > 20 * t_lo
+
+    def test_write_bitmap_costs_scale_with_chains(self):
+        """Long chains mean more barriers and atomics per S tuple."""
+        uni = uniform_input(20000, 20000, n_keys=20000, seed=3)
+        skew = constant_key_input(20000, 20000, seed=3)
+        c_uni = GbaseJoin().run(uni).phase("join").counters
+        c_skew = GbaseJoin().run(skew).phase("join").counters
+        assert c_skew.sync_barriers > 10 * c_uni.sync_barriers
+        assert c_skew.atomic_ops > 10 * c_uni.atomic_ops
+
+    def test_empty_input(self):
+        from repro.data.relation import JoinInput, Relation
+        ji = JoinInput(r=Relation.empty(), s=Relation.empty())
+        res = GbaseJoin().run(ji)
+        assert res.output_count == 0

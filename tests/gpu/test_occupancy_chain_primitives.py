@@ -1,0 +1,141 @@
+"""Tests for occupancy, bucket chains, and device primitives."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.hashing import hash_keys
+from repro.cpu.partition import partition_pass
+from repro.errors import ConfigError
+from repro.gpu.bucket_chain import (
+    BucketChain,
+    BucketChainedPartitions,
+    sublist_ranges,
+)
+from repro.gpu.device import A100
+from repro.gpu.occupancy import (
+    MAX_BLOCKS_PER_SM,
+    device_concurrency,
+    occupancy_for,
+)
+from repro.gpu.primitives import (
+    bucket_chain_append_kernel,
+    histogram_kernel,
+    prefix_scan_kernel,
+    scatter_kernel,
+)
+
+
+class TestOccupancy:
+    def test_shared_memory_limits_fat_blocks(self):
+        occ = occupancy_for(A100, shared_mem_per_block=96 * 1024)
+        assert occ.blocks_per_sm == 2  # 192KB / 96KB
+        assert occ.limited_by == "shared_memory"
+
+    def test_thread_limit_for_lean_blocks(self):
+        occ = occupancy_for(A100, shared_mem_per_block=0,
+                            threads_per_block=256)
+        assert occ.blocks_per_sm == 2048 // 256
+        assert occ.limited_by == "threads"
+
+    def test_block_cap(self):
+        occ = occupancy_for(A100, shared_mem_per_block=0,
+                            threads_per_block=32)
+        assert occ.blocks_per_sm == MAX_BLOCKS_PER_SM
+
+    def test_device_concurrency(self):
+        assert device_concurrency(A100, 96 * 1024) == 2 * A100.sm_count
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            occupancy_for(A100, shared_mem_per_block=-1)
+        with pytest.raises(ConfigError):
+            occupancy_for(A100, shared_mem_per_block=200 * 1024)
+        with pytest.raises(ConfigError):
+            occupancy_for(A100, 0, threads_per_block=0)
+
+
+class TestBucketChain:
+    def chain(self, sizes, start=0):
+        buckets = []
+        pos = start
+        for s in sizes:
+            buckets.append((pos, pos + s))
+            pos += s
+        return BucketChain(partition=0, buckets=buckets)
+
+    def test_counts(self):
+        c = self.chain([512, 512, 100])
+        assert c.n_buckets == 3
+        assert c.n_tuples == 1124
+
+    def test_sublists_respect_capacity(self):
+        c = self.chain([512] * 10)
+        subs = c.sublists(max_tuples=1024)
+        assert len(subs) == 5
+        assert all(sum(b - a for a, b in s) <= 1024 for s in subs)
+
+    def test_sublists_never_split_buckets(self):
+        c = self.chain([512, 512, 512])
+        subs = c.sublists(max_tuples=700)  # one bucket fits, two do not
+        assert [len(s) for s in subs] == [1, 1, 1]
+
+    def test_sublist_ranges_are_contiguous(self):
+        c = self.chain([512] * 4, start=1000)
+        ranges = sublist_ranges(c, max_tuples=1024)
+        assert ranges == [(1000, 2024), (2024, 3048)]
+
+    def test_sublists_validation(self):
+        with pytest.raises(ConfigError):
+            self.chain([10]).sublists(0)
+
+    def test_from_partitioned_covers_all_tuples(self):
+        keys = np.random.default_rng(0).integers(
+            0, 1000, 5000).astype(np.uint32)
+        pr = partition_pass(keys, keys, hash_keys(keys), 0, 3, 2).partitioned
+        chained = BucketChainedPartitions.from_partitioned(pr,
+                                                           bucket_tuples=256)
+        assert len(chained.chains) == pr.fanout
+        total = sum(c.n_tuples for c in chained.chains)
+        assert total == 5000
+        for p in range(pr.fanout):
+            lo, hi = int(pr.offsets[p]), int(pr.offsets[p + 1])
+            chain = chained.chain(p)
+            assert chain.n_tuples == hi - lo
+            if chain.buckets:
+                assert chain.buckets[0][0] == lo
+                assert chain.buckets[-1][1] == hi
+
+    def test_from_partitioned_validation(self):
+        keys = np.arange(10, dtype=np.uint32)
+        pr = partition_pass(keys, keys, hash_keys(keys), 0, 1, 1).partitioned
+        with pytest.raises(ConfigError):
+            BucketChainedPartitions.from_partitioned(pr, bucket_tuples=0)
+
+
+class TestPrimitives:
+    def test_histogram_kernel_work(self):
+        work = histogram_kernel(10000)
+        total = sum(w.total_counters.seq_tuple_reads for w in work)
+        assert total == 10000
+
+    def test_scatter_kernel_coalescing_flag(self):
+        coalesced = scatter_kernel(1000, coalesced=True)
+        scattered = scatter_kernel(1000, coalesced=False)
+        assert sum(w.total_counters.random_accesses for w in coalesced) == 0
+        assert sum(w.total_counters.random_accesses for w in scattered) == 1000
+
+    def test_prefix_scan_kernel(self):
+        work = prefix_scan_kernel(4096)
+        assert sum(w.total_counters.sync_barriers for w in work) >= 12
+        assert prefix_scan_kernel(0) == []
+        with pytest.raises(ConfigError):
+            prefix_scan_kernel(-1)
+
+    def test_bucket_chain_append_counts_atomics_per_batch(self):
+        work = bucket_chain_append_kernel(1000, reorder_batch=4)
+        atomics = sum(w.total_counters.atomic_ops for w in work)
+        assert atomics == 250
+        moves = sum(w.total_counters.tuple_moves for w in work)
+        assert moves == 1000
+        with pytest.raises(ConfigError):
+            bucket_chain_append_kernel(10, reorder_batch=0)

@@ -1,0 +1,164 @@
+"""Tests for the GPU substrate: device, scheduler, warp model, simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.exec.counters import OpCounters
+from repro.gpu.device import A100, DeviceSpec, V100_LIKE
+from repro.gpu.kernel import BlockWork, uniform_grid
+from repro.gpu.scheduler import (
+    BlockGroup,
+    makespan_from_block_seconds,
+    makespan_from_groups,
+)
+from repro.gpu.simulator import GPUSimulator, cost_model_for
+from repro.gpu.warp import lockstep_probe_rounds
+
+
+class TestDevice:
+    def test_a100_matches_paper_numbers(self):
+        assert A100.sm_count == 108
+        assert A100.global_mem_bytes == 40 * 1024**3
+        assert A100.bandwidth == pytest.approx(1.555e12)
+        assert A100.shared_mem_per_sm == 192 * 1024
+
+    def test_shared_capacity_tuples(self):
+        # 16 bytes per resident entry
+        assert A100.shared_capacity_tuples == A100.shared_mem_per_block // 16
+
+    def test_with_overrides(self):
+        d = A100.with_overrides(sm_count=4)
+        assert d.sm_count == 4
+        assert A100.sm_count == 108
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DeviceSpec("bad", sm_count=0, shared_mem_per_block=1,
+                       shared_mem_per_sm=1, l2_bytes=1,
+                       global_mem_bytes=1, bandwidth=1.0)
+        with pytest.raises(ConfigError):
+            A100.with_overrides(threads_per_block=100)  # not warp multiple
+
+    def test_fits_global(self):
+        assert A100.fits_global(10**9)
+        assert not A100.fits_global(10**12)
+
+
+class TestScheduler:
+    def test_empty(self):
+        assert makespan_from_groups([], 10) == 0.0
+        assert makespan_from_block_seconds(np.array([]), 10) == 0.0
+
+    def test_single_group_small_exact(self):
+        # 10 equal blocks on 4 SMs -> ceil(10/4)=3 waves
+        m = makespan_from_groups([BlockGroup(10, 1.0)], 4)
+        assert m == pytest.approx(3.0)
+
+    def test_dominant_block(self):
+        m = makespan_from_groups(
+            [BlockGroup(1, 100.0), BlockGroup(50, 1.0)], 16)
+        assert m == pytest.approx(100.0)
+
+    def test_large_grid_uses_bounds(self):
+        m = makespan_from_groups([BlockGroup(10**6, 1e-6)], 100)
+        assert m == pytest.approx(10**6 * 1e-6 / 100)
+
+    def test_group_validation(self):
+        with pytest.raises(ConfigError):
+            BlockGroup(-1, 1.0)
+        with pytest.raises(ConfigError):
+            makespan_from_groups([BlockGroup(1, 1.0)], 0)
+
+    @given(st.lists(st.floats(0.0, 10.0), min_size=1, max_size=50),
+           st.integers(1, 16))
+    @settings(max_examples=40)
+    def test_block_seconds_within_bounds(self, costs, sms):
+        m = makespan_from_block_seconds(np.array(costs), sms)
+        assert m >= max(costs) - 1e-12
+        assert m >= sum(costs) / sms - 1e-12
+        assert m <= sum(costs) / sms + max(costs) + 1e-9
+
+
+class TestWarpModel:
+    def test_empty(self):
+        r = lockstep_probe_rounds(np.array([]), 32)
+        assert r.rounds == 0 and r.paid_steps == 0
+
+    def test_uniform_chains_have_no_divergence(self):
+        r = lockstep_probe_rounds(np.full(64, 3), 32)
+        assert r.rounds == 2
+        assert r.useful_steps == 192
+        assert r.paid_steps == 2 * 3 * 32
+        assert r.divergent_steps == 0
+
+    def test_one_long_chain_diverges_whole_round(self):
+        lengths = np.ones(32, dtype=np.int64)
+        lengths[0] = 100
+        r = lockstep_probe_rounds(lengths, 32)
+        assert r.rounds == 1
+        assert r.paid_steps == 100 * 32
+        assert r.useful_steps == 131
+        assert r.divergent_steps == 100 * 32 - 131
+
+    def test_partial_last_round_padded(self):
+        r = lockstep_probe_rounds(np.array([5, 5, 5]), 2)
+        assert r.rounds == 2
+        assert r.paid_steps == (5 + 5) * 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            lockstep_probe_rounds(np.array([1]), 0)
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=200),
+           st.integers(1, 64))
+    @settings(max_examples=50)
+    def test_paid_at_least_useful(self, lengths, threads):
+        r = lockstep_probe_rounds(np.array(lengths), threads)
+        assert r.paid_steps >= r.useful_steps
+        assert r.divergent_steps == r.paid_steps - r.useful_steps
+
+
+class TestSimulatorAndKernel:
+    def test_uniform_grid_splits_remainder(self):
+        work = uniform_grid(10, 4, OpCounters(hash_ops=1))
+        assert [(w.count, w.counters.hash_ops) for w in work] == [
+            (2, 4), (1, 2)]
+        assert uniform_grid(0, 4, OpCounters()) == []
+        with pytest.raises(ConfigError):
+            uniform_grid(4, 0, OpCounters())
+
+    def test_launch_records_timeline(self):
+        sim = GPUSimulator(device=A100)
+        launch = sim.launch("k1", [BlockWork(4, OpCounters(bytes_read=10**6))])
+        assert launch.n_blocks == 4
+        assert launch.seconds > 0
+        assert sim.total_seconds == launch.seconds
+        sim.launch("k2", [])
+        assert len(sim.launches) == 2
+        sim.reset()
+        assert sim.launches == []
+
+    def test_empty_launch_costs_only_overhead(self):
+        sim = GPUSimulator(device=A100)
+        launch = sim.launch("noop", [])
+        assert launch.seconds == pytest.approx(
+            sim.cost_model.kernel_launch_s)
+
+    def test_bandwidth_bound_kernel_time(self):
+        sim = GPUSimulator(device=A100)
+        n_bytes = 10**9
+        work = uniform_grid(1000, 1,
+                            OpCounters(bytes_read=n_bytes // 1000))
+        launch = sim.launch("stream", work)
+        expected = n_bytes / sim.cost_model.effective_bandwidth
+        assert launch.seconds == pytest.approx(expected, rel=0.3)
+
+    def test_mismatched_sm_count_rejected(self):
+        with pytest.raises(ConfigError):
+            GPUSimulator(device=A100, cost_model=cost_model_for(V100_LIKE))
+
+    def test_block_work_validation(self):
+        with pytest.raises(ConfigError):
+            BlockWork(-1, OpCounters())

@@ -1,0 +1,68 @@
+"""Tests for the host-device transfer model."""
+
+import pytest
+
+from repro.data.zipf import ZipfWorkload
+from repro.errors import ConfigError
+from repro.gpu import GbaseJoin
+from repro.gpu.transfer import (
+    NVLINK3,
+    PCIE4_X16,
+    Interconnect,
+    table_transfer_seconds,
+    transfer_break_even_tuples,
+    with_transfer,
+)
+
+
+def test_transfer_seconds_linear_in_bytes():
+    link = Interconnect("test", bandwidth=1e9, latency=1e-6)
+    assert link.transfer_seconds(0) == 0.0
+    assert link.transfer_seconds(1e9) == pytest.approx(1.0 + 1e-6)
+    assert link.transfer_seconds(2e9) == pytest.approx(2.0 + 1e-6)
+
+
+def test_interconnect_validation():
+    with pytest.raises(ConfigError):
+        Interconnect("bad", bandwidth=0)
+    with pytest.raises(ConfigError):
+        Interconnect("bad", bandwidth=1, latency=-1)
+    with pytest.raises(ConfigError):
+        PCIE4_X16.transfer_seconds(-1)
+
+
+def test_nvlink_faster_than_pcie():
+    n = 32_000_000
+    assert (table_transfer_seconds(n, NVLINK3)
+            < table_transfer_seconds(n, PCIE4_X16))
+
+
+def test_with_transfer_prepends_phase():
+    ji = ZipfWorkload(20000, 20000, theta=0.8, seed=1).generate()
+    gpu_resident = GbaseJoin().run(ji)
+    shipped = with_transfer(gpu_resident)
+    assert shipped.algorithm == "gbase+transfer"
+    assert shipped.phases[0].name == "transfer"
+    assert shipped.output_count == gpu_resident.output_count
+    assert (shipped.simulated_seconds
+            > gpu_resident.simulated_seconds)
+    expected = PCIE4_X16.transfer_seconds(8 * (len(ji.r) + len(ji.s)))
+    assert shipped.phases[0].simulated_seconds == pytest.approx(expected)
+
+
+def test_with_transfer_one_side_only():
+    ji = ZipfWorkload(10000, 10000, theta=0.5, seed=2).generate()
+    res = GbaseJoin().run(ji)
+    r_only = with_transfer(res, ship_r=True, ship_s=False)
+    both = with_transfer(res)
+    assert (r_only.phases[0].simulated_seconds
+            < both.phases[0].simulated_seconds)
+
+
+def test_break_even():
+    # GPU never wins when slower per tuple.
+    assert transfer_break_even_tuples(1e-9, 2e-9) == float("inf")
+    # Clear GPU advantage: finite break-even, decreasing with bandwidth.
+    pcie = transfer_break_even_tuples(10e-9, 1e-9, PCIE4_X16)
+    nvlink = transfer_break_even_tuples(10e-9, 1e-9, NVLINK3)
+    assert 0 < nvlink < pcie < float("inf")

@@ -1,0 +1,70 @@
+"""Tests for the top-level convenience API."""
+
+import pytest
+
+from repro import (
+    ALGORITHMS,
+    CbaseConfig,
+    CSHConfig,
+    JoinInput,
+    ZipfWorkload,
+    join,
+    make_join,
+    run_all,
+)
+from repro.data.generators import uniform_input
+from repro.errors import ConfigError
+from tests.conftest import assert_result_correct
+
+
+def test_registry_has_all_five():
+    assert set(ALGORITHMS) == {"cbase", "cbase-npj", "csh", "gbase", "gsh"}
+
+
+def test_make_join_unknown_name():
+    with pytest.raises(ConfigError):
+        make_join("nope")
+
+
+def test_make_join_wrong_config_type():
+    with pytest.raises(ConfigError):
+        make_join("csh", CbaseConfig())
+
+
+def test_make_join_with_config():
+    j = make_join("csh", CSHConfig(sample_rate=0.05))
+    assert j.config.sample_rate == 0.05
+
+
+def test_join_with_two_relations():
+    ji = uniform_input(1000, 1000, seed=1)
+    res = join(ji.r, ji.s, algorithm="cbase")
+    assert_result_correct(res, ji)
+
+
+def test_join_with_join_input():
+    ji = uniform_input(1000, 1000, seed=2)
+    res = join(ji, algorithm="gsh")
+    assert_result_correct(res, ji)
+
+
+def test_join_input_plus_relation_rejected():
+    ji = uniform_input(10, 10, seed=0)
+    with pytest.raises(ConfigError):
+        join(ji, ji.s)
+
+
+def test_join_missing_second_relation():
+    ji = uniform_input(10, 10, seed=0)
+    with pytest.raises(ConfigError):
+        join(ji.r)
+
+
+def test_run_all_agree():
+    ji = ZipfWorkload(5000, 5000, theta=0.9, seed=3).generate()
+    results = run_all(ji)
+    assert set(results) == set(ALGORITHMS)
+    counts = {r.output_count for r in results.values()}
+    checksums = {r.output_checksum for r in results.values()}
+    assert len(counts) == 1 and len(checksums) == 1
+    assert_result_correct(results["csh"], ji)

@@ -1,0 +1,158 @@
+"""Tests for the CLI, the report formatter, and the adaptive join."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.adaptive import AdaptiveConfig, AdaptiveJoin
+from repro.core.csh import CSHConfig
+from repro.cpu import CbaseJoin
+from repro.cpu.stats import (
+    heavy_key_share,
+    min_achievable_partition_size,
+    partition_stats,
+    skew_report,
+)
+from repro.cpu.hashing import hash_keys
+from repro.cpu.partition import partition_pass
+from repro.data.generators import constant_key_input, uniform_input
+from repro.data.zipf import ZipfWorkload
+from repro.exec.report import comparison_report, result_report
+from tests.conftest import assert_result_correct
+
+
+class TestCLI:
+    def test_run_single(self, capsys):
+        assert main(["run", "-n", "4000", "-t", "0.8", "-a", "csh"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm:      csh" in out
+        assert "phases:" in out
+
+    def test_run_all_verifies(self, capsys):
+        assert main(["run", "-n", "3000", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "outputs agree" in out
+        for name in ("cbase", "cbase-npj", "csh", "gbase", "gsh"):
+            assert name in out
+
+    def test_run_counters(self, capsys):
+        assert main(["run", "-n", "2000", "--counters"]) == 0
+        assert "operation counters:" in capsys.readouterr().out
+
+    def test_run_analytic(self, capsys):
+        assert main(["run", "-n", "50000", "-t", "1.0", "--analytic",
+                     "--all"]) == 0
+        assert "outputs agree" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "-n", "2000", "--thetas", "0,1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "zipf sweep" in out
+        assert "csh" in out
+
+    def test_sweep_analytic(self, capsys):
+        assert main(["sweep", "-n", "20000", "--analytic",
+                     "--thetas", "0.5"]) == 0
+        assert "zipf sweep" in capsys.readouterr().out
+
+    def test_bench_detection(self, capsys):
+        import repro.bench.runner as runner
+        old = runner.bench_tuples
+        runner.bench_tuples = lambda: 1 << 16
+        try:
+            assert main(["bench", "detection"]) == 0
+        finally:
+            runner.bench_tuples = old
+        assert "detected skewed keys" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestReport:
+    def test_result_report_contents(self):
+        ji = uniform_input(2000, 2000, seed=1)
+        res = CbaseJoin().run(ji)
+        text = result_report(res, counters=True)
+        assert "cbase" in text
+        assert "partition" in text and "join" in text
+        assert "hash_ops" in text
+        assert f"{res.output_count:,}" in text
+
+    def test_comparison_report_flags_disagreement(self):
+        ji = uniform_input(1000, 1000, seed=2)
+        a = CbaseJoin().run(ji)
+        b = CbaseJoin().run(ji)
+        assert "outputs agree" in comparison_report([a, b])
+        b.output_count += 1
+        assert "DISAGREE" in comparison_report([a, b])
+
+    def test_comparison_report_empty(self):
+        assert comparison_report([]) == "(no results)"
+
+
+class TestAdaptive:
+    def test_low_skew_dispatches_to_cbase(self):
+        rng_keys = np.random.default_rng(0).permutation(
+            np.arange(20000)).astype(np.uint32)
+        from repro.data.relation import JoinInput, Relation
+        ji = JoinInput(
+            r=Relation.from_keys(rng_keys, seed=1, name="R"),
+            s=Relation.from_keys(rng_keys[::-1].copy(), seed=2, name="S"),
+        )
+        cfg = AdaptiveConfig(csh=CSHConfig(sample_rate=0.005),
+                             min_skewed_keys=3)
+        res = AdaptiveJoin(cfg).run(ji)
+        assert res.meta["chosen"] == "cbase"
+        assert res.phases[0].name == "probe-sample"
+        assert_result_correct(res, ji)
+
+    def test_high_skew_dispatches_to_csh(self):
+        ji = ZipfWorkload(20000, 20000, theta=1.0, seed=3).generate()
+        res = AdaptiveJoin().run(ji)
+        assert res.meta["chosen"] == "csh"
+        assert "nm-join" in [p.name for p in res.phases]
+        assert_result_correct(res, ji)
+
+    def test_sample_phase_counted_once(self):
+        ji = ZipfWorkload(10000, 10000, theta=1.0, seed=4).generate()
+        res = AdaptiveJoin().run(ji)
+        names = [p.name for p in res.phases]
+        assert names.count("probe-sample") == 1
+        assert "sample" not in names
+
+
+class TestStats:
+    def test_partition_stats_balanced_and_skewed(self):
+        uni = uniform_input(8000, 1, seed=1)
+        pr = partition_pass(uni.r.keys, uni.r.payloads,
+                            hash_keys(uni.r.keys), 0, 3, 2).partitioned
+        stats = partition_stats(pr)
+        assert stats.fanout == 8
+        assert stats.n_tuples == 8000
+        assert stats.imbalance < 1.5
+
+        skew = constant_key_input(8000, 1, seed=1)
+        ps = partition_pass(skew.r.keys, skew.r.payloads,
+                            hash_keys(skew.r.keys), 0, 3, 2).partitioned
+        stats = partition_stats(ps)
+        assert stats.imbalance == pytest.approx(8.0)
+        assert stats.occupancy == pytest.approx(1 / 8)
+
+    def test_heavy_key_share(self):
+        keys = np.array([1] * 90 + list(range(2, 12)), dtype=np.uint32)
+        assert heavy_key_share(keys, 1) == pytest.approx(0.9)
+        assert heavy_key_share(np.empty(0, np.uint32)) == 0.0
+
+    def test_min_achievable_partition_size(self):
+        keys = np.array([5] * 70 + [1, 2, 3], dtype=np.uint32)
+        assert min_achievable_partition_size(keys) == 70
+        assert min_achievable_partition_size(np.empty(0, np.uint32)) == 0
+
+    def test_skew_report(self):
+        keys = np.array([9] * 50 + [1, 2], dtype=np.uint32)
+        text = skew_report(keys, top_k=2)
+        assert "52 tuples" in text
+        assert "key 9: 50 tuples" in text
+        assert skew_report(np.empty(0, np.uint32)) == "empty key column"

@@ -1,0 +1,77 @@
+"""Documentation consistency: the docs must reference real artifacts."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def referenced_paths(text):
+    """Path-like references in backticks (modules, files, directories)."""
+    for match in re.findall(r"`([A-Za-z0-9_./-]+\.(?:py|md|txt))`", text):
+        yield match
+
+
+@pytest.mark.parametrize("doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md",
+                                 "docs/cost_model.md", "docs/architecture.md",
+                                 "docs/api.md"])
+def test_doc_exists_and_nonempty(doc):
+    path = ROOT / doc
+    assert path.exists(), doc
+    assert len(path.read_text()) > 500
+
+
+@pytest.mark.parametrize("doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md"])
+def test_referenced_files_exist(doc):
+    text = (ROOT / doc).read_text()
+    missing = []
+    for ref in referenced_paths(text):
+        if "*" in ref:
+            continue
+        candidates = [ROOT / ref, ROOT / "src" / ref,
+                      ROOT / "benchmarks" / ref, ROOT / "examples" / ref,
+                      ROOT / "docs" / ref]
+        if any(c.exists() for c in candidates):
+            continue
+        # Bare module names are contextualized by their package column in
+        # DESIGN.md; accept them if they exist anywhere in the tree.
+        name = ref.split("/")[-1]
+        if (list((ROOT / "src").rglob(name))
+                or list((ROOT / "benchmarks").glob(name))):
+            continue
+        missing.append(ref)
+    assert not missing, f"{doc} references missing files: {missing}"
+
+
+def test_design_bench_targets_exist():
+    """Every bench target named in DESIGN.md's experiment index exists."""
+    text = (ROOT / "DESIGN.md").read_text()
+    targets = set(re.findall(r"benchmarks/(bench_\w+\.py)", text))
+    assert targets, "DESIGN.md names no bench targets?"
+    for target in targets:
+        assert (ROOT / "benchmarks" / target).exists(), target
+
+
+def test_readme_examples_exist():
+    text = (ROOT / "README.md").read_text()
+    examples = set(re.findall(r"examples/(\w+\.py)", text))
+    assert len(examples) >= 5
+    for example in examples:
+        assert (ROOT / "examples" / example).exists(), example
+
+
+def test_registered_algorithms_documented():
+    """Every algorithm in the registry appears in the README."""
+    from repro import ALGORITHMS
+    readme = (ROOT / "README.md").read_text()
+    for name in ALGORITHMS:
+        assert name.replace("cbase-npj", "npj").split("-")[0] in readme.lower()
+
+
+def test_experiments_covers_every_table_and_figure():
+    text = (ROOT / "EXPERIMENTS.md").read_text()
+    for artifact in ("Figure 1", "Figure 4", "Table I", "Scale-up",
+                     "Detection", "560"):
+        assert artifact in text, artifact

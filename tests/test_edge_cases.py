@@ -1,0 +1,154 @@
+"""Edge-case and failure-injection tests across the pipelines."""
+
+import numpy as np
+import pytest
+
+from repro import ALGORITHMS, run_all
+from repro.core.csh import CSHConfig, CSHJoin
+from repro.core.gsh import GSHConfig, GSHJoin
+from repro.cpu import CbaseConfig, CbaseJoin
+from repro.data.generators import input_from_frequencies, uniform_input
+from repro.data.relation import JoinInput, Relation
+from repro.data.zipf import ZipfWorkload
+from repro.exec.result import compare_results
+from tests.conftest import assert_result_correct, expected_summary
+
+
+def make_input(r_keys, s_keys):
+    return JoinInput(
+        r=Relation.from_keys(np.asarray(r_keys, dtype=np.uint32), seed=1,
+                             name="R"),
+        s=Relation.from_keys(np.asarray(s_keys, dtype=np.uint32), seed=2,
+                             name="S"),
+    )
+
+
+class TestDegenerateInputs:
+    def test_single_tuple_each(self):
+        ji = make_input([7], [7])
+        results = run_all(ji)
+        assert compare_results(list(results.values())) is None
+        assert results["csh"].output_count == 1
+
+    def test_single_tuple_no_match(self):
+        ji = make_input([7], [8])
+        for res in run_all(ji).values():
+            assert res.output_count == 0
+
+    def test_empty_r_nonempty_s(self):
+        ji = JoinInput(r=Relation.empty("R"),
+                       s=Relation.from_keys(
+                           np.arange(100, dtype=np.uint32), seed=0))
+        for res in run_all(ji).values():
+            assert res.output_count == 0
+
+    def test_empty_s_nonempty_r(self):
+        ji = JoinInput(r=Relation.from_keys(
+            np.arange(100, dtype=np.uint32), seed=0),
+            s=Relation.empty("S"))
+        for res in run_all(ji).values():
+            assert res.output_count == 0
+
+    def test_max_key_value(self):
+        """Keys at the top of the 4-byte space must hash and route fine."""
+        big = 2**32 - 1
+        ji = make_input([big, big - 1, 5], [big, big, 5])
+        results = run_all(ji)
+        assert compare_results(list(results.values())) is None
+        assert results["cbase"].output_count == 3
+
+    def test_all_tuples_same_payload(self):
+        r = Relation(np.array([1, 1, 2], np.uint32),
+                     np.zeros(3, np.uint32))
+        s = Relation(np.array([1, 2, 2], np.uint32),
+                     np.zeros(3, np.uint32))
+        ji = JoinInput(r=r, s=s)
+        for res in run_all(ji).values():
+            assert res.output_count == 4
+            assert res.output_checksum == 0  # 0 * 0 everywhere
+
+
+class TestExtremeConfigs:
+    def test_cbase_single_thread(self):
+        ji = uniform_input(5000, 5000, seed=1)
+        res = CbaseJoin(CbaseConfig(n_threads=1)).run(ji)
+        assert_result_correct(res, ji)
+
+    def test_cbase_zero_partition_bits(self):
+        """bits (0,0): one partition — degenerates to a single join task."""
+        ji = uniform_input(3000, 3000, seed=2)
+        res = CbaseJoin(CbaseConfig(bits_pass1=0, bits_pass2=0)).run(ji)
+        assert_result_correct(res, ji)
+        assert res.phase("join").task_count == 1
+
+    def test_cbase_many_bits_tiny_input(self):
+        ji = uniform_input(100, 100, seed=3)
+        res = CbaseJoin(CbaseConfig(bits_pass1=6, bits_pass2=6)).run(ji)
+        assert_result_correct(res, ji)
+
+    def test_csh_full_sample(self):
+        """100% sampling: every duplicated key becomes skewed."""
+        ji = input_from_frequencies([10, 10, 1], [5, 0, 5], seed=4)
+        res = CSHJoin(CSHConfig(sample_rate=1.0, freq_threshold=2)).run(ji)
+        assert_result_correct(res, ji)
+        assert res.meta["skewed_keys"] >= 2
+
+    def test_csh_threshold_never_met(self):
+        """A huge threshold disables skew handling: pure radix join path."""
+        ji = ZipfWorkload(10000, 10000, theta=1.0, seed=5).generate()
+        res = CSHJoin(CSHConfig(freq_threshold=10**9)).run(ji)
+        assert_result_correct(res, ji)
+        assert res.meta["skewed_keys"] == 0
+        assert res.meta["skewed_output"] == 0
+
+    def test_gsh_top_k_larger_than_distinct(self):
+        ji = input_from_frequencies([9000, 8000], [7000, 6000], seed=6)
+        res = GSHJoin(GSHConfig(top_k=50)).run(ji)
+        assert_result_correct(res, ji)
+
+    def test_gsh_everything_large(self):
+        """Tiny threshold: every non-empty partition is 'large'."""
+        ji = uniform_input(4000, 4000, seed=7)
+        res = GSHJoin(GSHConfig(large_partition_factor=1e-5)).run(ji)
+        assert_result_correct(res, ji)
+        assert res.meta["large_partitions"] >= 1
+
+    def test_gsh_nothing_large(self):
+        ji = ZipfWorkload(4000, 4000, theta=1.0, seed=8).generate()
+        res = GSHJoin(GSHConfig(large_partition_factor=1e6)).run(ji)
+        assert_result_correct(res, ji)
+        assert res.meta["large_partitions"] == 0
+
+
+class TestSkewAsymmetry:
+    def test_skew_only_in_r(self):
+        ji = input_from_frequencies([20000] + [1] * 50,
+                                    [1] * 51, seed=9)
+        results = run_all(ji)
+        assert compare_results(list(results.values())) is None
+        count, _ = expected_summary(ji)
+        assert results["csh"].output_count == count
+
+    def test_skew_only_in_s(self):
+        ji = input_from_frequencies([1] * 51,
+                                    [20000] + [1] * 50, seed=10)
+        results = run_all(ji)
+        assert compare_results(list(results.values())) is None
+
+    def test_multiple_disjoint_heavy_keys(self):
+        """Heavy keys in R and different heavy keys in S."""
+        r_freqs = [5000, 5000, 1, 1, 1, 1]
+        s_freqs = [1, 1, 5000, 5000, 1, 1]
+        ji = input_from_frequencies(r_freqs, s_freqs, seed=11)
+        results = run_all(ji)
+        assert compare_results(list(results.values())) is None
+        count, _ = expected_summary(ji)
+        assert count == 5000 + 5000 + 5000 + 5000 + 1 + 1
+
+    def test_many_medium_keys(self):
+        """Moderate skew spread across many keys — nothing dominates but
+        everything is above average."""
+        ji = input_from_frequencies([50] * 200, [50] * 200, seed=12)
+        results = run_all(ji)
+        assert compare_results(list(results.values())) is None
+        assert results["cbase"].output_count == 200 * 2500

@@ -1,14 +1,25 @@
 # Convenience targets for the repro library.
+#
+# Targets run from a clean checkout: PYTHONPATH=src stands in for an
+# editable install (`make install`).
 
 PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench bench-paper examples docs-check all
+.PHONY: install test lint trace-smoke bench bench-paper examples docs-check all
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
-	$(PYTHON) -m pytest tests/
+	$(PYTHON) -m pytest -x -q tests/
+
+lint:
+	ruff check src tests benchmarks examples
+
+# One tiny traced run per algorithm, phase sums checked (the CI gate).
+trace-smoke:
+	$(PYTHON) -m repro trace --all --tuples 20000 --theta 1.0 --check
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

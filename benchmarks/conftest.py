@@ -1,6 +1,35 @@
 """Shared configuration for the benchmark harness."""
 
+import os
+
 import pytest
+
+from repro.bench.runner import bench_tuples, scale_label
+from repro.errors import ConfigError
+
+
+def pytest_configure(config):
+    """Fail fast, with a clear message, on a malformed REPRO_BENCH_SCALE.
+
+    Without this check a typo like ``REPRO_BENCH_SCALE=papre`` would
+    surface as an unrelated traceback deep inside the first benchmark
+    (or, historically, run silently at the wrong scale).
+    """
+    if "REPRO_BENCH_SCALE" in os.environ:
+        try:
+            bench_tuples()
+        except ConfigError as exc:
+            raise pytest.UsageError(str(exc)) from None
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark so CI can (de)select with ``-m bench``."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
+def pytest_report_header(config):
+    return f"repro bench scale: {scale_label(bench_tuples())}"
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -18,12 +18,19 @@ from typing import Dict, Iterable, Optional, Tuple
 from repro.analysis.analytic import ANALYTIC_EXECUTORS, AnalyticWorkload
 from repro.analysis.speedup import SweepPoint
 from repro.bench.paper import PAPER_N_TUPLES
+from repro.errors import ConfigError
 from repro.exec.result import JoinResult
+from repro.exec.serialize import append_results_jsonl
+from repro.obs.trace import TraceRecord
 
 #: Default reduced scale for the bench harness.
 DEFAULT_BENCH_TUPLES = 1 << 22
 
 _SCALE_ENV = "REPRO_BENCH_SCALE"
+
+#: When set, every benchmark result is appended (with its trace) to
+#: ``$REPRO_TRACE_DIR/traces.jsonl`` as a machine-readable artifact.
+_TRACE_DIR_ENV = "REPRO_TRACE_DIR"
 
 #: Session-level caches so figures/tables sharing a sweep reuse results.
 _workload_cache: Dict[Tuple[int, float, int], AnalyticWorkload] = {}
@@ -31,13 +38,29 @@ _result_cache: Dict[Tuple[int, float, int, str], JoinResult] = {}
 
 
 def bench_tuples() -> int:
-    """The table size the harness runs at (env-overridable)."""
+    """The table size the harness runs at (env-overridable).
+
+    ``REPRO_BENCH_SCALE`` accepts ``paper`` or a positive tuple count;
+    anything else is a configuration error, surfaced loudly rather than
+    silently benchmarking the wrong scale.
+    """
     raw = os.environ.get(_SCALE_ENV, "").strip().lower()
     if not raw:
         return DEFAULT_BENCH_TUPLES
     if raw == "paper":
         return PAPER_N_TUPLES
-    return int(raw)
+    try:
+        n = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{_SCALE_ENV} must be 'paper' or a positive integer tuple "
+            f"count, got {raw!r}"
+        ) from None
+    if n <= 0:
+        raise ConfigError(
+            f"{_SCALE_ENV} must be positive, got {n}"
+        )
+    return n
 
 
 def scale_label(n: int) -> str:
@@ -56,13 +79,40 @@ def get_workload(n: int, theta: float, seed: int = 42) -> AnalyticWorkload:
     return _workload_cache[key]
 
 
+def trace_artifact_path() -> Optional[str]:
+    """The JSONL artifact file for this session, if exporting is enabled."""
+    trace_dir = os.environ.get(_TRACE_DIR_ENV, "").strip()
+    if not trace_dir:
+        return None
+    return os.path.join(trace_dir, "traces.jsonl")
+
+
+def export_trace(result: JoinResult, **attrs) -> JoinResult:
+    """Ensure ``result`` carries a trace; append it to the artifact file.
+
+    Results from the analytic executors are built phase-by-phase without
+    an active tracer, so a flat trace is derived from the breakdown —
+    every benchmark run emits the same artifact schema either way.
+    """
+    if result.trace is None:
+        result.trace = TraceRecord.from_phases(result.algorithm,
+                                               result.phases, **attrs)
+    path = trace_artifact_path()
+    if path is not None:
+        append_results_jsonl([result], path)
+    return result
+
+
 def run_algorithm(algorithm: str, n: int, theta: float,
                   seed: int = 42) -> JoinResult:
     """Run one algorithm's analytic executor, cached per (scale, theta)."""
     key = (n, theta, seed, algorithm)
     if key not in _result_cache:
         wl = get_workload(n, theta, seed)
-        _result_cache[key] = ANALYTIC_EXECUTORS[algorithm](wl)
+        _result_cache[key] = export_trace(
+            ANALYTIC_EXECUTORS[algorithm](wl),
+            n_tuples=n, theta=theta, seed=seed,
+        )
     return _result_cache[key]
 
 

@@ -5,6 +5,8 @@ Commands:
 * ``run``    — join one generated workload with one or all algorithms.
 * ``sweep``  — Figure-4-style zipf sweep.
 * ``bench``  — regenerate one of the paper's tables/figures.
+* ``trace``  — per-phase breakdown traces: run-and-render, export to
+  JSONL, re-render saved artifacts, and consistency-check phase sums.
 
 Examples::
 
@@ -12,6 +14,9 @@ Examples::
     python -m repro run --theta 0.9 --all --counters
     python -m repro sweep --tuples 1048576 --analytic
     python -m repro bench table1
+    python -m repro trace --algorithm gsh --theta 1.0 --tuples 65536
+    python -m repro trace --all --out traces.jsonl --check
+    python -m repro trace --load traces.jsonl --check
 """
 
 from __future__ import annotations
@@ -33,7 +38,10 @@ from repro.bench.experiments import (
 from repro.bench.tables import render_series
 from repro.data.io import load_join_input, save_join_input
 from repro.data.zipf import ZipfWorkload
+from repro.errors import ReproError
 from repro.exec.report import comparison_report, result_report
+from repro.exec.serialize import append_results_jsonl, results_from_jsonl_file
+from repro.obs import render_trace, verify_result_trace
 
 BENCH_COMMANDS = {
     "fig1": run_figure1,
@@ -82,6 +90,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_p = sub.add_parser("bench", help="regenerate a paper experiment")
     bench_p.add_argument("experiment", choices=sorted(BENCH_COMMANDS))
+
+    trace_p = sub.add_parser(
+        "trace", help="render per-phase breakdown traces")
+    trace_p.add_argument("--tuples", "-n", type=int, default=1 << 16,
+                         help="tuples per table (default 65536)")
+    trace_p.add_argument("--theta", "-t", type=float, default=0.9,
+                         help="zipf factor (default 0.9)")
+    trace_p.add_argument("--seed", type=int, default=42)
+    trace_p.add_argument("--algorithm", "-a", choices=sorted(ALGORITHMS),
+                         default="csh")
+    trace_p.add_argument("--all", action="store_true",
+                         help="trace every algorithm")
+    trace_p.add_argument("--load", metavar="FILE",
+                         help="render traces from a JSONL artifact instead "
+                              "of running")
+    trace_p.add_argument("--out", metavar="FILE",
+                         help="append the traced results to a JSONL "
+                              "artifact")
+    trace_p.add_argument("--check", action="store_true",
+                         help="verify each trace's phase sums against the "
+                              "reported total (exit 1 on mismatch)")
+    trace_p.add_argument("--no-metrics", action="store_true",
+                         help="omit the metrics block from the rendering")
     return parser
 
 
@@ -143,6 +174,51 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    if args.load:
+        try:
+            results = results_from_jsonl_file(args.load)
+        except OSError as exc:
+            print(f"error: cannot read {args.load}: {exc}", file=sys.stderr)
+            return 1
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    else:
+        join_input = ZipfWorkload(args.tuples, args.tuples, args.theta,
+                                  seed=args.seed).generate()
+        if args.all:
+            results = list(run_all(join_input).values())
+        else:
+            results = [make_join(args.algorithm).run(join_input)]
+    failures = []
+    first = True
+    for result in results:
+        if not first:
+            print()
+        first = False
+        if result.trace is None:
+            print(f"trace: {result.algorithm}  (result carries no trace)")
+        else:
+            print(render_trace(result.trace, metrics=not args.no_metrics))
+        if args.check:
+            error = verify_result_trace(result)
+            if error is not None:
+                failures.append(error)
+    if args.out and not args.load:
+        n = append_results_jsonl(results, args.out)
+        print(f"\n{n} trace record(s) appended to {args.out}")
+    if args.check:
+        print()
+        if failures:
+            for error in failures:
+                print(f"TRACE CHECK FAILED: {error}")
+            return 1
+        print(f"trace check OK: {len(results)} result(s), every phase sum "
+              "matches its reported total")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -153,6 +229,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sweep(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
     except BrokenPipeError:  # output truncated by a closed pipe (| head)
         return 0
     return 2  # pragma: no cover - argparse enforces the choices

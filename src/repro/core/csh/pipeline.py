@@ -24,8 +24,8 @@ from repro.data.relation import JoinInput
 from repro.errors import ConfigError
 from repro.exec.cost_model import CPUCostModel, DEFAULT_CPU_COST_MODEL
 from repro.exec.output import DEFAULT_CAPACITY
-from repro.exec.phase import PhaseTimer
 from repro.exec.result import JoinResult
+from repro.obs.trace import Tracer, activate
 from repro.types import SeedLike
 
 
@@ -88,58 +88,79 @@ class CSHJoin:
             output_count=0, output_checksum=0,
             meta={"bits_pass1": bits1, "bits_pass2": bits2},
         )
+        tracer = Tracer(self.name, algorithm=self.name,
+                        n_r=len(r), n_s=len(s))
+        metrics = tracer.metrics
+        with activate(tracer):
+            metrics.counter("join.tuples_scanned").inc(len(r) + len(s))
 
-        with PhaseTimer("sample") as timer:
-            detection = self._detect(r.keys)
-            # Detection parallelizes across the pool like every other phase.
-            timer.finish(
-                simulated_seconds=(
-                    cfg.cost_model.seconds(detection.counters) / cfg.n_threads
-                ),
-                counters=detection.counters,
-                skewed_keys=float(detection.n_skewed),
-                sample_size=float(detection.sample_size),
-            )
-        result.phases.append(timer.result)
-        result.meta["skewed_keys"] = detection.n_skewed
+            with tracer.span("sample", algo=self.name,
+                             detector=cfg.detector) as span:
+                detection = self._detect(r.keys)
+                # Detection parallelizes across the pool like every other
+                # phase.
+                span.finish(
+                    simulated_seconds=(
+                        cfg.cost_model.seconds(detection.counters)
+                        / cfg.n_threads
+                    ),
+                    counters=detection.counters,
+                    skewed_keys=float(detection.n_skewed),
+                    sample_size=float(detection.sample_size),
+                )
+            result.phases.append(span.phase_result)
+            result.meta["skewed_keys"] = detection.n_skewed
+            metrics.counter("skew.keys_detected").inc(detection.n_skewed)
+            metrics.counter("skew.tuples_sampled").inc(detection.sample_size)
 
-        with PhaseTimer("partition") as timer:
-            part_r = partition_r_hybrid(r, detection.checkup, bits1, bits2,
-                                        self.pool)
-            part_s = partition_s_hybrid(
-                s, detection.checkup, part_r.skewed, bits1, bits2,
-                self.pool, cfg.output_capacity,
+            with tracer.span("partition", algo=self.name) as span:
+                part_r = partition_r_hybrid(r, detection.checkup, bits1,
+                                            bits2, self.pool)
+                part_s = partition_s_hybrid(
+                    s, detection.checkup, part_r.skewed, bits1, bits2,
+                    self.pool, cfg.output_capacity,
+                )
+                span.finish(
+                    simulated_seconds=(part_r.simulated_seconds
+                                       + part_s.simulated_seconds),
+                    counters=part_r.counters + part_s.counters,
+                    skewed_r_tuples=float(part_r.n_skewed_tuples),
+                    skewed_s_tuples=float(part_s.n_skewed_tuples),
+                    skewed_output=float(part_s.summary.count),
+                )
+            result.phases.append(span.phase_result)
+            result.meta["skewed_r_tuples"] = part_r.n_skewed_tuples
+            result.meta["skewed_s_tuples"] = part_s.n_skewed_tuples
+            result.meta["skewed_output"] = part_s.summary.count
+            metrics.counter("skew.tuples_diverted").inc(
+                part_r.n_skewed_tuples + part_s.n_skewed_tuples
             )
-            timer.finish(
-                simulated_seconds=(part_r.simulated_seconds
-                                   + part_s.simulated_seconds),
-                counters=part_r.counters + part_s.counters,
-                skewed_r_tuples=float(part_r.n_skewed_tuples),
-                skewed_s_tuples=float(part_s.n_skewed_tuples),
-                skewed_output=float(part_s.summary.count),
+            metrics.histogram("partition.sizes").observe_many(
+                part_r.normal.sizes()
             )
-        result.phases.append(timer.result)
-        result.meta["skewed_r_tuples"] = part_r.n_skewed_tuples
-        result.meta["skewed_s_tuples"] = part_s.n_skewed_tuples
-        result.meta["skewed_output"] = part_s.summary.count
 
-        with PhaseTimer("nm-join") as timer:
-            phase = join_partition_pairs(
-                part_r.normal, part_s.normal, self.pool,
-                output_capacity=cfg.output_capacity,
+            with tracer.span("nm-join", algo=self.name) as span:
+                phase = join_partition_pairs(
+                    part_r.normal, part_s.normal, self.pool,
+                    output_capacity=cfg.output_capacity,
+                )
+                span.finish(
+                    simulated_seconds=phase.simulated_seconds,
+                    counters=phase.counters,
+                    task_count=phase.task_count,
+                    idle_fraction=phase.schedule.idle_fraction,
+                )
+            result.phases.append(span.phase_result)
+            metrics.gauge("taskqueue.join_idle_fraction").set(
+                phase.schedule.idle_fraction
             )
-            timer.finish(
-                simulated_seconds=phase.simulated_seconds,
-                counters=phase.counters,
-                task_count=phase.task_count,
-                idle_fraction=phase.schedule.idle_fraction,
-            )
-        result.phases.append(timer.result)
 
         result.output_count = part_s.summary.count + phase.summary.count
         result.output_checksum = (
             part_s.summary.checksum + phase.summary.checksum
         ) & ((1 << 64) - 1)
+        metrics.counter("join.output_tuples").inc(result.output_count)
+        result.trace = tracer.record()
         return result
 
     def _detect(self, r_keys) -> SkewDetection:

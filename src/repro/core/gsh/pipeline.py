@@ -23,12 +23,13 @@ from repro.core.gsh.split import split_large_partitions
 from repro.data.relation import JoinInput
 from repro.errors import ConfigError
 from repro.exec.output import DEFAULT_CAPACITY
-from repro.exec.phase import PhaseTimer
 from repro.exec.result import JoinResult
 from repro.gpu.device import A100, DeviceSpec
 from repro.gpu.gbase.join_kernels import gbase_join_phase
+from repro.gpu.kernel import BlockWork
 from repro.gpu.partitioning import choose_gpu_bits, gsh_partition
 from repro.gpu.simulator import GPUSimulator, cost_model_for
+from repro.obs.trace import Tracer, activate
 from repro.types import SeedLike
 
 
@@ -96,77 +97,91 @@ class GSHJoin:
                   "device": cfg.device.name},
         )
 
-        with PhaseTimer("partition") as timer:
-            part_r = gsh_partition(r.keys, r.payloads, bits1, bits2, sim, "r")
-            part_s = gsh_partition(s.keys, s.payloads, bits1, bits2, sim, "s")
-            timer.finish(
-                simulated_seconds=part_r.seconds + part_s.seconds,
-                counters=part_r.counters + part_s.counters,
-            )
-        result.phases.append(timer.result)
+        tracer = Tracer(self.name, algorithm=self.name,
+                        n_r=len(r), n_s=len(s), device=cfg.device.name)
+        metrics = tracer.metrics
+        with activate(tracer):
+            metrics.counter("join.tuples_scanned").inc(len(r) + len(s))
 
-        with PhaseTimer("detect") as timer:
-            detection = detect_partition_skew(
-                part_r.partitioned, part_s.partitioned,
-                threshold_tuples=cfg.large_threshold_tuples(),
-                sample_rate=cfg.sample_rate,
-                top_k=cfg.top_k,
-                seed=cfg.sample_seed,
-                adaptive_k=cfg.adaptive_k,
-                max_k=cfg.max_k,
+            with tracer.span("partition", algo=self.name) as span:
+                part_r = gsh_partition(r.keys, r.payloads, bits1, bits2,
+                                       sim, "r")
+                part_s = gsh_partition(s.keys, s.payloads, bits1, bits2,
+                                       sim, "s")
+                span.finish(
+                    simulated_seconds=part_r.seconds + part_s.seconds,
+                    counters=part_r.counters + part_s.counters,
+                )
+            result.phases.append(span.phase_result)
+            metrics.histogram("partition.sizes").observe_many(
+                part_r.partitioned.sizes()
             )
-            from repro.gpu.kernel import BlockWork
-            launch = sim.launch("gsh_detect", [
-                BlockWork(1, c) for c in detection.block_counters
-            ])
-            timer.finish(
-                simulated_seconds=launch.seconds,
-                counters=launch.counters,
-                large_partitions=float(detection.n_large),
-            )
-        result.phases.append(timer.result)
-        result.meta["large_partitions"] = detection.n_large
 
-        with PhaseTimer("split") as timer:
-            split = split_large_partitions(
-                part_r.partitioned, part_s.partitioned, detection, cfg.top_k
-            )
-            launch = sim.launch("gsh_split", split.block_work)
-            timer.finish(
-                simulated_seconds=launch.seconds,
-                counters=launch.counters,
-                skewed_keys=float(len(split.skewed_r.keys())),
-            )
-        result.phases.append(timer.result)
-        result.meta["skewed_keys"] = sorted(
-            set(split.skewed_r.keys()) | set(split.skewed_s.keys())
-        )
+            with tracer.span("detect", algo=self.name) as span:
+                detection = detect_partition_skew(
+                    part_r.partitioned, part_s.partitioned,
+                    threshold_tuples=cfg.large_threshold_tuples(),
+                    sample_rate=cfg.sample_rate,
+                    top_k=cfg.top_k,
+                    seed=cfg.sample_seed,
+                    adaptive_k=cfg.adaptive_k,
+                    max_k=cfg.max_k,
+                )
+                launch = sim.launch("gsh_detect", [
+                    BlockWork(1, c) for c in detection.block_counters
+                ])
+                span.finish(
+                    simulated_seconds=launch.seconds,
+                    counters=launch.counters,
+                    large_partitions=float(detection.n_large),
+                )
+            result.phases.append(span.phase_result)
+            result.meta["large_partitions"] = detection.n_large
+            metrics.counter("skew.large_partitions").inc(detection.n_large)
 
-        with PhaseTimer("nm-join") as timer:
-            nm = gbase_join_phase(
-                split.normal_r, split.normal_s, sim,
-                sublist_capacity=None,
-                output_capacity=cfg.output_capacity,
-                kernel_name="gsh_nm_join",
+            with tracer.span("split", algo=self.name) as span:
+                split = split_large_partitions(
+                    part_r.partitioned, part_s.partitioned, detection,
+                    cfg.top_k
+                )
+                launch = sim.launch("gsh_split", split.block_work)
+                span.finish(
+                    simulated_seconds=launch.seconds,
+                    counters=launch.counters,
+                    skewed_keys=float(len(split.skewed_r.keys())),
+                )
+            result.phases.append(span.phase_result)
+            skewed_keys = sorted(
+                set(split.skewed_r.keys()) | set(split.skewed_s.keys())
             )
-            timer.finish(
-                simulated_seconds=nm.seconds,
-                counters=nm.counters,
-                task_count=nm.n_blocks,
-            )
-        result.phases.append(timer.result)
+            result.meta["skewed_keys"] = skewed_keys
+            metrics.counter("skew.keys_detected").inc(len(skewed_keys))
 
-        with PhaseTimer("skew-join") as timer:
-            skew = skew_join_phase(
-                split.skewed_r, split.skewed_s, sim,
-                output_capacity=cfg.output_capacity,
-            )
-            timer.finish(
-                simulated_seconds=skew.seconds,
-                counters=skew.counters,
-                task_count=skew.n_blocks,
-            )
-        result.phases.append(timer.result)
+            with tracer.span("nm-join", algo=self.name) as span:
+                nm = gbase_join_phase(
+                    split.normal_r, split.normal_s, sim,
+                    sublist_capacity=None,
+                    output_capacity=cfg.output_capacity,
+                    kernel_name="gsh_nm_join",
+                )
+                span.finish(
+                    simulated_seconds=nm.seconds,
+                    counters=nm.counters,
+                    task_count=nm.n_blocks,
+                )
+            result.phases.append(span.phase_result)
+
+            with tracer.span("skew-join", algo=self.name) as span:
+                skew = skew_join_phase(
+                    split.skewed_r, split.skewed_s, sim,
+                    output_capacity=cfg.output_capacity,
+                )
+                span.finish(
+                    simulated_seconds=skew.seconds,
+                    counters=skew.counters,
+                    task_count=skew.n_blocks,
+                )
+            result.phases.append(span.phase_result)
 
         result.output_count = nm.summary.count + skew.summary.count
         result.output_checksum = (
@@ -174,4 +189,6 @@ class GSHJoin:
         ) & ((1 << 64) - 1)
         result.meta["skew_join_blocks"] = skew.n_blocks
         result.meta["skewed_output"] = skew.summary.count
+        metrics.counter("join.output_tuples").inc(result.output_count)
+        result.trace = tracer.record()
         return result

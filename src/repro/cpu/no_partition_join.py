@@ -21,8 +21,8 @@ from repro.errors import ConfigError
 from repro.exec.counters import OpCounters
 from repro.exec.cost_model import CPUCostModel, DEFAULT_CPU_COST_MODEL
 from repro.exec.output import DEFAULT_CAPACITY, JoinOutputBuffer, combine_summaries
-from repro.exec.phase import PhaseTimer
 from repro.exec.result import JoinResult
+from repro.obs.trace import Tracer, activate
 
 
 @dataclass(frozen=True)
@@ -56,29 +56,39 @@ class NoPartitionJoin:
             output_count=0, output_checksum=0,
         )
         table = ChainedHashTable(next_pow2(max(len(r), 1)))
+        tracer = Tracer(self.name, algorithm=self.name,
+                        n_r=len(r), n_s=len(s))
+        metrics = tracer.metrics
+        with activate(tracer):
+            metrics.counter("join.tuples_scanned").inc(len(r) + len(s))
 
-        with PhaseTimer("build") as timer:
-            build_counters = OpCounters()
-            table.build(r.keys, r.payloads, counters=build_counters,
-                        random_access=True)
-            per_thread = self._split_counters(build_counters, len(r),
-                                              cfg.n_threads)
-            timer.finish(
-                simulated_seconds=self.pool.static_phase_seconds(per_thread),
-                counters=build_counters,
-            )
-        result.phases.append(timer.result)
+            with tracer.span("build", algo=self.name) as span:
+                build_counters = OpCounters()
+                table.build(r.keys, r.payloads, counters=build_counters,
+                            random_access=True)
+                per_thread = self._split_counters(build_counters, len(r),
+                                                  cfg.n_threads)
+                span.finish(
+                    simulated_seconds=self.pool.static_phase_seconds(
+                        per_thread),
+                    counters=build_counters,
+                )
+            result.phases.append(span.phase_result)
 
-        with PhaseTimer("probe") as timer:
-            per_thread, summaries, total = self._probe(table, s)
-            timer.finish(
-                simulated_seconds=self.pool.static_phase_seconds(per_thread),
-                counters=total,
-            )
-        result.phases.append(timer.result)
+            with tracer.span("probe", algo=self.name) as span:
+                per_thread, summaries, total = self._probe(table, s)
+                span.finish(
+                    simulated_seconds=self.pool.static_phase_seconds(
+                        per_thread),
+                    counters=total,
+                )
+            result.phases.append(span.phase_result)
+
         summary = combine_summaries(summaries)
         result.output_count = summary.count
         result.output_checksum = summary.checksum
+        metrics.counter("join.output_tuples").inc(result.output_count)
+        result.trace = tracer.record()
         return result
 
     @staticmethod

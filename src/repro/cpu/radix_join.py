@@ -35,8 +35,8 @@ from repro.errors import ConfigError
 from repro.exec.counters import OpCounters
 from repro.exec.cost_model import CPUCostModel, DEFAULT_CPU_COST_MODEL
 from repro.exec.output import DEFAULT_CAPACITY
-from repro.exec.phase import PhaseTimer
 from repro.exec.result import JoinResult
+from repro.obs.trace import Tracer, activate
 
 
 @dataclass(frozen=True)
@@ -91,29 +91,47 @@ class CbaseJoin:
             meta={"bits_pass1": bits1, "bits_pass2": bits2},
         )
 
-        with PhaseTimer("partition") as timer:
-            part_r, part_s, seconds, counters, details = self._partition_both(
-                r.keys, r.payloads, s.keys, s.payloads, bits1, bits2
-            )
-            timer.finish(simulated_seconds=seconds, counters=counters,
-                         **details)
-        result.phases.append(timer.result)
+        tracer = Tracer(self.name, algorithm=self.name,
+                        n_r=len(r), n_s=len(s))
+        metrics = tracer.metrics
+        with activate(tracer):
+            metrics.counter("join.tuples_scanned").inc(len(r) + len(s))
 
-        with PhaseTimer("join") as timer:
-            phase = join_partition_pairs(
-                part_r, part_s, self.pool,
-                output_capacity=cfg.output_capacity,
+            with tracer.span("partition", algo=self.name) as span:
+                part_r, part_s, seconds, counters, details = (
+                    self._partition_both(
+                        r.keys, r.payloads, s.keys, s.payloads, bits1, bits2
+                    )
+                )
+                span.finish(simulated_seconds=seconds, counters=counters,
+                            **details)
+            result.phases.append(span.phase_result)
+            metrics.histogram("partition.sizes").observe_many(part_r.sizes())
+            metrics.counter("skew.partitions_split").inc(
+                int(details.get("split_partitions", 0))
             )
-            timer.finish(
-                simulated_seconds=phase.simulated_seconds,
-                counters=phase.counters,
-                task_count=phase.task_count,
-                idle_fraction=phase.schedule.idle_fraction,
+
+            with tracer.span("join", algo=self.name) as span:
+                phase = join_partition_pairs(
+                    part_r, part_s, self.pool,
+                    output_capacity=cfg.output_capacity,
+                )
+                span.finish(
+                    simulated_seconds=phase.simulated_seconds,
+                    counters=phase.counters,
+                    task_count=phase.task_count,
+                    idle_fraction=phase.schedule.idle_fraction,
+                )
+            result.phases.append(span.phase_result)
+            metrics.gauge("taskqueue.join_idle_fraction").set(
+                phase.schedule.idle_fraction
             )
-        result.phases.append(timer.result)
+
         result.output_count = phase.summary.count
         result.output_checksum = phase.summary.checksum
         result.meta["join_tasks"] = phase.task_count
+        metrics.counter("join.output_tuples").inc(result.output_count)
+        result.trace = tracer.record()
         return result
 
     def _partition_both(self, r_keys, r_pays, s_keys, s_pays, bits1, bits2):

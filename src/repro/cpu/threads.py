@@ -17,6 +17,7 @@ from repro.cpu.task_queue import ScheduleResult, greedy_schedule, static_makespa
 from repro.errors import ConfigError
 from repro.exec.counters import OpCounters
 from repro.exec.cost_model import CPUCostModel, DEFAULT_CPU_COST_MODEL
+from repro.obs.trace import current_tracer
 
 
 @dataclass
@@ -32,9 +33,18 @@ class ThreadPool:
 
     def static_phase_seconds(self, per_thread: Sequence[OpCounters]) -> float:
         """Simulated time of a statically divided phase (slowest thread)."""
-        return static_makespan(
-            [self.cost_model.seconds(c) for c in per_thread]
-        )
+        seconds = [self.cost_model.seconds(c) for c in per_thread]
+        makespan = static_makespan(seconds)
+        metrics = current_tracer().metrics
+        metrics.counter("threadpool.static_phases").inc()
+        if makespan > 0:
+            # Imbalance of the static split: idle worker-time fraction.
+            busy = sum(seconds)
+            capacity = makespan * max(len(seconds), 1)
+            metrics.histogram("threadpool.idle_fraction").observe(
+                max(0.0, 1.0 - busy / capacity)
+            )
+        return makespan
 
     def queue_phase_seconds(
         self,
@@ -52,6 +62,18 @@ class ThreadPool:
         ]
         if extra_task_seconds is not None:
             if len(extra_task_seconds) != len(costs):
-                raise ConfigError("extra_task_seconds length mismatch")
+                raise ConfigError(
+                    f"extra_task_seconds must match task_counters: got "
+                    f"{len(extra_task_seconds)} extra costs for "
+                    f"{len(costs)} tasks"
+                )
             costs = [c + e for c, e in zip(costs, extra_task_seconds)]
-        return greedy_schedule(costs, self.n_threads)
+        schedule = greedy_schedule(costs, self.n_threads)
+        metrics = current_tracer().metrics
+        metrics.counter("threadpool.queue_phases").inc()
+        metrics.counter("threadpool.tasks_dispatched").inc(len(costs))
+        if schedule.makespan > 0:
+            metrics.histogram("threadpool.idle_fraction").observe(
+                schedule.idle_fraction
+            )
+        return schedule

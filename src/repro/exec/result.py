@@ -11,9 +11,12 @@ paper's Table I (e.g., ``partition`` / ``join`` for Cbase, ``sample+part`` /
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.exec.counters import OpCounters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.trace import TraceRecord
 
 
 @dataclass
@@ -47,6 +50,9 @@ class JoinResult:
     phases: List[PhaseResult] = field(default_factory=list)
     #: Algorithm-specific metadata (skewed keys detected, fanout used, ...).
     meta: Dict[str, object] = field(default_factory=dict)
+    #: Structured trace of the run (spans + metrics); populated by the
+    #: pipelines, optional so hand-built results stay lightweight.
+    trace: Optional["TraceRecord"] = None
 
     @property
     def simulated_seconds(self) -> float:

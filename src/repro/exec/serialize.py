@@ -8,11 +8,13 @@ archived and re-rendered without re-running.
 from __future__ import annotations
 
 import json
-from typing import Dict, List
+from pathlib import Path
+from typing import Dict, List, Union
 
 from repro.errors import ReproError
 from repro.exec.counters import OpCounters
 from repro.exec.result import JoinResult, PhaseResult
+from repro.obs.export import trace_from_dict, trace_to_dict
 
 _FORMAT_VERSION = 1
 
@@ -44,7 +46,7 @@ def phase_from_dict(data: Dict) -> PhaseResult:
 
 def result_to_dict(result: JoinResult) -> Dict:
     """Plain-dict form of a join result (JSON compatible)."""
-    return {
+    data = {
         "format_version": _FORMAT_VERSION,
         "algorithm": result.algorithm,
         "n_r": result.n_r,
@@ -54,6 +56,9 @@ def result_to_dict(result: JoinResult) -> Dict:
         "phases": [phase_to_dict(p) for p in result.phases],
         "meta": _jsonable_meta(result.meta),
     }
+    if result.trace is not None:
+        data["trace"] = trace_to_dict(result.trace)
+    return data
 
 
 def result_from_dict(data: Dict) -> JoinResult:
@@ -61,6 +66,7 @@ def result_from_dict(data: Dict) -> JoinResult:
     version = data.get("format_version")
     if version != _FORMAT_VERSION:
         raise ReproError(f"unsupported result format version: {version!r}")
+    trace = data.get("trace")
     return JoinResult(
         algorithm=data["algorithm"],
         n_r=data["n_r"],
@@ -69,6 +75,7 @@ def result_from_dict(data: Dict) -> JoinResult:
         output_checksum=data["output_checksum"],
         phases=[phase_from_dict(p) for p in data["phases"]],
         meta=dict(data.get("meta", {})),
+        trace=trace_from_dict(trace) if trace is not None else None,
     )
 
 
@@ -90,6 +97,43 @@ def results_to_json(results: List[JoinResult], indent: int = None) -> str:
 def results_from_json(text: str) -> List[JoinResult]:
     """Rebuild a list of join results from JSON."""
     return [result_from_dict(d) for d in json.loads(text)]
+
+
+def results_to_jsonl(results: List[JoinResult]) -> str:
+    """JSONL form: one compact result object per line (trailing newline)."""
+    return "".join(
+        json.dumps(result_to_dict(r), sort_keys=True) + "\n" for r in results
+    )
+
+
+def results_from_jsonl(text: str) -> List[JoinResult]:
+    """Rebuild join results from JSONL text (blank lines skipped)."""
+    return [
+        result_from_dict(json.loads(line))
+        for line in text.splitlines()
+        if line.strip()
+    ]
+
+
+def append_results_jsonl(results: List[JoinResult],
+                         path: Union[str, Path]) -> int:
+    """Append results to a JSONL artifact file; returns lines written.
+
+    Creates parent directories as needed — this is the writer behind the
+    benchmark harness's ``REPRO_TRACE_DIR`` artifacts.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(results_to_jsonl(results))
+    return len(results)
+
+
+def results_from_jsonl_file(path: Union[str, Path]) -> List[JoinResult]:
+    """Read a JSONL artifact written by :func:`append_results_jsonl`."""
+    from repro.obs.export import read_jsonl
+
+    return [result_from_dict(d) for d in read_jsonl(path)]
 
 
 def _jsonable_meta(meta: Dict) -> Dict:

@@ -16,8 +16,8 @@ from typing import Optional, Tuple
 from repro.data.relation import JoinInput
 from repro.errors import ConfigError
 from repro.exec.output import DEFAULT_CAPACITY
-from repro.exec.phase import PhaseTimer
 from repro.exec.result import JoinResult
+from repro.obs.trace import Tracer, activate
 from repro.gpu.device import A100, DeviceSpec
 from repro.gpu.gbase.join_kernels import gbase_join_phase
 from repro.gpu.partitioning import choose_gpu_bits, gbase_partition
@@ -74,30 +74,42 @@ class GbaseJoin:
                   "device": cfg.device.name},
         )
 
-        with PhaseTimer("partition") as timer:
-            part_r = gbase_partition(r.keys, r.payloads, bits1, bits2,
-                                     sim, "r")
-            part_s = gbase_partition(s.keys, s.payloads, bits1, bits2,
-                                     sim, "s")
-            timer.finish(
-                simulated_seconds=part_r.seconds + part_s.seconds,
-                counters=part_r.counters + part_s.counters,
-            )
-        result.phases.append(timer.result)
+        tracer = Tracer(self.name, algorithm=self.name,
+                        n_r=len(r), n_s=len(s), device=cfg.device.name)
+        metrics = tracer.metrics
+        with activate(tracer):
+            metrics.counter("join.tuples_scanned").inc(len(r) + len(s))
 
-        with PhaseTimer("join") as timer:
-            phase = gbase_join_phase(
-                part_r.partitioned, part_s.partitioned, sim,
-                sublist_capacity=cfg.resolve_sublist_capacity(),
-                output_capacity=cfg.output_capacity,
+            with tracer.span("partition", algo=self.name) as span:
+                part_r = gbase_partition(r.keys, r.payloads, bits1, bits2,
+                                         sim, "r")
+                part_s = gbase_partition(s.keys, s.payloads, bits1, bits2,
+                                         sim, "s")
+                span.finish(
+                    simulated_seconds=part_r.seconds + part_s.seconds,
+                    counters=part_r.counters + part_s.counters,
+                )
+            result.phases.append(span.phase_result)
+            metrics.histogram("partition.sizes").observe_many(
+                part_r.partitioned.sizes()
             )
-            timer.finish(
-                simulated_seconds=phase.seconds,
-                counters=phase.counters,
-                task_count=phase.n_blocks,
-            )
-        result.phases.append(timer.result)
+
+            with tracer.span("join", algo=self.name) as span:
+                phase = gbase_join_phase(
+                    part_r.partitioned, part_s.partitioned, sim,
+                    sublist_capacity=cfg.resolve_sublist_capacity(),
+                    output_capacity=cfg.output_capacity,
+                )
+                span.finish(
+                    simulated_seconds=phase.seconds,
+                    counters=phase.counters,
+                    task_count=phase.n_blocks,
+                )
+            result.phases.append(span.phase_result)
+
         result.output_count = phase.summary.count
         result.output_checksum = phase.summary.checksum
         result.meta["join_blocks"] = phase.n_blocks
+        metrics.counter("join.output_tuples").inc(result.output_count)
+        result.trace = tracer.record()
         return result

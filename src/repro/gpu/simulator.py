@@ -4,6 +4,10 @@ Prices kernel launches (block work -> seconds) against a device spec and
 the GPU cost model, and keeps a timeline of launches so pipelines can
 report per-phase simulated times.  Kernels on one stream serialize, so a
 phase's time is the sum of its launches' makespans.
+
+Every launch also opens a child span on the active tracer (see
+:mod:`repro.obs.trace`), so traced pipeline phases show their individual
+kernels nested underneath.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from repro.exec.cost_model import GPUCostModel
 from repro.gpu.device import A100, DeviceSpec
 from repro.gpu.kernel import BlockWork, KernelLaunch
 from repro.gpu.scheduler import BlockGroup, makespan_from_groups
+from repro.obs.trace import current_tracer
 
 
 def cost_model_for(device: DeviceSpec, **overrides) -> GPUCostModel:
@@ -46,17 +51,25 @@ class GPUSimulator:
 
     def launch(self, name: str, work: Sequence[BlockWork]) -> KernelLaunch:
         """Price one kernel launch and record it on the timeline."""
-        groups = [
-            BlockGroup(w.count, self.cost_model.block_seconds(w.counters))
-            for w in work if w.count > 0
-        ]
-        makespan = makespan_from_groups(groups, self.device.sm_count)
-        seconds = makespan + self.cost_model.kernel_launch_s
-        counters = OpCounters.sum(w.total_counters for w in work)
-        n_blocks = sum(w.count for w in work)
-        launch = KernelLaunch(name=name, seconds=seconds,
-                              counters=counters, n_blocks=n_blocks)
-        self.launches.append(launch)
+        tracer = current_tracer()
+        with tracer.span(f"kernel:{name}", kind="kernel",
+                         device=self.device.name) as span:
+            groups = [
+                BlockGroup(w.count, self.cost_model.block_seconds(w.counters))
+                for w in work if w.count > 0
+            ]
+            makespan = makespan_from_groups(groups, self.device.sm_count)
+            seconds = makespan + self.cost_model.kernel_launch_s
+            counters = OpCounters.sum(w.total_counters for w in work)
+            n_blocks = sum(w.count for w in work)
+            launch = KernelLaunch(name=name, seconds=seconds,
+                                  counters=counters, n_blocks=n_blocks)
+            self.launches.append(launch)
+            span.finish(simulated_seconds=seconds, counters=counters,
+                        task_count=n_blocks)
+        metrics = tracer.metrics
+        metrics.counter("gpu.kernel_launches").inc()
+        metrics.counter("gpu.blocks_dispatched").inc(n_blocks)
         return launch
 
     @property

@@ -1,0 +1,63 @@
+"""Observability: span tracing, metrics, and trace export.
+
+The package every layer publishes into:
+
+* :mod:`repro.obs.trace` — span-based tracer (``tracer.span(...)``),
+  ambient activation (:func:`current_tracer` / :func:`activate`), and the
+  exportable :class:`TraceRecord`.
+* :mod:`repro.obs.metrics` — counters, gauges, and histograms.
+* :mod:`repro.obs.export` — JSON/JSONL (de)serialization of traces.
+* :mod:`repro.obs.render` — the ``repro trace`` breakdown table.
+"""
+
+from repro.obs.export import (
+    read_jsonl,
+    span_from_dict,
+    span_to_dict,
+    trace_from_dict,
+    trace_from_json,
+    trace_to_dict,
+    trace_to_json,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.render import render_trace
+from repro.obs.trace import (
+    NullTracer,
+    Span,
+    TraceRecord,
+    Tracer,
+    activate,
+    current_tracer,
+    tracing,
+    verify_result_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "TraceRecord",
+    "Tracer",
+    "activate",
+    "current_tracer",
+    "read_jsonl",
+    "render_trace",
+    "span_from_dict",
+    "span_to_dict",
+    "trace_from_dict",
+    "trace_from_json",
+    "trace_to_dict",
+    "trace_to_json",
+    "tracing",
+    "verify_result_trace",
+    "write_jsonl",
+]

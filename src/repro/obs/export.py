@@ -1,0 +1,119 @@
+"""Trace (de)serialization: spans and metrics to JSON/JSONL and back.
+
+The wire format is deliberately plain: one JSON object per trace, nested
+span dicts, counters stored sparsely (zero counters omitted).  The
+benchmark harness and the ``repro trace`` CLI write one trace-carrying
+result per line (JSONL), which is what CI uploads as the run artifact.
+See ``docs/observability.md`` for the schema.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from repro.errors import ReproError
+from repro.exec.counters import OpCounters
+from repro.obs.trace import Span, TraceRecord
+
+TRACE_FORMAT_VERSION = 1
+
+
+def span_to_dict(span: Span) -> Dict:
+    """Plain-dict form of one span, children included."""
+    return {
+        "name": span.name,
+        "attrs": dict(span.attrs),
+        "simulated_seconds": span.simulated_seconds,
+        "wall_seconds": span.wall_seconds,
+        "task_count": span.task_count,
+        "counters": {k: v for k, v in span.counters.as_dict().items() if v},
+        "details": dict(span.details),
+        "children": [span_to_dict(child) for child in span.children],
+    }
+
+
+def span_from_dict(data: Dict) -> Span:
+    """Rebuild a span (and its subtree) from its dict form."""
+    children = [span_from_dict(child) for child in data.get("children", [])]
+    span = Span(
+        name=data["name"],
+        attrs=dict(data.get("attrs", {})),
+        counters=OpCounters(**data.get("counters", {})),
+        details=dict(data.get("details", {})),
+        children=children,
+        wall_seconds=data.get("wall_seconds", 0.0),
+        task_count=data.get("task_count", 0),
+    )
+    # A span whose stored total differs from its children's sum was
+    # explicitly finished; preserve that so round-trips are exact.
+    stored = data["simulated_seconds"]
+    if not children or stored != span.simulated_seconds:
+        span.explicit_seconds = stored
+    return span
+
+
+def trace_to_dict(trace: TraceRecord) -> Dict:
+    """Plain-dict form of a whole trace record."""
+    return {
+        "trace_format_version": TRACE_FORMAT_VERSION,
+        "name": trace.name,
+        "attrs": dict(trace.attrs),
+        "spans": [span_to_dict(span) for span in trace.spans],
+        "metrics": dict(trace.metrics),
+    }
+
+
+def trace_from_dict(data: Dict) -> TraceRecord:
+    """Rebuild a trace record from its dict form."""
+    version = data.get("trace_format_version")
+    if version != TRACE_FORMAT_VERSION:
+        raise ReproError(f"unsupported trace format version: {version!r}")
+    return TraceRecord(
+        name=data.get("name", "trace"),
+        attrs=dict(data.get("attrs", {})),
+        spans=[span_from_dict(span) for span in data.get("spans", [])],
+        metrics=dict(data.get("metrics", {})),
+    )
+
+
+def trace_to_json(trace: TraceRecord, indent: int = None) -> str:
+    """JSON string form of a trace record."""
+    return json.dumps(trace_to_dict(trace), indent=indent)
+
+
+def trace_from_json(text: str) -> TraceRecord:
+    """Rebuild a trace record from JSON."""
+    return trace_from_dict(json.loads(text))
+
+
+def write_jsonl(records: Iterable[Dict], path: Union[str, Path]) -> int:
+    """Append one JSON line per record to ``path``; returns lines written.
+
+    Creates parent directories as needed.  Appending (rather than
+    truncating) lets a benchmark session accumulate one artifact across
+    many runs.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    n = 0
+    with path.open("a", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            n += 1
+    return n
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict]:
+    """Read every JSON line of ``path`` (blank lines skipped)."""
+    out: List[Dict] = []
+    for i, line in enumerate(Path(path).read_text(encoding="utf-8").splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            out.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"{path}:{i + 1}: invalid JSON line: {exc}") from None
+    return out

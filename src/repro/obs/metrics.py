@@ -1,0 +1,174 @@
+"""Metrics registry: counters, gauges, and histograms.
+
+Pipelines and the execution substrates publish quantitative facts about a
+run — tuples scanned, skewed keys detected, partition-size distributions,
+task-queue makespan imbalance — into the registry of the active tracer
+(see :mod:`repro.obs.trace`).  A registry is per-run state: every pipeline
+``run()`` builds a fresh one, so snapshots are deterministic and
+comparable across runs.
+
+Naming convention: dotted lowercase paths, ``<layer>.<quantity>``
+(``join.tuples_scanned``, ``threadpool.idle_fraction``,
+``partition.sizes``).  The canonical names are documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigError
+
+#: Default histogram bucket upper bounds: powers of two, wide enough for
+#: partition sizes at paper scale (2**30 tuples) and for fractions (<= 1).
+DEFAULT_BUCKETS = tuple(float(2 ** b) for b in range(0, 31, 2))
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing integer count."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ConfigError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self.value += int(amount)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict form for export."""
+        return {"kind": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """Last-written scalar value."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        self.value = float(value)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict form for export."""
+        return {"kind": "gauge", "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """Summary statistics plus cumulative bucket counts.
+
+    Buckets follow the Prometheus convention: ``bucket_counts[i]`` is the
+    number of observations ``<= bucket_bounds[i]``, and observations above
+    the last bound only appear in ``count``/``sum``.
+    """
+
+    name: str
+    bucket_bounds: Sequence[float] = DEFAULT_BUCKETS
+    count: int = 0
+    total: float = 0.0
+    min: Optional[float] = None
+    max: Optional[float] = None
+    bucket_counts: List[int] = field(default_factory=list)
+
+    def __post_init__(self):
+        bounds = [float(b) for b in self.bucket_bounds]
+        if bounds != sorted(bounds):
+            raise ConfigError(
+                f"histogram {self.name!r} bucket bounds must be sorted"
+            )
+        self.bucket_bounds = bounds
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * len(bounds)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for i in range(bisect.bisect_left(self.bucket_bounds, value),
+                       len(self.bucket_bounds)):
+            self.bucket_counts[i] += 1
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record every value in ``values``."""
+        for value in values:
+            self.observe(value)
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict form for export."""
+        return {
+            "kind": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {
+                f"{bound:g}": n
+                for bound, n in zip(self.bucket_bounds, self.bucket_counts)
+            },
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics for one traced run."""
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, kind, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name=name, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise ConfigError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name``, created on first use."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name``, created on first use."""
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """The histogram named ``name``, created on first use."""
+        if buckets is None:
+            return self._get_or_create(name, Histogram)
+        return self._get_or_create(name, Histogram, bucket_bounds=buckets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> List[str]:
+        """Sorted metric names."""
+        return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-dict form of every metric, keyed by name."""
+        return {name: self._metrics[name].snapshot()
+                for name in sorted(self._metrics)}

@@ -1,0 +1,82 @@
+"""Terminal rendering of trace records.
+
+Turns a :class:`~repro.obs.trace.TraceRecord` into the per-phase
+breakdown table shown by ``repro trace``: one row per span (children
+indented), with simulated seconds, share of the total, wall seconds, and
+headline counters, followed by the run's metrics.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.obs.trace import TraceRecord
+
+#: Counters worth a column-inch in the breakdown table.
+_HEADLINE_COUNTERS = ("output_tuples", "tuple_moves", "chain_steps",
+                      "hash_ops")
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds == 0:
+        return "0"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.3g}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3g}ms"
+    return f"{seconds:.4g}s"
+
+
+def _headline(span) -> str:
+    parts = []
+    counts = span.counters.as_dict()
+    for name in _HEADLINE_COUNTERS:
+        if counts.get(name):
+            parts.append(f"{name}={counts[name]:,}")
+            break
+    for key, value in list(span.details.items())[:2]:
+        parts.append(f"{key}={value:g}")
+    return "  ".join(parts)
+
+
+def render_trace(trace: TraceRecord, metrics: bool = True) -> str:
+    """Multi-line breakdown table of one trace record."""
+    total = trace.simulated_seconds
+    lines: List[str] = []
+    attrs = "  ".join(f"{k}={v}" for k, v in trace.attrs.items())
+    lines.append(f"trace: {trace.name}" + (f"  [{attrs}]" if attrs else ""))
+    lines.append(f"total simulated time: {_fmt_seconds(total)}")
+    rows = [(depth, span) for depth, span in trace.walk()]
+    if not rows:
+        lines.append("(no spans recorded)")
+        return "\n".join(lines)
+    width = max(len("  " * d + s.name) for d, s in rows) + 2
+    lines.append(
+        f"  {'span':<{width}}{'simulated':>11}{'share':>8}{'wall':>11}  notes"
+    )
+    lines.append("  " + "-" * (width + 36))
+    denom = total or 1.0
+    for depth, span in rows:
+        label = "  " * depth + span.name
+        share = span.simulated_seconds / denom
+        lines.append(
+            f"  {label:<{width}}"
+            f"{_fmt_seconds(span.simulated_seconds):>11}"
+            f"{share:>7.1%}"
+            f"{_fmt_seconds(span.wall_seconds):>11}"
+            f"  {_headline(span)}".rstrip()
+        )
+    if metrics and trace.metrics:
+        lines.append("metrics:")
+        for name, snap in sorted(trace.metrics.items()):
+            kind = snap.get("kind", "?")
+            if kind == "histogram":
+                lines.append(
+                    f"  {name:<{width}} histogram  count={snap['count']} "
+                    f"sum={snap['sum']:g} min={snap['min']} max={snap['max']}"
+                )
+            else:
+                lines.append(
+                    f"  {name:<{width}} {kind:<9}  value={snap['value']:g}"
+                )
+    return "\n".join(lines)

@@ -32,6 +32,7 @@ class TestExpected:
         assert res.output_count == count
         assert res.output_checksum == checksum
 
+    @pytest.mark.slow
     def test_top_key_frequency_reproduces_paper_observation(self):
         """Paper: at 32M tuples / zipf 1.0 the most popular key is shared
         by ~1.79M tuples per table."""

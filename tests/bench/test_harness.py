@@ -17,6 +17,7 @@ from repro.bench.tables import (
     render_series,
     render_table,
 )
+from repro.errors import ConfigError
 
 TINY = 1 << 14
 THETAS = (0.0, 0.5, 1.0)
@@ -37,6 +38,12 @@ class TestRunner:
         assert runner.bench_tuples() == PAPER_N_TUPLES
         monkeypatch.setenv("REPRO_BENCH_SCALE", "12345")
         assert runner.bench_tuples() == 12345
+
+    @pytest.mark.parametrize("bad", ["papre", "-5", "0", "1.5"])
+    def test_bench_tuples_rejects_invalid_scale(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", bad)
+        with pytest.raises(ConfigError, match="REPRO_BENCH_SCALE"):
+            runner.bench_tuples()
 
     def test_workload_cache_reuses_objects(self):
         a = runner.get_workload(TINY, 0.5)

@@ -19,6 +19,7 @@ from repro.data.generators import (
 from repro.data.relation import JoinInput, Relation
 from repro.data.zipf import ZipfWorkload
 from repro.errors import ConfigError
+from repro.exec.counters import OpCounters
 from tests.conftest import assert_result_correct, expected_summary
 
 
@@ -121,6 +122,13 @@ def test_npj_slower_than_cbase_on_uniform():
 def test_npj_config_validation():
     with pytest.raises(ConfigError):
         NoPartitionConfig(n_threads=0)
+
+
+def test_queue_phase_length_mismatch_reports_counts():
+    pool = ThreadPool(2)
+    tasks = [OpCounters(hash_ops=10)] * 3
+    with pytest.raises(ConfigError, match=r"2 extra costs for 3 tasks"):
+        pool.queue_phase_seconds(tasks, extra_task_seconds=[0.1, 0.2])
 
 
 def test_join_partition_pairs_requires_aligned_fanout():

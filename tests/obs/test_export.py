@@ -1,0 +1,158 @@
+"""Trace export: span dicts, JSON round-trips, JSONL artifacts."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.exec.counters import OpCounters
+from repro.exec.result import JoinResult, PhaseResult
+from repro.exec.serialize import (
+    append_results_jsonl,
+    result_from_dict,
+    result_to_dict,
+    results_from_jsonl,
+    results_from_jsonl_file,
+    results_to_jsonl,
+)
+from repro.obs.export import (
+    read_jsonl,
+    span_from_dict,
+    span_to_dict,
+    trace_from_dict,
+    trace_from_json,
+    trace_to_dict,
+    trace_to_json,
+    write_jsonl,
+)
+from repro.obs.render import render_trace
+from repro.obs.trace import Tracer
+
+
+def sample_tracer():
+    tracer = Tracer("gsh", algorithm="gsh", n_r=100, n_s=100)
+    tracer.metrics.counter("join.tuples_scanned").inc(200)
+    tracer.metrics.histogram("partition.sizes",
+                             buckets=[10, 100]).observe_many([5, 50])
+    with tracer.span("partition", algo="gsh") as part:
+        with tracer.span("kernel:scatter", kind="kernel") as k:
+            k.finish(simulated_seconds=0.25,
+                     counters=OpCounters(tuple_moves=100), task_count=4)
+        part.finish(simulated_seconds=0.5,
+                    counters=OpCounters(tuple_moves=100))
+    with tracer.span("join", algo="gsh") as join:
+        join.finish(simulated_seconds=1.5,
+                    counters=OpCounters(output_tuples=42), skewed_keys=2.0)
+    return tracer
+
+
+class TestSpanRoundTrip:
+    def test_span_dict_round_trip_is_exact(self):
+        record = sample_tracer().record()
+        for span in record.spans:
+            clone = span_from_dict(span_to_dict(span))
+            assert clone.name == span.name
+            assert clone.attrs == span.attrs
+            assert clone.simulated_seconds == span.simulated_seconds
+            assert clone.wall_seconds == span.wall_seconds
+            assert clone.task_count == span.task_count
+            assert clone.counters == span.counters
+            assert clone.details == span.details
+            assert len(clone.children) == len(span.children)
+
+    def test_zero_counters_stored_sparsely(self):
+        record = sample_tracer().record()
+        data = span_to_dict(record.spans[1])
+        assert data["counters"] == {"output_tuples": 42}
+
+    def test_unfinished_parent_round_trips_child_sum(self):
+        tracer = Tracer("t")
+        with tracer.span("p"):
+            with tracer.span("c") as c:
+                c.finish(simulated_seconds=2.0)
+        span = tracer.record().spans[0]
+        clone = span_from_dict(span_to_dict(span))
+        assert clone.simulated_seconds == 2.0
+
+
+class TestTraceRoundTrip:
+    def test_json_round_trip(self):
+        record = sample_tracer().record()
+        clone = trace_from_json(trace_to_json(record))
+        assert clone.name == record.name
+        assert clone.attrs == record.attrs
+        assert clone.phase_names() == record.phase_names()
+        assert clone.simulated_seconds == record.simulated_seconds
+        assert clone.metrics == record.metrics
+        assert clone.span("kernel:scatter").counters.tuple_moves == 100
+
+    def test_unknown_version_rejected(self):
+        data = trace_to_dict(sample_tracer().record())
+        data["trace_format_version"] = 99
+        with pytest.raises(ReproError):
+            trace_from_dict(data)
+
+    def test_rendering_survives_round_trip(self):
+        record = sample_tracer().record()
+        clone = trace_from_json(trace_to_json(record))
+        text = render_trace(clone)
+        assert "partition" in text
+        assert "kernel:scatter" in text
+        assert "partition.sizes" in text
+
+
+class TestResultSerialization:
+    @staticmethod
+    def traced_result():
+        tracer = sample_tracer()
+        result = JoinResult(algorithm="gsh", n_r=100, n_s=100,
+                            output_count=42, output_checksum=7)
+        result.phases = [PhaseResult("partition", 0.5),
+                         PhaseResult("join", 1.5)]
+        result.trace = tracer.record()
+        return result
+
+    def test_result_dict_embeds_trace(self):
+        result = self.traced_result()
+        clone = result_from_dict(result_to_dict(result))
+        assert clone.trace is not None
+        assert clone.trace.phase_names() == ["partition", "join"]
+        assert clone.trace.metrics == result.trace.metrics
+
+    def test_result_without_trace_has_no_trace_key(self):
+        result = JoinResult(algorithm="x", n_r=1, n_s=1,
+                            output_count=0, output_checksum=0)
+        data = result_to_dict(result)
+        assert "trace" not in data
+        assert result_from_dict(data).trace is None
+
+    def test_jsonl_round_trip(self):
+        results = [self.traced_result(), self.traced_result()]
+        clones = results_from_jsonl(results_to_jsonl(results))
+        assert len(clones) == 2
+        for clone in clones:
+            assert clone.algorithm == "gsh"
+            assert clone.trace.simulated_seconds == pytest.approx(2.0)
+
+    def test_jsonl_file_append_accumulates(self, tmp_path):
+        path = tmp_path / "artifacts" / "traces.jsonl"
+        append_results_jsonl([self.traced_result()], path)
+        append_results_jsonl([self.traced_result()], path)
+        clones = results_from_jsonl_file(path)
+        assert len(clones) == 2
+        # One valid JSON object per line.
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+
+class TestRawJsonl:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        assert write_jsonl([{"a": 1}, {"b": 2}], path) == 2
+        assert read_jsonl(path) == [{"a": 1}, {"b": 2}]
+
+    def test_bad_line_reports_position(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ReproError, match=":2:"):
+            read_jsonl(path)

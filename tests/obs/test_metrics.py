@@ -1,0 +1,95 @@
+"""MetricsRegistry: counters, gauges, histograms, snapshots."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a")
+        c.inc(3)
+        assert reg.counter("a") is c
+        assert reg.counter("a").value == 3
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigError):
+            reg.gauge("x")
+        with pytest.raises(ConfigError):
+            reg.histogram("x")
+
+    def test_contains_len_names(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert "a" in reg and "b" in reg and "c" not in reg
+        assert len(reg) == 2
+        assert reg.names() == ["a", "b"]
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc(2)
+        reg.gauge("imbalance").set(0.25)
+        reg.histogram("sizes", buckets=[1, 10, 100]).observe_many([5, 500])
+        snap = reg.snapshot()
+        assert snap["jobs"] == {"kind": "counter", "value": 2}
+        assert snap["imbalance"] == {"kind": "gauge", "value": 0.25}
+        hist = snap["sizes"]
+        assert hist["kind"] == "histogram"
+        assert hist["count"] == 2
+        assert hist["sum"] == 505.0
+        assert hist["min"] == 5.0 and hist["max"] == 500.0
+        # 5 lands in the <=10 and <=100 cumulative buckets; 500 in none.
+        assert hist["buckets"] == {"1": 0, "10": 1, "100": 1}
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc()
+        reg.counter("n").inc(9)
+        assert reg.counter("n").value == 10
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            reg.counter("n").inc(-2)
+
+    def test_gauge_overwrites(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.5)
+        reg.gauge("g").set(-3.0)
+        assert reg.gauge("g").value == -3.0
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        h = Histogram("h", bucket_bounds=[1.0, 2.0, 4.0])
+        h.observe_many([0.5, 2.0, 8.0])
+        assert h.count == 3
+        assert h.total == 10.5
+        assert h.min == 0.5 and h.max == 8.0
+        assert h.mean == pytest.approx(3.5)
+
+    def test_cumulative_buckets(self):
+        h = Histogram("h", bucket_bounds=[1.0, 2.0, 4.0])
+        h.observe_many([0.5, 2.0, 8.0])
+        # 0.5 <= every bound; 2.0 <= 2.0 and 4.0; 8.0 beyond all bounds.
+        assert h.bucket_counts == [1, 2, 2]
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ConfigError):
+            Histogram("h", bucket_bounds=[4.0, 1.0])
+
+    def test_empty_histogram_snapshot(self):
+        snap = Histogram("h", bucket_bounds=[1.0]).snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+
+    def test_default_buckets_cover_paper_scale(self):
+        assert DEFAULT_BUCKETS[0] == 1.0
+        assert DEFAULT_BUCKETS[-1] >= 2 ** 30

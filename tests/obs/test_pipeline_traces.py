@@ -1,0 +1,184 @@
+"""Integration: every pipeline emits a consistent, named trace."""
+
+import pytest
+
+from repro.api import make_join
+from repro.bench import runner
+from repro.cpu.threads import ThreadPool
+from repro.data.zipf import ZipfWorkload
+from repro.exec.counters import OpCounters
+from repro.exec.serialize import results_from_jsonl_file
+from repro.gpu.kernel import BlockWork
+from repro.gpu.simulator import GPUSimulator
+from repro.obs.trace import Tracer, activate, tracing, verify_result_trace
+
+#: Root span names each pipeline must emit, in order.
+EXPECTED_PHASES = {
+    "cbase": ["partition", "join"],
+    "cbase-npj": ["build", "probe"],
+    "csh": ["sample", "partition", "nm-join"],
+    "gbase": ["partition", "join"],
+    "gsh": ["partition", "detect", "split", "nm-join", "skew-join"],
+}
+
+
+@pytest.fixture(scope="module")
+def skewed_input():
+    return ZipfWorkload(12000, 12000, theta=1.0, seed=7).generate()
+
+
+@pytest.fixture(scope="module")
+def traced_results(skewed_input):
+    return {name: make_join(name).run(skewed_input)
+            for name in EXPECTED_PHASES}
+
+
+@pytest.mark.parametrize("algorithm", sorted(EXPECTED_PHASES))
+class TestPipelineTraces:
+    def test_expected_phase_names(self, traced_results, algorithm):
+        trace = traced_results[algorithm].trace
+        assert trace is not None
+        assert trace.phase_names() == EXPECTED_PHASES[algorithm]
+
+    def test_trace_sums_match_reported_total(self, traced_results, algorithm):
+        assert verify_result_trace(traced_results[algorithm]) is None
+
+    def test_trace_mirrors_phase_breakdown(self, traced_results, algorithm):
+        result = traced_results[algorithm]
+        for phase in result.phases:
+            span = result.trace.span(phase.name)
+            assert span.simulated_seconds == phase.simulated_seconds
+            assert span.counters == phase.counters
+
+    def test_common_metrics_published(self, traced_results, algorithm):
+        result = traced_results[algorithm]
+        metrics = result.trace.metrics
+        n = result.n_r + result.n_s
+        assert metrics["join.tuples_scanned"]["value"] == n
+        assert (metrics["join.output_tuples"]["value"]
+                == result.output_count)
+
+    def test_trace_attrs_identify_run(self, traced_results, algorithm):
+        attrs = traced_results[algorithm].trace.attrs
+        assert attrs["algorithm"] == algorithm
+        assert attrs["n_r"] == traced_results[algorithm].n_r
+
+
+class TestGpuKernelSpans:
+    def test_gpu_phases_nest_kernel_spans(self, traced_results):
+        trace = traced_results["gsh"].trace
+        partition = trace.span("partition")
+        kernels = [c for c in partition.children
+                   if c.name.startswith("kernel:")]
+        assert len(kernels) >= 2
+        assert all(c.attrs.get("kind") == "kernel" for c in kernels)
+        # Kernels serialize on one stream: the phase time is their sum.
+        assert (sum(k.simulated_seconds for k in kernels)
+                == pytest.approx(partition.simulated_seconds))
+
+    def test_kernel_launch_metrics(self, traced_results):
+        metrics = traced_results["gbase"].trace.metrics
+        assert metrics["gpu.kernel_launches"]["value"] > 0
+        assert metrics["gpu.blocks_dispatched"]["value"] > 0
+
+    def test_simulator_publishes_to_active_tracer(self):
+        sim = GPUSimulator()
+        with tracing("standalone") as tracer:
+            sim.launch("probe", [BlockWork(4, OpCounters(hash_ops=100))])
+        record = tracer.record()
+        span = record.span("kernel:probe")
+        assert span.task_count == 4
+        assert record.metrics["gpu.kernel_launches"]["value"] == 1
+
+
+class TestThreadPoolMetrics:
+    def test_queue_phase_publishes_imbalance(self):
+        pool = ThreadPool(n_threads=4)
+        tasks = [OpCounters(hash_ops=1000)] * 3
+        with tracing("pool") as tracer:
+            schedule = pool.queue_phase_seconds(tasks)
+        metrics = tracer.record().metrics
+        assert metrics["threadpool.queue_phases"]["value"] == 1
+        assert metrics["threadpool.tasks_dispatched"]["value"] == 3
+        hist = metrics["threadpool.idle_fraction"]
+        assert hist["count"] == 1
+        assert hist["max"] == pytest.approx(schedule.idle_fraction)
+
+    def test_static_phase_publishes_imbalance(self):
+        pool = ThreadPool(n_threads=2)
+        with tracing("pool") as tracer:
+            pool.static_phase_seconds([OpCounters(hash_ops=100),
+                                       OpCounters(hash_ops=300)])
+        metrics = tracer.record().metrics
+        assert metrics["threadpool.static_phases"]["value"] == 1
+        # Makespan 300c, busy 400c of 600c capacity: one third idle.
+        assert metrics["threadpool.idle_fraction"]["max"] == pytest.approx(1 / 3)
+
+    def test_cpu_pipeline_records_taskqueue_metrics(self, traced_results):
+        metrics = traced_results["cbase"].trace.metrics
+        assert metrics["threadpool.tasks_dispatched"]["value"] > 0
+        assert metrics["threadpool.idle_fraction"]["count"] > 0
+        assert "partition.sizes" in metrics
+
+
+class TestSkewMetrics:
+    def test_csh_reports_detected_keys(self, traced_results):
+        result = traced_results["csh"]
+        metrics = result.trace.metrics
+        assert (metrics["skew.keys_detected"]["value"]
+                == result.meta["skewed_keys"])
+        assert metrics["skew.tuples_diverted"]["value"] == (
+            result.meta["skewed_r_tuples"] + result.meta["skewed_s_tuples"]
+        )
+
+    def test_gsh_reports_detected_keys(self, traced_results):
+        result = traced_results["gsh"]
+        metrics = result.trace.metrics
+        assert (metrics["skew.keys_detected"]["value"]
+                == len(result.meta["skewed_keys"]))
+
+
+class TestRunsAreIsolated:
+    def test_back_to_back_runs_get_fresh_traces(self, skewed_input):
+        join = make_join("cbase")
+        first = join.run(skewed_input)
+        second = join.run(skewed_input)
+        assert first.trace is not second.trace
+        assert (first.trace.metrics["join.tuples_scanned"]["value"]
+                == second.trace.metrics["join.tuples_scanned"]["value"])
+
+    def test_pipeline_does_not_leak_into_ambient_tracer(self, skewed_input):
+        outer = Tracer("outer")
+        with activate(outer):
+            make_join("cbase").run(skewed_input)
+        # The pipeline activated its own tracer; the outer one saw nothing.
+        assert outer.spans == []
+        assert len(outer.metrics) == 0
+
+
+class TestBenchArtifacts:
+    def test_run_algorithm_emits_jsonl_artifact(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        runner.clear_caches()
+        try:
+            result = runner.run_algorithm("csh", 4096, 0.75)
+        finally:
+            runner.clear_caches()
+        assert result.trace is not None
+        artifact = tmp_path / "traces.jsonl"
+        assert artifact.exists()
+        (clone,) = results_from_jsonl_file(artifact)
+        assert clone.algorithm == "csh"
+        assert verify_result_trace(clone) is None
+        assert clone.trace.attrs["theta"] == 0.75
+
+    def test_cache_hit_does_not_duplicate_artifact(self, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        runner.clear_caches()
+        try:
+            runner.run_algorithm("cbase", 4096, 0.5)
+            runner.run_algorithm("cbase", 4096, 0.5)
+        finally:
+            runner.clear_caches()
+        assert len(results_from_jsonl_file(tmp_path / "traces.jsonl")) == 1

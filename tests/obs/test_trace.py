@@ -1,0 +1,242 @@
+"""Tracer and span semantics: nesting, finish contract, counter deltas."""
+
+import pytest
+
+from repro.errors import ConfigError, ExecutionError
+from repro.exec.counters import OpCounters
+from repro.exec.result import JoinResult, PhaseResult
+from repro.obs.trace import (
+    NullTracer,
+    Span,
+    TraceRecord,
+    Tracer,
+    activate,
+    current_tracer,
+    tracing,
+    verify_result_trace,
+)
+
+
+class TestSpanBasics:
+    def test_finish_records_everything(self):
+        tracer = Tracer("t")
+        with tracer.span("build", algo="x") as span:
+            span.finish(simulated_seconds=1.5,
+                        counters=OpCounters(hash_ops=7),
+                        task_count=3, foo=2.0)
+        assert span.simulated_seconds == 1.5
+        assert span.counters.hash_ops == 7
+        assert span.task_count == 3
+        assert span.details["foo"] == 2.0
+        assert span.attrs == {"algo": "x"}
+        assert span.wall_seconds >= 0
+
+    def test_unfinished_leaf_span_raises(self):
+        tracer = Tracer("t")
+        with pytest.raises(ExecutionError):
+            with tracer.span("p"):
+                pass
+
+    def test_negative_simulated_time_rejected(self):
+        tracer = Tracer("t")
+        with pytest.raises(ExecutionError):
+            with tracer.span("p") as span:
+                span.finish(simulated_seconds=-0.5)
+
+    def test_exceptions_propagate_unmasked(self):
+        tracer = Tracer("t")
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("p"):
+                raise RuntimeError("boom")
+        # The broken span is still on the tree (with its wall time) so a
+        # partial trace remains inspectable.
+        assert tracer.spans[0].name == "p"
+
+    def test_phase_result_conversion(self):
+        tracer = Tracer("t")
+        with tracer.span("join") as span:
+            span.finish(simulated_seconds=2.0,
+                        counters=OpCounters(output_tuples=5), task_count=4)
+        phase = span.phase_result
+        assert isinstance(phase, PhaseResult)
+        assert phase.name == "join"
+        assert phase.simulated_seconds == 2.0
+        assert phase.counters.output_tuples == 5
+        assert phase.task_count == 4
+
+    def test_phase_result_before_finish_raises(self):
+        span = Span("pending")
+        with pytest.raises(ExecutionError):
+            span.phase_result
+
+
+class TestNesting:
+    def test_children_attach_to_innermost_open_span(self):
+        tracer = Tracer("t")
+        with tracer.span("phase") as parent:
+            with tracer.span("kernel:a") as a:
+                a.finish(simulated_seconds=1.0)
+            with tracer.span("kernel:b") as b:
+                with tracer.span("kernel:b.inner") as inner:
+                    inner.finish(simulated_seconds=0.25)
+                b.finish(simulated_seconds=0.5)
+            parent.finish(simulated_seconds=2.0)
+        assert [c.name for c in parent.children] == ["kernel:a", "kernel:b"]
+        assert [c.name for c in b.children] == ["kernel:b.inner"]
+        assert len(tracer.spans) == 1
+
+    def test_parent_without_finish_sums_children(self):
+        tracer = Tracer("t")
+        with tracer.span("phase"):
+            with tracer.span("a") as a:
+                a.finish(simulated_seconds=1.0)
+            with tracer.span("b") as b:
+                b.finish(simulated_seconds=0.5)
+        assert tracer.spans[0].simulated_seconds == pytest.approx(1.5)
+
+    def test_explicit_finish_overrides_child_sum(self):
+        tracer = Tracer("t")
+        with tracer.span("phase") as parent:
+            with tracer.span("a") as a:
+                a.finish(simulated_seconds=1.0)
+            parent.finish(simulated_seconds=3.0)
+        assert parent.simulated_seconds == 3.0
+
+    def test_counter_deltas_per_span(self):
+        tracer = Tracer("t")
+        with tracer.span("phase") as parent:
+            with tracer.span("a") as a:
+                a.finish(simulated_seconds=1.0,
+                         counters=OpCounters(tuple_moves=10))
+            with tracer.span("b") as b:
+                b.finish(simulated_seconds=1.0,
+                         counters=OpCounters(tuple_moves=4, hash_ops=2))
+            parent.finish(
+                simulated_seconds=2.0,
+                counters=OpCounters.sum(c.counters for c in parent.children),
+            )
+        assert parent.counters.tuple_moves == 14
+        assert parent.counters.hash_ops == 2
+        # Child spans keep their own deltas, not the rollup.
+        assert parent.children[0].counters.tuple_moves == 10
+
+    def test_walk_yields_depth_first(self):
+        tracer = Tracer("t")
+        with tracer.span("p"):
+            with tracer.span("c1") as c1:
+                with tracer.span("g") as g:
+                    g.finish(simulated_seconds=0.0)
+                c1.finish(simulated_seconds=0.0)
+            with tracer.span("c2") as c2:
+                c2.finish(simulated_seconds=0.0)
+        record = tracer.record()
+        walked = [(depth, span.name) for depth, span in record.walk()]
+        assert walked == [(0, "p"), (1, "c1"), (2, "g"), (1, "c2")]
+
+
+class TestTracerRecord:
+    def test_record_includes_metrics_snapshot(self):
+        tracer = Tracer("run", algorithm="csh")
+        tracer.metrics.counter("join.tuples_scanned").inc(8)
+        with tracer.span("p") as span:
+            span.finish(simulated_seconds=1.0)
+        record = tracer.record()
+        assert record.name == "run"
+        assert record.attrs["algorithm"] == "csh"
+        assert record.metrics["join.tuples_scanned"]["value"] == 8
+        assert record.phase_names() == ["p"]
+        assert record.simulated_seconds == 1.0
+
+    def test_record_with_open_span_raises(self):
+        tracer = Tracer("t")
+        with tracer.span("p") as span:
+            with pytest.raises(ExecutionError):
+                tracer.record()
+            span.finish(simulated_seconds=0.0)
+
+    def test_record_span_lookup(self):
+        tracer = Tracer("t")
+        with tracer.span("phase"):
+            with tracer.span("kernel:x") as k:
+                k.finish(simulated_seconds=0.125)
+        record = tracer.record()
+        assert record.span("kernel:x").simulated_seconds == 0.125
+        with pytest.raises(KeyError):
+            record.span("missing")
+
+    def test_from_phases_builds_flat_trace(self):
+        phases = [PhaseResult("a", 1.0, OpCounters(hash_ops=1)),
+                  PhaseResult("b", 2.0)]
+        record = TraceRecord.from_phases("cbase", phases, theta=0.9)
+        assert record.phase_names() == ["a", "b"]
+        assert record.simulated_seconds == pytest.approx(3.0)
+        assert record.attrs == {"algorithm": "cbase", "theta": 0.9}
+        assert record.span("a").counters.hash_ops == 1
+
+
+class TestActivation:
+    def test_current_tracer_defaults_to_null(self):
+        assert isinstance(current_tracer(), NullTracer)
+
+    def test_activate_installs_and_restores(self):
+        tracer = Tracer("mine")
+        with activate(tracer):
+            assert current_tracer() is tracer
+            with tracing("inner") as inner:
+                assert current_tracer() is inner
+            assert current_tracer() is tracer
+        assert isinstance(current_tracer(), NullTracer)
+
+    def test_null_tracer_retains_nothing(self):
+        tracer = current_tracer()
+        with tracer.span("p") as span:
+            span.finish(simulated_seconds=1.0)
+        assert isinstance(tracer, NullTracer)
+        assert tracer.spans == []
+
+    def test_null_tracer_still_enforces_finish(self):
+        with pytest.raises(ExecutionError):
+            with current_tracer().span("p"):
+                pass
+
+
+class TestVerifyResultTrace:
+    @staticmethod
+    def result_with_trace(phase_seconds, trace_seconds):
+        result = JoinResult(algorithm="alg", n_r=1, n_s=1,
+                            output_count=0, output_checksum=0)
+        result.phases = [PhaseResult("p", s) for s in phase_seconds]
+        tracer = Tracer("alg")
+        for i, s in enumerate(trace_seconds):
+            with tracer.span(f"p{i}") as span:
+                span.finish(simulated_seconds=s)
+        result.trace = tracer.record()
+        return result
+
+    def test_matching_sums_pass(self):
+        result = self.result_with_trace([1.0, 2.0], [1.0, 2.0])
+        assert verify_result_trace(result) is None
+
+    def test_mismatched_sums_fail(self):
+        result = self.result_with_trace([1.0, 2.0], [1.0, 2.5])
+        error = verify_result_trace(result)
+        assert error is not None and "alg" in error
+
+    def test_missing_trace_fails(self):
+        result = JoinResult(algorithm="alg", n_r=1, n_s=1,
+                            output_count=0, output_checksum=0)
+        assert "no trace" in verify_result_trace(result)
+
+    def test_tolerance_is_relative(self):
+        big = 1e6
+        result = self.result_with_trace([big], [big * (1 + 1e-9)])
+        assert verify_result_trace(result) is None
+        result = self.result_with_trace([big], [big * (1 + 1e-3)])
+        assert verify_result_trace(result) is not None
+
+
+class TestMetricGuards:
+    def test_counter_rejects_decrease(self):
+        tracer = Tracer("t")
+        with pytest.raises(ConfigError):
+            tracer.metrics.counter("c").inc(-1)

@@ -126,6 +126,7 @@ class TestHashJoin:
                  * out.column("s_pay").astype(np.uint64))
         assert int(np.sum(prods, dtype=np.uint64)) == checksum
 
+    @pytest.mark.slow
     def test_skew_aware_same_result(self):
         plain = self.join_counts([5000, 1, 1], [5000, 1, 1])
         aware = self.join_counts([5000, 1, 1], [5000, 1, 1],

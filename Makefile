@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test lint trace-smoke bench bench-paper examples docs-check all
+.PHONY: install test lint trace-smoke chaos-smoke bench bench-paper examples docs-check all
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -20,6 +20,10 @@ lint:
 # One tiny traced run per algorithm, phase sums checked (the CI gate).
 trace-smoke:
 	$(PYTHON) -m repro trace --all --tuples 20000 --theta 1.0 --check
+
+# Seeded fault sweep: every fault class into every algorithm (the CI gate).
+chaos-smoke:
+	$(PYTHON) -m repro chaos --seed 42 --tuples 8192 --theta 1.0
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

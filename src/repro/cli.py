@@ -7,6 +7,8 @@ Commands:
 * ``bench``  — regenerate one of the paper's tables/figures.
 * ``trace``  — per-phase breakdown traces: run-and-render, export to
   JSONL, re-render saved artifacts, and consistency-check phase sums.
+* ``chaos``  — seeded fault-injection sweep: every fault class against
+  every algorithm, verifying exact recovery or a typed failure.
 
 Examples::
 
@@ -17,6 +19,7 @@ Examples::
     python -m repro trace --algorithm gsh --theta 1.0 --tuples 65536
     python -m repro trace --all --out traces.jsonl --check
     python -m repro trace --load traces.jsonl --check
+    python -m repro chaos --seed 42 --tuples 8192 --theta 1.0
 """
 
 from __future__ import annotations
@@ -41,6 +44,9 @@ from repro.data.zipf import ZipfWorkload
 from repro.errors import ReproError
 from repro.exec.report import comparison_report, result_report
 from repro.exec.serialize import append_results_jsonl, results_from_jsonl_file
+from repro.faults.chaos import run_chaos
+from repro.faults.plan import DEFAULT_CHAOS_ALGORITHMS
+from repro.faults.report import verify_result_faults
 from repro.obs import render_trace, verify_result_trace
 
 BENCH_COMMANDS = {
@@ -113,6 +119,20 @@ def build_parser() -> argparse.ArgumentParser:
                               "reported total (exit 1 on mismatch)")
     trace_p.add_argument("--no-metrics", action="store_true",
                          help="omit the metrics block from the rendering")
+
+    chaos_p = sub.add_parser(
+        "chaos", help="seeded fault-injection sweep across the pipelines")
+    chaos_p.add_argument("--tuples", "-n", type=int, default=1 << 13,
+                         help="tuples per table (default 8192)")
+    chaos_p.add_argument("--theta", "-t", type=float, default=1.0,
+                         help="zipf factor (default 1.0 — heavy skew)")
+    chaos_p.add_argument("--seed", type=int, default=42,
+                         help="seed for both the workload and the fault "
+                              "plan (default 42)")
+    chaos_p.add_argument("--algorithms", type=str,
+                         default=",".join(DEFAULT_CHAOS_ALGORITHMS),
+                         help="comma-separated algorithms to sweep "
+                              "(default: cbase,csh,gbase,gsh)")
     return parser
 
 
@@ -177,7 +197,9 @@ def _cmd_bench(args) -> int:
 def _cmd_trace(args) -> int:
     if args.load:
         try:
-            results = results_from_jsonl_file(args.load)
+            # Tolerant: a torn trailing line (crash mid-append) is skipped
+            # with a warning rather than failing the whole artifact.
+            results = results_from_jsonl_file(args.load, tolerant=True)
         except OSError as exc:
             print(f"error: cannot read {args.load}: {exc}", file=sys.stderr)
             return 1
@@ -202,9 +224,10 @@ def _cmd_trace(args) -> int:
         else:
             print(render_trace(result.trace, metrics=not args.no_metrics))
         if args.check:
-            error = verify_result_trace(result)
-            if error is not None:
-                failures.append(error)
+            for error in (verify_result_trace(result),
+                          verify_result_faults(result)):
+                if error is not None:
+                    failures.append(error)
     if args.out and not args.load:
         n = append_results_jsonl(results, args.out)
         print(f"\n{n} trace record(s) appended to {args.out}")
@@ -215,7 +238,21 @@ def _cmd_trace(args) -> int:
                 print(f"TRACE CHECK FAILED: {error}")
             return 1
         print(f"trace check OK: {len(results)} result(s), every phase sum "
-              "matches its reported total")
+              "matches its reported total and every fault report is "
+              "consistent with its trace counters")
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    join_input = ZipfWorkload(args.tuples, args.tuples, args.theta,
+                              seed=args.seed).generate()
+    outcome = run_chaos(join_input, seed=args.seed, algorithms=algorithms)
+    print(outcome.render())
+    if not outcome.ok:
+        print(f"\nCHAOS SWEEP FAILED: {outcome.n_failed} case(s) did not "
+              "recover exactly or fail with a typed report")
+        return 1
     return 0
 
 
@@ -231,6 +268,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_bench(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
     except BrokenPipeError:  # output truncated by a closed pipe (| head)
         return 0
     return 2  # pragma: no cover - argparse enforces the choices

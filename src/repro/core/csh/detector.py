@@ -44,11 +44,14 @@ def detect_skewed_keys(
     freq_threshold: int = 2,
     seed: SeedLike = 0,
     max_skewed: int = None,
+    capacity: int = None,
 ) -> SkewDetection:
     """Sample R's keys and mark frequent sampled keys as skewed.
 
     ``max_skewed`` optionally caps the number of skewed keys (most frequent
     first); the paper does not cap, and the default keeps that behaviour.
+    ``capacity`` overrides the frequency counter's table size — the
+    capacity-overflow recovery path retries detection with a grown table.
     """
     if not 0 < sample_rate <= 1:
         raise ConfigError(f"sample_rate must be in (0, 1], got {sample_rate}")
@@ -66,7 +69,8 @@ def detect_skewed_keys(
         )
     idx = rng.integers(0, n, size=sample_size)
     sample = r_keys[idx]
-    freq = count_sample_frequencies(sample, counters=counters)
+    freq = count_sample_frequencies(sample, counters=counters,
+                                    capacity=capacity)
     skewed = freq.above_threshold(freq_threshold)
     if max_skewed is not None and skewed.size > max_skewed:
         # above_threshold preserves descending frequency order.

@@ -21,10 +21,13 @@ from repro.cpu.join_phase import join_partition_pairs
 from repro.cpu.partition import choose_radix_bits
 from repro.cpu.threads import ThreadPool
 from repro.data.relation import JoinInput
-from repro.errors import ConfigError
+from repro.errors import CapacityError, ConfigError, UnrecoveredFaultError
 from repro.exec.cost_model import CPUCostModel, DEFAULT_CPU_COST_MODEL
 from repro.exec.output import DEFAULT_CAPACITY
 from repro.exec.result import JoinResult
+from repro.faults.plan import CAPACITY_OVERFLOW
+from repro.faults.report import FailureReport, current_phase_name
+from repro.faults.scope import current_fault_scope, fault_scope
 from repro.obs.trace import Tracer, activate
 from repro.types import SeedLike
 
@@ -91,18 +94,19 @@ class CSHJoin:
         tracer = Tracer(self.name, algorithm=self.name,
                         n_r=len(r), n_s=len(s))
         metrics = tracer.metrics
-        with activate(tracer):
+        with activate(tracer), fault_scope(self.name) as faults:
             metrics.counter("join.tuples_scanned").inc(len(r) + len(s))
 
             with tracer.span("sample", algo=self.name,
                              detector=cfg.detector) as span:
-                detection = self._detect(r.keys)
+                detection, detect_overhead = self._detect(r.keys)
                 # Detection parallelizes across the pool like every other
                 # phase.
                 span.finish(
                     simulated_seconds=(
                         cfg.cost_model.seconds(detection.counters)
                         / cfg.n_threads
+                        + detect_overhead
                     ),
                     counters=detection.counters,
                     skewed_keys=float(detection.n_skewed),
@@ -160,11 +164,78 @@ class CSHJoin:
             part_s.summary.checksum + phase.summary.checksum
         ) & ((1 << 64) - 1)
         metrics.counter("join.output_tuples").inc(result.output_count)
+        result.faults = faults.reports
         result.trace = tracer.record()
         return result
 
-    def _detect(self, r_keys) -> SkewDetection:
-        """Run the configured skew detector over R's key column."""
+    def _detect(self, r_keys):
+        """Run the configured skew detector, regrowing on overflow.
+
+        The sampling detector's frequency counter is a fixed-capacity
+        structure; on a (injected or organic) :class:`CapacityError` the
+        detection retries with the table grown by the policy's regrow
+        factor.  Returns ``(detection, overhead_seconds)`` where the
+        overhead prices the wasted detection attempts plus backoff.
+        """
+        cfg = self.config
+        scope = current_fault_scope()
+        policy = scope.policy
+        retries = 0
+        backoff_total = 0.0
+        capacity = None
+        injected = False
+        last_error = ""
+        while True:
+            error = None
+            spec = scope.fire("detect")
+            if spec is not None:
+                injected = True
+                error = CapacityError(
+                    "injected skew-detector overflow",
+                    detector=cfg.detector, capacity=capacity or 0,
+                )
+            else:
+                try:
+                    detection = self._detect_once(r_keys, capacity)
+                except CapacityError as exc:
+                    error = exc
+            if error is None:
+                break
+            retries += 1
+            last_error = str(error)
+            backoff_total += policy.backoff_seconds(retries)
+            if retries > policy.max_retries:
+                report = scope.record(FailureReport(
+                    kind=CAPACITY_OVERFLOW, point="detect",
+                    algorithm=scope.algorithm, phase=current_phase_name(),
+                    action="abort", recovered=False, injected=injected,
+                    retries=retries, backoff_seconds=backoff_total,
+                    error=last_error,
+                    context=dict(getattr(error, "context", {})),
+                ))
+                raise UnrecoveredFaultError(last_error, report=report)
+            base = capacity if capacity is not None else max(
+                4 * max(int(round(r_keys.size * cfg.sample_rate)), 1), 16)
+            capacity = base * policy.regrow_factor
+        overhead = 0.0
+        if retries:
+            per_attempt = (cfg.cost_model.seconds(detection.counters)
+                           / cfg.n_threads)
+            overhead = (retries * policy.crash_cost_fraction * per_attempt
+                        + backoff_total)
+            scope.record(FailureReport(
+                kind=CAPACITY_OVERFLOW, point="detect",
+                algorithm=scope.algorithm, phase=current_phase_name(),
+                action="regrow", recovered=True, injected=injected,
+                retries=retries, backoff_seconds=backoff_total,
+                error=last_error,
+                context={"capacity": capacity or 0,
+                         "detector": cfg.detector},
+            ))
+        return detection, overhead
+
+    def _detect_once(self, r_keys, capacity=None) -> SkewDetection:
+        """One detection attempt with an optional counter-capacity override."""
         cfg = self.config
         if cfg.detector == "sample":
             return detect_skewed_keys(
@@ -172,6 +243,7 @@ class CSHJoin:
                 sample_rate=cfg.sample_rate,
                 freq_threshold=cfg.freq_threshold,
                 seed=cfg.sample_seed,
+                capacity=capacity,
             )
         counters = OpCounters()
         skewed = streaming_skew_detection(

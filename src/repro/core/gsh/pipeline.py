@@ -10,6 +10,13 @@ skewed key.
 Unlike CSH, detection runs *after* partitioning: a skew check inside the
 partitioning kernel would diverge the warps, and the GPU's bandwidth makes
 the extra copy of S tuples cheap (Section IV-B's design discussion).
+
+Fault degradation follows a two-rung ladder.  A skew-split failure
+(injected or organic capacity overflow in detect/split) degrades to
+Gbase's sub-list decomposition over the *already partitioned* data — the
+partition phase's work is reused, only the skew machinery is abandoned.
+A kernel that exhausts its retries degrades all the way to the CPU
+no-partition join.  Both degradations preserve the exact join output.
 """
 
 from __future__ import annotations
@@ -21,11 +28,16 @@ from repro.core.gsh.detector import detect_partition_skew
 from repro.core.gsh.skew_join import skew_join_phase
 from repro.core.gsh.split import split_large_partitions
 from repro.data.relation import JoinInput
-from repro.errors import ConfigError
+from repro.errors import CapacityError, ConfigError, UnrecoveredFaultError
 from repro.exec.output import DEFAULT_CAPACITY
 from repro.exec.result import JoinResult
+from repro.faults.plan import CAPACITY_OVERFLOW
+from repro.faults.recovery import append_partial_phases
+from repro.faults.report import FailureReport, current_phase_name
+from repro.faults.scope import current_fault_scope, fault_scope
 from repro.gpu.device import A100, DeviceSpec
 from repro.gpu.gbase.join_kernels import gbase_join_phase
+from repro.gpu.gbase.pipeline import run_cpu_fallback
 from repro.gpu.kernel import BlockWork
 from repro.gpu.partitioning import choose_gpu_bits, gsh_partition
 from repro.gpu.simulator import GPUSimulator, cost_model_for
@@ -100,95 +112,157 @@ class GSHJoin:
         tracer = Tracer(self.name, algorithm=self.name,
                         n_r=len(r), n_s=len(s), device=cfg.device.name)
         metrics = tracer.metrics
-        with activate(tracer):
+        with activate(tracer), fault_scope(self.name) as faults:
             metrics.counter("join.tuples_scanned").inc(len(r) + len(s))
 
-            with tracer.span("partition", algo=self.name) as span:
-                part_r = gsh_partition(r.keys, r.payloads, bits1, bits2,
-                                       sim, "r")
-                part_s = gsh_partition(s.keys, s.payloads, bits1, bits2,
-                                       sim, "s")
-                span.finish(
-                    simulated_seconds=part_r.seconds + part_s.seconds,
-                    counters=part_r.counters + part_s.counters,
+            try:
+                with tracer.span("partition", algo=self.name) as span:
+                    part_r = gsh_partition(r.keys, r.payloads, bits1, bits2,
+                                           sim, "r")
+                    part_s = gsh_partition(s.keys, s.payloads, bits1, bits2,
+                                           sim, "s")
+                    span.finish(
+                        simulated_seconds=part_r.seconds + part_s.seconds,
+                        counters=part_r.counters + part_s.counters,
+                    )
+                result.phases.append(span.phase_result)
+                metrics.histogram("partition.sizes").observe_many(
+                    part_r.partitioned.sizes()
                 )
-            result.phases.append(span.phase_result)
-            metrics.histogram("partition.sizes").observe_many(
-                part_r.partitioned.sizes()
-            )
 
-            with tracer.span("detect", algo=self.name) as span:
-                detection = detect_partition_skew(
-                    part_r.partitioned, part_s.partitioned,
-                    threshold_tuples=cfg.large_threshold_tuples(),
-                    sample_rate=cfg.sample_rate,
-                    top_k=cfg.top_k,
-                    seed=cfg.sample_seed,
-                    adaptive_k=cfg.adaptive_k,
-                    max_k=cfg.max_k,
-                )
-                launch = sim.launch("gsh_detect", [
-                    BlockWork(1, c) for c in detection.block_counters
-                ])
-                span.finish(
-                    simulated_seconds=launch.seconds,
-                    counters=launch.counters,
-                    large_partitions=float(detection.n_large),
-                )
-            result.phases.append(span.phase_result)
-            result.meta["large_partitions"] = detection.n_large
-            metrics.counter("skew.large_partitions").inc(detection.n_large)
+                try:
+                    split = self._detect_and_split(result, tracer, metrics,
+                                                   sim, part_r, part_s)
+                except CapacityError as exc:
+                    # Skew-split failure: degrade to Gbase's sub-list
+                    # decomposition over the already-partitioned data (the
+                    # partition phase is reused; only the skew machinery is
+                    # abandoned).  Output is unchanged — decomposition only
+                    # affects cost.
+                    if not faults.policy.gsh_sublist_fallback:
+                        raise
+                    split = None
+                    append_partial_phases(result, tracer)
+                    faults.record(FailureReport(
+                        kind=CAPACITY_OVERFLOW, point="split",
+                        algorithm=self.name, phase=current_phase_name(),
+                        action="fallback:gbase-sublist", recovered=True,
+                        injected=bool(getattr(exc, "context", {})
+                                      .get("injected", False)),
+                        error=str(exc),
+                        context=dict(getattr(exc, "context", {})),
+                    ))
+                    result.meta["degraded"] = "gbase-sublist"
 
-            with tracer.span("split", algo=self.name) as span:
-                split = split_large_partitions(
-                    part_r.partitioned, part_s.partitioned, detection,
-                    cfg.top_k
-                )
-                launch = sim.launch("gsh_split", split.block_work)
-                span.finish(
-                    simulated_seconds=launch.seconds,
-                    counters=launch.counters,
-                    skewed_keys=float(len(split.skewed_r.keys())),
-                )
-            result.phases.append(span.phase_result)
-            skewed_keys = sorted(
-                set(split.skewed_r.keys()) | set(split.skewed_s.keys())
-            )
-            result.meta["skewed_keys"] = skewed_keys
-            metrics.counter("skew.keys_detected").inc(len(skewed_keys))
+                if split is not None:
+                    join_r, join_s = split.normal_r, split.normal_s
+                    sublist_capacity = None
+                else:
+                    join_r, join_s = part_r.partitioned, part_s.partitioned
+                    sublist_capacity = cfg.device.shared_capacity_tuples
 
-            with tracer.span("nm-join", algo=self.name) as span:
-                nm = gbase_join_phase(
-                    split.normal_r, split.normal_s, sim,
-                    sublist_capacity=None,
-                    output_capacity=cfg.output_capacity,
-                    kernel_name="gsh_nm_join",
-                )
-                span.finish(
-                    simulated_seconds=nm.seconds,
-                    counters=nm.counters,
-                    task_count=nm.n_blocks,
-                )
-            result.phases.append(span.phase_result)
+                with tracer.span("nm-join", algo=self.name,
+                                 degraded=float(split is None)) as span:
+                    nm = gbase_join_phase(
+                        join_r, join_s, sim,
+                        sublist_capacity=sublist_capacity,
+                        output_capacity=cfg.output_capacity,
+                        kernel_name="gsh_nm_join",
+                    )
+                    span.finish(
+                        simulated_seconds=nm.seconds,
+                        counters=nm.counters,
+                        task_count=nm.n_blocks,
+                    )
+                result.phases.append(span.phase_result)
 
-            with tracer.span("skew-join", algo=self.name) as span:
-                skew = skew_join_phase(
-                    split.skewed_r, split.skewed_s, sim,
-                    output_capacity=cfg.output_capacity,
-                )
-                span.finish(
-                    simulated_seconds=skew.seconds,
-                    counters=skew.counters,
-                    task_count=skew.n_blocks,
-                )
-            result.phases.append(span.phase_result)
+                if split is not None:
+                    with tracer.span("skew-join", algo=self.name) as span:
+                        skew = skew_join_phase(
+                            split.skewed_r, split.skewed_s, sim,
+                            output_capacity=cfg.output_capacity,
+                        )
+                        span.finish(
+                            simulated_seconds=skew.seconds,
+                            counters=skew.counters,
+                            task_count=skew.n_blocks,
+                        )
+                    result.phases.append(span.phase_result)
+                    result.meta["skew_join_blocks"] = skew.n_blocks
+                    result.meta["skewed_output"] = skew.summary.count
+                    skew_count = skew.summary.count
+                    skew_checksum = skew.summary.checksum
+                else:
+                    skew_count = 0
+                    skew_checksum = 0
 
-        result.output_count = nm.summary.count + skew.summary.count
-        result.output_checksum = (
-            nm.summary.checksum + skew.summary.checksum
-        ) & ((1 << 64) - 1)
-        result.meta["skew_join_blocks"] = skew.n_blocks
-        result.meta["skewed_output"] = skew.summary.count
-        metrics.counter("join.output_tuples").inc(result.output_count)
+                result.output_count = nm.summary.count + skew_count
+                result.output_checksum = (
+                    nm.summary.checksum + skew_checksum
+                ) & ((1 << 64) - 1)
+            except UnrecoveredFaultError as exc:
+                run_cpu_fallback(result, tracer, faults, exc, join_input,
+                                 cfg.output_capacity)
+
+            metrics.counter("join.output_tuples").inc(result.output_count)
+        result.faults = faults.reports
         result.trace = tracer.record()
         return result
+
+    def _detect_and_split(self, result, tracer, metrics, sim, part_r,
+                          part_s):
+        """The skew machinery: detect large partitions, split skewed keys.
+
+        An injected ``split`` fault (or an organic overflow in either
+        phase) raises :class:`CapacityError`, which the caller degrades to
+        Gbase sub-list decomposition.
+        """
+        cfg = self.config
+        faults = current_fault_scope()
+        with tracer.span("detect", algo=self.name) as span:
+            detection = detect_partition_skew(
+                part_r.partitioned, part_s.partitioned,
+                threshold_tuples=cfg.large_threshold_tuples(),
+                sample_rate=cfg.sample_rate,
+                top_k=cfg.top_k,
+                seed=cfg.sample_seed,
+                adaptive_k=cfg.adaptive_k,
+                max_k=cfg.max_k,
+            )
+            launch = sim.launch("gsh_detect", [
+                BlockWork(1, c) for c in detection.block_counters
+            ])
+            span.finish(
+                simulated_seconds=launch.seconds,
+                counters=launch.counters,
+                large_partitions=float(detection.n_large),
+            )
+        result.phases.append(span.phase_result)
+        result.meta["large_partitions"] = detection.n_large
+        metrics.counter("skew.large_partitions").inc(detection.n_large)
+
+        with tracer.span("split", algo=self.name) as span:
+            spec = faults.fire("split")
+            if spec is not None:
+                raise CapacityError(
+                    "injected skew-split overflow", injected=True,
+                    threshold=cfg.large_threshold_tuples(),
+                    large_partitions=detection.n_large,
+                )
+            split = split_large_partitions(
+                part_r.partitioned, part_s.partitioned, detection,
+                cfg.top_k
+            )
+            launch = sim.launch("gsh_split", split.block_work)
+            span.finish(
+                simulated_seconds=launch.seconds,
+                counters=launch.counters,
+                skewed_keys=float(len(split.skewed_r.keys())),
+            )
+        result.phases.append(span.phase_result)
+        skewed_keys = sorted(
+            set(split.skewed_r.keys()) | set(split.skewed_s.keys())
+        )
+        result.meta["skewed_keys"] = skewed_keys
+        metrics.counter("skew.keys_detected").inc(len(skewed_keys))
+        return split

@@ -69,7 +69,11 @@ class ChainedHashTable:
         joins leave it False because their tables are cache resident.
         """
         if self._built:
-            raise CapacityError("table already built; create a new table")
+            raise CapacityError(
+                "table already built; create a new table",
+                structure="chained-hash-table", state="built",
+                n_buckets=self.n_buckets, n_entries=self.n_entries,
+            )
         keys = np.asarray(keys, dtype=np.uint32)
         payloads = np.asarray(payloads, dtype=np.uint32)
         n = keys.size
@@ -128,7 +132,11 @@ class ChainedHashTable:
         the ring buffer only while the expansion is small.
         """
         if not self._built:
-            raise CapacityError("probe before build")
+            raise CapacityError(
+                "probe before build",
+                structure="chained-hash-table", state="unbuilt",
+                n_buckets=self.n_buckets,
+            )
         s_keys = np.asarray(s_keys, dtype=np.uint32)
         s_payloads = np.asarray(s_payloads, dtype=np.uint32)
         ns = s_keys.size
@@ -168,7 +176,11 @@ class ChainedHashTable:
         small-scale verification only.
         """
         if not self._built:
-            raise CapacityError("probe before build")
+            raise CapacityError(
+                "probe before build",
+                structure="chained-hash-table", state="unbuilt",
+                n_buckets=self.n_buckets,
+            )
         s_keys = np.asarray(s_keys, dtype=np.uint32)
         s_payloads = np.asarray(s_payloads, dtype=np.uint32)
         ns = s_keys.size

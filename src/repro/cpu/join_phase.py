@@ -27,6 +27,8 @@ from repro.exec.output import (
     OutputSummary,
     combine_summaries,
 )
+from repro.faults.recovery import run_task_with_recovery
+from repro.faults.scope import current_fault_scope
 
 
 @dataclass
@@ -67,6 +69,13 @@ def join_partition_pairs(
     Tasks execute functionally in order; the simulated phase time is the
     greedy schedule of the measured per-task costs over the pool's workers,
     and each task's output lands in the buffer of its scheduled worker.
+
+    Every task runs through the fault-recovery engine: injected worker
+    crashes and capacity overflows are absorbed before the functional work
+    executes (a retried task writes its output exactly once, so tuples are
+    never double-counted), organic ``CapacityError`` raises retry with a
+    table grown by one doubling per attempt, and every failed attempt plus
+    its backoff is charged serially to the retried task's queue slot.
     """
     if part_r.fanout != part_s.fanout:
         raise ValueError(
@@ -76,21 +85,36 @@ def join_partition_pairs(
         r_sizes = part_r.sizes()
         s_sizes = part_s.sizes()
         pairs = np.flatnonzero((r_sizes > 0) & (s_sizes > 0))
+    scope = current_fault_scope()
     buffers = [JoinOutputBuffer(output_capacity) for _ in range(pool.n_threads)]
     task_counters: List[OpCounters] = []
+    extra_seconds: List[float] = []
+    success_counters: List[OpCounters] = []
     task_summaries: List[OutputSummary] = []
-    for p in pairs:
-        counters = OpCounters()
-        summary = join_one_pair(part_r, part_s, int(p), counters,
-                                buffers[len(task_counters) % len(buffers)])
-        task_counters.append(counters)
-        task_summaries.append(summary)
-    schedule = pool.queue_phase_seconds(task_counters)
+    for i, p in enumerate(pairs):
+        buffer = buffers[i % len(buffers)]
+
+        def run(counters: OpCounters, attempt: int, p=int(p), buffer=buffer):
+            return join_one_pair(part_r, part_s, p, counters, buffer,
+                                 growth=attempt)
+
+        outcome = run_task_with_recovery(run, scope, partition=int(p))
+        # A retry is serial on the retried task's own timeline: crashed
+        # attempts and backoff delays are charged to the same queue slot as
+        # the successful execution, never hidden as free parallel work.
+        extra = sum(
+            pool.cost_model.task_seconds(w) for w in outcome.wasted
+        ) + sum(outcome.backoffs)
+        task_counters.append(outcome.counters)
+        extra_seconds.append(extra)
+        success_counters.append(outcome.counters)
+        task_summaries.append(outcome.value)
+    schedule = pool.queue_phase_seconds(task_counters, extra_seconds)
     summary = combine_summaries(task_summaries)
     return JoinPhaseResult(
         summary=summary,
         schedule=schedule,
-        task_counters=task_counters,
+        task_counters=success_counters,
         buffers=buffers,
     )
 
@@ -101,13 +125,18 @@ def join_one_pair(
     p: int,
     counters: OpCounters,
     buffer: JoinOutputBuffer,
+    growth: int = 0,
 ) -> OutputSummary:
-    """Build-and-probe one partition pair (one join task)."""
+    """Build-and-probe one partition pair (one join task).
+
+    ``growth`` doubles the hash-table bucket count that many times — the
+    capacity-overflow recovery path rebuilds with a bigger table.
+    """
     r_keys, r_pays = part_r.partition(p)
     s_keys, s_pays = part_s.partition(p)
     if r_keys.size == 0 or s_keys.size == 0:
         return OutputSummary()
-    table = ChainedHashTable(next_pow2(max(r_keys.size, 1)))
+    table = ChainedHashTable(next_pow2(max(r_keys.size, 1)) << min(growth, 8))
     table.build(r_keys, r_pays, hashes=part_r.partition_hashes(p),
                 counters=counters)
     return table.probe_grouped(

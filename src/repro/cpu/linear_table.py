@@ -62,7 +62,11 @@ class LinearProbingCounter:
         if uniq.size > int(0.75 * self.capacity):
             raise CapacityError(
                 f"{uniq.size} distinct sampled keys exceed capacity "
-                f"{self.capacity} at load factor 0.75"
+                f"{self.capacity} at load factor 0.75",
+                structure="linear-probing-counter",
+                capacity=self.capacity,
+                observed=int(uniq.size),
+                load_factor=0.75,
             )
         home = bucket_ids(hash_keys(uniq), self._bits)
         # Place distinct keys round by round: unresolved keys advance one
@@ -78,7 +82,13 @@ class LinearProbingCounter:
         while unresolved.size:
             rounds += 1
             if rounds > self.capacity + 1:
-                raise CapacityError("linear probing failed to converge")
+                raise CapacityError(
+                    "linear probing failed to converge",
+                    structure="linear-probing-counter",
+                    capacity=self.capacity,
+                    observed=int(uniq.size),
+                    rounds=rounds,
+                )
             want = slot[unresolved]
             # Keys wanting a free slot: the lowest-index key per slot wins.
             free = ~occupied[want]

@@ -5,6 +5,12 @@ repository" as Cbase.  It builds one global chained hash table over R in
 parallel and probes it with S in parallel.  Because the table far exceeds
 the CPU caches, every head fetch and chain step is an uncached random
 memory access — which is why Figure 4a shows it as the worst performer.
+
+cbase-npj is also the bottom rung of the fault-recovery fallback ladder (a
+GPU pipeline that exhausts kernel retries lands here), so its own phases
+are instrumented: the global build regrows its table on capacity overflow
+and the probe segments retry on injected worker crashes, both with bounded
+backoff charged to the phase makespan.
 """
 
 from __future__ import annotations
@@ -22,6 +28,8 @@ from repro.exec.counters import OpCounters
 from repro.exec.cost_model import CPUCostModel, DEFAULT_CPU_COST_MODEL
 from repro.exec.output import DEFAULT_CAPACITY, JoinOutputBuffer, combine_summaries
 from repro.exec.result import JoinResult
+from repro.faults.recovery import run_task_with_recovery
+from repro.faults.scope import current_fault_scope, fault_scope
 from repro.obs.trace import Tracer, activate
 
 
@@ -55,31 +63,29 @@ class NoPartitionJoin:
             algorithm=self.name, n_r=len(r), n_s=len(s),
             output_count=0, output_checksum=0,
         )
-        table = ChainedHashTable(next_pow2(max(len(r), 1)))
         tracer = Tracer(self.name, algorithm=self.name,
                         n_r=len(r), n_s=len(s))
         metrics = tracer.metrics
-        with activate(tracer):
+        with activate(tracer), fault_scope(self.name) as faults:
             metrics.counter("join.tuples_scanned").inc(len(r) + len(s))
 
             with tracer.span("build", algo=self.name) as span:
-                build_counters = OpCounters()
-                table.build(r.keys, r.payloads, counters=build_counters,
-                            random_access=True)
+                table, build_counters, overhead = self._build(r)
                 per_thread = self._split_counters(build_counters, len(r),
                                                   cfg.n_threads)
                 span.finish(
                     simulated_seconds=self.pool.static_phase_seconds(
-                        per_thread),
+                        per_thread,
+                        extra_seconds=[overhead] * len(per_thread)),
                     counters=build_counters,
                 )
             result.phases.append(span.phase_result)
 
             with tracer.span("probe", algo=self.name) as span:
-                per_thread, summaries, total = self._probe(table, s)
+                per_thread, extras, summaries, total = self._probe(table, s)
                 span.finish(
                     simulated_seconds=self.pool.static_phase_seconds(
-                        per_thread),
+                        per_thread, extra_seconds=extras),
                     counters=total,
                 )
             result.phases.append(span.phase_result)
@@ -88,8 +94,32 @@ class NoPartitionJoin:
         result.output_count = summary.count
         result.output_checksum = summary.checksum
         metrics.counter("join.output_tuples").inc(result.output_count)
+        result.faults = faults.reports
         result.trace = tracer.record()
         return result
+
+    def _build(self, r):
+        """Build the global table, regrowing on capacity overflow.
+
+        Returns ``(table, counters, overhead_seconds)`` where the overhead
+        is the per-thread cost of wasted build attempts plus backoff.
+        """
+        cfg = self.config
+        scope = current_fault_scope()
+
+        def run(counters: OpCounters, attempt: int):
+            table = ChainedHashTable(
+                next_pow2(max(len(r), 1)) << min(attempt, 8))
+            table.build(r.keys, r.payloads, counters=counters,
+                        random_access=True)
+            return table
+
+        outcome = run_task_with_recovery(run, scope, points=("capacity",),
+                                         structure="global-chained-table")
+        overhead = sum(
+            cfg.cost_model.seconds(w) / cfg.n_threads for w in outcome.wasted
+        ) + sum(outcome.backoffs)
+        return outcome.value, outcome.counters, overhead
 
     @staticmethod
     def _split_counters(total: OpCounters, n: int, n_threads: int):
@@ -105,32 +135,48 @@ class NoPartitionJoin:
         return per_thread
 
     def _probe(self, table: ChainedHashTable, s):
-        """Probe S in per-thread segments against the global table."""
+        """Probe S in per-thread segments against the global table.
+
+        Each segment is one task for the recovery engine: an injected
+        worker crash re-runs the segment, charging the wasted fraction and
+        backoff as extra seconds on that segment's thread.
+        """
         cfg = self.config
+        scope = current_fault_scope()
         hashes = hash_keys(s.keys)
         buckets = table._bucket_of(hashes)
         steps_per_tuple = table._chain_lengths[buckets]
         per_thread = []
+        extras = []
         summaries = []
         total = OpCounters()
-        for a, b in split_segments(len(s), cfg.n_threads):
-            counters = OpCounters()
-            n_seg = b - a
-            buf = JoinOutputBuffer(cfg.output_capacity)
-            summary = emit_matches(
-                table.keys, table.payloads,
-                s.keys[a:b], s.payloads[a:b], buf,
-            )
-            steps = int(steps_per_tuple[a:b].sum()) if n_seg else 0
-            counters.hash_ops += n_seg
-            counters.seq_tuple_reads += n_seg
-            counters.bytes_read += 8 * n_seg
-            counters.chain_steps += steps
-            counters.key_compares += steps
-            counters.random_accesses += steps + n_seg
-            counters.output_tuples += summary.count
-            counters.bytes_written += 8 * summary.count
-            per_thread.append(counters)
-            summaries.append(summary)
-            total += counters
-        return per_thread, summaries, total
+        for t, (a, b) in enumerate(split_segments(len(s), cfg.n_threads)):
+
+            def run(counters: OpCounters, attempt: int, a=a, b=b):
+                n_seg = b - a
+                buf = JoinOutputBuffer(cfg.output_capacity)
+                summary = emit_matches(
+                    table.keys, table.payloads,
+                    s.keys[a:b], s.payloads[a:b], buf,
+                )
+                steps = int(steps_per_tuple[a:b].sum()) if n_seg else 0
+                counters.hash_ops += n_seg
+                counters.seq_tuple_reads += n_seg
+                counters.bytes_read += 8 * n_seg
+                counters.chain_steps += steps
+                counters.key_compares += steps
+                counters.random_accesses += steps + n_seg
+                counters.output_tuples += summary.count
+                counters.bytes_written += 8 * summary.count
+                return summary
+
+            outcome = run_task_with_recovery(run, scope, points=("task",),
+                                             segment=t)
+            extra = sum(
+                cfg.cost_model.seconds(w) for w in outcome.wasted
+            ) + sum(outcome.backoffs)
+            per_thread.append(outcome.counters)
+            extras.append(extra)
+            summaries.append(outcome.value)
+            total += outcome.counters
+        return per_thread, extras, summaries, total

@@ -36,6 +36,7 @@ from repro.exec.counters import OpCounters
 from repro.exec.cost_model import CPUCostModel, DEFAULT_CPU_COST_MODEL
 from repro.exec.output import DEFAULT_CAPACITY
 from repro.exec.result import JoinResult
+from repro.faults.scope import fault_scope
 from repro.obs.trace import Tracer, activate
 
 
@@ -94,7 +95,7 @@ class CbaseJoin:
         tracer = Tracer(self.name, algorithm=self.name,
                         n_r=len(r), n_s=len(s))
         metrics = tracer.metrics
-        with activate(tracer):
+        with activate(tracer), fault_scope(self.name) as faults:
             metrics.counter("join.tuples_scanned").inc(len(r) + len(s))
 
             with tracer.span("partition", algo=self.name) as span:
@@ -131,6 +132,7 @@ class CbaseJoin:
         result.output_checksum = phase.summary.checksum
         result.meta["join_tasks"] = phase.task_count
         metrics.counter("join.output_tuples").inc(result.output_count)
+        result.faults = faults.reports
         result.trace = tracer.record()
         return result
 

@@ -6,6 +6,13 @@ structure* of the multi-threaded original: work is decomposed into the same
 per-thread segments or queue tasks as the real code, per-unit costs come
 from the exact operation counters, and a phase's simulated time is the
 makespan of its schedule.
+
+Both phase pricers probe the active fault scope's ``phase`` injection
+point: an injected phase abort (the CPU analogue of a kernel abort) is
+recovered by re-running the phase — charging a ``crash_cost_fraction`` of
+the makespan per wasted execution plus exponential backoff — until the
+policy's retry budget runs out, at which point the phase raises
+:class:`UnrecoveredFaultError`.
 """
 
 from __future__ import annotations
@@ -14,9 +21,12 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.cpu.task_queue import ScheduleResult, greedy_schedule, static_makespan
-from repro.errors import ConfigError
+from repro.errors import ConfigError, UnrecoveredFaultError
 from repro.exec.counters import OpCounters
 from repro.exec.cost_model import CPUCostModel, DEFAULT_CPU_COST_MODEL
+from repro.faults.plan import KERNEL_ABORT
+from repro.faults.report import FailureReport, current_phase_name
+from repro.faults.scope import current_fault_scope
 from repro.obs.trace import current_tracer
 
 
@@ -31,9 +41,24 @@ class ThreadPool:
         if self.n_threads <= 0:
             raise ConfigError(f"n_threads must be positive, got {self.n_threads}")
 
-    def static_phase_seconds(self, per_thread: Sequence[OpCounters]) -> float:
-        """Simulated time of a statically divided phase (slowest thread)."""
+    def static_phase_seconds(
+        self,
+        per_thread: Sequence[OpCounters],
+        extra_seconds: Optional[Sequence[float]] = None,
+    ) -> float:
+        """Simulated time of a statically divided phase (slowest thread).
+
+        ``extra_seconds`` adds per-thread costs the counters do not capture
+        (e.g. wasted retry work of a crashed probe segment).
+        """
         seconds = [self.cost_model.seconds(c) for c in per_thread]
+        if extra_seconds is not None:
+            if len(extra_seconds) != len(seconds):
+                raise ConfigError(
+                    f"extra_seconds must match per_thread: got "
+                    f"{len(extra_seconds)} extras for {len(seconds)} threads"
+                )
+            seconds = [s + e for s, e in zip(seconds, extra_seconds)]
         makespan = static_makespan(seconds)
         metrics = current_tracer().metrics
         metrics.counter("threadpool.static_phases").inc()
@@ -44,7 +69,7 @@ class ThreadPool:
             metrics.histogram("threadpool.idle_fraction").observe(
                 max(0.0, 1.0 - busy / capacity)
             )
-        return makespan
+        return makespan + self._phase_recovery_seconds(makespan)
 
     def queue_phase_seconds(
         self,
@@ -76,4 +101,56 @@ class ThreadPool:
             metrics.histogram("threadpool.idle_fraction").observe(
                 schedule.idle_fraction
             )
+        overhead = self._phase_recovery_seconds(schedule.makespan)
+        if overhead > 0:
+            schedule = ScheduleResult(
+                makespan=schedule.makespan + overhead,
+                worker_finish=schedule.worker_finish,
+                assignment=schedule.assignment,
+            )
         return schedule
+
+    def _phase_recovery_seconds(self, makespan: float) -> float:
+        """Probe the ``phase`` injection point; absorb aborts by re-running.
+
+        Returns the simulated overhead (wasted re-executions + backoff) to
+        add to the phase makespan; raises :class:`UnrecoveredFaultError`
+        once the retry budget is exhausted.
+        """
+        scope = current_fault_scope()
+        policy = scope.policy
+        retries = 0
+        backoff_total = 0.0
+        kind = KERNEL_ABORT
+        while True:
+            spec = scope.fire("phase")
+            if spec is None:
+                break
+            retries += 1
+            kind = spec.kind
+            backoff_total += policy.backoff_seconds(retries)
+            if retries > policy.max_retries:
+                report = scope.record(FailureReport(
+                    kind=kind, point="phase", algorithm=scope.algorithm,
+                    phase=current_phase_name(), action="abort",
+                    recovered=False, injected=True, retries=retries,
+                    backoff_seconds=backoff_total,
+                    error="phase re-execution budget exhausted",
+                    context={"makespan_seconds": makespan},
+                ))
+                raise UnrecoveredFaultError(
+                    f"phase abort exhausted {policy.max_retries} retries",
+                    report=report)
+        if retries == 0:
+            return 0.0
+        wasted = retries * policy.crash_cost_fraction * makespan
+        scope.record(FailureReport(
+            kind=kind, point="phase", algorithm=scope.algorithm,
+            phase=current_phase_name(), action="re-run", recovered=True,
+            injected=True, retries=retries, backoff_seconds=backoff_total,
+            error="injected phase abort",
+            context={"wasted_seconds": wasted},
+        ))
+        current_tracer().metrics.counter("threadpool.phase_retries").inc(
+            retries)
+        return wasted + backoff_total

@@ -1,12 +1,37 @@
 """Exception hierarchy for the repro library.
 
 All exceptions raised by this package derive from :class:`ReproError`, so
-callers can catch one type to handle any library failure.
+callers can catch one type to handle any library failure.  Errors carry
+optional structured context (``partition=3, capacity=4096, observed=9000``)
+alongside the message: the keyword arguments land in ``exc.context`` and are
+appended to ``str(exc)``, which gives recovery code and failure reports
+machine-readable fields instead of string parsing.
 """
+
+from __future__ import annotations
+
+from typing import Dict, Optional
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    ``**context`` attaches structured fields to the error; they are kept in
+    :attr:`context` and rendered after the message.
+    """
+
+    def __init__(self, message: str = "", **context):
+        super().__init__(message)
+        self.message = message
+        self.context: Dict[str, object] = context
+
+    def __str__(self) -> str:
+        if not self.context:
+            return self.message
+        fields = ", ".join(
+            f"{key}={value!r}" for key, value in sorted(self.context.items())
+        )
+        return f"{self.message} [{fields}]"
 
 
 class ConfigError(ReproError):
@@ -27,3 +52,43 @@ class VerificationError(ReproError):
 
 class CapacityError(ReproError):
     """A fixed-capacity structure (hash table, buffer) cannot hold its input."""
+
+
+class WorkerCrashError(ExecutionError):
+    """A simulated worker thread died mid-task (fault injection)."""
+
+
+class KernelAbortError(ExecutionError):
+    """A simulated kernel launch (or CPU phase execution) aborted."""
+
+
+class KernelOOMError(CapacityError):
+    """A simulated kernel launch exhausted device memory."""
+
+
+class ArtifactCorruptionError(ReproError):
+    """A serialized artifact is truncated or otherwise corrupted.
+
+    Like :class:`UnrecoveredFaultError`, carries the episode's
+    :class:`~repro.faults.report.FailureReport` in :attr:`report` when the
+    corruption came from the injection plane.
+    """
+
+    def __init__(self, message: str = "", report: Optional[object] = None,
+                 **context):
+        super().__init__(message, **context)
+        self.report = report
+
+
+class UnrecoveredFaultError(ReproError):
+    """A fault exhausted its recovery budget.
+
+    Carries the :class:`~repro.faults.report.FailureReport` describing the
+    fault episode in :attr:`report`, so callers (fallback ladders, the chaos
+    harness) never have to parse the message.
+    """
+
+    def __init__(self, message: str = "", report: Optional[object] = None,
+                 **context):
+        super().__init__(message, **context)
+        self.report = report

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 from repro.exec.counters import OpCounters
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.report import FailureReport
     from repro.obs.trace import TraceRecord
 
 
@@ -53,6 +54,9 @@ class JoinResult:
     #: Structured trace of the run (spans + metrics); populated by the
     #: pipelines, optional so hand-built results stay lightweight.
     trace: Optional["TraceRecord"] = None
+    #: Fault episodes (injected or organic) seen during the run, in order.
+    #: Empty for a fault-free run.
+    faults: List["FailureReport"] = field(default_factory=list)
 
     @property
     def simulated_seconds(self) -> float:

@@ -1,20 +1,29 @@
 """JSON-serializable records of join results.
 
 Experiment logging support: convert a :class:`JoinResult` (including its
-phase breakdown and counters) to plain dicts and back, so sweeps can be
-archived and re-rendered without re-running.
+phase breakdown, counters, and failure reports) to plain dicts and back,
+so sweeps can be archived and re-rendered without re-running.
+
+The appender is crash-conscious: lines are flushed and fsynced, and the
+``artifact`` injection point simulates a torn append (the process dying
+mid-write) by truncating the final line — which the tolerant loader in
+:func:`repro.obs.export.read_jsonl` detects and skips with a warning.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, List, Union
 
 from repro.errors import ReproError
 from repro.exec.counters import OpCounters
 from repro.exec.result import JoinResult, PhaseResult
-from repro.obs.export import trace_from_dict, trace_to_dict
+from repro.faults.plan import ARTIFACT_CORRUPTION
+from repro.faults.report import FailureReport, current_phase_name
+from repro.faults.scope import current_fault_scope
+from repro.obs.export import read_jsonl, trace_from_dict, trace_to_dict
 
 _FORMAT_VERSION = 1
 
@@ -56,6 +65,8 @@ def result_to_dict(result: JoinResult) -> Dict:
         "phases": [phase_to_dict(p) for p in result.phases],
         "meta": _jsonable_meta(result.meta),
     }
+    if result.faults:
+        data["faults"] = [report.to_dict() for report in result.faults]
     if result.trace is not None:
         data["trace"] = trace_to_dict(result.trace)
     return data
@@ -75,6 +86,8 @@ def result_from_dict(data: Dict) -> JoinResult:
         output_checksum=data["output_checksum"],
         phases=[phase_from_dict(p) for p in data["phases"]],
         meta=dict(data.get("meta", {})),
+        faults=[FailureReport.from_dict(f)
+                for f in data.get("faults", [])],
         trace=trace_from_dict(trace) if trace is not None else None,
     )
 
@@ -120,20 +133,53 @@ def append_results_jsonl(results: List[JoinResult],
     """Append results to a JSONL artifact file; returns lines written.
 
     Creates parent directories as needed — this is the writer behind the
-    benchmark harness's ``REPRO_TRACE_DIR`` artifacts.
+    benchmark harness's ``REPRO_TRACE_DIR`` artifacts.  Lines are
+    serialized before the file is opened, and the write is flushed and
+    fsynced, so a crash leaves at worst one torn trailing line.
+
+    The ``artifact`` injection point simulates exactly that torn write:
+    when it fires, the final line is truncated mid-record and the
+    simulated crash is re-raised as :class:`ArtifactCorruptionError` so
+    callers exercise the recovery path (tolerant load + atomic rewrite).
     """
+    from repro.errors import ArtifactCorruptionError
+
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    payload = results_to_jsonl(results)
+    scope = current_fault_scope()
+    spec = scope.fire("artifact", path=str(path)) if results else None
+    if spec is not None:
+        # Torn append: drop the second half of the last line, no newline.
+        lines = payload.splitlines()
+        payload = "".join(line + "\n" for line in lines[:-1])
+        payload += lines[-1][:max(len(lines[-1]) // 2, 1)]
     with path.open("a", encoding="utf-8") as fh:
-        fh.write(results_to_jsonl(results))
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    if spec is not None:
+        report = scope.record(FailureReport(
+            kind=spec.kind, point="artifact", algorithm=scope.algorithm,
+            phase=current_phase_name(), action="abort", recovered=False,
+            injected=True, error="injected torn append (crash mid-write)",
+            context={"path": str(path), "lines": len(results)},
+        ))
+        raise ArtifactCorruptionError(
+            "simulated crash while appending results", report=report,
+            path=str(path))
     return len(results)
 
 
-def results_from_jsonl_file(path: Union[str, Path]) -> List[JoinResult]:
-    """Read a JSONL artifact written by :func:`append_results_jsonl`."""
-    from repro.obs.export import read_jsonl
+def results_from_jsonl_file(path: Union[str, Path],
+                            tolerant: bool = False) -> List[JoinResult]:
+    """Read a JSONL artifact written by :func:`append_results_jsonl`.
 
-    return [result_from_dict(d) for d in read_jsonl(path)]
+    ``tolerant=True`` skips (with a warning) a truncated trailing line
+    left by a torn append; see :func:`repro.obs.export.read_jsonl`.
+    """
+    return [result_from_dict(d)
+            for d in read_jsonl(path, tolerant=tolerant)]
 
 
 def _jsonable_meta(meta: Dict) -> Dict:

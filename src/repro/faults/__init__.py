@@ -1,0 +1,103 @@
+"""Deterministic fault injection and recovery.
+
+The fault plane has four layers:
+
+* :mod:`repro.faults.plan` — what to inject: :class:`FaultSpec` /
+  :class:`FaultPlan`, the seeded sweep builder, and the fault-class ->
+  injection-point mapping.
+* :mod:`repro.faults.policy` — how to recover: bounded retries, backoff,
+  regrow factors, and the fallback switches.
+* :mod:`repro.faults.scope` — per-run state: hit counting, spec matching,
+  and :class:`FailureReport` collection, ambient via
+  :func:`current_fault_scope`.
+* :mod:`repro.faults.recovery` — the shared retry engine used by every
+  task-shaped recovery site.
+
+:mod:`repro.faults.chaos` (imported lazily by the CLI to avoid an import
+cycle with the algorithm registry) sweeps a seeded plan over the pipelines
+and verifies output correctness under every fault.
+"""
+
+from repro.faults.plan import (
+    ARTIFACT_CORRUPTION,
+    CAPACITY_OVERFLOW,
+    DEFAULT_CHAOS_ALGORITHMS,
+    EMPTY_PLAN,
+    FAULT_KINDS,
+    GPU_ALGORITHM_NAMES,
+    INJECTION_POINTS,
+    KERNEL_ABORT,
+    KERNEL_OOM,
+    WORKER_CRASH,
+    FaultPlan,
+    FaultSpec,
+    injection_point,
+    kinds_for,
+    seeded_plan,
+)
+from repro.faults.policy import (
+    DEFAULT_RECOVERY_POLICY,
+    RecoveryPolicy,
+    activate_policy,
+    current_policy,
+)
+from repro.faults.recovery import (
+    FaultEpisode,
+    TaskOutcome,
+    consume_injected_faults,
+    run_task_with_recovery,
+    scale_counters,
+)
+from repro.faults.report import (
+    FailureReport,
+    attach_posthoc_report,
+    count_fault_metrics,
+    current_phase_name,
+    verify_result_faults,
+)
+from repro.faults.scope import (
+    FaultScope,
+    NullFaultScope,
+    activate_plan,
+    current_fault_scope,
+    current_plan,
+    fault_scope,
+)
+
+__all__ = [
+    "ARTIFACT_CORRUPTION",
+    "CAPACITY_OVERFLOW",
+    "DEFAULT_CHAOS_ALGORITHMS",
+    "DEFAULT_RECOVERY_POLICY",
+    "EMPTY_PLAN",
+    "FAULT_KINDS",
+    "FaultEpisode",
+    "FailureReport",
+    "FaultPlan",
+    "FaultScope",
+    "FaultSpec",
+    "GPU_ALGORITHM_NAMES",
+    "INJECTION_POINTS",
+    "KERNEL_ABORT",
+    "KERNEL_OOM",
+    "NullFaultScope",
+    "RecoveryPolicy",
+    "TaskOutcome",
+    "WORKER_CRASH",
+    "activate_plan",
+    "activate_policy",
+    "attach_posthoc_report",
+    "consume_injected_faults",
+    "count_fault_metrics",
+    "current_fault_scope",
+    "current_phase_name",
+    "current_plan",
+    "current_policy",
+    "fault_scope",
+    "injection_point",
+    "kinds_for",
+    "run_task_with_recovery",
+    "scale_counters",
+    "seeded_plan",
+    "verify_result_faults",
+]

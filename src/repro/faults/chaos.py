@@ -1,0 +1,266 @@
+"""The chaos harness behind ``repro chaos``.
+
+Sweeps a seeded :class:`~repro.faults.plan.FaultPlan` over the four join
+pipelines: every spec runs in isolation (one fault per run, so a failure
+is attributable), and each run must end in one of exactly two states —
+
+* **recovered**: the run completes and its output is identical to the
+  fault-free baseline (count + order-independent checksum), with the fault
+  recorded on ``JoinResult.faults`` and mirrored into the trace metrics
+  (checked by :func:`~repro.faults.report.verify_result_faults`) and the
+  trace still summing to the reported total; or
+* **typed failure**: the run raises a :class:`~repro.errors.ReproError`
+  subclass carrying the episode's :class:`FailureReport` — never a bare
+  traceback.
+
+Artifact-corruption specs exercise the serialization plane instead: a torn
+JSONL append (simulated crash mid-write) must be detected by the tolerant
+loader, repaired by an atomic rewrite, and recorded as a post-hoc report.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.data.relation import JoinInput
+from repro.errors import ArtifactCorruptionError, ReproError
+from repro.exec.result import JoinResult
+from repro.faults.plan import (
+    ARTIFACT_CORRUPTION,
+    DEFAULT_CHAOS_ALGORITHMS,
+    FaultPlan,
+    FaultSpec,
+    seeded_plan,
+)
+from repro.faults.policy import RecoveryPolicy, activate_policy, current_policy
+from repro.faults.report import (
+    FailureReport,
+    attach_posthoc_report,
+    verify_result_faults,
+)
+from repro.faults.scope import activate_plan, fault_scope
+from repro.obs.trace import verify_result_trace
+
+
+@dataclass
+class ChaosCase:
+    """Outcome of one injected fault against one algorithm."""
+
+    algorithm: str
+    spec: FaultSpec
+    ok: bool
+    #: "recovered", "degraded", "fallback", "typed-error", or "repaired"
+    #: (artifact specs); failures carry the reason in ``detail``.
+    outcome: str
+    detail: str = ""
+    reports: List[FailureReport] = field(default_factory=list)
+
+    def summary_line(self) -> str:
+        status = "ok " if self.ok else "FAIL"
+        line = (f"[{status}] {self.spec.label():<42} -> {self.outcome}")
+        if self.detail:
+            line += f"  ({self.detail})"
+        return line
+
+
+@dataclass
+class ChaosOutcome:
+    """Everything one chaos sweep observed."""
+
+    seed: int
+    plan: FaultPlan
+    baselines: Dict[str, JoinResult]
+    cases: List[ChaosCase] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(case.ok for case in self.cases)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for case in self.cases if not case.ok)
+
+    def render(self) -> str:
+        lines = [f"chaos sweep: seed={self.seed} "
+                 f"specs={len(self.plan)} algorithms="
+                 f"{sorted(self.baselines)}"]
+        for case in self.cases:
+            lines.append("  " + case.summary_line())
+        injected = sum(
+            sum(1 for r in case.reports if r.injected)
+            for case in self.cases)
+        recovered = sum(
+            sum(1 for r in case.reports if r.recovered)
+            for case in self.cases)
+        lines.append(
+            f"{len(self.cases) - self.n_failed}/{len(self.cases)} cases ok; "
+            f"{injected} injected fault(s), {recovered} recovered episode(s)")
+        return "\n".join(lines)
+
+
+def _result_checks(result: JoinResult, baseline: JoinResult) -> Optional[str]:
+    """All invariants a completed faulted run must satisfy."""
+    if not result.matches(baseline):
+        return (f"output diverged: count {result.output_count} vs "
+                f"{baseline.output_count}, checksum "
+                f"{result.output_checksum:#x} vs "
+                f"{baseline.output_checksum:#x}")
+    if not any(r.injected for r in result.faults):
+        return "run completed but no injected fault was recorded"
+    error = verify_result_faults(result)
+    if error is not None:
+        return error
+    return verify_result_trace(result)
+
+
+def _classify(result: JoinResult) -> str:
+    if result.meta.get("fallback"):
+        return f"fallback:{result.meta['fallback']}"
+    if result.meta.get("degraded"):
+        return f"degraded:{result.meta['degraded']}"
+    return "recovered"
+
+
+def run_spec(algorithm: str, spec: FaultSpec, join_input: JoinInput,
+             baseline: JoinResult,
+             policy: Optional[RecoveryPolicy] = None) -> ChaosCase:
+    """Run one pipeline with exactly one fault spec active."""
+    from repro.api import make_join  # local import: api imports the pipelines
+
+    plan = FaultPlan((spec,), name=f"chaos-{spec.label()}")
+    with activate_plan(plan), activate_policy(policy or current_policy()):
+        try:
+            result = make_join(algorithm).run(join_input)
+        except ReproError as exc:
+            report = getattr(exc, "report", None)
+            if report is None:
+                return ChaosCase(
+                    algorithm, spec, ok=False, outcome="typed-error",
+                    detail=f"{type(exc).__name__} carries no FailureReport: "
+                           f"{exc}")
+            return ChaosCase(algorithm, spec, ok=True, outcome="typed-error",
+                             detail=type(exc).__name__, reports=[report])
+        except Exception as exc:  # noqa: BLE001 - the contract under test
+            return ChaosCase(
+                algorithm, spec, ok=False, outcome="bare-exception",
+                detail=f"{type(exc).__name__}: {exc}")
+    error = _result_checks(result, baseline)
+    return ChaosCase(algorithm, spec, ok=error is None,
+                     outcome=_classify(result), detail=error or "",
+                     reports=list(result.faults))
+
+
+def run_artifact_spec(algorithm: str, spec: FaultSpec,
+                      baseline: JoinResult,
+                      artifact_dir: Path) -> ChaosCase:
+    """Exercise the torn-append / tolerant-load / atomic-rewrite path."""
+    from repro.exec.serialize import (
+        append_results_jsonl,
+        results_from_jsonl_file,
+        results_to_jsonl,
+    )
+
+    path = Path(artifact_dir) / f"{algorithm}-chaos.jsonl"
+    if path.exists():
+        path.unlink()
+    append_results_jsonl([baseline], path)  # one intact line
+    plan = FaultPlan((spec,), name=f"chaos-{spec.label()}")
+    reports: List[FailureReport] = []
+    with activate_plan(plan), fault_scope(algorithm) as scope:
+        try:
+            append_results_jsonl([baseline], path)
+        except ArtifactCorruptionError as exc:
+            if exc.report is None:
+                return ChaosCase(
+                    algorithm, spec, ok=False, outcome="typed-error",
+                    detail="ArtifactCorruptionError carries no report")
+            reports.extend(scope.reports)
+        else:
+            return ChaosCase(
+                algorithm, spec, ok=False, outcome="no-injection",
+                detail="artifact fault did not fire on append")
+    # Recovery: tolerant load skips the torn trailing line (with a
+    # warning), then the artifact is rewritten atomically and reloaded
+    # strictly — the repaired file must round-trip every surviving record.
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        loaded = results_from_jsonl_file(path, tolerant=True)
+    if not any(issubclass(w.category, RuntimeWarning) for w in caught):
+        return ChaosCase(algorithm, spec, ok=False, outcome="repaired",
+                         detail="tolerant loader did not warn on torn line")
+    if len(loaded) != 1 or not loaded[0].matches(baseline):
+        return ChaosCase(algorithm, spec, ok=False, outcome="repaired",
+                         detail=f"tolerant load returned {len(loaded)} "
+                                "record(s) or a diverged record")
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(results_to_jsonl(loaded), encoding="utf-8")
+    os.replace(tmp, path)
+    repaired = results_from_jsonl_file(path)  # strict: must parse clean
+    recovery = FailureReport(
+        kind=ARTIFACT_CORRUPTION, point="artifact", algorithm=algorithm,
+        action="rewrite", recovered=True, injected=True,
+        error="torn trailing line dropped; artifact rewritten atomically",
+        context={"path": str(path), "records_kept": len(repaired)},
+    )
+    attach_posthoc_report(repaired[0], recovery)
+    reports.append(recovery)
+    error = verify_result_faults(repaired[0])
+    if error is not None:
+        return ChaosCase(algorithm, spec, ok=False, outcome="repaired",
+                         detail=error)
+    if not repaired[0].matches(baseline):
+        return ChaosCase(algorithm, spec, ok=False, outcome="repaired",
+                         detail="repaired record diverged from baseline")
+    return ChaosCase(algorithm, spec, ok=True, outcome="repaired",
+                     reports=reports)
+
+
+def run_chaos(
+    join_input: JoinInput,
+    seed: int = 42,
+    algorithms: Sequence[str] = DEFAULT_CHAOS_ALGORITHMS,
+    policy: Optional[RecoveryPolicy] = None,
+    artifact_dir: Optional[Path] = None,
+) -> ChaosOutcome:
+    """Run the full seeded sweep: every fault class against every algorithm.
+
+    Baselines run fault-free first; each spec then runs in isolation
+    against its algorithm and is checked for exact recovery (or a typed,
+    report-carrying error).  Deterministic for a given (seed, join_input).
+    """
+    from repro.api import make_join  # local import: api imports the pipelines
+
+    plan = seeded_plan(seed, algorithms)
+    baselines: Dict[str, JoinResult] = {}
+    for algorithm in algorithms:
+        baseline = make_join(algorithm).run(join_input)
+        if baseline.faults:
+            raise ReproError(
+                f"fault-free baseline for {algorithm} recorded "
+                f"{len(baseline.faults)} fault report(s)")
+        baselines[algorithm] = baseline
+    outcome = ChaosOutcome(seed=seed, plan=plan, baselines=baselines)
+    own_tmp = None
+    if artifact_dir is None:
+        own_tmp = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        artifact_dir = Path(own_tmp.name)
+    try:
+        for spec in plan.specs:
+            algorithm = spec.algorithm
+            if spec.kind == ARTIFACT_CORRUPTION:
+                case = run_artifact_spec(algorithm, spec,
+                                         baselines[algorithm],
+                                         Path(artifact_dir))
+            else:
+                case = run_spec(algorithm, spec, join_input,
+                                baselines[algorithm], policy=policy)
+            outcome.cases.append(case)
+    finally:
+        if own_tmp is not None:
+            own_tmp.cleanup()
+    return outcome

@@ -1,0 +1,188 @@
+"""Fault plans: which fault fires where, deterministically.
+
+A :class:`FaultSpec` names one fault to inject: its class (``kind``), the
+injection point it triggers at, and which hit of that point it targets
+(``occurrence``; ``repeat`` makes it fire on that many *consecutive* hits,
+which is how a spec defeats bounded retry).  A :class:`FaultPlan` is an
+immutable bag of specs; :func:`activate_plan` installs one ambiently so
+instrumented layers (thread pool, GPU simulator, serializers) see it
+through the per-run :class:`~repro.faults.scope.FaultScope` without any
+plumbing.  :func:`seeded_plan` derives a full sweep — one spec per fault
+class per algorithm, occurrences drawn from ``random.Random(seed)`` — so
+``repro chaos --seed 42`` is reproducible bit for bit.
+
+Injection points:
+
+========== ==========================================================
+``task``    one partition-pair / probe-segment task (worker crash)
+``kernel``  one :meth:`GPUSimulator.launch` (abort or OOM)
+``phase``   one CPU thread-pool phase execution (abort, re-run)
+``capacity`` a hash-table / sub-list build (overflow, regrow/re-split)
+``detect``  CSH's sampling skew detector (counter overflow, regrow)
+``split``   GSH's skew-split phase (overflow, Gbase-style fallback)
+``artifact`` a JSONL artifact append (torn write, truncated line)
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+WORKER_CRASH = "worker-crash"
+KERNEL_ABORT = "kernel-abort"
+KERNEL_OOM = "kernel-oom"
+CAPACITY_OVERFLOW = "capacity-overflow"
+ARTIFACT_CORRUPTION = "artifact-corruption"
+
+FAULT_KINDS = (WORKER_CRASH, KERNEL_ABORT, KERNEL_OOM, CAPACITY_OVERFLOW,
+               ARTIFACT_CORRUPTION)
+
+INJECTION_POINTS = ("task", "kernel", "phase", "capacity", "detect", "split",
+                    "artifact")
+
+#: Algorithms whose kernels run on the GPU simulator.
+GPU_ALGORITHM_NAMES = ("gbase", "gsh")
+
+#: Default sweep targets: the paper's four joins (the cbase-npj baseline is
+#: exercised separately as the fallback target).
+DEFAULT_CHAOS_ALGORITHMS = ("cbase", "csh", "gbase", "gsh")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject: kind + point + which hit it targets."""
+
+    kind: str
+    point: str
+    #: 1-based hit index of the injection point that triggers the fault.
+    occurrence: int = 1
+    #: Number of consecutive hits (from ``occurrence``) that fail.
+    repeat: int = 1
+    #: Restrict the spec to one algorithm's runs (None = any run).
+    algorithm: Optional[str] = None
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}")
+        if self.point not in INJECTION_POINTS:
+            raise ConfigError(
+                f"unknown injection point {self.point!r}; expected one of "
+                f"{INJECTION_POINTS}")
+        if self.occurrence < 1:
+            raise ConfigError("occurrence is 1-based and must be >= 1")
+        if self.repeat < 1:
+            raise ConfigError("repeat must be >= 1")
+
+    def matches(self, algorithm: str, point: str, hit: int) -> bool:
+        """True if this spec fires on hit number ``hit`` of ``point``."""
+        if self.point != point:
+            return False
+        if self.algorithm is not None and self.algorithm != algorithm:
+            return False
+        return self.occurrence <= hit < self.occurrence + self.repeat
+
+    def label(self) -> str:
+        """Compact human-readable form."""
+        target = f"{self.algorithm}:" if self.algorithm else ""
+        times = f"x{self.repeat}" if self.repeat > 1 else ""
+        return f"{target}{self.kind}@{self.point}#{self.occurrence}{times}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of fault specs, applied together to a run."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+    name: str = "plan"
+
+    def __post_init__(self):
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def for_algorithm(self, algorithm: str) -> Tuple[FaultSpec, ...]:
+        """Specs that can fire during ``algorithm``'s run."""
+        return tuple(s for s in self.specs
+                     if s.algorithm in (None, algorithm))
+
+    def first_match(self, algorithm: str, point: str,
+                    hit: int) -> Optional[FaultSpec]:
+        """The first spec firing on this hit of ``point``, if any."""
+        for spec in self.specs:
+            if spec.matches(algorithm, point, hit):
+                return spec
+        return None
+
+
+EMPTY_PLAN = FaultPlan((), name="empty")
+
+
+def injection_point(algorithm: str, kind: str) -> str:
+    """The natural injection point of a fault class for an algorithm.
+
+    Worker crashes hit individual tasks everywhere.  Kernel aborts/OOM hit
+    GPU launches; on CPU algorithms the equivalent is a whole-phase abort.
+    Capacity overflow hits the structure each algorithm actually depends
+    on: join-task hash tables (cbase), the global table (cbase-npj), the
+    sampling detector (csh), GPU sub-lists (gbase), the skew split (gsh).
+    """
+    if kind == WORKER_CRASH:
+        return "task"
+    if kind in (KERNEL_ABORT, KERNEL_OOM):
+        return "kernel" if algorithm in GPU_ALGORITHM_NAMES else "phase"
+    if kind == CAPACITY_OVERFLOW:
+        return {"csh": "detect", "gsh": "split"}.get(algorithm, "capacity")
+    if kind == ARTIFACT_CORRUPTION:
+        return "artifact"
+    raise ConfigError(f"unknown fault kind {kind!r}")
+
+
+def kinds_for(algorithm: str) -> Tuple[str, ...]:
+    """Fault classes applicable to an algorithm (OOM is GPU-only)."""
+    if algorithm in GPU_ALGORITHM_NAMES:
+        return (WORKER_CRASH, KERNEL_ABORT, KERNEL_OOM, CAPACITY_OVERFLOW,
+                ARTIFACT_CORRUPTION)
+    return (WORKER_CRASH, KERNEL_ABORT, CAPACITY_OVERFLOW,
+            ARTIFACT_CORRUPTION)
+
+#: Occurrence ranges per injection point that every algorithm is guaranteed
+#: to reach on the chaos workloads (>= 2 partition pairs, >= 2 phases,
+#: >= 3 kernel launches); single-shot points pin occurrence to 1.
+_MAX_OCCURRENCE: Dict[str, int] = {
+    "task": 2,
+    "kernel": 3,
+    "phase": 2,
+    "capacity": 1,
+    "detect": 1,
+    "split": 1,
+    "artifact": 1,
+}
+
+
+def seeded_plan(
+    seed: int,
+    algorithms: Sequence[str] = DEFAULT_CHAOS_ALGORITHMS,
+) -> FaultPlan:
+    """Deterministic sweep plan: one spec per fault class per algorithm.
+
+    Occurrences are drawn from ``random.Random(seed)`` within per-point
+    safe ranges, so different seeds hit different tasks/kernels/phases
+    while the same seed always produces the identical plan.
+    """
+    rng = random.Random(seed)
+    specs = []
+    for algorithm in algorithms:
+        for kind in kinds_for(algorithm):
+            point = injection_point(algorithm, kind)
+            occurrence = rng.randint(1, _MAX_OCCURRENCE[point])
+            specs.append(FaultSpec(kind=kind, point=point,
+                                   occurrence=occurrence,
+                                   algorithm=algorithm))
+    return FaultPlan(tuple(specs), name=f"seeded-{seed}")

@@ -1,0 +1,81 @@
+"""Recovery policies: how much retrying, regrowing, and falling back.
+
+A :class:`RecoveryPolicy` is the single knob set consulted by every
+recovery site — the thread-pool task engine, the GPU kernel relauncher, the
+capacity regrow loops, and the pipeline fallback ladders.  Policies are
+immutable; :func:`activate_policy` installs one ambiently (contextvar, same
+idiom as the tracer) and :func:`current_policy` reads it back, defaulting
+to :data:`DEFAULT_RECOVERY_POLICY`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Bounded-retry / backoff / fallback parameters."""
+
+    #: Retries granted to one fault episode before it is declared
+    #: unrecovered (the first attempt is not a retry).
+    max_retries: int = 3
+    #: Simulated backoff before the first retry, seconds.
+    backoff_base_seconds: float = 1e-4
+    #: Exponential backoff multiplier per further retry.
+    backoff_factor: float = 2.0
+    #: Fraction of a crashed task's cost charged as wasted work: the crash
+    #: is assumed to land mid-task, so half the work is repeated on average.
+    crash_cost_fraction: float = 0.5
+    #: Capacity multiplier applied when regrowing an overflowed structure
+    #: (and divisor when re-splitting an oversized GPU sub-list).
+    regrow_factor: int = 2
+    #: GPU pipeline that exhausts kernel retries falls back to cbase-npj.
+    gpu_cpu_fallback: bool = True
+    #: GSH skew-split failure falls back to Gbase sub-list decomposition.
+    gsh_sublist_fallback: bool = True
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be non-negative")
+        if self.backoff_base_seconds < 0:
+            raise ConfigError("backoff_base_seconds must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1.0")
+        if not 0.0 <= self.crash_cost_fraction <= 1.0:
+            raise ConfigError("crash_cost_fraction must be in [0, 1]")
+        if self.regrow_factor < 2:
+            raise ConfigError("regrow_factor must be >= 2")
+
+    def backoff_seconds(self, retry: int) -> float:
+        """Simulated backoff before the ``retry``-th retry (1-based)."""
+        if retry < 1:
+            return 0.0
+        return self.backoff_base_seconds * self.backoff_factor ** (retry - 1)
+
+
+DEFAULT_RECOVERY_POLICY = RecoveryPolicy()
+
+_ACTIVE_POLICY: ContextVar[Optional[RecoveryPolicy]] = ContextVar(
+    "repro_active_recovery_policy", default=None)
+
+
+def current_policy() -> RecoveryPolicy:
+    """The ambient recovery policy (default policy when none installed)."""
+    policy = _ACTIVE_POLICY.get()
+    return policy if policy is not None else DEFAULT_RECOVERY_POLICY
+
+
+@contextmanager
+def activate_policy(policy: RecoveryPolicy) -> Iterator[RecoveryPolicy]:
+    """Install ``policy`` as the ambient recovery policy for the block."""
+    token = _ACTIVE_POLICY.set(policy)
+    try:
+        yield policy
+    finally:
+        _ACTIVE_POLICY.reset(token)

@@ -1,0 +1,203 @@
+"""Structured failure reports.
+
+Every fault episode — injected or organic, recovered or not — becomes one
+:class:`FailureReport`: what failed (kind + injection point), where
+(algorithm + phase), what the recovery layer did about it (action, retries,
+backoff), and the structured error context.  Pipelines attach the reports to
+``JoinResult.faults``; :func:`count_fault_metrics` mirrors each report into
+the run's metrics registry so the ``faults.*`` counters of an exported trace
+always agree with the report list — an invariant that
+:func:`verify_result_faults` (behind ``repro trace --check``) enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.trace import current_tracer
+
+REPORT_FORMAT_VERSION = 1
+
+#: Counter names mirrored into the metrics registry per report.
+INJECTED_COUNTER = "faults.injected"
+RECOVERED_COUNTER = "faults.recovered"
+UNRECOVERED_COUNTER = "faults.unrecovered"
+RETRIES_COUNTER = "faults.retries"
+
+
+@dataclass
+class FailureReport:
+    """One fault episode and how the run handled it."""
+
+    #: Fault class, one of :data:`repro.faults.plan.FAULT_KINDS`.
+    kind: str
+    #: Injection point that produced the episode (``task``, ``kernel``, ...).
+    point: str
+    #: Algorithm whose run saw the fault.
+    algorithm: str
+    #: Pipeline phase (root span name) active when the fault fired.
+    phase: str = ""
+    #: What recovery did: ``retry``, ``regrow``, ``re-split``, ``re-run``,
+    #: ``relaunch``, ``rewrite``, ``fallback:<target>``, or ``abort``.
+    action: str = ""
+    recovered: bool = False
+    #: True when the episode came from an injected :class:`FaultSpec`
+    #: (False for organic failures the recovery layer also handles).
+    injected: bool = True
+    retries: int = 0
+    #: Total simulated backoff charged to the schedule, seconds.
+    backoff_seconds: float = 0.0
+    #: ``str()`` of the triggering error, if any.
+    error: str = ""
+    #: Structured error context (partition id, capacity, observed size...).
+    context: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        """JSON-compatible dict form (context values coerced to scalars)."""
+        return {
+            "report_format_version": REPORT_FORMAT_VERSION,
+            "kind": self.kind,
+            "point": self.point,
+            "algorithm": self.algorithm,
+            "phase": self.phase,
+            "action": self.action,
+            "recovered": self.recovered,
+            "injected": self.injected,
+            "retries": self.retries,
+            "backoff_seconds": self.backoff_seconds,
+            "error": self.error,
+            "context": {key: _jsonable(value)
+                        for key, value in self.context.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FailureReport":
+        """Rebuild a report from its dict form."""
+        return cls(
+            kind=data["kind"],
+            point=data["point"],
+            algorithm=data["algorithm"],
+            phase=data.get("phase", ""),
+            action=data.get("action", ""),
+            recovered=bool(data.get("recovered", False)),
+            injected=bool(data.get("injected", True)),
+            retries=int(data.get("retries", 0)),
+            backoff_seconds=float(data.get("backoff_seconds", 0.0)),
+            error=data.get("error", ""),
+            context=dict(data.get("context", {})),
+        )
+
+    def summary_line(self) -> str:
+        """One-line human-readable form for CLI output."""
+        outcome = "recovered" if self.recovered else "UNRECOVERED"
+        origin = "injected" if self.injected else "organic"
+        extra = f" retries={self.retries}" if self.retries else ""
+        return (f"{self.algorithm}/{self.phase or '?'}: {origin} {self.kind} "
+                f"at {self.point} -> {outcome} ({self.action}){extra}")
+
+
+def _jsonable(value):
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if hasattr(value, "__int__") and not isinstance(value, float):
+        return int(value)
+    if isinstance(value, float):
+        return value
+    return str(value)
+
+
+def current_phase_name() -> str:
+    """Name of the outermost open span — the pipeline phase label."""
+    tracer = current_tracer()
+    stack = getattr(tracer, "_stack", [])
+    return stack[0].name if stack else ""
+
+
+def count_fault_metrics(report: FailureReport, metrics=None) -> None:
+    """Mirror one report into the metrics registry (live tracer)."""
+    if metrics is None:
+        metrics = current_tracer().metrics
+    if report.injected:
+        metrics.counter(INJECTED_COUNTER).inc()
+    if report.recovered:
+        metrics.counter(RECOVERED_COUNTER).inc()
+    else:
+        metrics.counter(UNRECOVERED_COUNTER).inc()
+    metrics.counter(f"faults.kind.{report.kind}").inc()
+    if report.retries:
+        metrics.counter(RETRIES_COUNTER).inc(report.retries)
+
+
+def bump_trace_counter(trace_metrics: Dict, name: str, amount: int) -> None:
+    """Bump a counter in a frozen TraceRecord metrics snapshot.
+
+    Used for faults discovered after a run's trace was recorded (e.g. a
+    corrupted artifact found at export time), so the snapshot stays
+    consistent with ``result.faults``.
+    """
+    if amount == 0:
+        return
+    entry = trace_metrics.setdefault(name, {"kind": "counter", "value": 0})
+    entry["value"] = int(entry.get("value", 0)) + amount
+
+
+def attach_posthoc_report(result, report: FailureReport) -> None:
+    """Append a post-run report to a result and patch its trace metrics."""
+    result.faults.append(report)
+    trace = getattr(result, "trace", None)
+    if trace is None:
+        return
+    if report.injected:
+        bump_trace_counter(trace.metrics, INJECTED_COUNTER, 1)
+    bump_trace_counter(
+        trace.metrics,
+        RECOVERED_COUNTER if report.recovered else UNRECOVERED_COUNTER, 1)
+    bump_trace_counter(trace.metrics, f"faults.kind.{report.kind}", 1)
+    bump_trace_counter(trace.metrics, RETRIES_COUNTER, report.retries)
+
+
+def _counter_value(trace_metrics: Dict, name: str) -> int:
+    entry = trace_metrics.get(name)
+    if not isinstance(entry, dict):
+        return 0
+    return int(entry.get("value", 0))
+
+
+def verify_result_faults(result) -> Optional[str]:
+    """Check a JoinResult's failure reports for internal consistency.
+
+    Returns ``None`` when (a) every report round-trips through its dict
+    form and (b) the trace's ``faults.*`` counters agree with the report
+    list; otherwise a human-readable description of the first problem.
+    A result with no reports and no fault counters passes trivially.
+    """
+    reports: List[FailureReport] = list(getattr(result, "faults", []) or [])
+    algorithm = getattr(result, "algorithm", "?")
+    for i, report in enumerate(reports):
+        rebuilt = FailureReport.from_dict(report.to_dict())
+        if rebuilt.to_dict() != report.to_dict():
+            return (f"{algorithm}: failure report #{i} does not round-trip "
+                    f"through its serialized form")
+    trace = getattr(result, "trace", None)
+    if trace is None:
+        if reports:
+            return (f"{algorithm}: {len(reports)} failure report(s) but no "
+                    "trace to carry the fault counters")
+        return None
+    injected = sum(1 for r in reports if r.injected)
+    recovered = sum(1 for r in reports if r.recovered)
+    unrecovered = sum(1 for r in reports if not r.recovered)
+    retries = sum(r.retries for r in reports)
+    expected = {
+        INJECTED_COUNTER: injected,
+        RECOVERED_COUNTER: recovered,
+        UNRECOVERED_COUNTER: unrecovered,
+        RETRIES_COUNTER: retries,
+    }
+    for name, want in expected.items():
+        have = _counter_value(trace.metrics, name)
+        if have != want:
+            return (f"{algorithm}: trace counter {name} is {have} but the "
+                    f"{len(reports)} failure report(s) imply {want}")
+    return None

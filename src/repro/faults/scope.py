@@ -1,0 +1,111 @@
+"""Per-run fault scope: ambient injection state and report collection.
+
+A pipeline ``run()`` opens one :class:`FaultScope` (via :func:`fault_scope`)
+next to its tracer.  The scope snapshots the ambient plan and policy, counts
+hits of every injection point, answers :meth:`FaultScope.fire` queries from
+instrumented layers, and collects the run's :class:`FailureReport` list —
+which the pipeline attaches to ``JoinResult.faults``.  Code probing for
+faults never needs a None check: :func:`current_fault_scope` returns a
+:class:`NullFaultScope` (never fires, drops reports) when no scope is
+active, mirroring the ``NullTracer`` idiom.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Iterator, List, Optional
+
+from repro.faults.plan import EMPTY_PLAN, FaultPlan, FaultSpec
+from repro.faults.policy import RecoveryPolicy, current_policy
+from repro.faults.report import FailureReport, count_fault_metrics
+
+_ACTIVE_PLAN: ContextVar[Optional[FaultPlan]] = ContextVar(
+    "repro_active_fault_plan", default=None)
+
+
+def current_plan() -> FaultPlan:
+    """The ambient fault plan (empty when none installed)."""
+    plan = _ACTIVE_PLAN.get()
+    return plan if plan is not None else EMPTY_PLAN
+
+
+@contextmanager
+def activate_plan(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` as the ambient fault plan for the block."""
+    token = _ACTIVE_PLAN.set(plan)
+    try:
+        yield plan
+    finally:
+        _ACTIVE_PLAN.reset(token)
+
+
+class FaultScope:
+    """Injection and recovery state of one pipeline run."""
+
+    def __init__(self, algorithm: str, plan: Optional[FaultPlan] = None,
+                 policy: Optional[RecoveryPolicy] = None):
+        self.algorithm = algorithm
+        self.plan = plan if plan is not None else current_plan()
+        self.policy = policy if policy is not None else current_policy()
+        self.reports: List[FailureReport] = []
+        self._hits: Dict[str, int] = {}
+
+    def fire(self, point: str, **_context) -> Optional[FaultSpec]:
+        """Count one hit of ``point``; return the spec that fires, if any.
+
+        Every probe counts, including probes during retries — which is how
+        a spec with ``repeat > 1`` makes consecutive attempts fail and a
+        spec with ``repeat = 1`` lets the first retry succeed.
+        """
+        hit = self._hits.get(point, 0) + 1
+        self._hits[point] = hit
+        return self.plan.first_match(self.algorithm, point, hit)
+
+    def hits(self, point: str) -> int:
+        """How many times ``point`` has been probed this run."""
+        return self._hits.get(point, 0)
+
+    def record(self, report: FailureReport) -> FailureReport:
+        """Collect a report and mirror it into the live metrics registry."""
+        self.reports.append(report)
+        count_fault_metrics(report)
+        return report
+
+
+class NullFaultScope(FaultScope):
+    """Scope used outside any run: never fires, retains nothing."""
+
+    def __init__(self):
+        super().__init__(algorithm="", plan=EMPTY_PLAN)
+
+    def fire(self, point: str, **_context) -> Optional[FaultSpec]:
+        return None
+
+    def record(self, report: FailureReport) -> FailureReport:
+        return report
+
+
+_ACTIVE_SCOPE: ContextVar[Optional[FaultScope]] = ContextVar(
+    "repro_active_fault_scope", default=None)
+
+
+def current_fault_scope() -> FaultScope:
+    """The active scope, or a throwaway :class:`NullFaultScope`."""
+    scope = _ACTIVE_SCOPE.get()
+    if scope is not None:
+        return scope
+    return NullFaultScope()
+
+
+@contextmanager
+def fault_scope(algorithm: str, plan: Optional[FaultPlan] = None,
+                policy: Optional[RecoveryPolicy] = None
+                ) -> Iterator[FaultScope]:
+    """Open a fresh fault scope for one pipeline run."""
+    scope = FaultScope(algorithm, plan=plan, policy=policy)
+    token = _ACTIVE_SCOPE.set(scope)
+    try:
+        yield scope
+    finally:
+        _ACTIVE_SCOPE.reset(token)

@@ -41,6 +41,9 @@ from repro.exec.output import (
     OutputSummary,
     combine_summaries,
 )
+from repro.faults.recovery import consume_injected_faults, scale_counters
+from repro.faults.report import FailureReport, current_phase_name
+from repro.faults.scope import current_fault_scope
 from repro.gpu.kernel import BlockWork
 from repro.gpu.simulator import GPUSimulator
 from repro.gpu.warp import lockstep_probe_rounds
@@ -106,6 +109,12 @@ def gbase_join_phase(
     it are split into sub-lists, each joined against the full S partition
     by its own block (``None`` disables decomposition — one block per pair,
     which is GSH's NM-join behaviour).
+
+    Each pair probes the fault scope before its blocks are built: a
+    ``capacity`` fault re-splits the pair's build side into smaller
+    sub-lists (output is unchanged — decomposition only affects cost), and
+    a ``task`` fault (worker crash) re-runs the pair's blocks, charging the
+    wasted fraction as extra block work plus backoff.
     """
     if part_r.fanout != part_s.fanout:
         raise ValueError("R and S partition fanouts differ")
@@ -114,7 +123,10 @@ def gbase_join_phase(
         s_sizes = part_s.sizes()
         pairs = np.flatnonzero((r_sizes > 0) & (s_sizes > 0))
     device = sim.device
+    scope = current_fault_scope()
+    policy = scope.policy
     work: List[BlockWork] = []
+    extra_backoff = 0.0
     # Buffers model the per-block output rings; a bounded pool is shared
     # round-robin (count/checksum are unaffected by which ring a pair uses).
     buffers = [
@@ -131,27 +143,72 @@ def gbase_join_phase(
         r_hashes = part_r.partition_hashes(p)
         s_hashes = part_s.partition_hashes(p)
         n_r = int(r_keys.size)
-        if sublist_capacity is not None and n_r > sublist_capacity:
+        # Capacity fault: the pair's shared-memory table overflowed; re-split
+        # the build side into sub-lists at a reduced capacity and go again.
+        pair_capacity = sublist_capacity
+        cap_episode = consume_injected_faults(scope, ("capacity",),
+                                              partition=p)
+        if cap_episode.retries:
+            base = (pair_capacity if pair_capacity is not None
+                    else device.shared_capacity_tuples)
+            pair_capacity = max(
+                base // (policy.regrow_factor ** cap_episode.retries), 1)
+            extra_backoff += cap_episode.backoff_seconds
+            scope.record(FailureReport(
+                kind=cap_episode.kind, point="capacity",
+                algorithm=scope.algorithm, phase=current_phase_name(),
+                action="re-split", recovered=True, injected=True,
+                retries=cap_episode.retries,
+                backoff_seconds=cap_episode.backoff_seconds,
+                error=cap_episode.errors[-1],
+                context={"partition": p, "sublist_capacity": pair_capacity},
+            ))
+        if pair_capacity is not None and n_r > pair_capacity:
             # Decompose the partition's bucket chain into sub-lists of
             # whole buckets; each sub-list becomes one block's build side.
             chain = BucketChain(partition=p, buckets=[
                 (a, min(a + DEFAULT_BUCKET_TUPLES, n_r))
                 for a in range(0, n_r, DEFAULT_BUCKET_TUPLES)
             ])
-            ranges = sublist_ranges(chain, sublist_capacity)
+            ranges = sublist_ranges(chain, pair_capacity)
         else:
             ranges = [(0, n_r)]
-        for a, b in ranges:
-            work.append(BlockWork(1, probe_block_counters(
+        pair_work = [
+            BlockWork(1, probe_block_counters(
                 r_keys[a:b], r_hashes[a:b], s_keys, s_hashes,
                 device.threads_per_block, bucket_bits,
-            )))
+            ))
+            for a, b in ranges
+        ]
+        # Worker crash: the blocks of this pair re-execute; each wasted
+        # attempt costs a fraction of the pair's block work plus backoff.
+        crash_episode = consume_injected_faults(scope, ("task",),
+                                                partition=p)
+        if crash_episode.retries:
+            for _ in range(crash_episode.retries):
+                work.extend(
+                    BlockWork(w.count,
+                              scale_counters(w.counters,
+                                             policy.crash_cost_fraction))
+                    for w in pair_work
+                )
+            extra_backoff += crash_episode.backoff_seconds
+            scope.record(FailureReport(
+                kind=crash_episode.kind, point="task",
+                algorithm=scope.algorithm, phase=current_phase_name(),
+                action="retry", recovered=True, injected=True,
+                retries=crash_episode.retries,
+                backoff_seconds=crash_episode.backoff_seconds,
+                error=crash_episode.errors[-1],
+                context={"partition": p},
+            ))
+        work.extend(pair_work)
         buf = buffers[i % len(buffers)]
         summaries.append(emit_matches(r_keys, r_pays, s_keys, s_pays, buf))
     launch = sim.launch(kernel_name, work)
     return GpuJoinPhaseResult(
         summary=combine_summaries(summaries),
-        seconds=launch.seconds,
+        seconds=launch.seconds + extra_backoff,
         counters=launch.counters,
         n_blocks=launch.n_blocks,
         buffers=buffers,

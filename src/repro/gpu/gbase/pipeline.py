@@ -6,6 +6,12 @@ bucket-chaining partitioning into shared-memory-sized partitions, then one
 thread block per partition pair with a shared-memory chained hash table,
 write-bitmap output coordination, and sub-list decomposition of large R
 partitions as the skew-handling technique.
+
+When a kernel exhausts its retry budget the pipeline degrades to the CPU
+no-partition join (the bottom of the fallback ladder): phases already
+priced are kept, the fallback run is traced as one ``fallback`` span, and
+the output comes from the CPU run — identical by construction, since both
+joins are functionally exact.
 """
 
 from __future__ import annotations
@@ -13,15 +19,65 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.cpu.no_partition_join import NoPartitionConfig, NoPartitionJoin
 from repro.data.relation import JoinInput
-from repro.errors import ConfigError
+from repro.errors import ConfigError, UnrecoveredFaultError
 from repro.exec.output import DEFAULT_CAPACITY
 from repro.exec.result import JoinResult
+from repro.faults.plan import KERNEL_ABORT
+from repro.faults.recovery import append_partial_phases
+from repro.faults.report import FailureReport
+from repro.faults.scope import FaultScope, fault_scope
 from repro.obs.trace import Tracer, activate
 from repro.gpu.device import A100, DeviceSpec
 from repro.gpu.gbase.join_kernels import gbase_join_phase
 from repro.gpu.partitioning import choose_gpu_bits, gbase_partition
 from repro.gpu.simulator import GPUSimulator, cost_model_for
+
+
+def run_cpu_fallback(
+    result: JoinResult,
+    tracer: Tracer,
+    faults: FaultScope,
+    exc: UnrecoveredFaultError,
+    join_input: JoinInput,
+    output_capacity: int,
+) -> JoinResult:
+    """Degrade a GPU pipeline to cbase-npj after an unrecovered fault.
+
+    Appends the aborted run's partial phases, records the fallback as a
+    recovered report, then runs the CPU no-partition join inside one
+    ``fallback`` span (the inner join activates its own tracer and fault
+    scope, so its spans and reports stay out of the GPU result).  Raises
+    the original error unchanged when the policy forbids falling back.
+    """
+    if not faults.policy.gpu_cpu_fallback:
+        raise exc
+    report = exc.report
+    append_partial_phases(result, tracer)
+    faults.record(FailureReport(
+        kind=report.kind if report else KERNEL_ABORT,
+        point=report.point if report else "kernel",
+        algorithm=faults.algorithm, phase=report.phase if report else "",
+        action="fallback:cbase-npj", recovered=True,
+        injected=report.injected if report else True,
+        retries=report.retries if report else 0,
+        error=str(exc), context=dict(report.context) if report else {},
+    ))
+    with tracer.span("fallback", algo=faults.algorithm,
+                     target="cbase-npj") as span:
+        fallback = NoPartitionJoin(
+            NoPartitionConfig(output_capacity=output_capacity)
+        ).run(join_input)
+        span.finish(
+            simulated_seconds=fallback.simulated_seconds,
+            counters=fallback.counters,
+        )
+    result.phases.append(span.phase_result)
+    result.output_count = fallback.output_count
+    result.output_checksum = fallback.output_checksum
+    result.meta["fallback"] = "cbase-npj"
+    return fallback
 
 
 @dataclass(frozen=True)
@@ -77,39 +133,45 @@ class GbaseJoin:
         tracer = Tracer(self.name, algorithm=self.name,
                         n_r=len(r), n_s=len(s), device=cfg.device.name)
         metrics = tracer.metrics
-        with activate(tracer):
+        with activate(tracer), fault_scope(self.name) as faults:
             metrics.counter("join.tuples_scanned").inc(len(r) + len(s))
 
-            with tracer.span("partition", algo=self.name) as span:
-                part_r = gbase_partition(r.keys, r.payloads, bits1, bits2,
-                                         sim, "r")
-                part_s = gbase_partition(s.keys, s.payloads, bits1, bits2,
-                                         sim, "s")
-                span.finish(
-                    simulated_seconds=part_r.seconds + part_s.seconds,
-                    counters=part_r.counters + part_s.counters,
+            try:
+                with tracer.span("partition", algo=self.name) as span:
+                    part_r = gbase_partition(r.keys, r.payloads, bits1,
+                                             bits2, sim, "r")
+                    part_s = gbase_partition(s.keys, s.payloads, bits1,
+                                             bits2, sim, "s")
+                    span.finish(
+                        simulated_seconds=part_r.seconds + part_s.seconds,
+                        counters=part_r.counters + part_s.counters,
+                    )
+                result.phases.append(span.phase_result)
+                metrics.histogram("partition.sizes").observe_many(
+                    part_r.partitioned.sizes()
                 )
-            result.phases.append(span.phase_result)
-            metrics.histogram("partition.sizes").observe_many(
-                part_r.partitioned.sizes()
-            )
 
-            with tracer.span("join", algo=self.name) as span:
-                phase = gbase_join_phase(
-                    part_r.partitioned, part_s.partitioned, sim,
-                    sublist_capacity=cfg.resolve_sublist_capacity(),
-                    output_capacity=cfg.output_capacity,
-                )
-                span.finish(
-                    simulated_seconds=phase.seconds,
-                    counters=phase.counters,
-                    task_count=phase.n_blocks,
-                )
-            result.phases.append(span.phase_result)
+                with tracer.span("join", algo=self.name) as span:
+                    phase = gbase_join_phase(
+                        part_r.partitioned, part_s.partitioned, sim,
+                        sublist_capacity=cfg.resolve_sublist_capacity(),
+                        output_capacity=cfg.output_capacity,
+                    )
+                    span.finish(
+                        simulated_seconds=phase.seconds,
+                        counters=phase.counters,
+                        task_count=phase.n_blocks,
+                    )
+                result.phases.append(span.phase_result)
 
-        result.output_count = phase.summary.count
-        result.output_checksum = phase.summary.checksum
-        result.meta["join_blocks"] = phase.n_blocks
-        metrics.counter("join.output_tuples").inc(result.output_count)
+                result.output_count = phase.summary.count
+                result.output_checksum = phase.summary.checksum
+                result.meta["join_blocks"] = phase.n_blocks
+            except UnrecoveredFaultError as exc:
+                run_cpu_fallback(result, tracer, faults, exc, join_input,
+                                 cfg.output_capacity)
+
+            metrics.counter("join.output_tuples").inc(result.output_count)
+        result.faults = faults.reports
         result.trace = tracer.record()
         return result

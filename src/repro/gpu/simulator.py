@@ -15,9 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, UnrecoveredFaultError
 from repro.exec.counters import OpCounters
 from repro.exec.cost_model import GPUCostModel
+from repro.faults.plan import KERNEL_OOM
+from repro.faults.report import FailureReport, current_phase_name
+from repro.faults.scope import current_fault_scope
 from repro.gpu.device import A100, DeviceSpec
 from repro.gpu.kernel import BlockWork, KernelLaunch
 from repro.gpu.scheduler import BlockGroup, makespan_from_groups
@@ -50,7 +53,15 @@ class GPUSimulator:
             )
 
     def launch(self, name: str, work: Sequence[BlockWork]) -> KernelLaunch:
-        """Price one kernel launch and record it on the timeline."""
+        """Price one kernel launch and record it on the timeline.
+
+        The launch probes the fault scope's ``kernel`` injection point: an
+        injected abort/OOM is recovered by relaunching (wasted execution
+        fraction + backoff folded into the launch's seconds); exhausting
+        the retry budget finishes the kernel span with the wasted time and
+        raises :class:`UnrecoveredFaultError` for the pipeline's fallback
+        ladder.
+        """
         tracer = current_tracer()
         with tracer.span(f"kernel:{name}", kind="kernel",
                          device=self.device.name) as span:
@@ -62,6 +73,7 @@ class GPUSimulator:
             seconds = makespan + self.cost_model.kernel_launch_s
             counters = OpCounters.sum(w.total_counters for w in work)
             n_blocks = sum(w.count for w in work)
+            seconds += self._kernel_recovery_seconds(name, seconds, span)
             launch = KernelLaunch(name=name, seconds=seconds,
                                   counters=counters, n_blocks=n_blocks)
             self.launches.append(launch)
@@ -71,6 +83,54 @@ class GPUSimulator:
         metrics.counter("gpu.kernel_launches").inc()
         metrics.counter("gpu.blocks_dispatched").inc(n_blocks)
         return launch
+
+    def _kernel_recovery_seconds(self, name: str, seconds: float,
+                                 span) -> float:
+        """Probe the ``kernel`` injection point; absorb aborts by relaunch.
+
+        On exhaustion the kernel span is finished with the wasted seconds
+        (so traces of aborted phases stay internally consistent) before
+        :class:`UnrecoveredFaultError` propagates.
+        """
+        scope = current_fault_scope()
+        policy = scope.policy
+        retries = 0
+        backoff_total = 0.0
+        kind = None
+        while True:
+            spec = scope.fire("kernel", kernel=name)
+            if spec is None:
+                break
+            retries += 1
+            kind = spec.kind
+            backoff_total += policy.backoff_seconds(retries)
+            if retries > policy.max_retries:
+                wasted = retries * policy.crash_cost_fraction * seconds
+                report = scope.record(FailureReport(
+                    kind=kind, point="kernel", algorithm=scope.algorithm,
+                    phase=current_phase_name(), action="abort",
+                    recovered=False, injected=True, retries=retries,
+                    backoff_seconds=backoff_total,
+                    error=f"kernel {name!r} relaunch budget exhausted",
+                    context={"kernel": name, "oom": kind == KERNEL_OOM},
+                ))
+                span.finish(simulated_seconds=wasted + backoff_total,
+                            counters=OpCounters(), aborted=1.0)
+                raise UnrecoveredFaultError(
+                    f"kernel {name!r} exhausted {policy.max_retries} "
+                    "retries", report=report, kernel=name)
+        if retries == 0:
+            return 0.0
+        wasted = retries * policy.crash_cost_fraction * seconds
+        scope.record(FailureReport(
+            kind=kind, point="kernel", algorithm=scope.algorithm,
+            phase=current_phase_name(), action="relaunch", recovered=True,
+            injected=True, retries=retries, backoff_seconds=backoff_total,
+            error=f"injected {kind} in kernel {name!r}",
+            context={"kernel": name, "wasted_seconds": wasted},
+        ))
+        current_tracer().metrics.counter("gpu.kernel_retries").inc(retries)
+        return wasted + backoff_total
 
     @property
     def total_seconds(self) -> float:

@@ -10,6 +10,8 @@ See ``docs/observability.md`` for the schema.
 from __future__ import annotations
 
 import json
+import os
+import warnings
 from pathlib import Path
 from typing import Dict, Iterable, List, Union
 
@@ -102,18 +104,39 @@ def write_jsonl(records: Iterable[Dict], path: Union[str, Path]) -> int:
         for record in records:
             fh.write(json.dumps(record, sort_keys=True) + "\n")
             n += 1
+        fh.flush()
+        os.fsync(fh.fileno())
     return n
 
 
-def read_jsonl(path: Union[str, Path]) -> List[Dict]:
-    """Read every JSON line of ``path`` (blank lines skipped)."""
+def read_jsonl(path: Union[str, Path],
+               tolerant: bool = False) -> List[Dict]:
+    """Read every JSON line of ``path`` (blank lines skipped).
+
+    With ``tolerant=True`` a corrupt *trailing* line — the signature of a
+    torn append (the process died mid-write) — is skipped with a warning
+    instead of failing the whole load.  Corruption anywhere else always
+    raises: a damaged interior line means the artifact was edited or
+    truncated by something other than a torn append, and silently dropping
+    it would misreport the sweep.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    last_content = max(
+        (i for i, line in enumerate(lines) if line.strip()), default=-1)
     out: List[Dict] = []
-    for i, line in enumerate(Path(path).read_text(encoding="utf-8").splitlines()):
+    for i, line in enumerate(lines):
         line = line.strip()
         if not line:
             continue
         try:
             out.append(json.loads(line))
         except json.JSONDecodeError as exc:
-            raise ReproError(f"{path}:{i + 1}: invalid JSON line: {exc}") from None
+            if tolerant and i == last_content:
+                warnings.warn(
+                    f"{path}:{i + 1}: skipping truncated trailing line "
+                    f"(torn append): {exc}",
+                    RuntimeWarning, stacklevel=2)
+                break
+            raise ReproError(
+                f"{path}:{i + 1}: invalid JSON line: {exc}") from None
     return out

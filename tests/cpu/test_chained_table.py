@@ -24,15 +24,23 @@ def to_cols(pairs):
 def test_build_then_double_build_rejected():
     t = ChainedHashTable(8)
     t.build(np.array([1], np.uint32), np.array([2], np.uint32))
-    with pytest.raises(CapacityError):
+    with pytest.raises(CapacityError) as exc_info:
         t.build(np.array([1], np.uint32), np.array([2], np.uint32))
+    ctx = exc_info.value.context
+    assert ctx["structure"] == "chained-hash-table"
+    assert ctx["state"] == "built"
+    assert ctx["n_buckets"] == 8
+    assert ctx["n_entries"] == 1
 
 
 def test_probe_before_build_rejected():
     t = ChainedHashTable(8)
     buf = JoinOutputBuffer(8)
-    with pytest.raises(CapacityError):
+    with pytest.raises(CapacityError) as exc_info:
         t.probe_grouped(np.array([1], np.uint32), np.array([2], np.uint32), buf)
+    ctx = exc_info.value.context
+    assert ctx["structure"] == "chained-hash-table"
+    assert ctx["state"] == "unbuilt"
 
 
 def test_bucket_count_rounded_to_pow2():

@@ -36,8 +36,15 @@ def test_above_threshold_and_top_k():
 
 def test_capacity_error_when_overfull():
     table = LinearProbingCounter(8)
-    with pytest.raises(CapacityError):
+    with pytest.raises(CapacityError) as exc_info:
         table.insert_all(np.arange(100, dtype=np.uint32))
+    # The error carries machine-readable context for the recovery layer.
+    ctx = exc_info.value.context
+    assert ctx["structure"] == "linear-probing-counter"
+    assert ctx["capacity"] == 8
+    assert ctx["observed"] == 100
+    assert ctx["load_factor"] == 0.75
+    assert "capacity=8" in str(exc_info.value)
 
 
 def test_counters_account_probe_work():

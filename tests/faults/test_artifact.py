@@ -1,0 +1,93 @@
+"""Artifact corruption: torn appends, tolerant loads, atomic repair."""
+
+import warnings
+
+import pytest
+
+from repro.api import make_join
+from repro.errors import ArtifactCorruptionError, ReproError
+from repro.exec.serialize import (
+    append_results_jsonl,
+    results_from_jsonl_file,
+    results_to_jsonl,
+)
+from repro.faults.plan import ARTIFACT_CORRUPTION, FaultPlan, FaultSpec
+from repro.faults.scope import activate_plan, fault_scope
+from repro.obs.export import read_jsonl
+
+
+@pytest.fixture(scope="module")
+def one_result(request):
+    from repro.data.zipf import ZipfWorkload
+
+    join_input = ZipfWorkload(2048, 2048, theta=0.9, seed=3).generate()
+    return make_join("cbase").run(join_input)
+
+
+def artifact_plan():
+    return FaultPlan((FaultSpec(kind=ARTIFACT_CORRUPTION,
+                                point="artifact"),))
+
+
+def test_append_fsyncs_clean_lines(tmp_path, one_result):
+    path = tmp_path / "results.jsonl"
+    assert append_results_jsonl([one_result], path) == 1
+    assert append_results_jsonl([one_result], path) == 1
+    loaded = results_from_jsonl_file(path)
+    assert len(loaded) == 2
+    assert all(r.matches(one_result) for r in loaded)
+
+
+def test_injected_torn_append_raises_typed_and_truncates(tmp_path,
+                                                         one_result):
+    path = tmp_path / "torn.jsonl"
+    append_results_jsonl([one_result], path)
+    with activate_plan(artifact_plan()), fault_scope("cbase") as scope:
+        with pytest.raises(ArtifactCorruptionError) as exc_info:
+            append_results_jsonl([one_result], path)
+    assert exc_info.value.report is not None
+    assert scope.reports and not scope.reports[0].recovered
+    text = path.read_text(encoding="utf-8")
+    assert not text.endswith("\n")  # the torn line has no newline
+    # Strict load refuses the damaged artifact...
+    with pytest.raises(ReproError):
+        results_from_jsonl_file(path)
+    # ...tolerant load warns, drops the torn line, keeps the intact one.
+    with pytest.warns(RuntimeWarning, match="torn append"):
+        loaded = results_from_jsonl_file(path, tolerant=True)
+    assert len(loaded) == 1 and loaded[0].matches(one_result)
+
+
+def test_tolerant_load_rejects_interior_corruption(tmp_path, one_result):
+    path = tmp_path / "interior.jsonl"
+    good = results_to_jsonl([one_result])
+    path.write_text("{ not json\n" + good, encoding="utf-8")
+    # Interior damage is not a torn append: always an error.
+    with pytest.raises(ReproError):
+        read_jsonl(path, tolerant=True)
+
+
+def test_tolerant_load_of_clean_file_does_not_warn(tmp_path, one_result):
+    path = tmp_path / "clean.jsonl"
+    append_results_jsonl([one_result], path)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        loaded = results_from_jsonl_file(path, tolerant=True)
+    assert len(loaded) == 1
+
+
+def test_faults_round_trip_through_jsonl(tmp_path):
+    from repro.data.zipf import ZipfWorkload
+    from repro.faults.plan import WORKER_CRASH, FaultSpec
+    from repro.faults.scope import activate_plan
+
+    join_input = ZipfWorkload(2048, 2048, theta=0.9, seed=3).generate()
+    plan = FaultPlan((FaultSpec(kind=WORKER_CRASH, point="task"),))
+    with activate_plan(plan):
+        record = make_join("cbase").run(join_input)
+    assert record.faults, "the injected crash must leave a report"
+    path = tmp_path / "faults.jsonl"
+    append_results_jsonl([record], path)
+    loaded = results_from_jsonl_file(path)[0]
+    assert loaded.faults == record.faults
+    assert loaded.matches(record)

@@ -1,0 +1,58 @@
+"""Chaos property: every injected fault recovers exactly or fails typed.
+
+The invariant under test is the one ``repro chaos`` enforces in CI: for
+every fault class applicable to every algorithm, the faulted run either
+completes with output identical to the fault-free baseline (reports and
+trace counters consistent), or raises a ReproError subclass that carries
+the episode's FailureReport — never a bare traceback, never silently
+wrong output.
+"""
+
+import pytest
+
+from repro.data.zipf import ZipfWorkload
+from repro.faults.chaos import run_chaos
+from repro.faults.plan import DEFAULT_CHAOS_ALGORITHMS, kinds_for
+
+
+@pytest.fixture(scope="module")
+def chaos_input():
+    # The chaos workload scale: the seeded plans' occurrence windows assume
+    # every algorithm reaches >= 2 partition pairs, which needs >= 8192
+    # tuples (at 4096 Gbase fits a single partition and task occurrence 2
+    # never fires).
+    return ZipfWorkload(8192, 8192, theta=1.0, seed=7).generate()
+
+
+@pytest.mark.parametrize("seed", [0, 42])
+def test_full_sweep_recovers_or_fails_typed(chaos_input, seed):
+    outcome = run_chaos(chaos_input, seed=seed)
+    failures = [case.summary_line() for case in outcome.cases if not case.ok]
+    assert outcome.ok, "chaos cases failed:\n" + "\n".join(failures)
+    # Every applicable fault class of every algorithm was exercised.
+    exercised = {(c.algorithm, c.spec.kind) for c in outcome.cases}
+    expected = {(alg, kind)
+                for alg in DEFAULT_CHAOS_ALGORITHMS
+                for kind in kinds_for(alg)}
+    assert exercised == expected
+    # Each case recorded at least one injected fault episode.
+    for case in outcome.cases:
+        assert any(r.injected for r in case.reports), case.summary_line()
+
+
+def test_sweep_renders_a_summary(chaos_input):
+    outcome = run_chaos(chaos_input, seed=1,
+                        algorithms=("cbase", "gbase"))
+    text = outcome.render()
+    assert "seed=1" in text
+    assert "cases ok" in text
+    assert all(case.spec.label() in text for case in outcome.cases)
+
+
+def test_chaos_is_deterministic(chaos_input):
+    first = run_chaos(chaos_input, seed=3, algorithms=("cbase",))
+    second = run_chaos(chaos_input, seed=3, algorithms=("cbase",))
+    assert [c.outcome for c in first.cases] == \
+           [c.outcome for c in second.cases]
+    assert [len(c.reports) for c in first.cases] == \
+           [len(c.reports) for c in second.cases]

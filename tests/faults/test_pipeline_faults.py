@@ -1,0 +1,164 @@
+"""Injection through the real pipelines: recovery, degradation, fallback.
+
+Each test runs a pipeline fault-free for a baseline, re-runs it under an
+activated fault plan, and requires the faulted run to (a) produce the
+identical join output, (b) charge at least as much simulated time as the
+baseline (a retry off the critical path can legitimately be hidden by
+parallel workers, so strict growth is not guaranteed — the injected
+report is the recovery evidence), and (c) carry consistent failure
+reports and trace counters.
+"""
+
+import pytest
+
+from tests.conftest import assert_result_correct
+from repro.api import make_join
+from repro.errors import ReproError, UnrecoveredFaultError
+from repro.faults.plan import (
+    CAPACITY_OVERFLOW,
+    FaultPlan,
+    FaultSpec,
+    KERNEL_ABORT,
+    KERNEL_OOM,
+    WORKER_CRASH,
+)
+from repro.faults.policy import RecoveryPolicy, activate_policy
+from repro.faults.report import verify_result_faults
+from repro.faults.scope import activate_plan
+from repro.obs.trace import verify_result_trace
+
+
+def plan_of(kind, point, **kw):
+    return FaultPlan((FaultSpec(kind=kind, point=point, **kw),))
+
+
+def run_faulted(algorithm, plan, join_input, policy=None):
+    with activate_plan(plan), \
+         activate_policy(policy or RecoveryPolicy()):
+        return make_join(algorithm).run(join_input)
+
+
+def check_recovered(result, baseline, join_input):
+    assert result.matches(baseline)
+    assert_result_correct(result, join_input)
+    assert result.simulated_seconds >= baseline.simulated_seconds
+    assert any(r.injected for r in result.faults)
+    assert verify_result_faults(result) is None
+    assert verify_result_trace(result) is None
+
+
+@pytest.mark.parametrize("algorithm", ["cbase", "cbase-npj", "csh"])
+def test_cpu_worker_crash_recovers(algorithm, small_skewed):
+    baseline = make_join(algorithm).run(small_skewed)
+    result = run_faulted(algorithm, plan_of(WORKER_CRASH, "task"),
+                         small_skewed)
+    check_recovered(result, baseline, small_skewed)
+    report = next(r for r in result.faults if r.injected)
+    assert report.kind == WORKER_CRASH and report.recovered
+
+
+@pytest.mark.parametrize("algorithm", ["cbase", "csh"])
+def test_cpu_phase_abort_reruns(algorithm, small_skewed):
+    baseline = make_join(algorithm).run(small_skewed)
+    result = run_faulted(algorithm, plan_of(KERNEL_ABORT, "phase"),
+                         small_skewed)
+    check_recovered(result, baseline, small_skewed)
+
+
+def test_npj_capacity_overflow_regrows(small_skewed):
+    baseline = make_join("cbase-npj").run(small_skewed)
+    result = run_faulted("cbase-npj", plan_of(CAPACITY_OVERFLOW, "capacity"),
+                         small_skewed)
+    check_recovered(result, baseline, small_skewed)
+    report = next(r for r in result.faults if r.injected)
+    assert report.action == "regrow"
+
+
+def test_csh_detector_overflow_regrows(small_skewed):
+    baseline = make_join("csh").run(small_skewed)
+    result = run_faulted("csh", plan_of(CAPACITY_OVERFLOW, "detect"),
+                         small_skewed)
+    check_recovered(result, baseline, small_skewed)
+    report = next(r for r in result.faults if r.injected)
+    assert report.point == "detect" and report.action == "regrow"
+
+
+@pytest.mark.parametrize("kind", [KERNEL_ABORT, KERNEL_OOM])
+@pytest.mark.parametrize("algorithm", ["gbase", "gsh"])
+def test_gpu_kernel_fault_relaunches(algorithm, kind, small_skewed):
+    baseline = make_join(algorithm).run(small_skewed)
+    result = run_faulted(algorithm, plan_of(kind, "kernel"), small_skewed)
+    check_recovered(result, baseline, small_skewed)
+    report = next(r for r in result.faults if r.injected)
+    assert report.action == "relaunch" and report.kind == kind
+    assert "fallback" not in result.meta
+
+
+def test_gbase_capacity_overflow_resplits(small_skewed):
+    baseline = make_join("gbase").run(small_skewed)
+    result = run_faulted("gbase", plan_of(CAPACITY_OVERFLOW, "capacity"),
+                         small_skewed)
+    check_recovered(result, baseline, small_skewed)
+    report = next(r for r in result.faults if r.injected)
+    assert report.action == "re-split"
+
+
+def test_gsh_split_failure_degrades_to_sublists(small_skewed):
+    baseline = make_join("gsh").run(small_skewed)
+    result = run_faulted("gsh", plan_of(CAPACITY_OVERFLOW, "split"),
+                         small_skewed)
+    assert result.matches(baseline)
+    assert_result_correct(result, small_skewed)
+    assert result.meta["degraded"] == "gbase-sublist"
+    assert "skew-join" not in [p.name for p in result.phases]
+    report = next(r for r in result.faults if r.injected)
+    assert report.action == "fallback:gbase-sublist"
+    assert verify_result_faults(result) is None
+    assert verify_result_trace(result) is None
+
+
+@pytest.mark.parametrize("algorithm", ["gbase", "gsh"])
+def test_gpu_exhausted_kernel_falls_back_to_cpu(algorithm, small_skewed):
+    baseline = make_join(algorithm).run(small_skewed)
+    plan = plan_of(KERNEL_ABORT, "kernel", repeat=10)
+    result = run_faulted(algorithm, plan, small_skewed)
+    assert result.matches(baseline)
+    assert_result_correct(result, small_skewed)
+    assert result.meta["fallback"] == "cbase-npj"
+    assert [p.name for p in result.phases][-1] == "fallback"
+    # The aborted GPU attempt and the CPU fallback both leave reports.
+    assert any(not r.recovered for r in result.faults)
+    assert any(r.recovered and r.action == "fallback:cbase-npj"
+               for r in result.faults)
+    assert verify_result_faults(result) is None
+    assert verify_result_trace(result) is None
+
+
+def test_fallback_disabled_raises_typed_error(small_skewed):
+    plan = plan_of(KERNEL_ABORT, "kernel", repeat=10)
+    policy = RecoveryPolicy(gpu_cpu_fallback=False)
+    with pytest.raises(UnrecoveredFaultError) as exc_info:
+        run_faulted("gbase", plan, small_skewed, policy=policy)
+    assert isinstance(exc_info.value, ReproError)
+    assert exc_info.value.report is not None
+
+
+def test_gsh_sublist_fallback_disabled_escalates(small_skewed):
+    baseline = make_join("gsh").run(small_skewed)
+    plan = plan_of(CAPACITY_OVERFLOW, "split")
+    policy = RecoveryPolicy(gsh_sublist_fallback=False)
+    # The split failure cannot degrade; it escalates out of the run as a
+    # CapacityError (typed), not a bare exception.
+    with pytest.raises(ReproError):
+        run_faulted("gsh", plan, small_skewed, policy=policy)
+    # And with both rungs enabled the same plan recovers exactly.
+    recovered = run_faulted("gsh", plan, small_skewed)
+    assert recovered.matches(baseline)
+
+
+def test_fault_free_run_is_unchanged(small_skewed):
+    baseline = make_join("cbase").run(small_skewed)
+    again = make_join("cbase").run(small_skewed)
+    assert again.matches(baseline)
+    assert again.simulated_seconds == baseline.simulated_seconds
+    assert again.faults == []

@@ -1,0 +1,96 @@
+"""Fault plans: spec matching, point mapping, seeded determinism."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.plan import (
+    ARTIFACT_CORRUPTION,
+    CAPACITY_OVERFLOW,
+    DEFAULT_CHAOS_ALGORITHMS,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    KERNEL_ABORT,
+    KERNEL_OOM,
+    WORKER_CRASH,
+    injection_point,
+    kinds_for,
+    seeded_plan,
+)
+
+
+def test_spec_matches_occurrence_window():
+    spec = FaultSpec(kind=WORKER_CRASH, point="task", occurrence=2, repeat=2)
+    assert not spec.matches("cbase", "task", 1)
+    assert spec.matches("cbase", "task", 2)
+    assert spec.matches("cbase", "task", 3)
+    assert not spec.matches("cbase", "task", 4)
+    assert not spec.matches("cbase", "kernel", 2)
+
+
+def test_spec_algorithm_filter():
+    spec = FaultSpec(kind=WORKER_CRASH, point="task", algorithm="gbase")
+    assert spec.matches("gbase", "task", 1)
+    assert not spec.matches("cbase", "task", 1)
+    anywhere = FaultSpec(kind=WORKER_CRASH, point="task")
+    assert anywhere.matches("cbase", "task", 1)
+    assert anywhere.matches("gsh", "task", 1)
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigError):
+        FaultSpec(kind="meteor-strike", point="task")
+    with pytest.raises(ConfigError):
+        FaultSpec(kind=WORKER_CRASH, point="nowhere")
+    with pytest.raises(ConfigError):
+        FaultSpec(kind=WORKER_CRASH, point="task", occurrence=0)
+    with pytest.raises(ConfigError):
+        FaultSpec(kind=WORKER_CRASH, point="task", repeat=0)
+
+
+def test_plan_first_match_order():
+    first = FaultSpec(kind=WORKER_CRASH, point="task")
+    second = FaultSpec(kind=CAPACITY_OVERFLOW, point="task")
+    plan = FaultPlan((first, second))
+    assert plan.first_match("cbase", "task", 1) is first
+    assert plan.first_match("cbase", "kernel", 1) is None
+    assert len(plan) == 2
+
+
+def test_injection_point_mapping():
+    assert injection_point("cbase", WORKER_CRASH) == "task"
+    assert injection_point("gbase", KERNEL_ABORT) == "kernel"
+    assert injection_point("cbase", KERNEL_ABORT) == "phase"
+    assert injection_point("csh", CAPACITY_OVERFLOW) == "detect"
+    assert injection_point("gsh", CAPACITY_OVERFLOW) == "split"
+    assert injection_point("cbase", CAPACITY_OVERFLOW) == "capacity"
+    assert injection_point("gsh", ARTIFACT_CORRUPTION) == "artifact"
+
+
+def test_kinds_for_restricts_oom_to_gpu():
+    assert KERNEL_OOM in kinds_for("gbase")
+    assert KERNEL_OOM in kinds_for("gsh")
+    assert KERNEL_OOM not in kinds_for("cbase")
+    assert KERNEL_OOM not in kinds_for("csh")
+    for algorithm in DEFAULT_CHAOS_ALGORITHMS:
+        assert set(kinds_for(algorithm)) <= set(FAULT_KINDS)
+
+
+def test_seeded_plan_deterministic_and_complete():
+    plan_a = seeded_plan(42)
+    plan_b = seeded_plan(42)
+    assert plan_a.specs == plan_b.specs
+    # One spec per applicable fault class per algorithm.
+    for algorithm in DEFAULT_CHAOS_ALGORITHMS:
+        specs = [s for s in plan_a.specs if s.algorithm == algorithm]
+        assert sorted(s.kind for s in specs) == sorted(kinds_for(algorithm))
+        for spec in specs:
+            assert spec.point == injection_point(algorithm, spec.kind)
+
+
+def test_seeded_plans_differ_across_seeds():
+    occurrences = {
+        seed: tuple(s.occurrence for s in seeded_plan(seed).specs)
+        for seed in range(20)
+    }
+    assert len(set(occurrences.values())) > 1

@@ -1,0 +1,109 @@
+"""The bounded-retry engine: pre-fired injection, regrow, exhaustion."""
+
+import pytest
+
+from repro.errors import CapacityError, UnrecoveredFaultError
+from repro.exec.counters import OpCounters
+from repro.faults.plan import CAPACITY_OVERFLOW, FaultPlan, FaultSpec, WORKER_CRASH
+from repro.faults.policy import RecoveryPolicy
+from repro.faults.recovery import (
+    run_task_with_recovery,
+    scale_counters,
+)
+from repro.faults.scope import FaultScope
+
+
+def crash_plan(repeat=1, occurrence=1):
+    return FaultPlan((FaultSpec(kind=WORKER_CRASH, point="task",
+                                occurrence=occurrence, repeat=repeat),))
+
+
+def test_scale_counters_discards_output():
+    counters = OpCounters(hash_ops=100, output_tuples=40, bytes_read=800)
+    wasted = scale_counters(counters, 0.5)
+    assert wasted.hash_ops == 50
+    assert wasted.bytes_read == 400
+    # A crashed attempt's output is discarded — no double counting.
+    assert wasted.output_tuples == 0
+
+
+def test_injected_crash_runs_task_exactly_once():
+    scope = FaultScope("cbase", plan=crash_plan())
+    calls = []
+
+    def run(counters, attempt):
+        calls.append(attempt)
+        counters.output_tuples += 10
+        return "done"
+
+    outcome = run_task_with_recovery(run, scope, points=("task",))
+    # The injected fault is consumed before the work executes, so the
+    # functional task runs once and its output is counted once.
+    assert calls == [1]
+    assert outcome.value == "done"
+    assert outcome.counters.output_tuples == 10
+    assert outcome.retries == 1
+    assert all(w.output_tuples == 0 for w in outcome.wasted)
+    assert len(outcome.backoffs) == 1 and outcome.backoffs[0] > 0
+    assert len(scope.reports) == 1
+    report = scope.reports[0]
+    assert report.recovered and report.injected
+    assert report.kind == WORKER_CRASH and report.retries == 1
+
+
+def test_organic_capacity_error_regrows():
+    scope = FaultScope("cbase", plan=FaultPlan(()))
+
+    def run(counters, attempt):
+        counters.hash_ops += 100
+        if attempt < 2:
+            raise CapacityError("table overflow", capacity=1 << attempt)
+        return attempt
+
+    outcome = run_task_with_recovery(run, scope, points=("capacity",))
+    assert outcome.value == 2
+    assert outcome.retries == 2
+    assert len(outcome.wasted) == 2
+    report = scope.reports[0]
+    assert report.kind == CAPACITY_OVERFLOW
+    assert report.action == "regrow"
+    assert not report.injected  # organic failure
+    assert report.context.get("capacity") == 2  # from the last error
+
+
+def test_repeat_beyond_budget_raises_typed_error():
+    policy = RecoveryPolicy(max_retries=2)
+    scope = FaultScope("cbase", plan=crash_plan(repeat=10), policy=policy)
+
+    def run(counters, attempt):  # pragma: no cover - never reached
+        raise AssertionError("task must not execute when injection exhausts")
+
+    with pytest.raises(UnrecoveredFaultError) as exc_info:
+        run_task_with_recovery(run, scope, points=("task",))
+    report = exc_info.value.report
+    assert report is not None
+    assert not report.recovered
+    assert report.retries == policy.max_retries + 1
+    assert scope.reports == [report]
+
+
+def test_organic_exhaustion_raises_with_context():
+    policy = RecoveryPolicy(max_retries=1)
+    scope = FaultScope("cbase", plan=FaultPlan(()), policy=policy)
+
+    def run(counters, attempt):
+        raise CapacityError("still too small", capacity=64, observed=512)
+
+    with pytest.raises(UnrecoveredFaultError) as exc_info:
+        run_task_with_recovery(run, scope, points=("capacity",))
+    exc = exc_info.value
+    assert exc.report is not None and not exc.report.recovered
+    assert exc.report.context.get("observed") == 512
+    assert exc.context.get("capacity") == 64
+
+
+def test_backoff_grows_exponentially():
+    policy = RecoveryPolicy(backoff_base_seconds=1e-3, backoff_factor=2.0)
+    assert policy.backoff_seconds(1) == pytest.approx(1e-3)
+    assert policy.backoff_seconds(2) == pytest.approx(2e-3)
+    assert policy.backoff_seconds(3) == pytest.approx(4e-3)

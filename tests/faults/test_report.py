@@ -1,0 +1,97 @@
+"""Failure reports: round-trip, metrics mirroring, consistency checks."""
+
+from repro.exec.result import JoinResult
+from repro.faults.plan import CAPACITY_OVERFLOW, WORKER_CRASH
+from repro.faults.report import (
+    FailureReport,
+    INJECTED_COUNTER,
+    RECOVERED_COUNTER,
+    RETRIES_COUNTER,
+    UNRECOVERED_COUNTER,
+    attach_posthoc_report,
+    bump_trace_counter,
+    count_fault_metrics,
+    verify_result_faults,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceRecord
+
+
+def make_report(**overrides):
+    base = dict(
+        kind=WORKER_CRASH, point="task", algorithm="cbase", phase="join",
+        action="retry", recovered=True, injected=True, retries=2,
+        backoff_seconds=3e-4, error="injected worker-crash",
+        context={"partition": 3, "capacity": 4096},
+    )
+    base.update(overrides)
+    return FailureReport(**base)
+
+
+def test_report_round_trip():
+    report = make_report()
+    rebuilt = FailureReport.from_dict(report.to_dict())
+    assert rebuilt == report
+    assert rebuilt.to_dict() == report.to_dict()
+
+
+def test_report_summary_line_mentions_outcome():
+    assert "recovered" in make_report().summary_line()
+    assert "UNRECOVERED" in make_report(recovered=False).summary_line()
+    assert "organic" in make_report(injected=False).summary_line()
+
+
+def test_count_fault_metrics_explicit_registry():
+    metrics = MetricsRegistry()
+    count_fault_metrics(make_report(), metrics=metrics)
+    count_fault_metrics(
+        make_report(recovered=False, retries=0, kind=CAPACITY_OVERFLOW),
+        metrics=metrics)
+    snap = metrics.snapshot()
+    assert snap[INJECTED_COUNTER]["value"] == 2
+    assert snap[RECOVERED_COUNTER]["value"] == 1
+    assert snap[UNRECOVERED_COUNTER]["value"] == 1
+    assert snap[RETRIES_COUNTER]["value"] == 2
+    assert snap[f"faults.kind.{WORKER_CRASH}"]["value"] == 1
+
+
+def result_with_trace():
+    result = JoinResult(algorithm="cbase", n_r=10, n_s=10,
+                        output_count=5, output_checksum=7)
+    result.trace = TraceRecord(name="cbase", attrs={}, spans=[], metrics={})
+    return result
+
+
+def test_verify_result_faults_passes_fault_free():
+    assert verify_result_faults(result_with_trace()) is None
+
+
+def test_verify_result_faults_flags_missing_counters():
+    result = result_with_trace()
+    result.faults.append(make_report())
+    error = verify_result_faults(result)
+    assert error is not None and INJECTED_COUNTER in error
+
+
+def test_verify_result_faults_flags_reports_without_trace():
+    result = result_with_trace()
+    result.trace = None
+    result.faults.append(make_report())
+    assert "no trace" in verify_result_faults(result)
+
+
+def test_attach_posthoc_report_keeps_consistency():
+    result = result_with_trace()
+    attach_posthoc_report(result, make_report())
+    assert verify_result_faults(result) is None
+    assert result.trace.metrics[INJECTED_COUNTER]["value"] == 1
+    assert result.trace.metrics[RETRIES_COUNTER]["value"] == 2
+
+
+def test_bump_trace_counter_creates_and_increments():
+    metrics = {}
+    bump_trace_counter(metrics, "faults.injected", 1)
+    bump_trace_counter(metrics, "faults.injected", 2)
+    bump_trace_counter(metrics, "faults.noop", 0)
+    assert metrics["faults.injected"]["value"] == 3
+    assert "faults.noop" not in metrics

@@ -16,7 +16,8 @@ def referenced_paths(text):
 
 @pytest.mark.parametrize("doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md",
                                  "docs/cost_model.md", "docs/architecture.md",
-                                 "docs/api.md", "docs/observability.md"])
+                                 "docs/api.md", "docs/observability.md",
+                                 "docs/robustness.md"])
 def test_doc_exists_and_nonempty(doc):
     path = ROOT / doc
     assert path.exists(), doc

@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test lint trace-smoke chaos-smoke bench bench-paper examples docs-check all
+.PHONY: install test lint trace-smoke chaos-smoke bench bench-paper bench-record bench-compare diff-backends examples docs-check all
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -31,6 +31,18 @@ bench:
 # Regenerate every table/figure at the paper's full 32M scale (~30 min).
 bench-paper:
 	REPRO_BENCH_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Refresh the committed wall-time baseline in place (commit the result).
+bench-record:
+	$(PYTHON) -m repro bench --record --tag seed
+
+# Gate the working tree against the committed baseline (the CI gate).
+bench-compare:
+	$(PYTHON) -m repro bench --compare BENCH_seed.json
+
+# Scalar-vs-vector differential over the full algorithm x dataset grid.
+diff-backends:
+	$(PYTHON) -m repro diff --tuples 4096
 
 examples:
 	$(PYTHON) examples/quickstart.py

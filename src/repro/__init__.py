@@ -23,6 +23,7 @@ from repro.cpu.radix_join import CbaseConfig, CbaseJoin
 from repro.data.relation import JoinInput, Relation
 from repro.data.zipf import ZipfWorkload
 from repro.errors import ReproError
+from repro.exec.backend import BACKENDS, current_backend, use_backend
 from repro.exec.result import JoinResult
 from repro.gpu.device import A100, DeviceSpec
 from repro.gpu.gbase import GbaseConfig, GbaseJoin
@@ -41,6 +42,9 @@ __all__ = [
     "ZipfWorkload",
     "JoinResult",
     "ReproError",
+    "BACKENDS",
+    "current_backend",
+    "use_backend",
     "CbaseJoin",
     "CbaseConfig",
     "NoPartitionJoin",

@@ -1,0 +1,430 @@
+"""Benchmark recording and the wall-time regression gate.
+
+``repro bench --record`` executes every join pipeline at the executed
+bench scale, several repeats per backend, and writes a schema-versioned
+``BENCH_<tag>.json`` snapshot: per-phase **median wall seconds** per
+backend, plus the operation counters (which are backend-invariant by
+construction — the differential suite enforces that).
+
+``repro bench --compare BASELINE`` records a fresh candidate under the
+baseline's own settings and fails (exit nonzero) when any phase's median
+wall time regresses more than the threshold (default 25%) beyond a small
+absolute floor that keeps microsecond phases from tripping the gate.
+
+Baselines age: a missing file or an old schema raises the typed
+:class:`~repro.errors.BaselineError` with the command that re-records it —
+never a stack trace.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.data.zipf import ZipfWorkload
+from repro.errors import BaselineError, VerificationError
+from repro.exec.backend import BACKENDS, SCALAR, VECTOR, use_backend
+
+#: Version of the BENCH_<tag>.json schema this module reads and writes.
+BENCH_SCHEMA_VERSION = 1
+
+#: A phase regresses when its candidate median exceeds the baseline median
+#: by more than this fraction...
+DEFAULT_REGRESSION_THRESHOLD = 0.25
+
+#: ...and by more than this many seconds (sub-floor phases are noise).
+WALL_FLOOR_SECONDS = 5e-3
+
+#: Default repeats per (algorithm, backend) case.
+DEFAULT_REPEATS = 3
+
+#: Default workload shape for recorded benches (heavy skew — the regime
+#: the paper and the skew-conscious pipelines are about).
+DEFAULT_BENCH_THETA = 1.0
+DEFAULT_BENCH_SEED = 42
+
+
+@dataclass
+class PhaseBench:
+    """Recorded timings of one pipeline phase."""
+
+    name: str
+    #: Median wall seconds per backend, e.g. {"scalar": ..., "vector": ...}.
+    wall_seconds: Dict[str, float]
+    simulated_seconds: float
+    counters: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class CaseBench:
+    """Recorded timings of one algorithm at one scale."""
+
+    algorithm: str
+    output_count: int
+    output_checksum: int
+    phases: List[PhaseBench] = field(default_factory=list)
+
+    def total_wall(self, backend: str) -> float:
+        """Sum of per-phase median wall seconds for one backend."""
+        return sum(p.wall_seconds.get(backend, 0.0) for p in self.phases)
+
+
+@dataclass
+class BenchRecord:
+    """One recorded benchmark snapshot (the BENCH_<tag>.json payload)."""
+
+    tag: str
+    n_tuples: int
+    theta: float
+    seed: int
+    repeats: int
+    backends: List[str]
+    cases: List[CaseBench] = field(default_factory=list)
+
+    def case(self, algorithm: str) -> Optional[CaseBench]:
+        """The recorded case for one algorithm, if present."""
+        for case in self.cases:
+            if case.algorithm == algorithm:
+                return case
+        return None
+
+    def median_speedup(self) -> Optional[float]:
+        """Median scalar/vector wall-time ratio across cases, if both
+        backends were recorded."""
+        if SCALAR not in self.backends or VECTOR not in self.backends:
+            return None
+        ratios = []
+        for case in self.cases:
+            vec = case.total_wall(VECTOR)
+            if vec > 0:
+                ratios.append(case.total_wall(SCALAR) / vec)
+        return statistics.median(ratios) if ratios else None
+
+
+def bench_path(tag: str, directory: Union[str, Path] = ".") -> Path:
+    """The canonical file name for one bench tag."""
+    return Path(directory) / f"BENCH_{tag}.json"
+
+
+def record_bench(
+    tag: str,
+    n_tuples: Optional[int] = None,
+    theta: float = DEFAULT_BENCH_THETA,
+    seed: int = DEFAULT_BENCH_SEED,
+    repeats: int = DEFAULT_REPEATS,
+    backends: Sequence[str] = BACKENDS,
+    algorithms: Optional[Iterable[str]] = None,
+) -> BenchRecord:
+    """Execute the bench matrix and collect per-phase median wall times.
+
+    Every (algorithm, backend) pair runs ``repeats`` times on one shared
+    workload; the median per phase absorbs scheduler noise.  Output counts
+    and phase structure are cross-checked between backends while we are at
+    it — a bench snapshot of diverging backends would gate on garbage.
+    """
+    from repro.api import ALGORITHMS, make_join
+    from repro.bench.runner import exec_bench_tuples
+
+    if repeats < 1:
+        raise VerificationError("repeats must be >= 1")
+    n = exec_bench_tuples() if n_tuples is None else int(n_tuples)
+    algorithms = sorted(ALGORITHMS) if algorithms is None else list(algorithms)
+    join_input = ZipfWorkload(n, n, theta=theta, seed=seed).generate()
+    record = BenchRecord(tag=tag, n_tuples=n, theta=theta, seed=seed,
+                         repeats=repeats, backends=list(backends))
+    for algo in algorithms:
+        walls: Dict[str, Dict[str, List[float]]] = {}
+        reference = None
+        for backend in backends:
+            with use_backend(backend):
+                for _ in range(repeats):
+                    result = make_join(algo).run(join_input)
+                    for phase in result.phases:
+                        walls.setdefault(phase.name, {}).setdefault(
+                            backend, []).append(phase.wall_seconds)
+            if reference is None:
+                reference = result
+            elif (result.output_count != reference.output_count
+                  or result.output_checksum != reference.output_checksum):
+                raise VerificationError(
+                    "backends disagree while recording bench",
+                    algorithm=algo, backend=backend,
+                )
+        case = CaseBench(
+            algorithm=algo,
+            output_count=reference.output_count,
+            output_checksum=reference.output_checksum,
+        )
+        for phase in reference.phases:
+            case.phases.append(PhaseBench(
+                name=phase.name,
+                wall_seconds={
+                    b: statistics.median(walls[phase.name][b])
+                    for b in backends if b in walls.get(phase.name, {})
+                },
+                simulated_seconds=phase.simulated_seconds,
+                counters={k: v for k, v in phase.counters.as_dict().items()
+                          if v},
+            ))
+        record.cases.append(case)
+    return record
+
+
+def bench_to_dict(record: BenchRecord) -> Dict:
+    """Plain-dict (JSON) form of a bench record."""
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "tag": record.tag,
+        "n_tuples": record.n_tuples,
+        "theta": record.theta,
+        "seed": record.seed,
+        "repeats": record.repeats,
+        "backends": list(record.backends),
+        "cases": [
+            {
+                "algorithm": c.algorithm,
+                "output_count": c.output_count,
+                "output_checksum": c.output_checksum,
+                "phases": [
+                    {
+                        "name": p.name,
+                        "wall_seconds": dict(p.wall_seconds),
+                        "simulated_seconds": p.simulated_seconds,
+                        "counters": dict(p.counters),
+                    }
+                    for p in c.phases
+                ],
+            }
+            for c in record.cases
+        ],
+    }
+
+
+def bench_from_dict(data: Dict, source: str = "<dict>") -> BenchRecord:
+    """Rebuild a bench record, rejecting unknown schemas actionably."""
+    version = data.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        raise BaselineError(
+            f"benchmark baseline {source} has schema version {version!r}, "
+            f"but this build reads version {BENCH_SCHEMA_VERSION}; "
+            "re-record it with `repro bench --record --tag <tag>`",
+            path=source, found_version=version,
+            expected_version=BENCH_SCHEMA_VERSION,
+        )
+    try:
+        return BenchRecord(
+            tag=data["tag"],
+            n_tuples=int(data["n_tuples"]),
+            theta=float(data["theta"]),
+            seed=int(data["seed"]),
+            repeats=int(data["repeats"]),
+            backends=list(data["backends"]),
+            cases=[
+                CaseBench(
+                    algorithm=c["algorithm"],
+                    output_count=int(c["output_count"]),
+                    output_checksum=int(c["output_checksum"]),
+                    phases=[
+                        PhaseBench(
+                            name=p["name"],
+                            wall_seconds={k: float(v) for k, v in
+                                          p["wall_seconds"].items()},
+                            simulated_seconds=float(p["simulated_seconds"]),
+                            counters={k: int(v) for k, v in
+                                      p.get("counters", {}).items()},
+                        )
+                        for p in c["phases"]
+                    ],
+                )
+                for c in data["cases"]
+            ],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise BaselineError(
+            f"benchmark baseline {source} is malformed ({exc}); "
+            "re-record it with `repro bench --record --tag <tag>`",
+            path=source,
+        ) from exc
+
+
+def save_bench(record: BenchRecord, path: Union[str, Path]) -> Path:
+    """Write one bench record as pretty JSON (the committed baseline)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(bench_to_dict(record), indent=2,
+                               sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def load_bench(path: Union[str, Path]) -> BenchRecord:
+    """Read a bench record; every failure mode is a :class:`BaselineError`.
+
+    Missing file, unreadable file, invalid JSON, and unknown schema all
+    come back typed and actionable — the CI gate prints the message and
+    the fix, never a traceback.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        raise BaselineError(
+            f"no benchmark baseline at {path}; record one with "
+            f"`repro bench --record --tag {_tag_of(path)}`",
+            path=str(path),
+        ) from None
+    except OSError as exc:
+        raise BaselineError(
+            f"cannot read benchmark baseline {path}: {exc}",
+            path=str(path),
+        ) from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise BaselineError(
+            f"benchmark baseline {path} is not valid JSON ({exc}); "
+            f"re-record it with `repro bench --record --tag {_tag_of(path)}`",
+            path=str(path),
+        ) from exc
+    if not isinstance(data, dict):
+        raise BaselineError(
+            f"benchmark baseline {path} is not a JSON object; re-record it "
+            f"with `repro bench --record --tag {_tag_of(path)}`",
+            path=str(path),
+        )
+    return bench_from_dict(data, source=str(path))
+
+
+def _tag_of(path: Path) -> str:
+    stem = path.stem
+    return stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+
+
+@dataclass
+class PhaseRegression:
+    """One phase whose candidate wall time exceeds the gate."""
+
+    algorithm: str
+    phase: str
+    backend: str
+    baseline_seconds: float
+    candidate_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        """Candidate / baseline wall-time ratio."""
+        if self.baseline_seconds <= 0:
+            return float("inf")
+        return self.candidate_seconds / self.baseline_seconds
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of gating a candidate bench against a baseline."""
+
+    baseline_tag: str
+    candidate_tag: str
+    threshold: float
+    floor_seconds: float
+    gate_backend: str
+    regressions: List[PhaseRegression] = field(default_factory=list)
+    counter_drift: List[str] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+    candidate_speedup: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when no phase regressed beyond the gate."""
+        return not self.regressions and not self.missing
+
+    def render(self) -> str:
+        """Human-readable comparison summary."""
+        lines = [
+            f"bench compare — candidate {self.candidate_tag!r} vs "
+            f"baseline {self.baseline_tag!r}",
+            f"  gate: {self.gate_backend} backend wall time, "
+            f">{self.threshold:.0%} over baseline "
+            f"(+{self.floor_seconds:g}s floor) fails",
+        ]
+        if self.candidate_speedup is not None:
+            lines.append(f"  vector speedup over scalar (candidate, median "
+                         f"across algorithms): {self.candidate_speedup:.1f}x")
+        for item in self.missing:
+            lines.append(f"  MISSING: {item}")
+        for reg in self.regressions:
+            lines.append(
+                f"  REGRESSION: {reg.algorithm}/{reg.phase} "
+                f"({reg.backend}): {reg.baseline_seconds:.4f}s -> "
+                f"{reg.candidate_seconds:.4f}s ({reg.ratio:.2f}x)")
+        for note in self.counter_drift:
+            lines.append(f"  note: {note}")
+        lines.append("BENCH COMPARE " + ("OK" if self.ok else "FAILED"))
+        return "\n".join(lines)
+
+
+def compare_benches(
+    baseline: BenchRecord,
+    candidate: BenchRecord,
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+    floor_seconds: float = WALL_FLOOR_SECONDS,
+) -> BenchComparison:
+    """Gate a candidate bench record against a baseline.
+
+    The gate runs on the hot (vector) backend when both records carry it,
+    else on the first backend they share.  Counter drift between records
+    is reported informationally — counters are deterministic, so drift
+    means the algorithms themselves changed, which a wall-time gate alone
+    cannot judge.
+    """
+    shared = [b for b in candidate.backends if b in baseline.backends]
+    if not shared:
+        raise BaselineError(
+            "baseline and candidate share no backend: "
+            f"{baseline.backends} vs {candidate.backends}; re-record the "
+            "baseline with `repro bench --record`",
+        )
+    gate_backend = VECTOR if VECTOR in shared else shared[0]
+    comparison = BenchComparison(
+        baseline_tag=baseline.tag,
+        candidate_tag=candidate.tag,
+        threshold=threshold,
+        floor_seconds=floor_seconds,
+        gate_backend=gate_backend,
+        candidate_speedup=candidate.median_speedup(),
+    )
+    for base_case in baseline.cases:
+        cand_case = candidate.case(base_case.algorithm)
+        if cand_case is None:
+            comparison.missing.append(
+                f"algorithm {base_case.algorithm!r} present in baseline "
+                "but absent from candidate")
+            continue
+        cand_phases = {p.name: p for p in cand_case.phases}
+        for base_phase in base_case.phases:
+            cand_phase = cand_phases.get(base_phase.name)
+            if cand_phase is None:
+                comparison.missing.append(
+                    f"phase {base_case.algorithm}/{base_phase.name} absent "
+                    "from candidate")
+                continue
+            base_wall = base_phase.wall_seconds.get(gate_backend)
+            cand_wall = cand_phase.wall_seconds.get(gate_backend)
+            if base_wall is None or cand_wall is None:
+                continue
+            over = cand_wall - base_wall * (1.0 + threshold)
+            if over > 0 and cand_wall - base_wall > floor_seconds:
+                comparison.regressions.append(PhaseRegression(
+                    algorithm=base_case.algorithm,
+                    phase=base_phase.name,
+                    backend=gate_backend,
+                    baseline_seconds=base_wall,
+                    candidate_seconds=cand_wall,
+                ))
+            if (base_phase.counters and cand_phase.counters
+                    and base_phase.counters != cand_phase.counters):
+                comparison.counter_drift.append(
+                    f"{base_case.algorithm}/{base_phase.name} operation "
+                    "counters differ from baseline (algorithm change?)")
+    return comparison

@@ -4,7 +4,10 @@ Commands:
 
 * ``run``    — join one generated workload with one or all algorithms.
 * ``sweep``  — Figure-4-style zipf sweep.
-* ``bench``  — regenerate one of the paper's tables/figures.
+* ``bench``  — regenerate one of the paper's tables/figures, or record /
+  compare executed wall-time snapshots (the CI regression gate).
+* ``diff``   — scalar-vs-vector backend differential across the full
+  algorithm x dataset grid (exit 1 on any divergence).
 * ``trace``  — per-phase breakdown traces: run-and-render, export to
   JSONL, re-render saved artifacts, and consistency-check phase sums.
 * ``chaos``  — seeded fault-injection sweep: every fault class against
@@ -16,6 +19,9 @@ Examples::
     python -m repro run --theta 0.9 --all --counters
     python -m repro sweep --tuples 1048576 --analytic
     python -m repro bench table1
+    python -m repro bench --record --tag seed
+    python -m repro bench --compare BENCH_seed.json
+    python -m repro diff --tuples 4096
     python -m repro trace --algorithm gsh --theta 1.0 --tuples 65536
     python -m repro trace --all --out traces.jsonl --check
     python -m repro trace --load traces.jsonl --check
@@ -39,9 +45,22 @@ from repro.bench.experiments import (
     run_table1,
 )
 from repro.bench.tables import render_series
+from repro.bench.regression import (
+    DEFAULT_BENCH_SEED,
+    DEFAULT_BENCH_THETA,
+    DEFAULT_REGRESSION_THRESHOLD,
+    DEFAULT_REPEATS,
+    bench_path,
+    compare_benches,
+    load_bench,
+    record_bench,
+    save_bench,
+)
 from repro.data.io import load_join_input, save_join_input
 from repro.data.zipf import ZipfWorkload
-from repro.errors import ReproError
+from repro.errors import BaselineError, ReproError
+from repro.exec.backend import BACKENDS, BACKEND_ENV, use_backend
+from repro.exec.differential import differential_matrix, render_differential
 from repro.exec.report import comparison_report, result_report
 from repro.exec.serialize import append_results_jsonl, results_from_jsonl_file
 from repro.faults.chaos import run_chaos
@@ -85,6 +104,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "generating one")
     run_p.add_argument("--save", metavar="FILE",
                        help="save the generated workload to a .npz file")
+    run_p.add_argument("--backend", choices=BACKENDS,
+                       help="execution backend for this run (default: "
+                            f"${BACKEND_ENV}, else vector)")
 
     sweep_p = sub.add_parser("sweep", help="zipf sweep across algorithms")
     sweep_p.add_argument("--tuples", "-n", type=int, default=1 << 16)
@@ -94,8 +116,43 @@ def build_parser() -> argparse.ArgumentParser:
                          default="0,0.25,0.5,0.75,1.0",
                          help="comma-separated zipf factors")
 
-    bench_p = sub.add_parser("bench", help="regenerate a paper experiment")
-    bench_p.add_argument("experiment", choices=sorted(BENCH_COMMANDS))
+    bench_p = sub.add_parser(
+        "bench",
+        help="regenerate a paper experiment, or record/compare executed "
+             "wall-time snapshots")
+    bench_p.add_argument("experiment", nargs="?",
+                         choices=sorted(BENCH_COMMANDS),
+                         help="paper experiment to regenerate (omit when "
+                              "using --record/--compare)")
+    bench_p.add_argument("--record", action="store_true",
+                         help="execute the bench matrix and write "
+                              "BENCH_<tag>.json")
+    bench_p.add_argument("--compare", metavar="BASELINE",
+                         help="record a candidate under the baseline's "
+                              "settings and gate it (exit 1 on regression)")
+    bench_p.add_argument("--tag", default="candidate",
+                         help="snapshot tag for --record (default "
+                              "'candidate' -> BENCH_candidate.json)")
+    bench_p.add_argument("--dir", default=".",
+                         help="directory for --record output (default .)")
+    bench_p.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                         help="runs per (algorithm, backend) case "
+                              f"(default {DEFAULT_REPEATS})")
+    bench_p.add_argument("--threshold", type=float,
+                         default=DEFAULT_REGRESSION_THRESHOLD,
+                         help="fractional wall-time regression that fails "
+                              "--compare (default 0.25)")
+    bench_p.add_argument("--save-candidate", metavar="FILE",
+                         help="also write the --compare candidate snapshot "
+                              "to FILE (the CI artifact)")
+
+    diff_p = sub.add_parser(
+        "diff", help="scalar-vs-vector differential across all algorithms")
+    diff_p.add_argument("--tuples", "-n", type=int, default=1 << 11,
+                        help="tuples per table (default 2048)")
+    diff_p.add_argument("--seed", type=int, default=42)
+    diff_p.add_argument("--algorithms", type=str, default="",
+                        help="comma-separated subset (default: all)")
 
     trace_p = sub.add_parser(
         "trace", help="render per-phase breakdown traces")
@@ -137,6 +194,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args) -> int:
+    if args.backend:
+        with use_backend(args.backend):
+            args.backend = None
+            return _cmd_run(args)
     if args.analytic:
         wl = AnalyticWorkload.from_zipf(args.tuples, args.tuples,
                                         args.theta, seed=args.seed)
@@ -190,8 +251,51 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    if args.record and args.compare:
+        print("error: --record and --compare are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.record:
+        record = record_bench(args.tag, repeats=args.repeats)
+        path = save_bench(record, bench_path(args.tag, args.dir))
+        speedup = record.median_speedup()
+        extra = (f", median vector speedup {speedup:.1f}x"
+                 if speedup is not None else "")
+        print(f"bench snapshot written to {path} "
+              f"({record.n_tuples} tuples, {record.repeats} repeats{extra})")
+        return 0
+    if args.compare:
+        try:
+            baseline = load_bench(args.compare)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        candidate = record_bench(
+            "candidate", n_tuples=baseline.n_tuples, theta=baseline.theta,
+            seed=baseline.seed, repeats=args.repeats,
+            backends=baseline.backends,
+        )
+        if args.save_candidate:
+            save_bench(candidate, args.save_candidate)
+        comparison = compare_benches(baseline, candidate,
+                                     threshold=args.threshold)
+        print(comparison.render())
+        return 0 if comparison.ok else 1
+    if args.experiment is None:
+        print("error: give an experiment name, or --record / --compare",
+              file=sys.stderr)
+        return 2
     BENCH_COMMANDS[args.experiment]()
     return 0
+
+
+def _cmd_diff(args) -> int:
+    algorithms = ([a.strip() for a in args.algorithms.split(",") if a.strip()]
+                  or None)
+    reports = differential_matrix(n=args.tuples, seed=args.seed,
+                                  algorithms=algorithms)
+    print(render_differential(reports))
+    return 0 if all(r.ok for r in reports) else 1
 
 
 def _cmd_trace(args) -> int:
@@ -266,6 +370,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sweep(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "diff":
+            return _cmd_diff(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "chaos":

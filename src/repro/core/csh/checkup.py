@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.exec.backend import dispatch
 from repro.exec.counters import OpCounters
 
 
@@ -30,6 +31,7 @@ class SkewCheckupTable:
         keys = np.unique(np.asarray(skewed_keys, dtype=np.uint32))
         self.keys = keys
         self.n_skewed = int(keys.size)
+        self._index = {int(k): i for i, k in enumerate(keys.tolist())}
 
     def lookup(self, keys: np.ndarray,
                counters: OpCounters = None) -> np.ndarray:
@@ -41,10 +43,22 @@ class SkewCheckupTable:
             counters.key_compares += n
         if self.n_skewed == 0 or n == 0:
             return np.full(n, -1, dtype=np.int64)
+        return dispatch(self._lookup_scalar, self._lookup_vector)(keys)
+
+    def _lookup_vector(self, keys: np.ndarray) -> np.ndarray:
+        """Batch lookup: one searchsorted over the sorted key array."""
         pos = np.searchsorted(self.keys, keys)
         pos_clipped = np.minimum(pos, self.n_skewed - 1)
         hit = self.keys[pos_clipped] == keys
         return np.where(hit, pos_clipped, -1).astype(np.int64)
+
+    def _lookup_scalar(self, keys: np.ndarray) -> np.ndarray:
+        """Literal per-tuple probe of the checkup table."""
+        index = self._index
+        out = np.empty(keys.size, dtype=np.int64)
+        for i, k in enumerate(keys.tolist()):
+            out[i] = index.get(k, -1)
+        return out
 
     def part_id_of(self, key: int) -> int:
         """Skewed partition id of one key, or -1."""
@@ -71,9 +85,26 @@ class SkewedPartitionSet:
 
     def fill(self, part_ids: np.ndarray, keys: np.ndarray,
              payloads: np.ndarray) -> None:
-        """Group skewed tuples by partition id (vectorized)."""
+        """Group skewed tuples by partition id, preserving arrival order."""
         if part_ids.size == 0:
             return
+        dispatch(self._fill_scalar, self._fill_vector)(part_ids, keys,
+                                                       payloads)
+
+    def _fill_scalar(self, part_ids: np.ndarray, keys: np.ndarray,
+                     payloads: np.ndarray) -> None:
+        """Literal append of each skewed tuple to its partition array."""
+        by_pid = {}
+        for i, pid in enumerate(part_ids.tolist()):
+            by_pid.setdefault(pid, []).append(i)
+        for pid, idx in by_pid.items():
+            sel = np.asarray(idx, dtype=np.int64)
+            self.payloads[pid] = payloads[sel].copy()
+            self.keys[pid] = keys[sel].copy()
+
+    def _fill_vector(self, part_ids: np.ndarray, keys: np.ndarray,
+                     payloads: np.ndarray) -> None:
+        """Batch grouping via one stable sort over partition ids."""
         order = np.argsort(part_ids, kind="stable")
         sorted_ids = part_ids[order]
         boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1

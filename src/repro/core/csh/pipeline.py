@@ -16,6 +16,7 @@ from repro.core.csh.detector import SkewDetection, detect_skewed_keys
 from repro.core.csh.checkup import SkewCheckupTable
 from repro.core.csh.hybrid_partition import partition_r_hybrid, partition_s_hybrid
 from repro.cpu.spacesaving import streaming_skew_detection
+from repro.exec.backend import current_backend
 from repro.exec.counters import OpCounters
 from repro.cpu.join_phase import join_partition_pairs
 from repro.cpu.partition import choose_radix_bits
@@ -89,7 +90,8 @@ class CSHJoin:
         result = JoinResult(
             algorithm=self.name, n_r=len(r), n_s=len(s),
             output_count=0, output_checksum=0,
-            meta={"bits_pass1": bits1, "bits_pass2": bits2},
+            meta={"bits_pass1": bits1, "bits_pass2": bits2,
+                  "backend": current_backend()},
         )
         tracer = Tracer(self.name, algorithm=self.name,
                         n_r=len(r), n_s=len(s))

@@ -29,6 +29,7 @@ from repro.core.gsh.skew_join import skew_join_phase
 from repro.core.gsh.split import split_large_partitions
 from repro.data.relation import JoinInput
 from repro.errors import CapacityError, ConfigError, UnrecoveredFaultError
+from repro.exec.backend import current_backend
 from repro.exec.output import DEFAULT_CAPACITY
 from repro.exec.result import JoinResult
 from repro.faults.plan import CAPACITY_OVERFLOW
@@ -106,7 +107,7 @@ class GSHJoin:
             algorithm=self.name, n_r=len(r), n_s=len(s),
             output_count=0, output_checksum=0,
             meta={"bits_pass1": bits1, "bits_pass2": bits2,
-                  "device": cfg.device.name},
+                  "device": cfg.device.name, "backend": current_backend()},
         )
 
         tracer = Tracer(self.name, algorithm=self.name,

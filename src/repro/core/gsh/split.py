@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.gsh.detector import GpuSkewDetection
 from repro.cpu.partition import PartitionedRelation
+from repro.exec.backend import dispatch
 from repro.exec.counters import OpCounters
 from repro.gpu.kernel import BlockWork, uniform_grid
 from repro.gpu.partitioning import PARTITION_TUPLES_PER_BLOCK
@@ -60,6 +61,52 @@ class SplitResult:
         return OpCounters.sum(w.total_counters for w in self.block_work)
 
 
+def _split_one_vector(
+    k: np.ndarray,
+    v: np.ndarray,
+    h: np.ndarray,
+    skew_keys: np.ndarray,
+    skewed: SkewedArrays,
+):
+    """Batch split of one large partition: mask + stable sort scatter."""
+    mask = np.isin(k, skew_keys)
+    if mask.any():
+        sk, sv = k[mask], v[mask]
+        order = np.argsort(sk, kind="stable")
+        sk, sv = sk[order], sv[order]
+        bounds = np.flatnonzero(np.diff(sk)) + 1
+        starts = np.concatenate([[0], bounds])
+        stops = np.concatenate([bounds, [sk.size]])
+        for a, b in zip(starts, stops):
+            skewed.payloads[int(sk[a])] = sv[a:b].copy()
+        return k[~mask], v[~mask], h[~mask]
+    return k, v, h
+
+
+def _split_one_scalar(
+    k: np.ndarray,
+    v: np.ndarray,
+    h: np.ndarray,
+    skew_keys: np.ndarray,
+    skewed: SkewedArrays,
+):
+    """Literal split of one large partition, tuple-at-a-time appends."""
+    skew_set = {int(key) for key in np.asarray(skew_keys).tolist()}
+    per_key: Dict[int, List[int]] = {}
+    normal: List[int] = []
+    for i, key in enumerate(k.tolist()):
+        if key in skew_set:
+            per_key.setdefault(key, []).append(int(v[i]))
+        else:
+            normal.append(i)
+    for key, pays in per_key.items():
+        skewed.payloads[key] = np.asarray(pays, dtype=PAYLOAD_DTYPE)
+    if not per_key:
+        return k, v, h
+    idx = np.asarray(normal, dtype=np.int64)
+    return k[idx], v[idx], h[idx]
+
+
 def _split_side(
     part: PartitionedRelation,
     detection: GpuSkewDetection,
@@ -73,21 +120,14 @@ def _split_side(
     hash_parts: List[np.ndarray] = []
     sizes = np.zeros(part.fanout, dtype=np.int64)
     large_set = {int(p) for p in detection.large_partitions}
+    split_one = dispatch(_split_one_scalar, _split_one_vector)
     for p in range(part.fanout):
         k, v = part.partition(p)
         h = part.partition_hashes(p)
         if p in large_set and k.size:
+            n_full = int(k.size)
             skew_keys = detection.skewed_keys_of(p)
-            mask = np.isin(k, skew_keys)
-            if mask.any():
-                sk, sv = k[mask], v[mask]
-                order = np.argsort(sk, kind="stable")
-                sk, sv = sk[order], sv[order]
-                bounds = np.flatnonzero(np.diff(sk)) + 1
-                starts = np.concatenate([[0], bounds])
-                stops = np.concatenate([bounds, [sk.size]])
-                for a, b in zip(starts, stops):
-                    skewed.payloads[int(sk[a])] = sv[a:b].copy()
+            k, v, h = split_one(k, v, h, skew_keys, skewed)
             # Split kernel: every tuple re-read twice (count + scatter),
             # compared against <= k skewed keys, and copied once.
             per_tuple = OpCounters(
@@ -98,10 +138,8 @@ def _split_side(
                 bytes_written=8,
             )
             block_work.extend(
-                uniform_grid(int(k.size), PARTITION_TUPLES_PER_BLOCK,
-                             per_tuple)
+                uniform_grid(n_full, PARTITION_TUPLES_PER_BLOCK, per_tuple)
             )
-            k, v, h = k[~mask], v[~mask], h[~mask]
         keys_parts.append(k)
         pays_parts.append(v)
         hash_parts.append(h)

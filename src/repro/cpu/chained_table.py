@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.cpu.hashing import bits_for, bucket_ids, hash_keys, next_pow2
 from repro.errors import CapacityError
+from repro.exec.backend import dispatch, is_vector
 from repro.exec.counters import OpCounters
 from repro.exec.matching import emit_matches
 from repro.exec.output import JoinOutputBuffer, OutputSummary
@@ -80,18 +81,30 @@ class ChainedHashTable:
         if hashes is None:
             hashes = hash_keys(keys)
         b = self._bucket_of(hashes)
-        order = np.argsort(b, kind="stable")
-        sorted_b = b[order]
-        nxt = np.full(n, -1, dtype=np.int64)
-        if n > 1:
-            same = sorted_b[1:] == sorted_b[:-1]
-            nxt[order[1:][same]] = order[:-1][same]
-        if n > 0:
-            is_last = np.empty(n, dtype=bool)
-            is_last[:-1] = sorted_b[:-1] != sorted_b[1:]
-            is_last[-1] = True
-            self.heads[sorted_b[is_last]] = order[is_last]
-            self._chain_lengths = np.bincount(b, minlength=self.n_buckets)
+        if is_vector():
+            # Batch link construction: one stable sort recovers, per bucket,
+            # the exact head-insertion chain the scalar loop would build.
+            order = np.argsort(b, kind="stable")
+            sorted_b = b[order]
+            nxt = np.full(n, -1, dtype=np.int64)
+            if n > 1:
+                same = sorted_b[1:] == sorted_b[:-1]
+                nxt[order[1:][same]] = order[:-1][same]
+            if n > 0:
+                is_last = np.empty(n, dtype=bool)
+                is_last[:-1] = sorted_b[:-1] != sorted_b[1:]
+                is_last[-1] = True
+                self.heads[sorted_b[is_last]] = order[is_last]
+                self._chain_lengths = np.bincount(b, minlength=self.n_buckets)
+        else:
+            # Literal head insertion, one entry at a time.
+            nxt = np.full(n, -1, dtype=np.int64)
+            heads = self.heads
+            chains = self._chain_lengths
+            for i, bucket in enumerate(b.tolist()):
+                nxt[i] = heads[bucket]
+                heads[bucket] = i
+                chains[bucket] += 1
         self.next = nxt
         self.keys = keys.copy()
         self.payloads = payloads.copy()
@@ -113,6 +126,26 @@ class ChainedHashTable:
         if self._chain_lengths.size == 0:
             return 0
         return int(self._chain_lengths.max())
+
+    def probe(
+        self,
+        s_keys: np.ndarray,
+        s_payloads: np.ndarray,
+        buffer: JoinOutputBuffer,
+        counters: Optional[OpCounters] = None,
+        hashes: Optional[np.ndarray] = None,
+        random_access: bool = False,
+    ) -> OutputSummary:
+        """Probe on the ambient backend.
+
+        Vector selects :meth:`probe_grouped` (group-wise batch expansion),
+        scalar selects :meth:`probe_lockstep` (the literal chain walk).
+        Both report identical counters and output summaries, so backend
+        choice never shows up in results — only in wall time.
+        """
+        impl = dispatch(self.probe_lockstep, self.probe_grouped)
+        return impl(s_keys, s_payloads, buffer, counters=counters,
+                    hashes=hashes, random_access=random_access)
 
     def probe_grouped(
         self,

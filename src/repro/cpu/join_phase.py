@@ -139,7 +139,7 @@ def join_one_pair(
     table = ChainedHashTable(next_pow2(max(r_keys.size, 1)) << min(growth, 8))
     table.build(r_keys, r_pays, hashes=part_r.partition_hashes(p),
                 counters=counters)
-    return table.probe_grouped(
+    return table.probe(
         s_keys, s_pays, buffer, counters=counters,
         hashes=part_s.partition_hashes(p),
     )

@@ -18,12 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cpu.chained_table import ChainedHashTable
-from repro.exec.matching import emit_matches
 from repro.cpu.hashing import hash_keys, next_pow2
 from repro.cpu.segments import split_segments
 from repro.cpu.threads import ThreadPool
 from repro.data.relation import JoinInput
 from repro.errors import ConfigError
+from repro.exec.backend import current_backend
 from repro.exec.counters import OpCounters
 from repro.exec.cost_model import CPUCostModel, DEFAULT_CPU_COST_MODEL
 from repro.exec.output import DEFAULT_CAPACITY, JoinOutputBuffer, combine_summaries
@@ -62,6 +62,7 @@ class NoPartitionJoin:
         result = JoinResult(
             algorithm=self.name, n_r=len(r), n_s=len(s),
             output_count=0, output_checksum=0,
+            meta={"backend": current_backend()},
         )
         tracer = Tracer(self.name, algorithm=self.name,
                         n_r=len(r), n_s=len(s))
@@ -144,8 +145,6 @@ class NoPartitionJoin:
         cfg = self.config
         scope = current_fault_scope()
         hashes = hash_keys(s.keys)
-        buckets = table._bucket_of(hashes)
-        steps_per_tuple = table._chain_lengths[buckets]
         per_thread = []
         extras = []
         summaries = []
@@ -153,22 +152,16 @@ class NoPartitionJoin:
         for t, (a, b) in enumerate(split_segments(len(s), cfg.n_threads)):
 
             def run(counters: OpCounters, attempt: int, a=a, b=b):
-                n_seg = b - a
+                # The probe dispatches on the ambient backend: batched
+                # group-wise matching (vector) or the literal chain walk
+                # (scalar).  Counters are identical either way; every
+                # access against the global table is random (uncached).
                 buf = JoinOutputBuffer(cfg.output_capacity)
-                summary = emit_matches(
-                    table.keys, table.payloads,
+                return table.probe(
                     s.keys[a:b], s.payloads[a:b], buf,
+                    counters=counters, hashes=hashes[a:b],
+                    random_access=True,
                 )
-                steps = int(steps_per_tuple[a:b].sum()) if n_seg else 0
-                counters.hash_ops += n_seg
-                counters.seq_tuple_reads += n_seg
-                counters.bytes_read += 8 * n_seg
-                counters.chain_steps += steps
-                counters.key_compares += steps
-                counters.random_accesses += steps + n_seg
-                counters.output_tuples += summary.count
-                counters.bytes_written += 8 * summary.count
-                return summary
 
             outcome = run_task_with_recovery(run, scope, points=("task",),
                                              segment=t)

@@ -21,6 +21,7 @@ import numpy as np
 from repro.cpu.hashing import hash_keys, radix_bits
 from repro.cpu.segments import split_segments
 from repro.errors import ConfigError
+from repro.exec.backend import dispatch
 from repro.exec.counters import OpCounters
 from repro.types import KEY_DTYPE, PAYLOAD_DTYPE, TUPLE_BYTES
 
@@ -101,7 +102,30 @@ def _scan_counters(n: int) -> OpCounters:
     )
 
 
-def _scatter(
+def _partition_bases(hist: np.ndarray) -> np.ndarray:
+    """Per-thread output bases from the first-scan histograms.
+
+    ``base[t, p]`` is the start slot of thread ``t``'s tuples of partition
+    ``p`` in the partition-major, thread-minor destination layout.  Shared
+    by both backends: it is the prefix-sum over the (small) histogram
+    matrix, not per-tuple work.
+    """
+    flat = hist.T.ravel()  # order: (p0,t0), (p0,t1), ..., (p1,t0), ...
+    excl = np.cumsum(flat) - flat
+    return excl.reshape(hist.shape[1], hist.shape[0]).T
+
+
+def _scatter_outputs(n: int, hist: np.ndarray):
+    fanout = hist.shape[1]
+    keys_out = np.empty(n, dtype=KEY_DTYPE)
+    pays_out = np.empty(n, dtype=PAYLOAD_DTYPE)
+    hashes_out = np.empty(n, dtype=np.uint32)
+    offsets = np.zeros(fanout + 1, dtype=np.int64)
+    np.cumsum(hist.sum(axis=0), out=offsets[1:])
+    return keys_out, pays_out, hashes_out, offsets
+
+
+def _scatter_vector(
     keys: np.ndarray,
     payloads: np.ndarray,
     hashes: np.ndarray,
@@ -109,25 +133,14 @@ def _scatter(
     fanout: int,
     segments: Sequence[Tuple[int, int]],
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Contention-free two-scan scatter.
-
-    Returns (keys_out, payloads_out, hashes_out, offsets).  The destination
-    layout is partition-major, thread-minor, exactly like the per-thread
-    output offsets Cbase computes from the first-scan histograms.
-    """
-    n = keys.size
+    """Batch scatter: bincount histograms + one fancy-index pass per thread."""
     n_threads = len(segments)
     hist = np.zeros((n_threads, fanout), dtype=np.int64)
     for t, (a, b) in enumerate(segments):
         if b > a:
             hist[t] = np.bincount(part_ids[a:b], minlength=fanout)
-    # base[t, p] = start slot for thread t's tuples of partition p.
-    flat = hist.T.ravel()  # order: (p0,t0), (p0,t1), ..., (p1,t0), ...
-    excl = np.cumsum(flat) - flat
-    base = excl.reshape(fanout, n_threads).T
-    keys_out = np.empty(n, dtype=KEY_DTYPE)
-    pays_out = np.empty(n, dtype=PAYLOAD_DTYPE)
-    hashes_out = np.empty(n, dtype=np.uint32)
+    base = _partition_bases(hist)
+    keys_out, pays_out, hashes_out, offsets = _scatter_outputs(keys.size, hist)
     for t, (a, b) in enumerate(segments):
         if b <= a:
             continue
@@ -140,10 +153,56 @@ def _scatter(
         keys_out[dest] = keys[a:b][order]
         pays_out[dest] = payloads[a:b][order]
         hashes_out[dest] = hashes[a:b][order]
-    part_counts = hist.sum(axis=0)
-    offsets = np.zeros(fanout + 1, dtype=np.int64)
-    np.cumsum(part_counts, out=offsets[1:])
     return keys_out, pays_out, hashes_out, offsets
+
+
+def _scatter_scalar(
+    keys: np.ndarray,
+    payloads: np.ndarray,
+    hashes: np.ndarray,
+    part_ids: np.ndarray,
+    fanout: int,
+    segments: Sequence[Tuple[int, int]],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Literal two-scan scatter: count loop, then tuple-at-a-time copies."""
+    n_threads = len(segments)
+    ids = part_ids.tolist()
+    hist = np.zeros((n_threads, fanout), dtype=np.int64)
+    for t, (a, b) in enumerate(segments):
+        row = hist[t]
+        for i in range(a, b):
+            row[ids[i]] += 1
+    base = _partition_bases(hist)
+    keys_out, pays_out, hashes_out, offsets = _scatter_outputs(keys.size, hist)
+    for t, (a, b) in enumerate(segments):
+        cursor = base[t].tolist()
+        for i in range(a, b):
+            p = ids[i]
+            d = cursor[p]
+            cursor[p] = d + 1
+            keys_out[d] = keys[i]
+            pays_out[d] = payloads[i]
+            hashes_out[d] = hashes[i]
+    return keys_out, pays_out, hashes_out, offsets
+
+
+def _scatter(
+    keys: np.ndarray,
+    payloads: np.ndarray,
+    hashes: np.ndarray,
+    part_ids: np.ndarray,
+    fanout: int,
+    segments: Sequence[Tuple[int, int]],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Contention-free two-scan scatter, on the ambient backend.
+
+    Returns (keys_out, payloads_out, hashes_out, offsets).  The destination
+    layout is partition-major, thread-minor, exactly like the per-thread
+    output offsets Cbase computes from the first-scan histograms; both
+    backends produce bit-identical arrays.
+    """
+    impl = dispatch(_scatter_scalar, _scatter_vector)
+    return impl(keys, payloads, hashes, part_ids, fanout, segments)
 
 
 def partition_pass(
@@ -169,6 +228,38 @@ def partition_pass(
         partitioned=PartitionedRelation(keys_out, pays_out, offsets, hashes_out),
         unit_counters=per_thread,
     )
+
+
+def _refine_one_vector(pkeys, ppays, phash, ids, sub_fanout,
+                       keys_out, pays_out, hashes_out, lo):
+    """Reorder one parent partition by sub-id via a stable argsort."""
+    m = pkeys.size
+    order = np.argsort(ids, kind="stable")
+    keys_out[lo:lo + m] = pkeys[order]
+    pays_out[lo:lo + m] = ppays[order]
+    hashes_out[lo:lo + m] = phash[order]
+    return np.bincount(ids, minlength=sub_fanout)
+
+
+def _refine_one_scalar(pkeys, ppays, phash, ids, sub_fanout,
+                       keys_out, pays_out, hashes_out, lo):
+    """Reorder one parent partition tuple-at-a-time (count, then copy)."""
+    id_list = ids.tolist()
+    counts = [0] * sub_fanout
+    for sid in id_list:
+        counts[sid] += 1
+    cursor = [0] * sub_fanout
+    acc = 0
+    for sid in range(sub_fanout):
+        cursor[sid] = acc
+        acc += counts[sid]
+    for i, sid in enumerate(id_list):
+        d = cursor[sid]
+        cursor[sid] = d + 1
+        keys_out[lo + d] = pkeys[i]
+        pays_out[lo + d] = ppays[i]
+        hashes_out[lo + d] = phash[i]
+    return np.asarray(counts, dtype=np.int64)
 
 
 def refine_pass(
@@ -209,13 +300,10 @@ def refine_pass(
             sizes[p * sub_fanout] = m
             continue
         ids = radix_bits(phash, start_bit, n_bits)
-        order = np.argsort(ids, kind="stable")
-        keys_out[lo:hi] = pkeys[order]
-        pays_out[lo:hi] = ppays[order]
-        hashes_out[lo:hi] = phash[order]
-        sizes[p * sub_fanout:(p + 1) * sub_fanout] = np.bincount(
-            ids, minlength=sub_fanout
-        )
+        reorder = dispatch(_refine_one_scalar, _refine_one_vector)
+        sub_sizes = reorder(pkeys, ppays, phash, ids, sub_fanout,
+                            keys_out, pays_out, hashes_out, lo)
+        sizes[p * sub_fanout:(p + 1) * sub_fanout] = sub_sizes
         task_counters.append(_scan_counters(m))
     np.cumsum(sizes, out=offsets[1:])
     return PartitionPassResult(

@@ -32,6 +32,7 @@ from repro.cpu.hashing import hash_keys
 from repro.cpu.threads import ThreadPool
 from repro.data.relation import JoinInput
 from repro.errors import ConfigError
+from repro.exec.backend import current_backend
 from repro.exec.counters import OpCounters
 from repro.exec.cost_model import CPUCostModel, DEFAULT_CPU_COST_MODEL
 from repro.exec.output import DEFAULT_CAPACITY
@@ -89,7 +90,8 @@ class CbaseJoin:
         result = JoinResult(
             algorithm=self.name, n_r=len(r), n_s=len(s),
             output_count=0, output_checksum=0,
-            meta={"bits_pass1": bits1, "bits_pass2": bits2},
+            meta={"bits_pass1": bits1, "bits_pass2": bits2,
+                  "backend": current_backend()},
         )
 
         tracer = Tracer(self.name, algorithm=self.name,

@@ -1,0 +1,104 @@
+"""Execution-backend selection: ``scalar`` vs ``vector`` hot paths.
+
+Every hot phase of the five join pipelines — radix scatter, chained-table
+build/probe, the no-partition join's global probe, the GPU simulator's
+block-cost evaluation, GSH's skew split — exists in two functionally
+identical renditions:
+
+* ``vector`` (the default) — NumPy batch evaluation: ``np.bincount``
+  histograms, cumulative-sum bases, single-pass fancy-index scatters, and
+  group-wise sort/``searchsorted`` match expansion.  This is the fast path
+  that keeps the Python executors bandwidth-bound instead of
+  interpreter-bound.
+* ``scalar`` — a literal per-tuple Python rendition of the paper's
+  algorithms (tuple-at-a-time scatter loops, chain walks in lockstep).
+  It is the executable specification: slow, obvious, and used by the
+  differential harness to pin the vector path down to bit-identical
+  outputs, :class:`~repro.exec.counters.OpCounters`, and phase structure.
+
+Selection is ambient.  The process default comes from the
+``REPRO_BACKEND`` environment variable (``vector`` when unset); tests and
+the differential harness override it lexically with :func:`use_backend`::
+
+    with use_backend("scalar"):
+        result = join(workload, algorithm="csh")
+
+Backend choice may never change *what* is computed — only how.  The
+differential test matrix (``tests/test_backend_differential.py``) and the
+hypothesis property suite enforce that invariant for every algorithm.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Iterator, Optional, TypeVar
+
+from repro.errors import ConfigError
+
+SCALAR = "scalar"
+VECTOR = "vector"
+
+#: All selectable backends.
+BACKENDS = (SCALAR, VECTOR)
+
+#: Environment variable holding the process-wide default backend.
+BACKEND_ENV = "REPRO_BACKEND"
+
+_DEFAULT = VECTOR
+
+_override: ContextVar[Optional[str]] = ContextVar("repro_backend_override",
+                                                  default=None)
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def validate_backend(name: str) -> str:
+    """Return ``name`` normalized, or raise a :class:`ConfigError`."""
+    normalized = str(name).strip().lower()
+    if normalized not in BACKENDS:
+        raise ConfigError(
+            f"unknown execution backend {name!r}; choose one of "
+            f"{list(BACKENDS)} (set {BACKEND_ENV} or use "
+            "repro.exec.backend.use_backend)",
+            backend=str(name), valid=list(BACKENDS),
+        )
+    return normalized
+
+
+def backend_from_env() -> str:
+    """The process default backend from ``REPRO_BACKEND`` (else vector)."""
+    raw = os.environ.get(BACKEND_ENV, "").strip()
+    if not raw:
+        return _DEFAULT
+    return validate_backend(raw)
+
+
+def current_backend() -> str:
+    """The backend in effect: the innermost override, else the env default."""
+    override = _override.get()
+    if override is not None:
+        return override
+    return backend_from_env()
+
+
+def is_vector() -> bool:
+    """True when the vector (NumPy batch) backend is selected."""
+    return current_backend() == VECTOR
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[str]:
+    """Select a backend for the duration of the block (re-entrant)."""
+    backend = validate_backend(name)
+    token = _override.set(backend)
+    try:
+        yield backend
+    finally:
+        _override.reset(token)
+
+
+def dispatch(scalar_impl: _F, vector_impl: _F) -> _F:
+    """Pick the implementation matching the ambient backend."""
+    return vector_impl if is_vector() else scalar_impl

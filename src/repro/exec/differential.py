@@ -1,0 +1,180 @@
+"""Differential testing of the scalar and vector execution backends.
+
+The two backends are required to be *observationally identical*: the same
+join output (count and checksum), the same phase structure, the same
+operation counters phase by phase, and the same simulated seconds.  Only
+wall time may differ — that is the whole point of having a vector backend.
+
+This module runs one algorithm twice, once per backend, and diffs the
+results field by field.  :func:`differential_matrix` sweeps the full
+algorithm x dataset grid the CI gate runs on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.generators import constant_key_input, uniform_input
+from repro.data.relation import JoinInput, Relation
+from repro.data.zipf import ZipfWorkload
+from repro.exec.backend import BACKENDS, use_backend
+from repro.exec.result import JoinResult
+
+#: Meta keys allowed to differ between backends (the backend tag itself).
+_BACKEND_ONLY_META = frozenset({"backend"})
+
+#: Relative tolerance for simulated seconds (float summation order may
+#: differ across backends in principle; in practice both run the same
+#: accumulation and agree exactly, so this is belt and braces).
+_SIM_RTOL = 1e-9
+
+
+def compare_results(a: JoinResult, b: JoinResult) -> List[str]:
+    """Field-by-field mismatches between two runs (empty when identical).
+
+    Wall-clock fields are excluded; everything observable — output, phase
+    structure, counters, simulated time, metadata, fault reports — must
+    match exactly.
+    """
+    issues: List[str] = []
+    if a.algorithm != b.algorithm:
+        issues.append(f"algorithm: {a.algorithm!r} != {b.algorithm!r}")
+    if a.output_count != b.output_count:
+        issues.append(
+            f"output_count: {a.output_count} != {b.output_count}")
+    if a.output_checksum != b.output_checksum:
+        issues.append(
+            f"output_checksum: {a.output_checksum} != {b.output_checksum}")
+    names_a = [p.name for p in a.phases]
+    names_b = [p.name for p in b.phases]
+    if names_a != names_b:
+        issues.append(f"phase structure: {names_a} != {names_b}")
+    else:
+        for pa, pb in zip(a.phases, b.phases):
+            ca, cb = pa.counters.as_dict(), pb.counters.as_dict()
+            if ca != cb:
+                drift = {k: (ca[k], cb[k]) for k in ca if ca[k] != cb[k]}
+                issues.append(f"phase {pa.name!r} counters differ: {drift}")
+            if not np.isclose(pa.simulated_seconds, pb.simulated_seconds,
+                              rtol=_SIM_RTOL, atol=0.0):
+                issues.append(
+                    f"phase {pa.name!r} simulated_seconds: "
+                    f"{pa.simulated_seconds!r} != {pb.simulated_seconds!r}")
+    meta_a = {k: v for k, v in a.meta.items() if k not in _BACKEND_ONLY_META}
+    meta_b = {k: v for k, v in b.meta.items() if k not in _BACKEND_ONLY_META}
+    if meta_a != meta_b:
+        keys = set(meta_a) | set(meta_b)
+        drift = {k: (meta_a.get(k), meta_b.get(k))
+                 for k in sorted(keys) if meta_a.get(k) != meta_b.get(k)}
+        issues.append(f"meta differs: {drift}")
+    if len(a.faults) != len(b.faults):
+        issues.append(f"fault reports: {len(a.faults)} != {len(b.faults)}")
+    return issues
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one backend-vs-backend comparison."""
+
+    algorithm: str
+    dataset: str
+    backends: Tuple[str, str]
+    mismatches: List[str] = field(default_factory=list)
+    output_count: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when the backends were observationally identical."""
+        return not self.mismatches
+
+
+def run_differential(
+    run: Callable[[], JoinResult],
+    algorithm: str = "",
+    dataset: str = "",
+    backends: Sequence[str] = BACKENDS,
+) -> DifferentialReport:
+    """Execute ``run`` under each backend and diff the results."""
+    if len(backends) != 2:
+        raise ValueError("differential comparison needs exactly 2 backends")
+    first, second = backends
+    with use_backend(first):
+        res_a = run()
+    with use_backend(second):
+        res_b = run()
+    return DifferentialReport(
+        algorithm=algorithm or res_a.algorithm,
+        dataset=dataset,
+        backends=(first, second),
+        mismatches=compare_results(res_a, res_b),
+        output_count=res_a.output_count,
+    )
+
+
+def default_datasets(n: int, seed: int = 42) -> Dict[str, JoinInput]:
+    """The dataset grid the differential matrix covers.
+
+    Heavy Zipf skew, uniform keys, a duplicates-only cartesian stressor,
+    and an empty probe side — the shapes where scalar/vector divergence
+    would hide.
+    """
+    empty = JoinInput(
+        r=Relation(np.arange(max(n // 8, 1), dtype=np.uint32),
+                   np.arange(max(n // 8, 1), dtype=np.uint32), name="R"),
+        s=Relation(np.empty(0, dtype=np.uint32),
+                   np.empty(0, dtype=np.uint32), name="S"),
+        meta={"generator": "empty-s"},
+    )
+    return {
+        "zipf-1.0": ZipfWorkload(n, n, theta=1.0, seed=seed).generate(),
+        "uniform": uniform_input(n, n, seed=seed),
+        "dup-only": constant_key_input(max(n // 8, 1), max(n // 8, 1),
+                                       seed=seed),
+        "empty-s": empty,
+    }
+
+
+def differential_matrix(
+    n: int = 2048,
+    seed: int = 42,
+    algorithms: Optional[Iterable[str]] = None,
+    datasets: Optional[Dict[str, JoinInput]] = None,
+) -> List[DifferentialReport]:
+    """Run the full algorithm x dataset differential grid."""
+    from repro.api import ALGORITHMS, make_join
+
+    algorithms = sorted(ALGORITHMS) if algorithms is None else list(algorithms)
+    datasets = default_datasets(n, seed) if datasets is None else datasets
+    reports = []
+    for ds_name, join_input in datasets.items():
+        for algo in algorithms:
+            reports.append(run_differential(
+                lambda a=algo, ji=join_input: make_join(a).run(ji),
+                algorithm=algo, dataset=ds_name,
+            ))
+    return reports
+
+
+def render_differential(reports: Sequence[DifferentialReport]) -> str:
+    """Human-readable grid summary of differential outcomes."""
+    lines = ["backend differential — scalar vs vector", ""]
+    width = max((len(r.algorithm) for r in reports), default=8)
+    ds_width = max((len(r.dataset) for r in reports), default=8)
+    for r in reports:
+        status = "OK" if r.ok else "MISMATCH"
+        lines.append(f"  {r.algorithm:<{width}}  {r.dataset:<{ds_width}}  "
+                     f"{status}  ({r.output_count} output tuples)")
+        for issue in r.mismatches:
+            lines.append(f"      - {issue}")
+    n_bad = sum(1 for r in reports if not r.ok)
+    lines.append("")
+    if n_bad:
+        lines.append(f"{n_bad}/{len(reports)} case(s) diverged between "
+                     "backends")
+    else:
+        lines.append(f"all {len(reports)} case(s) bit-identical across "
+                     "backends")
+    return "\n".join(lines)

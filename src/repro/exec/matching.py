@@ -9,10 +9,11 @@ algorithm would have paid.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.exec.backend import dispatch
 from repro.exec.output import JoinOutputBuffer, OutputSummary
 
 _U64_MASK = (1 << 64) - 1
@@ -22,13 +23,47 @@ _U64_MASK = (1 << 64) - 1
 MATERIALIZE_LIMIT = 1 << 21
 
 
-def match_group_stats(
+def _group_tallies(
+    keys: np.ndarray, payloads: np.ndarray
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """Per-key tuple counts and payload sums, tuple-at-a-time."""
+    counts: Dict[int, int] = {}
+    sums: Dict[int, int] = {}
+    for k, p in zip(keys.tolist(), payloads.tolist()):
+        counts[k] = counts.get(k, 0) + 1
+        sums[k] = sums.get(k, 0) + p
+    return counts, sums
+
+
+def _match_group_stats_scalar(
     r_keys: np.ndarray,
     r_payloads: np.ndarray,
     s_keys: np.ndarray,
     s_payloads: np.ndarray,
 ) -> Tuple[int, int]:
-    """Exact (count, checksum) of the equi-join of two tuple sets."""
+    """Literal per-tuple tally of the equi-join count and checksum."""
+    if r_keys.size == 0 or s_keys.size == 0:
+        return 0, 0
+    r_counts, r_sums = _group_tallies(r_keys, r_payloads)
+    s_counts, s_sums = _group_tallies(s_keys, s_payloads)
+    total = 0
+    checksum = 0
+    for key, rc in r_counts.items():
+        sc = s_counts.get(key)
+        if sc is None:
+            continue
+        total += rc * sc
+        checksum += (r_sums[key] & _U64_MASK) * (s_sums[key] & _U64_MASK)
+    return total, checksum & _U64_MASK
+
+
+def _match_group_stats_vector(
+    r_keys: np.ndarray,
+    r_payloads: np.ndarray,
+    s_keys: np.ndarray,
+    s_payloads: np.ndarray,
+) -> Tuple[int, int]:
+    """Group-wise batch tally of the equi-join count and checksum."""
     if r_keys.size == 0 or s_keys.size == 0:
         return 0, 0
     r_uniq, r_inv = np.unique(r_keys, return_inverse=True)
@@ -48,6 +83,17 @@ def match_group_stats(
     np.add.at(s_sums, s_inv, s_payloads.astype(np.uint64))
     checksum = int(np.sum(r_sums[idx_r] * s_sums[idx_s], dtype=np.uint64))
     return total, checksum & _U64_MASK
+
+
+def match_group_stats(
+    r_keys: np.ndarray,
+    r_payloads: np.ndarray,
+    s_keys: np.ndarray,
+    s_payloads: np.ndarray,
+) -> Tuple[int, int]:
+    """Exact (count, checksum) of the equi-join of two tuple sets."""
+    impl = dispatch(_match_group_stats_scalar, _match_group_stats_vector)
+    return impl(r_keys, r_payloads, s_keys, s_payloads)
 
 
 def emit_matches(
@@ -83,7 +129,46 @@ def expand_pairs(
     s_keys: np.ndarray,
     s_payloads: np.ndarray,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Materialize all matching (r_payload, s_payload) pairs, vectorized."""
+    """Materialize all matching (r_payload, s_payload) pairs.
+
+    Both backends emit the pairs in the same order — by S tuple, then by R
+    insertion order within the key — so buffer snapshots stay bit-identical.
+    """
+    impl = dispatch(_expand_pairs_scalar, _expand_pairs_vector)
+    return impl(r_keys, r_payloads, s_keys, s_payloads)
+
+
+def _expand_pairs_scalar(
+    r_keys: np.ndarray,
+    r_payloads: np.ndarray,
+    s_keys: np.ndarray,
+    s_payloads: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Tuple-at-a-time pair expansion via a per-key payload index."""
+    if r_keys.size == 0 or s_keys.size == 0:
+        return np.empty(0, np.uint32), np.empty(0, np.uint32)
+    by_key: Dict[int, List[int]] = {}
+    for k, p in zip(r_keys.tolist(), r_payloads.tolist()):
+        by_key.setdefault(k, []).append(p)
+    out_r: List[int] = []
+    out_s: List[int] = []
+    for k, sp in zip(s_keys.tolist(), s_payloads.tolist()):
+        group = by_key.get(k)
+        if group is None:
+            continue
+        out_r.extend(group)
+        out_s.extend([sp] * len(group))
+    return (np.asarray(out_r, dtype=np.uint32),
+            np.asarray(out_s, dtype=np.uint32))
+
+
+def _expand_pairs_vector(
+    r_keys: np.ndarray,
+    r_payloads: np.ndarray,
+    s_keys: np.ndarray,
+    s_payloads: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batch pair expansion via sort + searchsorted + repeat."""
     if r_keys.size == 0 or s_keys.size == 0:
         return np.empty(0, np.uint32), np.empty(0, np.uint32)
     r_order = np.argsort(r_keys, kind="stable")
@@ -110,6 +195,27 @@ def per_key_match_counts(
     query_keys: np.ndarray, target_keys: np.ndarray
 ) -> np.ndarray:
     """For each query key, how many target tuples share it."""
+    impl = dispatch(_per_key_match_counts_scalar, _per_key_match_counts_vector)
+    return impl(query_keys, target_keys)
+
+
+def _per_key_match_counts_scalar(
+    query_keys: np.ndarray, target_keys: np.ndarray
+) -> np.ndarray:
+    if target_keys.size == 0 or query_keys.size == 0:
+        return np.zeros(query_keys.size, dtype=np.int64)
+    counts: Dict[int, int] = {}
+    for k in target_keys.tolist():
+        counts[k] = counts.get(k, 0) + 1
+    out = np.empty(query_keys.size, dtype=np.int64)
+    for i, k in enumerate(query_keys.tolist()):
+        out[i] = counts.get(k, 0)
+    return out
+
+
+def _per_key_match_counts_vector(
+    query_keys: np.ndarray, target_keys: np.ndarray
+) -> np.ndarray:
     if target_keys.size == 0 or query_keys.size == 0:
         return np.zeros(query_keys.size, dtype=np.int64)
     t_uniq, t_counts = np.unique(target_keys, return_counts=True)

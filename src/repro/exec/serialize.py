@@ -76,7 +76,12 @@ def result_from_dict(data: Dict) -> JoinResult:
     """Rebuild a join result from its dict form."""
     version = data.get("format_version")
     if version != _FORMAT_VERSION:
-        raise ReproError(f"unsupported result format version: {version!r}")
+        raise ReproError(
+            f"unsupported result format version: {version!r} (this build "
+            f"reads version {_FORMAT_VERSION}); the artifact was written "
+            "by a different build — re-export it with `repro trace --out`",
+            found_version=version, expected_version=_FORMAT_VERSION,
+        )
     trace = data.get("trace")
     return JoinResult(
         algorithm=data["algorithm"],

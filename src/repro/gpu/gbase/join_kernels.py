@@ -33,6 +33,7 @@ from repro.gpu.bucket_chain import (
     BucketChain,
     sublist_ranges,
 )
+from repro.exec.backend import dispatch
 from repro.exec.counters import OpCounters
 from repro.exec.matching import emit_matches, per_key_match_counts
 from repro.exec.output import (
@@ -60,6 +61,27 @@ class GpuJoinPhaseResult:
     buffers: List[JoinOutputBuffer] = field(default_factory=list)
 
 
+def _probe_chain_depths_vector(
+    r_hashes: np.ndarray, s_hashes: np.ndarray, bucket_bits: int
+) -> np.ndarray:
+    """Chain length met by each probe tuple, via one histogram + gather."""
+    chain_len = np.bincount(bucket_ids(r_hashes, bucket_bits),
+                            minlength=1 << bucket_bits)
+    return chain_len[bucket_ids(s_hashes, bucket_bits)]
+
+
+def _probe_chain_depths_scalar(
+    r_hashes: np.ndarray, s_hashes: np.ndarray, bucket_bits: int
+) -> np.ndarray:
+    """Chain length met by each probe tuple, accumulated tuple-at-a-time."""
+    chain_len = [0] * (1 << bucket_bits)
+    for b in bucket_ids(r_hashes, bucket_bits).tolist():
+        chain_len[b] += 1
+    per_probe = [chain_len[b]
+                 for b in bucket_ids(s_hashes, bucket_bits).tolist()]
+    return np.asarray(per_probe, dtype=np.int64)
+
+
 def probe_block_counters(
     r_keys: np.ndarray,
     r_hashes: np.ndarray,
@@ -78,9 +100,8 @@ def probe_block_counters(
     )
     if n_r == 0 or n_s == 0:
         return counters
-    chain_len = np.bincount(bucket_ids(r_hashes, bucket_bits),
-                            minlength=1 << bucket_bits)
-    per_probe = chain_len[bucket_ids(s_hashes, bucket_bits)]
+    depth_of = dispatch(_probe_chain_depths_scalar, _probe_chain_depths_vector)
+    per_probe = depth_of(r_hashes, s_hashes, bucket_bits)
     rounds = lockstep_probe_rounds(per_probe, block_threads)
     lockstep_steps = rounds.paid_steps // block_threads
     counters.chain_steps += lockstep_steps

@@ -22,6 +22,7 @@ from typing import Optional, Tuple
 from repro.cpu.no_partition_join import NoPartitionConfig, NoPartitionJoin
 from repro.data.relation import JoinInput
 from repro.errors import ConfigError, UnrecoveredFaultError
+from repro.exec.backend import current_backend
 from repro.exec.output import DEFAULT_CAPACITY
 from repro.exec.result import JoinResult
 from repro.faults.plan import KERNEL_ABORT
@@ -127,7 +128,7 @@ class GbaseJoin:
             algorithm=self.name, n_r=len(r), n_s=len(s),
             output_count=0, output_checksum=0,
             meta={"bits_pass1": bits1, "bits_pass2": bits2,
-                  "device": cfg.device.name},
+                  "device": cfg.device.name, "backend": current_backend()},
         )
 
         tracer = Tracer(self.name, algorithm=self.name,

@@ -1,0 +1,174 @@
+"""Unit tests of the bench recorder, baseline IO, and regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench.regression import (
+    BENCH_SCHEMA_VERSION,
+    BenchRecord,
+    CaseBench,
+    PhaseBench,
+    bench_from_dict,
+    bench_path,
+    bench_to_dict,
+    compare_benches,
+    load_bench,
+    record_bench,
+    save_bench,
+)
+from repro.errors import BaselineError
+
+
+def _record(tag="base", wall=0.1, backends=("scalar", "vector"),
+            scalar_factor=5.0, counters=None):
+    """A synthetic two-phase record for comparator tests."""
+    phases = [
+        PhaseBench(
+            name=name,
+            wall_seconds={b: (wall * scalar_factor if b == "scalar" else wall)
+                          for b in backends},
+            simulated_seconds=0.01,
+            counters=dict(counters or {"hash_ops": 100}),
+        )
+        for name in ("partition", "join")
+    ]
+    return BenchRecord(tag=tag, n_tuples=1024, theta=1.0, seed=42,
+                       repeats=3, backends=list(backends),
+                       cases=[CaseBench(algorithm="cbase", output_count=10,
+                                        output_checksum=11, phases=phases)])
+
+
+def test_identical_records_pass():
+    comparison = compare_benches(_record("base"), _record("cand"))
+    assert comparison.ok
+    assert comparison.regressions == []
+    assert "OK" in comparison.render()
+
+
+def test_injected_2x_slowdown_fails_the_gate():
+    baseline = _record("base", wall=0.1)
+    candidate = _record("cand", wall=0.2)  # 2x on every phase
+    comparison = compare_benches(baseline, candidate)
+    assert not comparison.ok
+    assert len(comparison.regressions) == 2
+    reg = comparison.regressions[0]
+    assert reg.backend == "vector"
+    assert reg.ratio == pytest.approx(2.0)
+    assert "FAILED" in comparison.render()
+
+
+def test_regression_within_threshold_passes():
+    comparison = compare_benches(_record("base", wall=0.1),
+                                 _record("cand", wall=0.12))
+    assert comparison.ok
+
+
+def test_absolute_floor_absorbs_micro_phases():
+    # 3x slower, but only by half a millisecond — under the floor.
+    comparison = compare_benches(_record("base", wall=0.00025),
+                                 _record("cand", wall=0.00075))
+    assert comparison.ok
+
+
+def test_threshold_is_configurable():
+    comparison = compare_benches(_record("base", wall=0.1),
+                                 _record("cand", wall=0.12),
+                                 threshold=0.05)
+    assert not comparison.ok
+
+
+def test_missing_algorithm_fails():
+    candidate = _record("cand")
+    candidate.cases[0].algorithm = "renamed"
+    comparison = compare_benches(_record("base"), candidate)
+    assert not comparison.ok
+    assert comparison.missing
+
+
+def test_counter_drift_is_informational():
+    candidate = _record("cand", counters={"hash_ops": 999})
+    comparison = compare_benches(_record("base"), candidate)
+    assert comparison.ok
+    assert comparison.counter_drift
+    assert "note:" in comparison.render()
+
+
+def test_speedup_is_reported():
+    comparison = compare_benches(_record("base"),
+                                 _record("cand", scalar_factor=6.0))
+    assert comparison.candidate_speedup == pytest.approx(6.0)
+    assert "speedup" in comparison.render()
+
+
+def test_round_trip_through_disk(tmp_path):
+    record = _record("seed")
+    path = save_bench(record, bench_path("seed", tmp_path))
+    assert path.name == "BENCH_seed.json"
+    loaded = load_bench(path)
+    assert bench_to_dict(loaded) == bench_to_dict(record)
+
+
+def test_missing_baseline_is_typed_and_actionable(tmp_path):
+    with pytest.raises(BaselineError) as excinfo:
+        load_bench(tmp_path / "BENCH_seed.json")
+    message = str(excinfo.value)
+    assert "repro bench --record" in message
+    assert "--tag seed" in message
+
+
+def test_invalid_json_baseline_is_typed(tmp_path):
+    path = tmp_path / "BENCH_bad.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(BaselineError) as excinfo:
+        load_bench(path)
+    assert "re-record" in str(excinfo.value)
+
+
+def test_old_schema_baseline_is_typed(tmp_path):
+    data = bench_to_dict(_record("old"))
+    data["schema_version"] = BENCH_SCHEMA_VERSION + 1
+    path = tmp_path / "BENCH_old.json"
+    path.write_text(json.dumps(data), encoding="utf-8")
+    with pytest.raises(BaselineError) as excinfo:
+        load_bench(path)
+    assert str(BENCH_SCHEMA_VERSION) in str(excinfo.value)
+    assert excinfo.value.context["found_version"] == BENCH_SCHEMA_VERSION + 1
+
+
+def test_malformed_payload_is_typed():
+    with pytest.raises(BaselineError):
+        bench_from_dict({"schema_version": BENCH_SCHEMA_VERSION,
+                         "tag": "x"}, source="unit")
+
+
+def test_disjoint_backends_raise():
+    baseline = _record("base", backends=("vector",))
+    candidate = _record("cand", backends=("scalar",))
+    with pytest.raises(BaselineError):
+        compare_benches(baseline, candidate)
+
+
+def test_record_bench_executes_and_cross_checks():
+    record = record_bench("unit", n_tuples=512, repeats=1)
+    assert record.n_tuples == 512
+    assert {c.algorithm for c in record.cases} == {
+        "cbase", "cbase-npj", "csh", "gbase", "gsh"}
+    for case in record.cases:
+        assert case.phases
+        for phase in case.phases:
+            assert set(phase.wall_seconds) == {"scalar", "vector"}
+            assert all(w >= 0 for w in phase.wall_seconds.values())
+    assert record.median_speedup() is not None
+
+
+def test_committed_seed_baseline_loads():
+    """The repository ships an active baseline for the CI gate."""
+    from pathlib import Path
+
+    repo_root = Path(__file__).resolve().parents[2]
+    record = load_bench(bench_path("seed", repo_root))
+    assert record.tag == "seed"
+    assert record.median_speedup() >= 2.0
+    assert {c.algorithm for c in record.cases} == {
+        "cbase", "cbase-npj", "csh", "gbase", "gsh"}

@@ -1,0 +1,70 @@
+"""Differential matrix: scalar and vector backends must be bit-identical.
+
+Every algorithm x dataset cell runs the full pipeline once per backend
+and requires identical output counts, checksums, phase structure, per-
+phase operation counters, simulated seconds, and metadata (modulo the
+backend tag itself).  Wall time is the only field allowed to differ.
+"""
+
+import pytest
+
+from repro.api import ALGORITHMS, make_join
+from repro.exec.backend import SCALAR, VECTOR, use_backend
+from repro.exec.differential import (
+    compare_results,
+    default_datasets,
+    differential_matrix,
+    render_differential,
+    run_differential,
+)
+
+_N = 1 << 10
+
+_DATASETS = sorted(default_datasets(_N))
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return default_datasets(_N)
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+@pytest.mark.parametrize("dataset", _DATASETS)
+def test_backends_bit_identical(algorithm, dataset, datasets):
+    join_input = datasets[dataset]
+    report = run_differential(
+        lambda: make_join(algorithm).run(join_input),
+        algorithm=algorithm, dataset=dataset,
+    )
+    assert report.ok, "\n".join(report.mismatches)
+
+
+def test_backend_tag_lands_in_meta(datasets):
+    join_input = datasets["zipf-1.0"]
+    with use_backend(SCALAR):
+        scalar_result = make_join("cbase").run(join_input)
+    with use_backend(VECTOR):
+        vector_result = make_join("cbase").run(join_input)
+    assert scalar_result.meta["backend"] == SCALAR
+    assert vector_result.meta["backend"] == VECTOR
+
+
+def test_compare_results_flags_divergence(datasets):
+    join_input = datasets["uniform"]
+    a = make_join("cbase").run(join_input)
+    b = make_join("cbase").run(join_input)
+    assert compare_results(a, b) == []
+    b.output_count += 1
+    b.phases[0].counters.hash_ops += 7
+    issues = compare_results(a, b)
+    assert any("output_count" in i for i in issues)
+    assert any("hash_ops" in i for i in issues)
+
+
+def test_matrix_runs_and_renders():
+    reports = differential_matrix(n=256, algorithms=["cbase-npj"])
+    assert len(reports) == len(_DATASETS)
+    assert all(r.ok for r in reports)
+    text = render_differential(reports)
+    assert "bit-identical" in text
+    assert "cbase-npj" in text

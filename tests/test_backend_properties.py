@@ -1,0 +1,146 @@
+"""Hypothesis property tests: backend equivalence under arbitrary inputs.
+
+The differential matrix pins the backends together on a fixed grid; these
+properties let hypothesis hunt for divergence in the corners — Zipf skew,
+duplicates-only keys, empty relations, capacity-stressing cartesian
+blowups, and runs with injected faults.
+
+``REPRO_HYPOTHESIS_PROFILE=nightly`` (set by the nightly workflow) deepens
+the search; the default profile keeps PR runs fast.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import ALGORITHMS, make_join
+from repro.cpu.chained_table import ChainedHashTable
+from repro.data.relation import JoinInput, Relation
+from repro.data.zipf import ZipfWorkload
+from repro.errors import ReproError
+from repro.exec.backend import SCALAR, VECTOR, use_backend
+from repro.exec.counters import OpCounters
+from repro.exec.differential import compare_results
+from repro.exec.output import JoinOutputBuffer
+from repro.faults.plan import seeded_plan
+from repro.faults.scope import activate_plan
+
+_NIGHTLY = os.environ.get("REPRO_HYPOTHESIS_PROFILE", "") == "nightly"
+
+_SETTINGS = settings(
+    max_examples=40 if _NIGHTLY else 8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_ALGORITHMS = sorted(ALGORITHMS)
+
+
+def _relation(draw, n, key_pool, name):
+    keys = draw(st.lists(st.sampled_from(key_pool), min_size=n, max_size=n))
+    return Relation(np.asarray(keys, dtype=np.uint32),
+                    np.arange(n, dtype=np.uint32), name=name)
+
+
+@st.composite
+def join_inputs(draw):
+    """Small inputs biased toward the nasty shapes.
+
+    Key pools shrink to as little as one key (duplicates-only cartesian
+    blowup — the capacity stressor) and either side may be empty.
+    """
+    pool_size = draw(st.sampled_from([1, 2, 7, 64]))
+    key_pool = list(range(pool_size))
+    n_r = draw(st.integers(min_value=0, max_value=96))
+    n_s = draw(st.integers(min_value=0, max_value=96))
+    return JoinInput(
+        r=_relation(draw, n_r, key_pool, "R"),
+        s=_relation(draw, n_s, key_pool, "S"),
+        meta={"generator": "hypothesis"},
+    )
+
+
+def _run_both(algorithm, join_input, plan_seed=None):
+    """Run one algorithm per backend; faults (if any) re-injected per run."""
+    results = {}
+    for backend in (SCALAR, VECTOR):
+        with use_backend(backend):
+            if plan_seed is None:
+                results[backend] = make_join(algorithm).run(join_input)
+            else:
+                plan = seeded_plan(plan_seed, algorithms=[algorithm])
+                with activate_plan(plan):
+                    try:
+                        results[backend] = make_join(algorithm).run(join_input)
+                    except ReproError as exc:
+                        results[backend] = (type(exc).__name__, str(exc))
+    return results[SCALAR], results[VECTOR]
+
+
+@pytest.mark.parametrize("algorithm", _ALGORITHMS)
+@given(join_input=join_inputs())
+@_SETTINGS
+def test_backends_agree_on_arbitrary_inputs(algorithm, join_input):
+    scalar_res, vector_res = _run_both(algorithm, join_input)
+    assert compare_results(scalar_res, vector_res) == [], (
+        compare_results(scalar_res, vector_res))
+
+
+@pytest.mark.parametrize("algorithm", _ALGORITHMS)
+@given(theta=st.sampled_from([0.0, 0.5, 0.9, 1.0, 1.2]),
+       seed=st.integers(min_value=0, max_value=2**16))
+@_SETTINGS
+def test_backends_agree_under_zipf_skew(algorithm, theta, seed):
+    join_input = ZipfWorkload(256, 256, theta=theta, seed=seed).generate()
+    scalar_res, vector_res = _run_both(algorithm, join_input)
+    assert compare_results(scalar_res, vector_res) == [], (
+        compare_results(scalar_res, vector_res))
+
+
+@pytest.mark.parametrize("algorithm", _ALGORITHMS)
+@given(plan_seed=st.integers(min_value=0, max_value=2**16),
+       seed=st.integers(min_value=0, max_value=2**8))
+@_SETTINGS
+def test_backends_agree_under_injected_faults(algorithm, plan_seed, seed):
+    """Same seeded fault plan per backend: same recovery, same output —
+    or the same typed error."""
+    join_input = ZipfWorkload(192, 192, theta=1.0, seed=seed).generate()
+    scalar_res, vector_res = _run_both(algorithm, join_input,
+                                       plan_seed=plan_seed)
+    if isinstance(scalar_res, tuple) or isinstance(vector_res, tuple):
+        assert isinstance(scalar_res, tuple) and isinstance(vector_res, tuple)
+        assert scalar_res[0] == vector_res[0]
+    else:
+        assert compare_results(scalar_res, vector_res) == [], (
+            compare_results(scalar_res, vector_res))
+
+
+@given(
+    r_keys=st.lists(st.integers(min_value=0, max_value=5), min_size=0,
+                    max_size=64),
+    s_keys=st.lists(st.integers(min_value=0, max_value=5), min_size=0,
+                    max_size=64),
+)
+@_SETTINGS
+def test_chained_table_probe_counters_match(r_keys, s_keys):
+    """The chained-table build+probe pair reports identical counters and
+    summaries under both backends, duplicates and all."""
+    outcomes = {}
+    for backend in (SCALAR, VECTOR):
+        with use_backend(backend):
+            table = ChainedHashTable(16)
+            counters = OpCounters()
+            table.build(np.asarray(r_keys, dtype=np.uint32),
+                        np.arange(len(r_keys), dtype=np.uint32),
+                        counters=counters)
+            buf = JoinOutputBuffer(128)
+            summary = table.probe(
+                np.asarray(s_keys, dtype=np.uint32),
+                np.arange(len(s_keys), dtype=np.uint32),
+                buf, counters=counters)
+            outcomes[backend] = (counters.as_dict(), summary.count,
+                                 summary.checksum, buf.count, buf.checksum)
+    assert outcomes[SCALAR] == outcomes[VECTOR]

@@ -17,7 +17,7 @@ def referenced_paths(text):
 @pytest.mark.parametrize("doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md",
                                  "docs/cost_model.md", "docs/architecture.md",
                                  "docs/api.md", "docs/observability.md",
-                                 "docs/robustness.md"])
+                                 "docs/robustness.md", "docs/performance.md"])
 def test_doc_exists_and_nonempty(doc):
     path = ROOT / doc
     assert path.exists(), doc
@@ -69,6 +69,40 @@ def test_registered_algorithms_documented():
     readme = (ROOT / "README.md").read_text()
     for name in ALGORITHMS:
         assert name.replace("cbase-npj", "npj").split("-")[0] in readme.lower()
+
+
+def test_readme_documents_backends_and_gate():
+    """The README covers backend selection and the bench regression gate."""
+    from repro.exec.backend import BACKEND_ENV, BACKENDS
+    readme = (ROOT / "README.md").read_text()
+    assert BACKEND_ENV in readme
+    for backend in BACKENDS:
+        assert f"`{backend}`" in readme
+    assert "BENCH_seed.json" in readme
+    assert "bench --compare" in readme
+
+
+def test_performance_doc_matches_the_gate():
+    """docs/performance.md states the gate's actual threshold and floor."""
+    from repro.bench.regression import (
+        DEFAULT_REGRESSION_THRESHOLD,
+        WALL_FLOOR_SECONDS,
+    )
+    text = (ROOT / "docs" / "performance.md").read_text()
+    assert f"{DEFAULT_REGRESSION_THRESHOLD:.0%}" in text
+    assert f"{WALL_FLOOR_SECONDS * 1000:.0f} ms" in text
+    for target in ("bench-record", "bench-compare", "diff-backends"):
+        assert target in text
+        assert target in (ROOT / "Makefile").read_text()
+
+
+def test_committed_baseline_referenced_by_ci_exists():
+    """Both workflows and the README point at a baseline that is present."""
+    ci = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
+    assert "BENCH_seed.json" in ci
+    assert (ROOT / "BENCH_seed.json").exists()
+    assert (ROOT / "constraints.txt").exists()
+    assert "constraints.txt" in ci
 
 
 def test_experiments_covers_every_table_and_figure():

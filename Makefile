@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test lint trace-smoke chaos-smoke bench bench-paper bench-record bench-compare diff-backends examples docs-check all
+.PHONY: install test lint trace-smoke chaos-smoke bench bench-paper bench-record bench-compare bench-parallel diff-backends examples docs-check all
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -40,9 +40,16 @@ bench-record:
 bench-compare:
 	$(PYTHON) -m repro bench --compare BENCH_seed.json
 
-# Scalar-vs-vector differential over the full algorithm x dataset grid.
+# Cross-backend differential over the full algorithm x dataset grid.
 diff-backends:
 	$(PYTHON) -m repro diff --tuples 4096
+
+# Parallel-vs-vector differential and bench with the morsel pool pinned
+# on and actually engaged (REPRO_WORKERS defaults to the core count).
+bench-parallel:
+	REPRO_PARALLEL_MIN_TUPLES=0 $(PYTHON) -m repro diff --tuples 4096 \
+		--backends vector,parallel
+	$(PYTHON) -m repro bench --compare BENCH_seed.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

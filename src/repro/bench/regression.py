@@ -26,10 +26,17 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.data.zipf import ZipfWorkload
 from repro.errors import BaselineError, VerificationError
-from repro.exec.backend import BACKENDS, SCALAR, VECTOR, use_backend
+from repro.exec.backend import BACKENDS, PARALLEL, SCALAR, VECTOR, use_backend
 
 #: Version of the BENCH_<tag>.json schema this module reads and writes.
-BENCH_SCHEMA_VERSION = 1
+#: v2 added the parallel backend's wall-seconds column and the
+#: ``worker_count`` field; v1 baselines load as a typed BaselineError
+#: with the re-record hint.
+BENCH_SCHEMA_VERSION = 2
+
+#: Phases whose names contain one of these markers carry the join/probe
+#: work the parallel backend targets; its scaling metric runs on them.
+JOIN_PHASE_MARKERS = ("join", "probe")
 
 #: A phase regresses when its candidate median exceeds the baseline median
 #: by more than this fraction...
@@ -82,6 +89,8 @@ class BenchRecord:
     seed: int
     repeats: int
     backends: List[str]
+    #: Worker-pool size the parallel backend ran with (1 = inline).
+    worker_count: int = 1
     cases: List[CaseBench] = field(default_factory=list)
 
     def case(self, algorithm: str) -> Optional[CaseBench]:
@@ -101,6 +110,27 @@ class BenchRecord:
             vec = case.total_wall(VECTOR)
             if vec > 0:
                 ratios.append(case.total_wall(SCALAR) / vec)
+        return statistics.median(ratios) if ratios else None
+
+    def parallel_scaling(self) -> Optional[float]:
+        """Median vector/parallel wall-time ratio over join/probe phases.
+
+        This is the scaling the parallel backend claims: >1 means real
+        multicore speedup on the phases it parallelizes.  None unless
+        both backends were recorded with at least one join/probe phase.
+        """
+        if VECTOR not in self.backends or PARALLEL not in self.backends:
+            return None
+        ratios = []
+        for case in self.cases:
+            vec = par = 0.0
+            for phase in case.phases:
+                if not any(m in phase.name for m in JOIN_PHASE_MARKERS):
+                    continue
+                vec += phase.wall_seconds.get(VECTOR, 0.0)
+                par += phase.wall_seconds.get(PARALLEL, 0.0)
+            if par > 0:
+                ratios.append(vec / par)
         return statistics.median(ratios) if ratios else None
 
 
@@ -133,8 +163,14 @@ def record_bench(
     n = exec_bench_tuples() if n_tuples is None else int(n_tuples)
     algorithms = sorted(ALGORITHMS) if algorithms is None else list(algorithms)
     join_input = ZipfWorkload(n, n, theta=theta, seed=seed).generate()
+    if PARALLEL in backends:
+        from repro.exec.parallel import worker_count
+        pool_size = worker_count()
+    else:
+        pool_size = 1
     record = BenchRecord(tag=tag, n_tuples=n, theta=theta, seed=seed,
-                         repeats=repeats, backends=list(backends))
+                         repeats=repeats, backends=list(backends),
+                         worker_count=pool_size)
     for algo in algorithms:
         walls: Dict[str, Dict[str, List[float]]] = {}
         reference = None
@@ -183,6 +219,7 @@ def bench_to_dict(record: BenchRecord) -> Dict:
         "seed": record.seed,
         "repeats": record.repeats,
         "backends": list(record.backends),
+        "worker_count": record.worker_count,
         "cases": [
             {
                 "algorithm": c.algorithm,
@@ -222,6 +259,7 @@ def bench_from_dict(data: Dict, source: str = "<dict>") -> BenchRecord:
             seed=int(data["seed"]),
             repeats=int(data["repeats"]),
             backends=list(data["backends"]),
+            worker_count=int(data["worker_count"]),
             cases=[
                 CaseBench(
                     algorithm=c["algorithm"],
@@ -321,6 +359,23 @@ class PhaseRegression:
 
 
 @dataclass
+class PhaseDelta:
+    """Gate-backend wall-time movement of one phase (for --json output)."""
+
+    algorithm: str
+    phase: str
+    baseline_seconds: float
+    candidate_seconds: float
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """Candidate / baseline wall-time ratio (None on a zero baseline)."""
+        if self.baseline_seconds <= 0:
+            return None
+        return self.candidate_seconds / self.baseline_seconds
+
+
+@dataclass
 class BenchComparison:
     """Outcome of gating a candidate bench against a baseline."""
 
@@ -333,6 +388,9 @@ class BenchComparison:
     counter_drift: List[str] = field(default_factory=list)
     missing: List[str] = field(default_factory=list)
     candidate_speedup: Optional[float] = None
+    parallel_scaling: Optional[float] = None
+    worker_count: int = 1
+    deltas: List[PhaseDelta] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -351,6 +409,11 @@ class BenchComparison:
         if self.candidate_speedup is not None:
             lines.append(f"  vector speedup over scalar (candidate, median "
                          f"across algorithms): {self.candidate_speedup:.1f}x")
+        if self.parallel_scaling is not None:
+            lines.append(
+                f"  parallel scaling over vector (candidate, median over "
+                f"join/probe phases, {self.worker_count} worker(s)): "
+                f"{self.parallel_scaling:.2f}x")
         for item in self.missing:
             lines.append(f"  MISSING: {item}")
         for reg in self.regressions:
@@ -393,6 +456,8 @@ def compare_benches(
         floor_seconds=floor_seconds,
         gate_backend=gate_backend,
         candidate_speedup=candidate.median_speedup(),
+        parallel_scaling=candidate.parallel_scaling(),
+        worker_count=candidate.worker_count,
     )
     for base_case in baseline.cases:
         cand_case = candidate.case(base_case.algorithm)
@@ -413,6 +478,10 @@ def compare_benches(
             cand_wall = cand_phase.wall_seconds.get(gate_backend)
             if base_wall is None or cand_wall is None:
                 continue
+            comparison.deltas.append(PhaseDelta(
+                algorithm=base_case.algorithm, phase=base_phase.name,
+                baseline_seconds=base_wall, candidate_seconds=cand_wall,
+            ))
             over = cand_wall - base_wall * (1.0 + threshold)
             if over > 0 and cand_wall - base_wall > floor_seconds:
                 comparison.regressions.append(PhaseRegression(
@@ -428,3 +497,52 @@ def compare_benches(
                     f"{base_case.algorithm}/{base_phase.name} operation "
                     "counters differ from baseline (algorithm change?)")
     return comparison
+
+
+def comparison_to_dict(comparison: BenchComparison) -> Dict:
+    """Machine-readable (JSON) form of a comparison — the CI artifact.
+
+    Carries the verdict, the gate parameters, every per-phase delta on
+    the gate backend, and the candidate's speedup/scaling summaries, so
+    downstream tooling never has to parse the rendered text.
+    """
+    return {
+        "verdict": "ok" if comparison.ok else "failed",
+        "baseline_tag": comparison.baseline_tag,
+        "candidate_tag": comparison.candidate_tag,
+        "gate": {
+            "backend": comparison.gate_backend,
+            "threshold": comparison.threshold,
+            "floor_seconds": comparison.floor_seconds,
+        },
+        "speedups": {
+            "vector_over_scalar_median": comparison.candidate_speedup,
+            "parallel_over_vector_join_probe_median":
+                comparison.parallel_scaling,
+            "worker_count": comparison.worker_count,
+        },
+        "phase_deltas": [
+            {
+                "algorithm": d.algorithm,
+                "phase": d.phase,
+                "backend": comparison.gate_backend,
+                "baseline_seconds": d.baseline_seconds,
+                "candidate_seconds": d.candidate_seconds,
+                "ratio": d.ratio,
+            }
+            for d in comparison.deltas
+        ],
+        "regressions": [
+            {
+                "algorithm": r.algorithm,
+                "phase": r.phase,
+                "backend": r.backend,
+                "baseline_seconds": r.baseline_seconds,
+                "candidate_seconds": r.candidate_seconds,
+                "ratio": r.ratio,
+            }
+            for r in comparison.regressions
+        ],
+        "missing": list(comparison.missing),
+        "counter_drift": list(comparison.counter_drift),
+    }

@@ -6,8 +6,8 @@ Commands:
 * ``sweep``  — Figure-4-style zipf sweep.
 * ``bench``  — regenerate one of the paper's tables/figures, or record /
   compare executed wall-time snapshots (the CI regression gate).
-* ``diff``   — scalar-vs-vector backend differential across the full
-  algorithm x dataset grid (exit 1 on any divergence).
+* ``diff``   — backend differential (scalar vs vector vs parallel)
+  across the full algorithm x dataset grid (exit 1 on any divergence).
 * ``trace``  — per-phase breakdown traces: run-and-render, export to
   JSONL, re-render saved artifacts, and consistency-check phase sums.
 * ``chaos``  — seeded fault-injection sweep: every fault class against
@@ -20,8 +20,10 @@ Examples::
     python -m repro sweep --tuples 1048576 --analytic
     python -m repro bench table1
     python -m repro bench --record --tag seed
-    python -m repro bench --compare BENCH_seed.json
+    python -m repro bench --compare BENCH_seed.json --json gate.json
+    python -m repro run --backend parallel --theta 1.0 --tuples 262144
     python -m repro diff --tuples 4096
+    python -m repro diff --backends vector,parallel
     python -m repro trace --algorithm gsh --theta 1.0 --tuples 65536
     python -m repro trace --all --out traces.jsonl --check
     python -m repro trace --load traces.jsonl --check
@@ -52,6 +54,7 @@ from repro.bench.regression import (
     DEFAULT_REPEATS,
     bench_path,
     compare_benches,
+    comparison_to_dict,
     load_bench,
     record_bench,
     save_bench,
@@ -59,7 +62,12 @@ from repro.bench.regression import (
 from repro.data.io import load_join_input, save_join_input
 from repro.data.zipf import ZipfWorkload
 from repro.errors import BaselineError, ReproError
-from repro.exec.backend import BACKENDS, BACKEND_ENV, use_backend
+from repro.exec.backend import (
+    BACKENDS,
+    BACKEND_ENV,
+    use_backend,
+    validate_backend,
+)
 from repro.exec.differential import differential_matrix, render_differential
 from repro.exec.report import comparison_report, result_report
 from repro.exec.serialize import append_results_jsonl, results_from_jsonl_file
@@ -145,6 +153,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--save-candidate", metavar="FILE",
                          help="also write the --compare candidate snapshot "
                               "to FILE (the CI artifact)")
+    bench_p.add_argument("--json", metavar="FILE", dest="json_out",
+                         help="with --compare: also write the machine-"
+                              "readable comparison (verdict, per-phase "
+                              "deltas, speedups) to FILE")
 
     diff_p = sub.add_parser(
         "diff", help="scalar-vs-vector differential across all algorithms")
@@ -153,6 +165,10 @@ def build_parser() -> argparse.ArgumentParser:
     diff_p.add_argument("--seed", type=int, default=42)
     diff_p.add_argument("--algorithms", type=str, default="",
                         help="comma-separated subset (default: all)")
+    diff_p.add_argument("--backends", type=str, default="",
+                        help="comma-separated backends to compare, first "
+                             "one is the reference (default: all of "
+                             f"{','.join(BACKENDS)})")
 
     trace_p = sub.add_parser(
         "trace", help="render per-phase breakdown traces")
@@ -279,6 +295,15 @@ def _cmd_bench(args) -> int:
             save_bench(candidate, args.save_candidate)
         comparison = compare_benches(baseline, candidate,
                                      threshold=args.threshold)
+        if args.json_out:
+            import json
+            from pathlib import Path
+            out = Path(args.json_out)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(json.dumps(comparison_to_dict(comparison),
+                                      indent=2, sort_keys=True) + "\n",
+                           encoding="utf-8")
+            print(f"comparison JSON written to {out}")
         print(comparison.render())
         return 0 if comparison.ok else 1
     if args.experiment is None:
@@ -292,8 +317,13 @@ def _cmd_bench(args) -> int:
 def _cmd_diff(args) -> int:
     algorithms = ([a.strip() for a in args.algorithms.split(",") if a.strip()]
                   or None)
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    if backends:
+        for backend in backends:
+            validate_backend(backend)
     reports = differential_matrix(n=args.tuples, seed=args.seed,
-                                  algorithms=algorithms)
+                                  algorithms=algorithms,
+                                  backends=tuple(backends) or BACKENDS)
     print(render_differential(reports))
     return 0 if all(r.ok for r in reports) else 1
 

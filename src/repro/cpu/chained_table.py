@@ -82,20 +82,24 @@ class ChainedHashTable:
             hashes = hash_keys(keys)
         b = self._bucket_of(hashes)
         if is_vector():
-            # Batch link construction: one stable sort recovers, per bucket,
-            # the exact head-insertion chain the scalar loop would build.
-            order = np.argsort(b, kind="stable")
-            sorted_b = b[order]
-            nxt = np.full(n, -1, dtype=np.int64)
-            if n > 1:
-                same = sorted_b[1:] == sorted_b[:-1]
-                nxt[order[1:][same]] = order[:-1][same]
-            if n > 0:
-                is_last = np.empty(n, dtype=bool)
-                is_last[:-1] = sorted_b[:-1] != sorted_b[1:]
-                is_last[-1] = True
-                self.heads[sorted_b[is_last]] = order[is_last]
-                self._chain_lengths = np.bincount(b, minlength=self.n_buckets)
+            nxt = self._build_links_parallel(b)
+            if nxt is None:
+                # Batch link construction: one stable sort recovers, per
+                # bucket, the exact head-insertion chain the scalar loop
+                # would build.
+                order = np.argsort(b, kind="stable")
+                sorted_b = b[order]
+                nxt = np.full(n, -1, dtype=np.int64)
+                if n > 1:
+                    same = sorted_b[1:] == sorted_b[:-1]
+                    nxt[order[1:][same]] = order[:-1][same]
+                if n > 0:
+                    is_last = np.empty(n, dtype=bool)
+                    is_last[:-1] = sorted_b[:-1] != sorted_b[1:]
+                    is_last[-1] = True
+                    self.heads[sorted_b[is_last]] = order[is_last]
+                    self._chain_lengths = np.bincount(
+                        b, minlength=self.n_buckets)
         else:
             # Literal head insertion, one entry at a time.
             nxt = np.full(n, -1, dtype=np.int64)
@@ -116,6 +120,46 @@ class ChainedHashTable:
             counters.bytes_written += 12 * n  # entry + head pointer update
             if random_access:
                 counters.random_accesses += n
+
+    def _build_links_parallel(self, b: np.ndarray) -> Optional[np.ndarray]:
+        """Segmented head-insertion links on the worker pool.
+
+        Each worker builds the local chains of one contiguous segment of
+        the build input; the driver then stitches segments together in
+        index order (each segment's per-bucket first entry points at the
+        previous segment's last entry), which reproduces the sequential
+        head-insertion ``next``/``heads`` arrays exactly.  Returns None
+        when the pool is not engaged (caller falls through to the
+        single-shot vector construction).
+        """
+        from repro.cpu.segments import split_segments
+        from repro.exec.parallel import SharedArena, morsel_pool
+
+        n = b.size
+        pool = morsel_pool(n)
+        if pool is None:
+            return None
+        segments = split_segments(n, pool.n_workers)
+        with SharedArena(use_shm=pool.uses_processes) as arena:
+            b_ref = arena.share(b)
+            nxt_view, nxt_ref = arena.empty(n, np.int64)
+            nxt_view.fill(-1)
+            results = pool.run("chain_links", [
+                dict(buckets=b_ref, nxt=nxt_ref, a=a, b=hi)
+                for (a, hi) in segments
+            ])
+            nxt = nxt_view.copy() if pool.uses_processes else nxt_view
+        # Stitch: walk segments in index order; a bucket's first entry in
+        # a segment chains to its last entry in the previous segments.
+        prev_last = np.full(self.n_buckets, -1, dtype=np.int64)
+        for uniq, first_idx, last_idx in results:
+            if uniq.size == 0:
+                continue
+            nxt[first_idx] = prev_last[uniq]
+            prev_last[uniq] = last_idx
+        self.heads[:] = prev_last
+        self._chain_lengths = np.bincount(b, minlength=self.n_buckets)
+        return nxt
 
     def chain_length(self, bucket: int) -> int:
         """Entries chained in one bucket."""
@@ -138,10 +182,12 @@ class ChainedHashTable:
     ) -> OutputSummary:
         """Probe on the ambient backend.
 
-        Vector selects :meth:`probe_grouped` (group-wise batch expansion),
-        scalar selects :meth:`probe_lockstep` (the literal chain walk).
-        Both report identical counters and output summaries, so backend
-        choice never shows up in results — only in wall time.
+        Vector and parallel select :meth:`probe_grouped` (group-wise batch
+        expansion; under the parallel backend its match stats and pair
+        expansion fan out over the worker pool), scalar selects
+        :meth:`probe_lockstep` (the literal chain walk).  All report
+        identical counters and output summaries, so backend choice never
+        shows up in results — only in wall time.
         """
         impl = dispatch(self.probe_lockstep, self.probe_grouped)
         return impl(s_keys, s_payloads, buffer, counters=counters,

@@ -186,6 +186,57 @@ def _scatter_scalar(
     return keys_out, pays_out, hashes_out, offsets
 
 
+def _scatter_parallel(
+    keys: np.ndarray,
+    payloads: np.ndarray,
+    hashes: np.ndarray,
+    part_ids: np.ndarray,
+    fanout: int,
+    segments: Sequence[Tuple[int, int]],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The vector scatter with both scans fanned out over the worker pool.
+
+    The morsels are the *same* per-thread segments the simulated
+    ThreadPool prices, and the destination layout comes from the same
+    prefix-sum base matrix, so segment scatters are contention free and
+    the output arrays match ``_scatter_vector`` bit for bit.
+    """
+    from repro.exec.parallel import SharedArena, morsel_pool
+
+    pool = morsel_pool(keys.size)
+    if pool is None:
+        return _scatter_vector(keys, payloads, hashes, part_ids, fanout,
+                               segments)
+    with SharedArena(use_shm=pool.uses_processes) as arena:
+        ids_ref = arena.share(part_ids)
+        hist_rows = pool.run("partition_hist", [
+            dict(ids=ids_ref, a=a, b=b, fanout=fanout)
+            for (a, b) in segments
+        ])
+        hist = np.stack(hist_rows).astype(np.int64, copy=False)
+        base = _partition_bases(hist)
+        n = keys.size
+        offsets = np.zeros(fanout + 1, dtype=np.int64)
+        np.cumsum(hist.sum(axis=0), out=offsets[1:])
+        keys_ref = arena.share(keys)
+        pays_ref = arena.share(payloads)
+        hashes_ref = arena.share(hashes)
+        keys_out, keys_out_ref = arena.empty(n, KEY_DTYPE)
+        pays_out, pays_out_ref = arena.empty(n, PAYLOAD_DTYPE)
+        hashes_out, hashes_out_ref = arena.empty(n, np.uint32)
+        pool.run("partition_scatter", [
+            dict(keys=keys_ref, payloads=pays_ref, hashes=hashes_ref,
+                 ids=ids_ref, keys_out=keys_out_ref, pays_out=pays_out_ref,
+                 hashes_out=hashes_out_ref, a=a, b=b,
+                 base_row=base[t], counts_row=hist[t])
+            for t, (a, b) in enumerate(segments) if b > a
+        ])
+        if pool.uses_processes:
+            # The views die with the arena; copy results out first.
+            return keys_out.copy(), pays_out.copy(), hashes_out.copy(), offsets
+        return keys_out, pays_out, hashes_out, offsets
+
+
 def _scatter(
     keys: np.ndarray,
     payloads: np.ndarray,
@@ -198,10 +249,10 @@ def _scatter(
 
     Returns (keys_out, payloads_out, hashes_out, offsets).  The destination
     layout is partition-major, thread-minor, exactly like the per-thread
-    output offsets Cbase computes from the first-scan histograms; both
+    output offsets Cbase computes from the first-scan histograms; all
     backends produce bit-identical arrays.
     """
-    impl = dispatch(_scatter_scalar, _scatter_vector)
+    impl = dispatch(_scatter_scalar, _scatter_vector, _scatter_parallel)
     return impl(keys, payloads, hashes, part_ids, fanout, segments)
 
 
@@ -262,6 +313,75 @@ def _refine_one_scalar(pkeys, ppays, phash, ids, sub_fanout,
     return np.asarray(counts, dtype=np.int64)
 
 
+def _refine_parallel(
+    parent: PartitionedRelation,
+    start_bit: int,
+    n_bits: int,
+    refine_mask: Optional[np.ndarray],
+    keys_out: np.ndarray,
+    pays_out: np.ndarray,
+    hashes_out: np.ndarray,
+) -> Optional[dict]:
+    """Refine every selected partition on the worker pool.
+
+    Morsels are chunks of consecutive refined partitions (each partition
+    reorders only its own [lo, hi) span, so chunks are contention free).
+    Fills the caller's output arrays over the refined spans and returns
+    ``{p: sub_sizes}``; returns None when the pool is not engaged and the
+    caller should refine per partition on the vector path.
+    """
+    from repro.exec.parallel import MORSELS_PER_WORKER, SharedArena, morsel_pool
+
+    if parent.hashes is None:
+        return None
+    pool = morsel_pool(parent.n)
+    if pool is None:
+        return None
+    refined = [p for p in range(parent.fanout)
+               if refine_mask is None or refine_mask[p]]
+    if not refined:
+        return {}
+    sub_fanout = 1 << n_bits
+    ids = radix_bits(parent.hashes, start_bit, n_bits)
+    spans = [(p, int(parent.offsets[p]), int(parent.offsets[p + 1]))
+             for p in refined]
+    target = max(parent.n // max(pool.n_workers * MORSELS_PER_WORKER, 1), 1)
+    chunks: List[List[Tuple[int, int, int]]] = [[]]
+    chunk_tuples = 0
+    for span in spans:
+        if chunks[-1] and chunk_tuples >= target:
+            chunks.append([])
+            chunk_tuples = 0
+        chunks[-1].append(span)
+        chunk_tuples += span[2] - span[1]
+    with SharedArena(use_shm=pool.uses_processes) as arena:
+        keys_ref = arena.share(parent.keys)
+        pays_ref = arena.share(parent.payloads)
+        hashes_ref = arena.share(parent.hashes)
+        ids_ref = arena.share(ids)
+        ko_view, ko_ref = arena.output_like(keys_out)
+        po_view, po_ref = arena.output_like(pays_out)
+        ho_view, ho_ref = arena.output_like(hashes_out)
+        results = pool.run("refine_chunk", [
+            dict(keys=keys_ref, payloads=pays_ref, hashes=hashes_ref,
+                 ids=ids_ref, keys_out=ko_ref, pays_out=po_ref,
+                 hashes_out=ho_ref, sub_fanout=sub_fanout,
+                 bounds=[(lo, hi) for (_p, lo, hi) in chunk])
+            for chunk in chunks
+        ])
+        if pool.uses_processes:
+            for chunk in chunks:
+                for _p, lo, hi in chunk:
+                    keys_out[lo:hi] = ko_view[lo:hi]
+                    pays_out[lo:hi] = po_view[lo:hi]
+                    hashes_out[lo:hi] = ho_view[lo:hi]
+    sub_sizes_by_p = {}
+    for chunk, matrix in zip(chunks, results):
+        for row, (p, _lo, _hi) in enumerate(chunk):
+            sub_sizes_by_p[p] = matrix[row]
+    return sub_sizes_by_p
+
+
 def refine_pass(
     parent: PartitionedRelation,
     start_bit: int,
@@ -287,6 +407,8 @@ def refine_pass(
     offsets = np.zeros(fanout + 1, dtype=np.int64)
     sizes = np.zeros(fanout, dtype=np.int64)
     task_counters: List[OpCounters] = []
+    parallel_sizes = _refine_parallel(parent, start_bit, n_bits, refine_mask,
+                                      keys_out, pays_out, hashes_out)
     for p in range(parent.fanout):
         lo, hi = int(parent.offsets[p]), int(parent.offsets[p + 1])
         m = hi - lo
@@ -299,10 +421,13 @@ def refine_pass(
             hashes_out[lo:hi] = phash
             sizes[p * sub_fanout] = m
             continue
-        ids = radix_bits(phash, start_bit, n_bits)
-        reorder = dispatch(_refine_one_scalar, _refine_one_vector)
-        sub_sizes = reorder(pkeys, ppays, phash, ids, sub_fanout,
-                            keys_out, pays_out, hashes_out, lo)
+        if parallel_sizes is not None:
+            sub_sizes = parallel_sizes[p]
+        else:
+            ids = radix_bits(phash, start_bit, n_bits)
+            reorder = dispatch(_refine_one_scalar, _refine_one_vector)
+            sub_sizes = reorder(pkeys, ppays, phash, ids, sub_fanout,
+                                keys_out, pays_out, hashes_out, lo)
         sizes[p * sub_fanout:(p + 1) * sub_fanout] = sub_sizes
         task_counters.append(_scan_counters(m))
     np.cumsum(sizes, out=offsets[1:])

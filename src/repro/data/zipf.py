@@ -16,8 +16,9 @@ can also produce per-rank count histograms without materializing tuples.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -26,20 +27,72 @@ from repro.data.relation import JoinInput, Relation
 from repro.errors import WorkloadError
 from repro.types import KEY_DTYPE, PAYLOAD_DTYPE, SeedLike, make_rng
 
+#: LRU bound on the (n_keys, theta) table cache; each entry holds two
+#: float64 arrays of n_keys elements.
+_ZIPF_CACHE_MAX = 64
+
+_zipf_cache: "OrderedDict[Tuple[int, float], Tuple[np.ndarray, np.ndarray]]" \
+    = OrderedDict()
+_zipf_cache_hits = 0
+_zipf_cache_misses = 0
+
+
+def _zipf_tables(n_keys: int, theta: float) -> Tuple[np.ndarray, np.ndarray]:
+    """The (pmf, cumulative-interval) pair for one (n_keys, theta), cached.
+
+    Building these is O(n_keys) in float64 and dominated the cost of
+    instantiating workloads in tests and the diff grid, where the same
+    handful of (n, theta) shapes recur constantly.  Cached arrays are
+    returned read-only and shared between callers; anything needing to
+    mutate must copy.
+    """
+    global _zipf_cache_hits, _zipf_cache_misses
+    if n_keys <= 0:
+        raise WorkloadError(f"n_keys must be positive, got {n_keys}")
+    if theta < 0:
+        raise WorkloadError(f"zipf factor must be non-negative, got {theta}")
+    key = (int(n_keys), float(theta))
+    cached = _zipf_cache.get(key)
+    if cached is not None:
+        _zipf_cache_hits += 1
+        _zipf_cache.move_to_end(key)
+        return cached
+    _zipf_cache_misses += 1
+    ranks = np.arange(1, n_keys + 1, dtype=np.float64)
+    weights = ranks ** (-theta)
+    probs = weights / weights.sum()
+    intervals = np.cumsum(probs)
+    intervals[-1] = 1.0  # guard against float round-off
+    probs.setflags(write=False)
+    intervals.setflags(write=False)
+    _zipf_cache[key] = (probs, intervals)
+    while len(_zipf_cache) > _ZIPF_CACHE_MAX:
+        _zipf_cache.popitem(last=False)
+    return probs, intervals
+
+
+def zipf_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters of the table cache (diagnostics, tests)."""
+    return {"hits": _zipf_cache_hits, "misses": _zipf_cache_misses,
+            "size": len(_zipf_cache), "max_size": _ZIPF_CACHE_MAX}
+
+
+def clear_zipf_cache() -> None:
+    """Drop every cached table and reset the counters."""
+    global _zipf_cache_hits, _zipf_cache_misses
+    _zipf_cache.clear()
+    _zipf_cache_hits = 0
+    _zipf_cache_misses = 0
+
 
 def zipf_probabilities(n_keys: int, theta: float) -> np.ndarray:
     """Zipf pmf over ranks 1..n_keys: p_i proportional to 1 / i**theta.
 
     ``theta = 0`` degenerates to the uniform distribution, matching the
-    paper's zipf-factor-0 configuration.
+    paper's zipf-factor-0 configuration.  The returned array is a shared,
+    read-only cache entry; copy before mutating.
     """
-    if n_keys <= 0:
-        raise WorkloadError(f"n_keys must be positive, got {n_keys}")
-    if theta < 0:
-        raise WorkloadError(f"zipf factor must be non-negative, got {theta}")
-    ranks = np.arange(1, n_keys + 1, dtype=np.float64)
-    weights = ranks ** (-theta)
-    return weights / weights.sum()
+    return _zipf_tables(n_keys, theta)[0]
 
 
 @dataclass
@@ -70,10 +123,9 @@ class ZipfWorkload:
         if self.n_keys > 2**32:
             raise WorkloadError("key domain exceeds the 4-byte key space")
         rng = make_rng(self.seed)
-        self._probs = zipf_probabilities(self.n_keys, self.theta)
         # Interval array: cumulative right edges of per-rank intervals.
-        self._intervals = np.cumsum(self._probs)
-        self._intervals[-1] = 1.0  # guard against float round-off
+        # Both arrays come from the shared read-only table cache.
+        self._probs, self._intervals = _zipf_tables(self.n_keys, self.theta)
         # Randomly assign a unique key to each interval.
         self._key_of_rank = rng.permutation(self.n_keys).astype(KEY_DTYPE)
         self._rng = rng

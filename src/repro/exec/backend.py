@@ -1,8 +1,8 @@
-"""Execution-backend selection: ``scalar`` vs ``vector`` hot paths.
+"""Execution-backend selection: ``scalar``, ``vector``, ``parallel``.
 
 Every hot phase of the five join pipelines — radix scatter, chained-table
 build/probe, the no-partition join's global probe, the GPU simulator's
-block-cost evaluation, GSH's skew split — exists in two functionally
+block-cost evaluation, GSH's skew split — exists in functionally
 identical renditions:
 
 * ``vector`` (the default) — NumPy batch evaluation: ``np.bincount``
@@ -15,6 +15,11 @@ identical renditions:
   It is the executable specification: slow, obvious, and used by the
   differential harness to pin the vector path down to bit-identical
   outputs, :class:`~repro.exec.counters.OpCounters`, and phase structure.
+* ``parallel`` — the vector phases executed morsel-by-morsel on a
+  persistent multiprocessing worker pool over shared-memory arenas
+  (:mod:`repro.exec.parallel`).  Phases without a dedicated parallel
+  rendition — and hosts where shared memory is unusable — run the vector
+  one; either way results stay bit-identical, only wall time changes.
 
 Selection is ambient.  The process default comes from the
 ``REPRO_BACKEND`` environment variable (``vector`` when unset); tests and
@@ -31,6 +36,7 @@ hypothesis property suite enforce that invariant for every algorithm.
 from __future__ import annotations
 
 import os
+import warnings
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Callable, Iterator, Optional, TypeVar
@@ -39,9 +45,10 @@ from repro.errors import ConfigError
 
 SCALAR = "scalar"
 VECTOR = "vector"
+PARALLEL = "parallel"
 
 #: All selectable backends.
-BACKENDS = (SCALAR, VECTOR)
+BACKENDS = (SCALAR, VECTOR, PARALLEL)
 
 #: Environment variable holding the process-wide default backend.
 BACKEND_ENV = "REPRO_BACKEND"
@@ -52,6 +59,9 @@ _override: ContextVar[Optional[str]] = ContextVar("repro_backend_override",
                                                   default=None)
 
 _F = TypeVar("_F", bound=Callable)
+
+#: One fallback warning per process keeps degraded sandboxes quiet.
+_warned_fallback = False
 
 
 def validate_backend(name: str) -> str:
@@ -84,8 +94,45 @@ def current_backend() -> str:
 
 
 def is_vector() -> bool:
-    """True when the vector (NumPy batch) backend is selected."""
-    return current_backend() == VECTOR
+    """True when a batch (NumPy) backend is selected.
+
+    The parallel backend counts: every phase it does not explicitly
+    parallelize runs the vector rendition, so two-way dispatch sites must
+    take the vector branch under it.
+    """
+    return current_backend() != SCALAR
+
+
+def parallel_status() -> "tuple[bool, Optional[str]]":
+    """(usable, reason) for the parallel backend on this host (cached)."""
+    from repro.exec.parallel import availability
+    return availability()
+
+
+def require_parallel() -> None:
+    """Raise a typed :class:`ConfigError` when parallel cannot run here.
+
+    The ambient fallback in :func:`dispatch` is deliberately graceful
+    (warn once, run vector); callers that must not silently degrade —
+    CI legs pinned to the parallel backend, for example — call this
+    first to fail loudly instead.
+    """
+    usable, reason = parallel_status()
+    if not usable:
+        raise ConfigError(
+            f"parallel backend unavailable on this host: {reason}; "
+            f"set {BACKEND_ENV}=vector (or fix shared memory) and retry",
+            backend=PARALLEL, reason=reason,
+        )
+
+
+def _fallback_to_vector(reason: Optional[str]) -> None:
+    global _warned_fallback
+    if not _warned_fallback:
+        _warned_fallback = True
+        warnings.warn(
+            f"parallel backend unavailable ({reason}); falling back to the "
+            "vector backend for this process", RuntimeWarning, stacklevel=3)
 
 
 @contextmanager
@@ -99,6 +146,22 @@ def use_backend(name: str) -> Iterator[str]:
         _override.reset(token)
 
 
-def dispatch(scalar_impl: _F, vector_impl: _F) -> _F:
-    """Pick the implementation matching the ambient backend."""
-    return vector_impl if is_vector() else scalar_impl
+def dispatch(scalar_impl: _F, vector_impl: _F,
+             parallel_impl: Optional[_F] = None) -> _F:
+    """Pick the implementation matching the ambient backend.
+
+    Two-argument call sites cover phases with no dedicated parallel
+    rendition: under the parallel backend they receive ``vector_impl``.
+    When parallel is selected but unusable on this host (no shared
+    memory), the vector implementation is returned after a one-time
+    warning — see :func:`require_parallel` for the strict variant.
+    """
+    backend = current_backend()
+    if backend == SCALAR:
+        return scalar_impl
+    if backend == PARALLEL and parallel_impl is not None:
+        usable, reason = parallel_status()
+        if usable:
+            return parallel_impl
+        _fallback_to_vector(reason)
+    return vector_impl

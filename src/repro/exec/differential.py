@@ -1,13 +1,14 @@
-"""Differential testing of the scalar and vector execution backends.
+"""Differential testing of the execution backends.
 
-The two backends are required to be *observationally identical*: the same
-join output (count and checksum), the same phase structure, the same
-operation counters phase by phase, and the same simulated seconds.  Only
-wall time may differ — that is the whole point of having a vector backend.
+All backends (scalar, vector, parallel) are required to be
+*observationally identical*: the same join output (count and checksum),
+the same phase structure, the same operation counters phase by phase, and
+the same simulated seconds.  Only wall time may differ — that is the
+whole point of having fast backends.
 
-This module runs one algorithm twice, once per backend, and diffs the
-results field by field.  :func:`differential_matrix` sweeps the full
-algorithm x dataset grid the CI gate runs on.
+This module runs one algorithm once per backend and diffs every result
+against the first backend's, field by field.  :func:`differential_matrix`
+sweeps the full algorithm x dataset grid the CI gate runs on.
 """
 
 from __future__ import annotations
@@ -81,7 +82,7 @@ class DifferentialReport:
 
     algorithm: str
     dataset: str
-    backends: Tuple[str, str]
+    backends: Tuple[str, ...]
     mismatches: List[str] = field(default_factory=list)
     output_count: int = 0
 
@@ -97,20 +98,27 @@ def run_differential(
     dataset: str = "",
     backends: Sequence[str] = BACKENDS,
 ) -> DifferentialReport:
-    """Execute ``run`` under each backend and diff the results."""
-    if len(backends) != 2:
-        raise ValueError("differential comparison needs exactly 2 backends")
-    first, second = backends
-    with use_backend(first):
-        res_a = run()
-    with use_backend(second):
-        res_b = run()
+    """Execute ``run`` under each backend; diff each against the first."""
+    if len(backends) < 2:
+        raise ValueError("differential comparison needs >= 2 backends")
+    backends = tuple(backends)
+    reference_backend = backends[0]
+    with use_backend(reference_backend):
+        reference = run()
+    mismatches: List[str] = []
+    for other in backends[1:]:
+        with use_backend(other):
+            result = run()
+        for issue in compare_results(reference, result):
+            if len(backends) > 2:
+                issue = f"[{reference_backend} vs {other}] {issue}"
+            mismatches.append(issue)
     return DifferentialReport(
-        algorithm=algorithm or res_a.algorithm,
+        algorithm=algorithm or reference.algorithm,
         dataset=dataset,
-        backends=(first, second),
-        mismatches=compare_results(res_a, res_b),
-        output_count=res_a.output_count,
+        backends=backends,
+        mismatches=mismatches,
+        output_count=reference.output_count,
     )
 
 
@@ -142,6 +150,7 @@ def differential_matrix(
     seed: int = 42,
     algorithms: Optional[Iterable[str]] = None,
     datasets: Optional[Dict[str, JoinInput]] = None,
+    backends: Sequence[str] = BACKENDS,
 ) -> List[DifferentialReport]:
     """Run the full algorithm x dataset differential grid."""
     from repro.api import ALGORITHMS, make_join
@@ -153,14 +162,15 @@ def differential_matrix(
         for algo in algorithms:
             reports.append(run_differential(
                 lambda a=algo, ji=join_input: make_join(a).run(ji),
-                algorithm=algo, dataset=ds_name,
+                algorithm=algo, dataset=ds_name, backends=backends,
             ))
     return reports
 
 
 def render_differential(reports: Sequence[DifferentialReport]) -> str:
     """Human-readable grid summary of differential outcomes."""
-    lines = ["backend differential — scalar vs vector", ""]
+    names = reports[0].backends if reports else BACKENDS
+    lines = [f"backend differential — {' vs '.join(names)}", ""]
     width = max((len(r.algorithm) for r in reports), default=8)
     ds_width = max((len(r.dataset) for r in reports), default=8)
     for r in reports:

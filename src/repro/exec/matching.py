@@ -85,6 +85,53 @@ def _match_group_stats_vector(
     return total, checksum & _U64_MASK
 
 
+def _s_morsels(n_s: int, pool) -> List[Tuple[int, int]]:
+    """Contiguous S-side morsels sized to keep the task queue fed."""
+    from repro.cpu.segments import split_segments
+    from repro.exec.parallel import MORSELS_PER_WORKER
+    return split_segments(n_s, max(pool.n_workers * MORSELS_PER_WORKER, 1))
+
+
+def _match_group_stats_parallel(
+    r_keys: np.ndarray,
+    r_payloads: np.ndarray,
+    s_keys: np.ndarray,
+    s_payloads: np.ndarray,
+) -> Tuple[int, int]:
+    """Morsel-parallel tally: R-side group index + per-S-morsel probes.
+
+    The driver builds the per-key (count, payload-sum) index of R once,
+    ships it through the arena, and sums per-morsel contributions.  The
+    per-tuple checksum ``r_sums[key] * s_payload`` equals the vector
+    backend's per-key ``r_sums * s_sums`` because multiplication
+    distributes over addition mod 2**64, and morsel merge order is
+    irrelevant for the same reason — so the result is bit-identical
+    regardless of worker count.
+    """
+    from repro.exec.parallel import SharedArena, morsel_pool
+
+    pool = morsel_pool(r_keys.size + s_keys.size)
+    if pool is None or r_keys.size == 0 or s_keys.size == 0:
+        return _match_group_stats_vector(r_keys, r_payloads,
+                                         s_keys, s_payloads)
+    r_uniq, r_inv = np.unique(r_keys, return_inverse=True)
+    r_counts = np.bincount(r_inv, minlength=r_uniq.size)
+    r_sums = np.zeros(r_uniq.size, dtype=np.uint64)
+    np.add.at(r_sums, r_inv, r_payloads.astype(np.uint64))
+    with SharedArena(use_shm=pool.uses_processes) as arena:
+        task = dict(r_uniq=arena.share(r_uniq),
+                    r_counts=arena.share(r_counts),
+                    r_sums=arena.share(r_sums),
+                    s_keys=arena.share(s_keys),
+                    s_payloads=arena.share(s_payloads))
+        results = pool.run("match_stats", [
+            dict(task, a=a, b=b) for (a, b) in _s_morsels(s_keys.size, pool)
+        ])
+    total = sum(t for t, _c in results)
+    checksum = sum(c for _t, c in results)
+    return total, checksum & _U64_MASK
+
+
 def match_group_stats(
     r_keys: np.ndarray,
     r_payloads: np.ndarray,
@@ -92,7 +139,8 @@ def match_group_stats(
     s_payloads: np.ndarray,
 ) -> Tuple[int, int]:
     """Exact (count, checksum) of the equi-join of two tuple sets."""
-    impl = dispatch(_match_group_stats_scalar, _match_group_stats_vector)
+    impl = dispatch(_match_group_stats_scalar, _match_group_stats_vector,
+                    _match_group_stats_parallel)
     return impl(r_keys, r_payloads, s_keys, s_payloads)
 
 
@@ -131,10 +179,11 @@ def expand_pairs(
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Materialize all matching (r_payload, s_payload) pairs.
 
-    Both backends emit the pairs in the same order — by S tuple, then by R
+    All backends emit the pairs in the same order — by S tuple, then by R
     insertion order within the key — so buffer snapshots stay bit-identical.
     """
-    impl = dispatch(_expand_pairs_scalar, _expand_pairs_vector)
+    impl = dispatch(_expand_pairs_scalar, _expand_pairs_vector,
+                    _expand_pairs_parallel)
     return impl(r_keys, r_payloads, s_keys, s_payloads)
 
 
@@ -189,6 +238,62 @@ def _expand_pairs_vector(
     within = np.arange(total) - run_origin
     r_idx = np.repeat(np.where(hit, group_start[pos], 0), cnt_per_s) + within
     return rp[r_idx], s_payloads[s_rep]
+
+
+def _expand_pairs_parallel(
+    r_keys: np.ndarray,
+    r_payloads: np.ndarray,
+    s_keys: np.ndarray,
+    s_payloads: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Two-round morsel-parallel pair expansion.
+
+    Round 1 counts each S morsel's output; the driver prefix-sums those
+    counts into per-morsel output offsets; round 2 writes each morsel's
+    pairs into its disjoint slice of the shared output.  Because morsels
+    are contiguous S spans and pairs are ordered by S tuple then R
+    insertion order, the concatenation equals the vector expansion
+    bit for bit.
+    """
+    from repro.exec.parallel import SharedArena, morsel_pool
+
+    pool = morsel_pool(r_keys.size + s_keys.size)
+    if pool is None or r_keys.size == 0 or s_keys.size == 0:
+        return _expand_pairs_vector(r_keys, r_payloads, s_keys, s_payloads)
+    r_order = np.argsort(r_keys, kind="stable")
+    rk = r_keys[r_order]
+    rp = r_payloads[r_order]
+    group_keys, group_start = np.unique(rk, return_index=True)
+    group_count = np.diff(np.append(group_start, rk.size))
+    morsels = _s_morsels(s_keys.size, pool)
+    with SharedArena(use_shm=pool.uses_processes) as arena:
+        gk_ref = arena.share(group_keys)
+        gs_ref = arena.share(group_start)
+        gc_ref = arena.share(group_count)
+        rp_ref = arena.share(rp)
+        sk_ref = arena.share(s_keys)
+        sp_ref = arena.share(s_payloads)
+        counts = pool.run("expand_count", [
+            dict(group_keys=gk_ref, group_count=gc_ref, s_keys=sk_ref,
+                 a=a, b=b)
+            for (a, b) in morsels
+        ])
+        total = int(sum(counts))
+        if total == 0:
+            return np.empty(0, np.uint32), np.empty(0, np.uint32)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        out_r, out_r_ref = arena.empty(total, np.uint32)
+        out_s, out_s_ref = arena.empty(total, np.uint32)
+        pool.run("expand_write", [
+            dict(group_keys=gk_ref, group_start=gs_ref, group_count=gc_ref,
+                 r_pays_sorted=rp_ref, s_keys=sk_ref, s_payloads=sp_ref,
+                 out_r=out_r_ref, out_s=out_s_ref, a=a, b=b,
+                 offset=int(offsets[i]))
+            for i, (a, b) in enumerate(morsels) if counts[i]
+        ])
+        if pool.uses_processes:
+            return out_r.copy(), out_s.copy()
+        return out_r, out_s
 
 
 def per_key_match_counts(

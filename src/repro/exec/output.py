@@ -40,9 +40,32 @@ class JoinOutputBuffer:
         self.capacity = int(capacity)
         self._r = np.zeros(self.capacity, dtype=np.uint32)
         self._s = np.zeros(self.capacity, dtype=np.uint32)
+        # Reused uint64 scratch for checksum products: write_pairs runs
+        # once per probe task, and a fresh temporary per call was a
+        # measurable share of its allocation traffic.
+        self._prod = np.empty(self.capacity, dtype=np.uint64)
         self._pos = 0
         self.count = 0
         self.checksum = 0
+
+    def _pairs_checksum(self, r_payloads: np.ndarray,
+                        s_payloads: np.ndarray) -> int:
+        """``sum(r * s) mod 2**64``, chunked through the scratch buffer.
+
+        Oversized writes stream through the capacity-sized scratch in
+        chunks; mod-2**64 addition is associative, so the chunked total
+        equals the single-temporary result exactly.
+        """
+        n = int(r_payloads.size)
+        chunk = self.capacity
+        total = 0
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            scratch = self._prod[:stop - start]
+            np.multiply(r_payloads[start:stop], s_payloads[start:stop],
+                        out=scratch, dtype=np.uint64)
+            total += int(np.sum(scratch, dtype=np.uint64))
+        return total & _U64_MASK
 
     def write_pairs(self, r_payloads: np.ndarray, s_payloads: np.ndarray) -> int:
         """Append matched pairs; returns the number of tuples written.
@@ -57,8 +80,7 @@ class JoinOutputBuffer:
         n = int(r_payloads.size)
         if n == 0:
             return 0
-        prod = r_payloads.astype(np.uint64) * s_payloads.astype(np.uint64)
-        partial = int(np.sum(prod, dtype=np.uint64))
+        partial = self._pairs_checksum(r_payloads, s_payloads)
         self.checksum = (self.checksum + partial) & _U64_MASK
         self.count += n
         self._store(r_payloads, s_payloads)

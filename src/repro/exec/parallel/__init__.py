@@ -1,0 +1,84 @@
+"""Morsel-driven multicore execution over shared-memory arenas.
+
+The third execution backend (``REPRO_BACKEND=parallel``): a persistent
+:class:`~repro.exec.parallel.pool.WorkerPool` of real processes computes
+the dominant vector phases — partition scatter/refine, chained-table
+build, match-group stats and pair expansion — over
+``multiprocessing.shared_memory`` arenas, one morsel at a time.
+
+Division of labour:
+
+* the **driver** (the ordinary pipeline code) decomposes each phase into
+  the same per-thread segments and queue tasks the simulated
+  :class:`~repro.cpu.threads.ThreadPool` prices, performs all operation
+  accounting and fault injection, and merges morsel results with
+  order-independent or index-ordered reductions;
+* **workers** are pure compute (see :mod:`repro.exec.parallel.kernels`).
+
+That split is what makes the backend observationally identical to
+``vector``: counters, simulated seconds, output count/checksum, trace
+structure, and fault behaviour cannot depend on the real worker count.
+
+:func:`morsel_pool` is the single gate the hot paths consult: it returns
+the pool only when the parallel backend is active, usable on this host,
+and the phase is large enough to amortize morsel overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exec.parallel.arena import ArrayRef, SharedArena, shared_memory_probe
+from repro.exec.parallel.pool import (
+    DEFAULT_MIN_PARALLEL_TUPLES,
+    MIN_TUPLES_ENV,
+    WORKERS_ENV,
+    WorkerPool,
+    availability,
+    get_pool,
+    min_parallel_tuples,
+    reset_availability_cache,
+    shutdown_pool,
+    worker_count,
+)
+
+#: Morsels handed out per worker for internal (unpriced) fan-out, so the
+#: queue always holds spare morsels for early finishers to steal.
+MORSELS_PER_WORKER = 2
+
+
+def morsel_pool(n_tuples: int) -> Optional[WorkerPool]:
+    """The pool to run an ``n_tuples``-sized phase on, or None.
+
+    None means "stay on the vector path": the parallel backend is not the
+    ambient backend, shared memory is unusable here, or the phase is too
+    small to engage the pool (``REPRO_PARALLEL_MIN_TUPLES``).
+    """
+    from repro.exec.backend import PARALLEL, current_backend
+    if current_backend() != PARALLEL:
+        return None
+    usable, _reason = availability()
+    if not usable:
+        return None
+    if n_tuples < min_parallel_tuples():
+        return None
+    return get_pool()
+
+
+__all__ = [
+    "ArrayRef",
+    "DEFAULT_MIN_PARALLEL_TUPLES",
+    "MIN_TUPLES_ENV",
+    "MORSELS_PER_WORKER",
+    "SharedArena",
+    "WORKERS_ENV",
+    "WorkerPool",
+    "availability",
+    "get_pool",
+    "min_parallel_tuples",
+    "morsel_pool",
+    "reset_availability_cache",
+    "shared_memory_probe",
+    "shutdown_pool",
+    "worker_count",
+]

@@ -1,0 +1,195 @@
+"""Shared-memory arenas: zero-copy array transport for the worker pool.
+
+A :class:`SharedArena` is a driver-side collection of POSIX shared-memory
+segments, one per array.  The driver copies inputs in (or allocates empty
+output arrays), hands the picklable :class:`ArrayRef` handles to worker
+tasks, reads results back through its own views, and unlinks every segment
+on close.  Workers attach by name, compute, and close — they never unlink,
+so segment lifetime is owned entirely by the driver.
+
+When the pool runs inline (a single worker executes morsels in-process),
+the arena skips shared memory entirely: refs simply carry the ndarray.
+That keeps single-core machines and tiny inputs on the plain vector path
+cost-wise while exercising the same kernel code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+try:  # pragma: no cover - import failure is the restricted-sandbox case
+    from multiprocessing import shared_memory as _shm_mod
+    _SHM_IMPORT_ERROR: Optional[BaseException] = None
+except Exception as exc:  # pragma: no cover
+    _shm_mod = None
+    _SHM_IMPORT_ERROR = exc
+
+
+def shared_memory_probe() -> Optional[str]:
+    """None when POSIX shared memory works here, else the reason it cannot.
+
+    Restricted sandboxes may lack /dev/shm or forbid shm_open; the backend
+    layer turns a non-None reason into a graceful fallback to ``vector``.
+    """
+    if _shm_mod is None:
+        return f"multiprocessing.shared_memory unavailable: {_SHM_IMPORT_ERROR}"
+    try:
+        seg = _shm_mod.SharedMemory(create=True, size=16)
+    except Exception as exc:
+        return f"cannot create a shared-memory segment: {exc}"
+    try:
+        seg.close()
+        seg.unlink()
+    except Exception:
+        pass
+    return None
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """Picklable handle to one arena array.
+
+    Either ``shm_name`` names a shared segment holding the array bytes, or
+    ``array`` carries the ndarray directly (inline pools only — such refs
+    must never cross a process boundary).
+    """
+
+    shape: Tuple[int, ...]
+    dtype: str
+    shm_name: Optional[str] = None
+    array: Optional[np.ndarray] = None
+
+
+class Attachment:
+    """Worker-side view of one :class:`ArrayRef` (close, never unlink)."""
+
+    def __init__(self, ref: ArrayRef):
+        if ref.array is not None:
+            self.array = ref.array
+            self._seg = None
+            return
+        if _shm_mod is None:  # pragma: no cover - guarded by the probe
+            raise ExecutionError(
+                "worker cannot attach shared memory",
+                reason=str(_SHM_IMPORT_ERROR))
+        seg = _shm_mod.SharedMemory(name=ref.shm_name)
+        _untrack(seg)
+        self.array = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype),
+                                buffer=seg.buf)
+        self._seg = seg
+
+    def close(self) -> None:
+        self.array = None
+        if self._seg is not None:
+            self._seg.close()
+            self._seg = None
+
+
+class attached:
+    """Context manager attaching several refs at once: yields the arrays."""
+
+    def __init__(self, *refs: ArrayRef):
+        self._refs = refs
+        self._attachments: List[Attachment] = []
+
+    def __enter__(self):
+        for ref in self._refs:
+            self._attachments.append(Attachment(ref))
+        return tuple(a.array for a in self._attachments)
+
+    def __exit__(self, *exc_info):
+        for a in self._attachments:
+            a.close()
+        self._attachments = []
+        return False
+
+
+def _untrack(seg) -> None:
+    """Stop the worker's resource tracker from also unlinking this segment.
+
+    Attaching registers the segment with the process-local resource
+    tracker on Python < 3.13; without this, worker exit would race the
+    driver's unlink and spam KeyError/FileNotFoundError warnings.
+    """
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:  # pragma: no cover - best effort, version dependent
+        pass
+
+
+class SharedArena:
+    """Driver-side segment collection with unlink-on-close lifetime."""
+
+    def __init__(self, use_shm: bool = True):
+        self.use_shm = bool(use_shm)
+        self._segments: List[object] = []
+
+    def share(self, array: np.ndarray) -> ArrayRef:
+        """Copy an input array into the arena; returns its ref."""
+        array = np.ascontiguousarray(array)
+        if not self.use_shm:
+            return ArrayRef(shape=array.shape, dtype=array.dtype.str,
+                            array=array)
+        view, ref = self._allocate(array.shape, array.dtype)
+        view[...] = array
+        return ref
+
+    def empty(self, shape, dtype) -> Tuple[np.ndarray, ArrayRef]:
+        """Allocate an uninitialized output array; returns (view, ref).
+
+        The driver keeps the view to read results back after the workers
+        have filled their disjoint slices.
+        """
+        if not self.use_shm:
+            array = np.empty(shape, dtype=dtype)
+            return array, ArrayRef(shape=array.shape, dtype=array.dtype.str,
+                                   array=array)
+        return self._allocate(shape, np.dtype(dtype))
+
+    def output_like(self, array: np.ndarray) -> Tuple[np.ndarray, ArrayRef]:
+        """(view, ref) for filling a caller-owned output array.
+
+        Inline arenas return the array itself, so worker writes land
+        directly; shared arenas return a fresh segment the caller must
+        copy back into ``array`` after the workers finish.
+        """
+        if not self.use_shm:
+            return array, ArrayRef(shape=array.shape, dtype=array.dtype.str,
+                                   array=array)
+        return self._allocate(array.shape, array.dtype)
+
+    def _allocate(self, shape, dtype) -> Tuple[np.ndarray, ArrayRef]:
+        if _shm_mod is None:
+            raise ExecutionError(
+                "shared memory is unavailable; the parallel backend should "
+                "have fallen back to vector", reason=str(_SHM_IMPORT_ERROR))
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        seg = _shm_mod.SharedMemory(create=True, size=max(nbytes, 1))
+        self._segments.append(seg)
+        view = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+        ref = ArrayRef(shape=tuple(view.shape), dtype=dtype.str,
+                       shm_name=seg.name)
+        return view, ref
+
+    def close(self) -> None:
+        """Release every segment (close + unlink); views become invalid."""
+        for seg in self._segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments = []
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False

@@ -1,0 +1,236 @@
+"""The persistent worker pool behind the ``parallel`` backend.
+
+One pool per process, sized by ``REPRO_WORKERS`` (default: the machine's
+core count).  Workers are long-lived daemon processes pulling (kernel
+name, task id, kwargs) tuples off a single shared queue — morsel-driven
+scheduling: whichever worker frees up first takes the next morsel, so a
+skewed morsel never idles the rest of the pool.  Results return tagged
+with their task id, so completion order is irrelevant.
+
+With one worker the pool runs **inline**: morsels execute in-process
+through the same kernel registry with no shared memory and no queues.
+Single-core machines (and the tiny inputs of the test grid) therefore
+pay nothing for selecting the parallel backend.
+
+Determinism does not depend on the worker count: morsel decomposition is
+fixed by the driver (the same per-thread segments the simulated
+:class:`~repro.cpu.threads.ThreadPool` prices), and every merge the
+driver performs is order-independent or index-ordered.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import queue as queue_mod
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError, ExecutionError
+from repro.exec.parallel.arena import shared_memory_probe
+
+#: Environment variable fixing the pool size (default: os.cpu_count()).
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment variable for the morsel engagement threshold, in tuples.
+MIN_TUPLES_ENV = "REPRO_PARALLEL_MIN_TUPLES"
+
+#: Below this many tuples a phase stays on the inline vector path: queue
+#: and attach latency would dwarf the compute of a tiny morsel.
+DEFAULT_MIN_PARALLEL_TUPLES = 16384
+
+#: Seconds between liveness checks while draining results.
+_RESULT_POLL_SECONDS = 1.0
+
+
+def worker_count() -> int:
+    """The configured pool size: ``REPRO_WORKERS``, else the core count."""
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return max(os.cpu_count() or 1, 1)
+    try:
+        n = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{WORKERS_ENV} must be a positive integer, got {raw!r}",
+            env=WORKERS_ENV, value=raw,
+        ) from None
+    if n <= 0:
+        raise ConfigError(
+            f"{WORKERS_ENV} must be a positive integer, got {raw!r}",
+            env=WORKERS_ENV, value=raw,
+        )
+    return n
+
+
+def min_parallel_tuples() -> int:
+    """The engagement threshold: phases below it stay on the vector path."""
+    raw = os.environ.get(MIN_TUPLES_ENV, "").strip()
+    if not raw:
+        return DEFAULT_MIN_PARALLEL_TUPLES
+    try:
+        n = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{MIN_TUPLES_ENV} must be a non-negative integer, got {raw!r}",
+            env=MIN_TUPLES_ENV, value=raw,
+        ) from None
+    if n < 0:
+        raise ConfigError(
+            f"{MIN_TUPLES_ENV} must be a non-negative integer, got {raw!r}",
+            env=MIN_TUPLES_ENV, value=raw,
+        )
+    return n
+
+
+def _worker_main(tasks, results) -> None:  # pragma: no cover - subprocess
+    """Worker loop: pull morsels until the None sentinel arrives."""
+    from repro.exec.parallel.kernels import run_kernel
+    while True:
+        item = tasks.get()
+        if item is None:
+            return
+        kernel, task_id, kwargs = item
+        try:
+            results.put((task_id, True, run_kernel(kernel, kwargs)))
+        except BaseException as exc:
+            results.put((task_id, False, f"{type(exc).__name__}: {exc}"))
+
+
+class WorkerPool:
+    """A fixed set of worker processes fed from one morsel queue."""
+
+    def __init__(self, n_workers: int):
+        if n_workers <= 0:
+            raise ConfigError(
+                f"worker count must be positive, got {n_workers}")
+        self.n_workers = int(n_workers)
+        self._procs: List = []
+        self._tasks = None
+        self._results = None
+        if self.n_workers > 1:
+            import multiprocessing as mp
+            # fork shares the (copy-on-write) interpreter state; spawn is
+            # the portable fallback where fork is unavailable.
+            method = ("fork" if "fork" in mp.get_all_start_methods()
+                      else "spawn")
+            ctx = mp.get_context(method)
+            self._tasks = ctx.Queue()
+            self._results = ctx.Queue()
+            for _ in range(self.n_workers):
+                proc = ctx.Process(target=_worker_main,
+                                   args=(self._tasks, self._results),
+                                   daemon=True)
+                proc.start()
+                self._procs.append(proc)
+
+    @property
+    def uses_processes(self) -> bool:
+        """False for the inline single-worker pool."""
+        return bool(self._procs)
+
+    def run(self, kernel: str, task_specs: Sequence[Dict]) -> List:
+        """Execute one kernel over all morsels; results in task order.
+
+        Inline pools call the kernel directly; process pools enqueue every
+        morsel at once and drain tagged results, raising a typed
+        :class:`ExecutionError` on a worker failure or death.
+        """
+        from repro.exec.parallel.kernels import run_kernel
+        if not self.uses_processes:
+            return [run_kernel(kernel, spec) for spec in task_specs]
+        for task_id, spec in enumerate(task_specs):
+            self._tasks.put((kernel, task_id, spec))
+        out: List = [None] * len(task_specs)
+        for _ in range(len(task_specs)):
+            task_id, ok, payload = self._next_result(kernel)
+            if not ok:
+                raise ExecutionError(
+                    f"parallel worker failed in kernel {kernel!r}: {payload}",
+                    kernel=kernel, task_id=task_id, detail=str(payload),
+                )
+            out[task_id] = payload
+        return out
+
+    def _next_result(self, kernel: str) -> Tuple:
+        while True:
+            try:
+                return self._results.get(timeout=_RESULT_POLL_SECONDS)
+            except queue_mod.Empty:
+                dead = [p.pid for p in self._procs if not p.is_alive()]
+                if dead:
+                    raise ExecutionError(
+                        f"parallel worker process died during kernel "
+                        f"{kernel!r}", kernel=kernel, dead_pids=dead,
+                    ) from None
+
+    def shutdown(self) -> None:
+        """Stop every worker and release the queues (idempotent)."""
+        if not self._procs:
+            return
+        for _ in self._procs:
+            try:
+                self._tasks.put(None)
+            except Exception:  # pragma: no cover - queue already torn down
+                break
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for q in (self._tasks, self._results):
+            try:
+                q.close()
+                q.join_thread()
+            except Exception:  # pragma: no cover
+                pass
+        self._procs = []
+        self._tasks = None
+        self._results = None
+
+
+_pool: Optional[WorkerPool] = None
+_atexit_registered = False
+_availability: Optional[Tuple[bool, Optional[str]]] = None
+
+
+def availability() -> Tuple[bool, Optional[str]]:
+    """(usable, reason): whether the parallel backend can run here.
+
+    The probe creates and unlinks one tiny shared-memory segment; the
+    result is cached for the process.  A False verdict makes the backend
+    layer fall back to ``vector`` with a warning (or raise a typed
+    :class:`~repro.errors.ConfigError` via ``require_parallel``).
+    """
+    global _availability
+    if _availability is None:
+        reason = shared_memory_probe()
+        _availability = (reason is None, reason)
+    return _availability
+
+
+def reset_availability_cache() -> None:
+    """Forget the cached probe (tests monkeypatching the environment)."""
+    global _availability
+    _availability = None
+
+
+def get_pool() -> WorkerPool:
+    """The process-wide pool, (re)built when ``REPRO_WORKERS`` changes."""
+    global _pool, _atexit_registered
+    n = worker_count()
+    if _pool is None or _pool.n_workers != n:
+        if _pool is not None:
+            _pool.shutdown()
+        _pool = WorkerPool(n)
+        if not _atexit_registered:
+            atexit.register(shutdown_pool)
+            _atexit_registered = True
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the process-wide pool (tests and interpreter exit)."""
+    global _pool
+    if _pool is not None:
+        _pool.shutdown()
+        _pool = None

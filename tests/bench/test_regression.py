@@ -152,14 +152,42 @@ def test_disjoint_backends_raise():
 def test_record_bench_executes_and_cross_checks():
     record = record_bench("unit", n_tuples=512, repeats=1)
     assert record.n_tuples == 512
+    assert record.worker_count >= 1
     assert {c.algorithm for c in record.cases} == {
         "cbase", "cbase-npj", "csh", "gbase", "gsh"}
     for case in record.cases:
         assert case.phases
         for phase in case.phases:
-            assert set(phase.wall_seconds) == {"scalar", "vector"}
+            assert set(phase.wall_seconds) == {"scalar", "vector", "parallel"}
             assert all(w >= 0 for w in phase.wall_seconds.values())
     assert record.median_speedup() is not None
+
+
+def test_parallel_scaling_is_reported():
+    baseline = _record("base", backends=("scalar", "vector", "parallel"))
+    # The synthetic record prices parallel like vector -> scaling 1.0 over
+    # the join/probe phases only.
+    assert baseline.parallel_scaling() == pytest.approx(1.0)
+    comparison = compare_benches(baseline,
+                                 _record("cand",
+                                         backends=("scalar", "vector",
+                                                   "parallel")))
+    assert comparison.parallel_scaling == pytest.approx(1.0)
+    assert "parallel scaling" in comparison.render()
+
+
+def test_comparison_to_dict_is_machine_readable():
+    from repro.bench.regression import comparison_to_dict
+
+    comparison = compare_benches(_record("base"), _record("cand", wall=0.2))
+    payload = comparison_to_dict(comparison)
+    assert payload["verdict"] == "failed"
+    assert payload["gate"]["backend"] == "vector"
+    assert len(payload["phase_deltas"]) == 2
+    for delta in payload["phase_deltas"]:
+        assert delta["ratio"] == pytest.approx(2.0)
+    assert len(payload["regressions"]) == 2
+    assert json.dumps(payload)  # round-trips through JSON
 
 
 def test_committed_seed_baseline_loads():

@@ -44,6 +44,24 @@ def assert_result_correct(result, join_input: JoinInput):
 
 
 @pytest.fixture
+def parallel_pool_env(monkeypatch):
+    """Pin a deterministic two-worker pool and force morsel engagement.
+
+    CI pins ``REPRO_WORKERS`` the same way, so pool-path tests exercise a
+    real process pool regardless of the host's core count; the engagement
+    threshold drops to zero so the small test inputs reach the kernels.
+    The process-wide pool is torn down afterwards so other tests see the
+    ambient environment again.
+    """
+    from repro.exec import parallel
+
+    monkeypatch.setenv(parallel.WORKERS_ENV, "2")
+    monkeypatch.setenv(parallel.MIN_TUPLES_ENV, "0")
+    yield
+    parallel.shutdown_pool()
+
+
+@pytest.fixture
 def small_uniform() -> JoinInput:
     return uniform_input(4000, 4000, n_keys=1000, seed=11)
 

@@ -6,6 +6,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro.data.zipf import (
     ZipfWorkload,
+    clear_zipf_cache,
+    zipf_cache_info,
     zipf_probabilities,
     zipf_rank_counts_approx,
 )
@@ -116,3 +118,38 @@ def test_probabilities_normalized_property(n_keys, theta):
     p = zipf_probabilities(n_keys, theta)
     assert p.size == n_keys
     assert p.sum() == pytest.approx(1.0, rel=1e-9)
+
+
+def test_table_cache_hits_on_repeat_shapes():
+    clear_zipf_cache()
+    a = zipf_probabilities(512, 0.9)
+    info = zipf_cache_info()
+    assert info["misses"] == 1 and info["hits"] == 0
+    b = zipf_probabilities(512, 0.9)
+    info = zipf_cache_info()
+    assert info["hits"] == 1 and info["size"] == 1
+    assert a is b  # the cached array itself, not a rebuild
+    zipf_probabilities(512, 1.0)  # different theta -> new entry
+    assert zipf_cache_info() == {"hits": 1, "misses": 2, "size": 2,
+                                 "max_size": 64}
+    clear_zipf_cache()
+    assert zipf_cache_info()["size"] == 0
+
+
+def test_cached_tables_are_read_only():
+    p = zipf_probabilities(64, 0.5)
+    assert not p.flags.writeable
+    with pytest.raises(ValueError):
+        p[0] = 0.0
+
+
+def test_workloads_share_cached_tables():
+    clear_zipf_cache()
+    w1 = ZipfWorkload(1000, 1000, theta=1.0, seed=1)
+    w2 = ZipfWorkload(1000, 1000, theta=1.0, seed=2)
+    assert w1.probabilities is w2.probabilities
+    # Sharing must not change what is generated.
+    ji = w1.generate()
+    assert len(ji.r) == 1000
+    assert np.array_equal(
+        ji.r.keys, ZipfWorkload(1000, 1000, theta=1.0, seed=1).generate().r.keys)

@@ -138,3 +138,26 @@ def test_ring_retains_exactly_last_capacity(pairs, capacity):
         (int(a), int(b)) for a, b in pairs[-keep:]
     )
     assert buf.checksum == reference_checksum(r, s)
+
+
+def test_oversized_write_chunks_through_scratch():
+    """Writes larger than capacity stream through the reused scratch in
+    capacity-sized chunks; the chunked checksum must equal the direct one."""
+    buf = JoinOutputBuffer(8)
+    rng = np.random.default_rng(7)
+    r = rng.integers(0, 2**32, size=100, dtype=np.uint32)
+    s = rng.integers(0, 2**32, size=100, dtype=np.uint32)
+    assert buf.write_pairs(r, s) == 100
+    assert buf.count == 100
+    assert buf.checksum == reference_checksum(r, s)
+    assert buf._prod.size == buf.capacity  # scratch never grows
+
+
+def test_scratch_reuse_keeps_repeat_writes_exact():
+    buf = JoinOutputBuffer(16)
+    a = np.arange(1, 6, dtype=np.uint32)
+    expected = 0
+    for _ in range(3):
+        buf.write_pairs(a, a)
+        expected = (expected + reference_checksum(a, a)) & U64
+    assert buf.checksum == expected

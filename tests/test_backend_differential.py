@@ -1,15 +1,21 @@
-"""Differential matrix: scalar and vector backends must be bit-identical.
+"""Differential matrix: all execution backends must be bit-identical.
 
 Every algorithm x dataset cell runs the full pipeline once per backend
-and requires identical output counts, checksums, phase structure, per-
-phase operation counters, simulated seconds, and metadata (modulo the
-backend tag itself).  Wall time is the only field allowed to differ.
+(scalar, vector, parallel) and requires identical output counts,
+checksums, phase structure, per-phase operation counters, simulated
+seconds, and metadata (modulo the backend tag itself).  Wall time is the
+only field allowed to differ.
+
+The parametrized grid runs the parallel backend under the ambient
+environment (on small inputs it gates down to the inline vector path);
+``test_parallel_pool_is_bit_identical`` additionally forces a real
+two-process pool through the ``parallel_pool_env`` fixture.
 """
 
 import pytest
 
 from repro.api import ALGORITHMS, make_join
-from repro.exec.backend import SCALAR, VECTOR, use_backend
+from repro.exec.backend import PARALLEL, SCALAR, VECTOR, use_backend
 from repro.exec.differential import (
     compare_results,
     default_datasets,
@@ -39,14 +45,33 @@ def test_backends_bit_identical(algorithm, dataset, datasets):
     assert report.ok, "\n".join(report.mismatches)
 
 
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_parallel_pool_is_bit_identical(algorithm, datasets,
+                                        parallel_pool_env):
+    """Vector vs parallel with a real two-process pool engaged.
+
+    The fixture pins ``REPRO_WORKERS=2`` and zeroes the engagement
+    threshold, so every parallelized phase actually crosses the process
+    boundary through shared memory — the configuration the parametrized
+    grid above cannot reach on a small input.
+    """
+    join_input = datasets["zipf-1.0"]
+    report = run_differential(
+        lambda: make_join(algorithm).run(join_input),
+        algorithm=algorithm, dataset="zipf-1.0",
+        backends=(VECTOR, PARALLEL),
+    )
+    assert report.ok, "\n".join(report.mismatches)
+
+
 def test_backend_tag_lands_in_meta(datasets):
     join_input = datasets["zipf-1.0"]
-    with use_backend(SCALAR):
-        scalar_result = make_join("cbase").run(join_input)
-    with use_backend(VECTOR):
-        vector_result = make_join("cbase").run(join_input)
-    assert scalar_result.meta["backend"] == SCALAR
-    assert vector_result.meta["backend"] == VECTOR
+    results = {}
+    for backend in (SCALAR, VECTOR, PARALLEL):
+        with use_backend(backend):
+            results[backend] = make_join("cbase").run(join_input)
+    for backend, result in results.items():
+        assert result.meta["backend"] == backend
 
 
 def test_compare_results_flags_divergence(datasets):

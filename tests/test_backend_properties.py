@@ -21,7 +21,7 @@ from repro.cpu.chained_table import ChainedHashTable
 from repro.data.relation import JoinInput, Relation
 from repro.data.zipf import ZipfWorkload
 from repro.errors import ReproError
-from repro.exec.backend import SCALAR, VECTOR, use_backend
+from repro.exec.backend import PARALLEL, SCALAR, VECTOR, use_backend
 from repro.exec.counters import OpCounters
 from repro.exec.differential import compare_results
 from repro.exec.output import JoinOutputBuffer
@@ -63,10 +63,13 @@ def join_inputs(draw):
     )
 
 
-def _run_both(algorithm, join_input, plan_seed=None):
+_BACKENDS = (SCALAR, VECTOR, PARALLEL)
+
+
+def _run_all(algorithm, join_input, plan_seed=None, backends=_BACKENDS):
     """Run one algorithm per backend; faults (if any) re-injected per run."""
     results = {}
-    for backend in (SCALAR, VECTOR):
+    for backend in backends:
         with use_backend(backend):
             if plan_seed is None:
                 results[backend] = make_join(algorithm).run(join_input)
@@ -77,16 +80,33 @@ def _run_both(algorithm, join_input, plan_seed=None):
                         results[backend] = make_join(algorithm).run(join_input)
                     except ReproError as exc:
                         results[backend] = (type(exc).__name__, str(exc))
-    return results[SCALAR], results[VECTOR]
+    return results
+
+
+def _assert_all_agree(results):
+    """Every backend's result must match the first one's — same output,
+    counters and phases, or the same typed error."""
+    reference_backend, *others = results
+    reference = results[reference_backend]
+    for backend in others:
+        other = results[backend]
+        if isinstance(reference, tuple) or isinstance(other, tuple):
+            assert isinstance(reference, tuple) and isinstance(other, tuple), (
+                f"{reference_backend} vs {backend}: "
+                f"{reference!r} != {other!r}")
+            assert reference[0] == other[0], (
+                f"{reference_backend} vs {backend}: "
+                f"{reference[0]} != {other[0]}")
+        else:
+            issues = compare_results(reference, other)
+            assert issues == [], f"{reference_backend} vs {backend}: {issues}"
 
 
 @pytest.mark.parametrize("algorithm", _ALGORITHMS)
 @given(join_input=join_inputs())
 @_SETTINGS
 def test_backends_agree_on_arbitrary_inputs(algorithm, join_input):
-    scalar_res, vector_res = _run_both(algorithm, join_input)
-    assert compare_results(scalar_res, vector_res) == [], (
-        compare_results(scalar_res, vector_res))
+    _assert_all_agree(_run_all(algorithm, join_input))
 
 
 @pytest.mark.parametrize("algorithm", _ALGORITHMS)
@@ -95,9 +115,7 @@ def test_backends_agree_on_arbitrary_inputs(algorithm, join_input):
 @_SETTINGS
 def test_backends_agree_under_zipf_skew(algorithm, theta, seed):
     join_input = ZipfWorkload(256, 256, theta=theta, seed=seed).generate()
-    scalar_res, vector_res = _run_both(algorithm, join_input)
-    assert compare_results(scalar_res, vector_res) == [], (
-        compare_results(scalar_res, vector_res))
+    _assert_all_agree(_run_all(algorithm, join_input))
 
 
 @pytest.mark.parametrize("algorithm", _ALGORITHMS)
@@ -108,14 +126,23 @@ def test_backends_agree_under_injected_faults(algorithm, plan_seed, seed):
     """Same seeded fault plan per backend: same recovery, same output —
     or the same typed error."""
     join_input = ZipfWorkload(192, 192, theta=1.0, seed=seed).generate()
-    scalar_res, vector_res = _run_both(algorithm, join_input,
-                                       plan_seed=plan_seed)
-    if isinstance(scalar_res, tuple) or isinstance(vector_res, tuple):
-        assert isinstance(scalar_res, tuple) and isinstance(vector_res, tuple)
-        assert scalar_res[0] == vector_res[0]
-    else:
-        assert compare_results(scalar_res, vector_res) == [], (
-            compare_results(scalar_res, vector_res))
+    _assert_all_agree(_run_all(algorithm, join_input, plan_seed=plan_seed))
+
+
+@pytest.mark.parametrize("algorithm", _ALGORITHMS)
+def test_parallel_pool_agrees_under_faults(algorithm, parallel_pool_env):
+    """Fault equivalence with the morsel pool actually engaged.
+
+    Fault injection fires driver-side only, so a real two-worker pool
+    (pinned by the fixture, threshold zeroed) must recover identically to
+    the vector backend — same retries, same counters, same output — or
+    fail with the same typed error.
+    """
+    join_input = ZipfWorkload(2048, 2048, theta=1.0, seed=13).generate()
+    for plan_seed in (5, 23, 71):
+        results = _run_all(algorithm, join_input, plan_seed=plan_seed,
+                           backends=(VECTOR, PARALLEL))
+        _assert_all_agree(results)
 
 
 @given(
@@ -129,7 +156,7 @@ def test_chained_table_probe_counters_match(r_keys, s_keys):
     """The chained-table build+probe pair reports identical counters and
     summaries under both backends, duplicates and all."""
     outcomes = {}
-    for backend in (SCALAR, VECTOR):
+    for backend in _BACKENDS:
         with use_backend(backend):
             table = ChainedHashTable(16)
             counters = OpCounters()
@@ -143,4 +170,4 @@ def test_chained_table_probe_counters_match(r_keys, s_keys):
                 buf, counters=counters)
             outcomes[backend] = (counters.as_dict(), summary.count,
                                  summary.checksum, buf.count, buf.checksum)
-    assert outcomes[SCALAR] == outcomes[VECTOR]
+    assert outcomes[SCALAR] == outcomes[VECTOR] == outcomes[PARALLEL]

@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test lint trace-smoke chaos-smoke bench bench-paper bench-record bench-compare bench-parallel diff-backends examples docs-check all
+.PHONY: install test lint trace-smoke chaos-smoke serve-smoke diff-served bench bench-paper bench-record bench-compare bench-parallel diff-backends examples docs-check all
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -24,6 +24,15 @@ trace-smoke:
 # Seeded fault sweep: every fault class into every algorithm (the CI gate).
 chaos-smoke:
 	$(PYTHON) -m repro chaos --seed 42 --tuples 8192 --theta 1.0
+
+# End-to-end serving scenario over a real socket (the CI gate).
+serve-smoke:
+	$(PYTHON) -m repro serve --smoke --tuples 4096 --theta 1.0 --seed 42 \
+		--trace-out serve-artifacts/serve-trace.jsonl
+
+# Served-vs-direct differential across the algorithm x dataset grid.
+diff-served:
+	$(PYTHON) -m repro diff --served --tuples 2048
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -12,6 +12,11 @@ Commands:
   JSONL, re-render saved artifacts, and consistency-check phase sums.
 * ``chaos``  — seeded fault-injection sweep: every fault class against
   every algorithm, verifying exact recovery or a typed failure.
+* ``serve``  — join-as-a-service daemon: NDJSON protocol over a local
+  socket, hot LRU cache of built hash tables, admission control,
+  streamed probe chunks.  ``--smoke`` runs the end-to-end serving
+  scenario (daemon + client, overlapping requests, injected fault)
+  in-process and exits — the serve-smoke CI job.
 
 Examples::
 
@@ -28,6 +33,9 @@ Examples::
     python -m repro trace --all --out traces.jsonl --check
     python -m repro trace --load traces.jsonl --check
     python -m repro chaos --seed 42 --tuples 8192 --theta 1.0
+    python -m repro serve --port 7654 --trace-out serve-trace.jsonl
+    python -m repro serve --smoke --trace-out smoke-trace.jsonl
+    python -m repro diff --served --tuples 2048
 """
 
 from __future__ import annotations
@@ -75,6 +83,13 @@ from repro.faults.chaos import run_chaos
 from repro.faults.plan import DEFAULT_CHAOS_ALGORITHMS
 from repro.faults.report import verify_result_faults
 from repro.obs import render_trace, verify_result_trace
+from repro.serve.admission import AdmissionController, DEFAULT_MORSEL_TUPLES
+from repro.serve.cache import DEFAULT_CACHE_ENTRIES
+from repro.serve.diff import served_differential
+from repro.serve.engine import ServeEngine
+from repro.serve.protocol import PROTOCOL_VERSION
+from repro.serve.server import DEFAULT_HOST, ServeServer
+from repro.serve.smoke import run_smoke
 
 BENCH_COMMANDS = {
     "fig1": run_figure1,
@@ -169,6 +184,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated backends to compare, first "
                              "one is the reference (default: all of "
                              f"{','.join(BACKENDS)})")
+    diff_p.add_argument("--served", action="store_true",
+                        help="run the served-vs-direct leg instead: diff "
+                             "cached, morsel-streamed serve answers "
+                             "against direct pipeline runs (plus the "
+                             "cold/warm structural contract)")
 
     trace_p = sub.add_parser(
         "trace", help="render per-phase breakdown traces")
@@ -206,6 +226,44 @@ def build_parser() -> argparse.ArgumentParser:
                          default=",".join(DEFAULT_CHAOS_ALGORITHMS),
                          help="comma-separated algorithms to sweep "
                               "(default: cbase,csh,gbase,gsh)")
+
+    serve_p = sub.add_parser(
+        "serve", help="run the join-as-a-service daemon")
+    serve_p.add_argument("--host", default=DEFAULT_HOST,
+                         help=f"bind address (default {DEFAULT_HOST})")
+    serve_p.add_argument("--port", type=int, default=0,
+                         help="TCP port (default 0 = ephemeral, printed "
+                              "on startup)")
+    serve_p.add_argument("--cache-entries", type=int,
+                         default=DEFAULT_CACHE_ENTRIES,
+                         help="LRU bound on cached build-side hash tables "
+                              f"(default {DEFAULT_CACHE_ENTRIES})")
+    serve_p.add_argument("--max-inflight", type=int, default=8,
+                         help="concurrent requests executing (default 8)")
+    serve_p.add_argument("--max-queue", type=int, default=16,
+                         help="requests allowed to wait beyond the "
+                              "in-flight bound (default 16)")
+    serve_p.add_argument("--max-morsels", type=int, default=4096,
+                         help="per-request morsel budget; larger probes "
+                              "are refused (default 4096)")
+    serve_p.add_argument("--morsel-tuples", type=int,
+                         default=DEFAULT_MORSEL_TUPLES,
+                         help="tuples per streamed probe chunk "
+                              f"(default {DEFAULT_MORSEL_TUPLES})")
+    serve_p.add_argument("--trace-out", metavar="FILE",
+                         help="append every completed probe's JoinResult "
+                              "(trace + metrics + fault reports) to a "
+                              "JSONL artifact")
+    serve_p.add_argument("--smoke", action="store_true",
+                         help="run the end-to-end smoke scenario against "
+                              "an in-process daemon and exit (0 = all "
+                              "checks passed)")
+    serve_p.add_argument("--tuples", "-n", type=int, default=1 << 12,
+                         help="tuples per side for --smoke (default 4096)")
+    serve_p.add_argument("--theta", "-t", type=float, default=1.0,
+                         help="zipf factor for --smoke (default 1.0)")
+    serve_p.add_argument("--seed", type=int, default=42,
+                         help="workload seed for --smoke (default 42)")
     return parser
 
 
@@ -317,6 +375,11 @@ def _cmd_bench(args) -> int:
 def _cmd_diff(args) -> int:
     algorithms = ([a.strip() for a in args.algorithms.split(",") if a.strip()]
                   or None)
+    if args.served:
+        reports = served_differential(n=args.tuples, seed=args.seed,
+                                      algorithms=algorithms)
+        print(render_differential(reports))
+        return 0 if all(r.ok for r in reports) else 1
     backends = [b.strip() for b in args.backends.split(",") if b.strip()]
     if backends:
         for backend in backends:
@@ -390,6 +453,42 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    if args.smoke:
+        return run_smoke(n=args.tuples, theta=args.theta, seed=args.seed,
+                         trace_out=args.trace_out)
+    import asyncio
+
+    engine = ServeEngine(
+        cache_entries=args.cache_entries,
+        admission=AdmissionController(
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            max_morsels=args.max_morsels,
+            morsel_tuples=args.morsel_tuples,
+        ),
+    )
+
+    async def serve() -> None:
+        server = ServeServer(engine=engine, host=args.host, port=args.port,
+                             trace_path=args.trace_out)
+        await server.start()
+        print(f"repro serve listening on {server.address} "
+              f"(NDJSON protocol v{PROTOCOL_VERSION}, "
+              f"cache {args.cache_entries} entries)", flush=True)
+        await server.serve_until_shutdown()
+        await server.close()
+        stats = engine.stats()
+        print(f"repro serve: shutdown after {stats['completed']} completed "
+              f"request(s), {stats['cache']['hits']} cache hit(s)")
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -406,6 +505,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "chaos":
             return _cmd_chaos(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
     except BrokenPipeError:  # output truncated by a closed pipe (| head)
         return 0
     return 2  # pragma: no cover - argparse enforces the choices

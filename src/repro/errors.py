@@ -91,6 +91,26 @@ class BaselineError(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """A join-service request cannot be satisfied (unknown relation,
+    unknown version, malformed request body)."""
+
+
+class AdmissionError(ServeError):
+    """The join service refused a request under admission control.
+
+    Raised when the server is saturated (in-flight and queue limits both
+    reached) or when a request's probe side exceeds its morsel budget.
+    The structured context carries the limits that were hit, so clients
+    can back off or shrink the request instead of parsing prose.
+    """
+
+
+class ProtocolError(ServeError):
+    """A serve-protocol message is malformed (bad JSON, missing fields,
+    or an unsupported protocol version)."""
+
+
 class UnrecoveredFaultError(ReproError):
     """A fault exhausted its recovery budget.
 

@@ -76,6 +76,27 @@ def compare_results(a: JoinResult, b: JoinResult) -> List[str]:
     return issues
 
 
+def summary_mismatches(reference: JoinResult, count: int,
+                       checksum: int, label: str = "candidate") -> List[str]:
+    """Mismatches between a result's output summary and a bare
+    ``(count, checksum)`` pair (empty when identical).
+
+    The serve layer's served-vs-direct leg compares streamed, cache-built
+    answers against one-shot pipeline runs with this — the served side
+    has a different phase structure by design (a warm hit has no build
+    phase), so only the join answer itself is compared.
+    """
+    issues: List[str] = []
+    if reference.output_count != count:
+        issues.append(
+            f"output_count: {reference.output_count} != {count} ({label})")
+    if reference.output_checksum != checksum:
+        issues.append(
+            f"output_checksum: {reference.output_checksum:#x} != "
+            f"{checksum:#x} ({label})")
+    return issues
+
+
 @dataclass
 class DifferentialReport:
     """Outcome of one backend-vs-backend comparison."""

@@ -124,6 +124,54 @@ class FaultPlan:
 EMPTY_PLAN = FaultPlan((), name="empty")
 
 
+def spec_to_dict(spec: FaultSpec) -> Dict:
+    """JSON-compatible dict form of one spec (the serve wire format)."""
+    data: Dict[str, object] = {
+        "kind": spec.kind,
+        "point": spec.point,
+        "occurrence": spec.occurrence,
+        "repeat": spec.repeat,
+    }
+    if spec.algorithm is not None:
+        data["algorithm"] = spec.algorithm
+    return data
+
+
+def spec_from_dict(data: Dict) -> FaultSpec:
+    """Rebuild a spec from its dict form, with typed validation.
+
+    Unknown keys raise :class:`ConfigError` rather than being ignored, so
+    a misspelled field in a serve request cannot silently disarm the
+    fault it meant to inject.
+    """
+    if not isinstance(data, dict):
+        raise ConfigError(
+            f"fault spec must be an object, got {type(data).__name__}")
+    allowed = {"kind", "point", "occurrence", "repeat", "algorithm"}
+    unknown = set(data) - allowed
+    if unknown:
+        raise ConfigError(
+            f"unknown fault spec field(s): {sorted(unknown)}",
+            allowed=sorted(allowed))
+    try:
+        return FaultSpec(
+            kind=data["kind"],
+            point=data["point"],
+            occurrence=int(data.get("occurrence", 1)),
+            repeat=int(data.get("repeat", 1)),
+            algorithm=data.get("algorithm"),
+        )
+    except KeyError as exc:
+        raise ConfigError(
+            f"fault spec is missing required field {exc.args[0]!r}"
+        ) from None
+
+
+def plan_from_dicts(specs: Sequence[Dict], name: str = "request") -> FaultPlan:
+    """Build a plan from a list of spec dicts (a serve request's payload)."""
+    return FaultPlan(tuple(spec_from_dict(s) for s in specs), name=name)
+
+
 def injection_point(algorithm: str, kind: str) -> str:
     """The natural injection point of a fault class for an algorithm.
 

@@ -147,6 +147,25 @@ class TraceRecord:
         for root in self.spans:
             yield from root.walk()
 
+    def metric_value(self, name: str, default: object = None) -> object:
+        """The scalar value of a counter/gauge metric in this trace.
+
+        Histograms have no single value; asking for one raises
+        ``KeyError`` so callers notice the kind mismatch.  Missing
+        metrics return ``default`` — serving-layer checks use this to
+        assert both presence (``metric_value("serve.cache_hit")``) and
+        absence (default stays ``None``) without reaching into the raw
+        snapshot dicts.
+        """
+        snap = self.metrics.get(name)
+        if snap is None:
+            return default
+        if "value" not in snap:
+            raise KeyError(
+                f"metric {name!r} is a {snap.get('kind', 'unknown')} and "
+                "has no scalar value")
+        return snap["value"]
+
     @staticmethod
     def from_phases(algorithm: str, phases: List[PhaseResult],
                     **attrs) -> "TraceRecord":

@@ -1,0 +1,34 @@
+"""Join-as-a-service: the async daemon, its cache, and its clients.
+
+The serving layer turns the one-shot join pipelines into a long-lived
+service: build sides are registered once under ``(relation_id, version)``
+keys, built hash tables stay hot in an LRU cache, and concurrent probe
+requests stream morsel-sized answer chunks over a local NDJSON socket.
+Answers are bit-identical to direct CLI runs — ``repro diff --served``
+checks that contract across the full algorithm grid.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.cache import BuildCache, CachedBuild
+from repro.serve.client import ProbeReply, ServeClient
+from repro.serve.diff import served_differential
+from repro.serve.engine import ProbeOutcome, ProbeRequest, ServeEngine
+from repro.serve.protocol import PROTOCOL_VERSION, relation_from_spec
+from repro.serve.server import ServeServer
+from repro.serve.smoke import run_smoke
+
+__all__ = [
+    "AdmissionController",
+    "BuildCache",
+    "CachedBuild",
+    "PROTOCOL_VERSION",
+    "ProbeOutcome",
+    "ProbeReply",
+    "ProbeRequest",
+    "ServeClient",
+    "ServeEngine",
+    "ServeServer",
+    "relation_from_spec",
+    "run_smoke",
+    "served_differential",
+]

@@ -1,0 +1,120 @@
+"""Admission control and per-request morsel budgets for the daemon.
+
+Two protections keep a saturated server shedding load instead of
+queueing unboundedly:
+
+* **Concurrency bounds** — at most ``max_inflight`` requests execute at
+  once; up to ``max_queue`` more may wait.  Beyond that, requests are
+  refused immediately with a typed :class:`~repro.errors.AdmissionError`
+  carrying the limits that were hit, so clients back off instead of
+  piling on.
+* **Morsel budgets** — a probe side is streamed in morsels of
+  ``morsel_tuples`` tuples; a request may consume at most
+  ``max_morsels`` of them.  Oversized requests are refused up front
+  (before any build work), and requested morsel sizes are clamped into
+  ``[min_morsel_tuples, max_morsel_tuples]`` so one client cannot pick a
+  degenerate chunking that starves the event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+from typing import AsyncIterator, Dict, Optional
+
+from repro.errors import AdmissionError, ConfigError
+
+#: Default tuples per streamed probe morsel.
+DEFAULT_MORSEL_TUPLES = 8192
+
+#: Hard bounds on a request's chosen morsel size.
+MIN_MORSEL_TUPLES = 64
+MAX_MORSEL_TUPLES = 1 << 20
+
+
+class AdmissionController:
+    """Bounded-concurrency gate plus morsel-budget arithmetic."""
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        max_queue: int = 16,
+        max_morsels: int = 4096,
+        morsel_tuples: int = DEFAULT_MORSEL_TUPLES,
+    ):
+        if max_inflight <= 0:
+            raise ConfigError(
+                f"max_inflight must be positive, got {max_inflight}")
+        if max_queue < 0:
+            raise ConfigError(f"max_queue must be >= 0, got {max_queue}")
+        if max_morsels <= 0:
+            raise ConfigError(
+                f"max_morsels must be positive, got {max_morsels}")
+        self.max_inflight = int(max_inflight)
+        self.max_queue = int(max_queue)
+        self.max_morsels = int(max_morsels)
+        self.default_morsel_tuples = self.clamp_morsel_tuples(morsel_tuples)
+        self._slots = asyncio.Semaphore(self.max_inflight)
+        self.inflight = 0
+        self.queued = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    @staticmethod
+    def clamp_morsel_tuples(requested: Optional[int]) -> int:
+        """A usable morsel size: the request's wish, clamped into bounds."""
+        if requested is None:
+            return DEFAULT_MORSEL_TUPLES
+        return max(MIN_MORSEL_TUPLES, min(int(requested), MAX_MORSEL_TUPLES))
+
+    def morsel_count(self, n_tuples: int, morsel_tuples: int) -> int:
+        """Morsels a probe of ``n_tuples`` needs; raises when over budget."""
+        n_morsels = -(-int(n_tuples) // int(morsel_tuples)) if n_tuples else 0
+        if n_morsels > self.max_morsels:
+            self.rejected += 1
+            raise AdmissionError(
+                "probe exceeds its morsel budget; shrink the probe side or "
+                "raise morsel_tuples",
+                n_tuples=int(n_tuples), morsel_tuples=int(morsel_tuples),
+                n_morsels=n_morsels, max_morsels=self.max_morsels)
+        return n_morsels
+
+    @asynccontextmanager
+    async def admit(self) -> AsyncIterator[None]:
+        """Hold one execution slot, or refuse with a typed error.
+
+        Refusal is immediate — a request that cannot even queue never
+        waits — which is what keeps tail latency bounded when the
+        server is saturated.
+        """
+        if self.inflight >= self.max_inflight and self.queued >= self.max_queue:
+            self.rejected += 1
+            raise AdmissionError(
+                "server saturated: in-flight and queue limits reached",
+                inflight=self.inflight, max_inflight=self.max_inflight,
+                queued=self.queued, max_queue=self.max_queue)
+        self.queued += 1
+        try:
+            await self._slots.acquire()
+        finally:
+            self.queued -= 1
+        self.inflight += 1
+        self.admitted += 1
+        try:
+            yield
+        finally:
+            self.inflight -= 1
+            self._slots.release()
+
+    def info(self) -> Dict[str, int]:
+        """Counter snapshot (stats op, tests, the smoke harness)."""
+        return {
+            "inflight": self.inflight,
+            "queued": self.queued,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+            "max_morsels": self.max_morsels,
+            "default_morsel_tuples": self.default_morsel_tuples,
+        }

@@ -1,0 +1,170 @@
+"""The hot build-side cache: LRU over built hash tables, single-flight.
+
+The serving shape the paper's skew workloads induce — a few large,
+heavy-hitter build relations probed over and over by many small requests
+— makes the build phase the dominant repeated cost of a CLI-per-run
+architecture.  :class:`BuildCache` amortizes it: built
+:class:`~repro.cpu.chained_table.ChainedHashTable` instances are cached
+under ``(relation_id, version)`` keys with LRU eviction (the same
+bounded-recency pattern as the Zipf CDF table cache in
+:mod:`repro.data.zipf`, but async-aware), and concurrent requests racing
+on the same cold key share exactly one build via a per-key in-flight
+future (single-flight).
+
+Version discipline: re-registering a relation id bumps its version, so
+stale cached builds are never *served* for a new version — they linger
+only until LRU pressure or an explicit :meth:`invalidate` drops them,
+and remain addressable by explicit version for in-flight clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Dict, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: Default bound on cached builds; each entry holds one built hash table.
+DEFAULT_CACHE_ENTRIES = 8
+
+#: Cache key: (relation_id, version).
+CacheKey = Tuple[str, int]
+
+
+@dataclass
+class CachedBuild:
+    """One cached build side: the table plus its provenance."""
+
+    table: object
+    relation_id: str
+    version: int
+    n_entries: int
+    #: Simulated seconds the original build cost (what a warm hit saves).
+    build_seconds: float = 0.0
+    #: How many probes this entry has served since it was built.
+    served: int = 0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+class BuildCache:
+    """LRU-bounded, single-flight cache of built hash tables."""
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_ENTRIES):
+        if max_entries <= 0:
+            raise ConfigError(
+                f"cache must allow at least one entry, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[CacheKey, CachedBuild]" = OrderedDict()
+        self._building: Dict[CacheKey, "asyncio.Future[CachedBuild]"] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.builds = 0
+        #: Requests that piggybacked on another request's in-flight build.
+        self.build_waits = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def peek(self, key: CacheKey) -> Optional[CachedBuild]:
+        """The cached entry without touching recency or counters."""
+        return self._entries.get(key)
+
+    def keys(self) -> Tuple[CacheKey, ...]:
+        """Cached keys, least-recently-used first."""
+        return tuple(self._entries)
+
+    async def get_or_build(
+        self,
+        key: CacheKey,
+        builder: Callable[[], "CachedBuild | Awaitable[CachedBuild]"],
+    ) -> Tuple[CachedBuild, bool, bool]:
+        """Return ``(entry, cache_hit, build_shared)`` for one key.
+
+        * warm hit — the entry exists: recency refreshed, hit counted.
+        * cold build — this caller runs ``builder`` (sync or async); the
+          in-flight future is installed *before* the first await, so any
+          concurrent request on the same key finds it and waits instead
+          of building again.
+        * shared build — another request's build was in flight: await it.
+          Counted as a miss (the build phase still ran for this answer),
+          with ``build_shared`` True.
+
+        A failed build propagates its exception to every waiter and
+        leaves the key uncached, so the next request retries cleanly.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry, True, False
+        inflight = self._building.get(key)
+        if inflight is not None:
+            self.misses += 1
+            self.build_waits += 1
+            entry = await asyncio.shield(inflight)
+            return entry, False, True
+        self.misses += 1
+        future: "asyncio.Future[CachedBuild]" = (
+            asyncio.get_running_loop().create_future())
+        self._building[key] = future
+        try:
+            # Yield once so overlapping cold requests can observe the
+            # in-flight future before the (synchronous) build starts.
+            await asyncio.sleep(0)
+            entry = builder()
+            if asyncio.iscoroutine(entry):
+                entry = await entry
+        except BaseException as exc:
+            future.set_exception(exc)
+            future.exception()  # mark retrieved; waiters re-raise their copy
+            raise
+        else:
+            self.builds += 1
+            future.set_result(entry)
+            self._insert(key, entry)
+            return entry, False, False
+        finally:
+            del self._building[key]
+
+    def _insert(self, key: CacheKey, entry: CachedBuild) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, relation_id: str,
+                   version: Optional[int] = None) -> int:
+        """Drop cached builds of one relation (one version, or all).
+
+        Returns the number of entries dropped.  In-flight builds are not
+        cancelled — their requesters still get their answer, and the
+        completed entry lands in the cache afterwards subject to normal
+        LRU; callers that must not serve it again (the engine, after a
+        version bump) invalidate the specific stale version.
+        """
+        dropped = [key for key in self._entries
+                   if key[0] == relation_id
+                   and (version is None or key[1] == version)]
+        for key in dropped:
+            del self._entries[key]
+        if dropped:
+            self.invalidations += len(dropped)
+        return len(dropped)
+
+    def info(self) -> Dict[str, int]:
+        """Counter snapshot (stats op, tests, the smoke harness)."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "builds": self.builds,
+            "build_waits": self.build_waits,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }

@@ -1,0 +1,209 @@
+"""Async client for the join service.
+
+:class:`ServeClient` multiplexes any number of concurrent requests over
+one connection: a background reader task routes each response line to
+the request that asked for it (by ``request_id``), so overlapping probes
+— the serving scenario the daemon exists for — need no connection pool.
+
+Ops mirror the protocol: :meth:`register`, :meth:`probe` (returns a
+:class:`ProbeReply` carrying the streamed chunks plus the final
+``result`` or typed ``error`` line), :meth:`stats`, :meth:`invalidate`,
+:meth:`ping`, :meth:`shutdown`.  Error responses are returned, not
+raised — callers inspect :attr:`ProbeReply.error` (the smoke harness
+asserts on the typed payloads directly).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ProtocolError
+from repro.serve.protocol import PROTOCOL_VERSION, decode_message, encode_message
+from repro.serve.server import DEFAULT_HOST
+
+
+@dataclass
+class ProbeReply:
+    """Everything one probe request streamed back."""
+
+    chunks: List[Dict] = field(default_factory=list)
+    response: Dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.response.get("type") == "result"
+
+    @property
+    def error(self) -> Optional[Dict]:
+        """The typed error payload, when the request failed."""
+        if self.response.get("type") == "error":
+            return self.response.get("error")
+        return None
+
+    @property
+    def result(self) -> Optional[Dict]:
+        """The serialized :class:`~repro.exec.result.JoinResult` dict."""
+        return self.response.get("result")
+
+    @property
+    def cache_hit(self) -> bool:
+        return bool(self.response.get("cache_hit"))
+
+    @property
+    def summary(self) -> Dict[str, int]:
+        """The streamed answer, recombined from chunks (order-free sums)."""
+        count = sum(c.get("count", 0) for c in self.chunks)
+        checksum = sum(c.get("checksum", 0) for c in self.chunks) % (1 << 64)
+        return {"count": count, "checksum": checksum}
+
+
+class ServeClient:
+    """One connection to the daemon; safe for concurrent requests."""
+
+    def __init__(self, host: str = DEFAULT_HOST, port: int = 0):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._recv_task: Optional[asyncio.Task] = None
+        self._pending: Dict[str, asyncio.Queue] = {}
+        self._write_lock = asyncio.Lock()
+        self._ids = itertools.count(1)
+        self._closed = False
+
+    async def connect(self) -> "ServeClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+        self._recv_task = asyncio.ensure_future(self._recv_loop())
+        return self
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._recv_task is not None:
+            self._recv_task.cancel()
+            try:
+                await self._recv_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # ------------------------------------------------------------------
+
+    async def _recv_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = decode_message(line)
+                except ProtocolError:
+                    continue
+                queue = self._pending.get(str(message.get("request_id", "")))
+                if queue is not None:
+                    queue.put_nowait(message)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            # Connection gone: unblock every waiter with a typed error.
+            for queue in self._pending.values():
+                queue.put_nowait({
+                    "type": "error",
+                    "error": {"kind": "ConnectionClosed",
+                              "message": "server closed the connection"},
+                })
+
+    async def _send(self, message: Dict) -> None:
+        async with self._write_lock:
+            self._writer.write(encode_message(message))
+            await self._writer.drain()
+
+    async def _request(self, message: Dict) -> Dict:
+        """Send one control request; await its single response line."""
+        request_id = f"c{next(self._ids)}"
+        message = {"request_id": request_id,
+                   "protocol_version": PROTOCOL_VERSION, **message}
+        queue: asyncio.Queue = asyncio.Queue()
+        self._pending[request_id] = queue
+        try:
+            await self._send(message)
+            return await queue.get()
+        finally:
+            del self._pending[request_id]
+
+    # ------------------------------------------------------------------
+
+    async def register(self, relation_id: str, relation_spec: Dict) -> Dict:
+        return await self._request({"op": "register",
+                                    "relation_id": relation_id,
+                                    "relation": relation_spec})
+
+    async def probe(
+        self,
+        relation_id: str,
+        probe_spec: Dict,
+        version: Optional[int] = None,
+        morsel_tuples: Optional[int] = None,
+        trace_id: str = "",
+        faults: Optional[List[Dict]] = None,
+    ) -> ProbeReply:
+        """One probe request; collects streamed chunks until the final
+        ``result`` (or ``error``) line arrives."""
+        request_id = f"c{next(self._ids)}"
+        message: Dict[str, object] = {
+            "op": "probe",
+            "request_id": request_id,
+            "protocol_version": PROTOCOL_VERSION,
+            "relation_id": relation_id,
+            "probe": probe_spec,
+        }
+        if version is not None:
+            message["version"] = version
+        if morsel_tuples is not None:
+            message["morsel_tuples"] = morsel_tuples
+        if trace_id:
+            message["trace_id"] = trace_id
+        if faults:
+            message["faults"] = faults
+        queue: asyncio.Queue = asyncio.Queue()
+        self._pending[request_id] = queue
+        reply = ProbeReply()
+        try:
+            await self._send(message)
+            while True:
+                response = await queue.get()
+                if response.get("type") == "chunk":
+                    reply.chunks.append(response)
+                    continue
+                reply.response = response
+                return reply
+        finally:
+            del self._pending[request_id]
+
+    async def raw(self, message: Dict) -> Dict:
+        """Send an arbitrary request dict (protocol tests); one response."""
+        return await self._request(message)
+
+    async def stats(self) -> Dict:
+        response = await self._request({"op": "stats"})
+        return response.get("stats", response)
+
+    async def invalidate(self, relation_id: str) -> Dict:
+        return await self._request({"op": "invalidate",
+                                    "relation_id": relation_id})
+
+    async def ping(self) -> Dict:
+        return await self._request({"op": "ping"})
+
+    async def shutdown(self) -> Dict:
+        return await self._request({"op": "shutdown"})

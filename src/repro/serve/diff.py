@@ -1,0 +1,129 @@
+"""The served-vs-direct differential leg.
+
+The serving data plane (cached build, morsel-streamed probe) must give
+bit-identical join answers to a one-shot CLI run — that is the
+correctness contract ``repro diff --served`` checks continuously.  For
+each dataset this module registers the build side with an in-process
+:class:`~repro.serve.engine.ServeEngine`, probes it twice (cold, then
+warm), and diffs the served answer against every direct pipeline run of
+the algorithm grid.  Join answers are algorithm-independent (count plus
+order-independent checksum), so one served answer per dataset checks
+against all five algorithms.
+
+Beyond the answer itself, the structural serving contract is asserted:
+
+* the cold probe carries a ``build`` phase, the warm one does not;
+* the warm trace reports ``serve.cache_hit == 1`` (and no miss), the
+  cold trace the opposite;
+* cold and warm streamed chunks are identical, and recombine to exactly
+  the result summary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.data.relation import JoinInput
+from repro.exec.backend import current_backend
+from repro.exec.differential import (
+    DifferentialReport,
+    default_datasets,
+    summary_mismatches,
+)
+from repro.exec.result import JoinResult
+from repro.serve.engine import ProbeRequest, ServeEngine
+
+
+def serve_structural_mismatches(cold: JoinResult, warm: JoinResult,
+                                cold_chunks: Sequence[Dict],
+                                warm_chunks: Sequence[Dict]) -> List[str]:
+    """Violations of the cold/warm serving contract (empty when clean)."""
+    issues: List[str] = []
+    cold_phases = [p.name for p in cold.phases]
+    warm_phases = [p.name for p in warm.phases]
+    if cold_phases != ["build", "probe"]:
+        issues.append(f"cold probe phases: {cold_phases} != "
+                      "['build', 'probe']")
+    if warm_phases != ["probe"]:
+        issues.append(f"warm probe phases: {warm_phases} != ['probe'] "
+                      "(a warm hit must skip the build entirely)")
+    if cold.trace is not None:
+        if cold.trace.metric_value("serve.cache_miss", 0) != 1:
+            issues.append("cold probe trace lacks serve.cache_miss == 1")
+        if cold.trace.metric_value("serve.cache_hit", 0) != 0:
+            issues.append("cold probe trace reports a cache hit")
+    else:
+        issues.append("cold probe result carries no trace")
+    if warm.trace is not None:
+        if warm.trace.metric_value("serve.cache_hit", 0) != 1:
+            issues.append("warm probe trace lacks serve.cache_hit == 1")
+        if warm.trace.metric_value("serve.cache_miss", 0) != 0:
+            issues.append("warm probe trace reports a cache miss")
+    else:
+        issues.append("warm probe result carries no trace")
+    if not warm.meta.get("cache_hit"):
+        issues.append("warm probe meta lacks cache_hit")
+    strip = [{k: c[k] for k in ("index", "tuples", "count", "checksum")}
+             for c in cold_chunks]
+    strip_warm = [{k: c[k] for k in ("index", "tuples", "count", "checksum")}
+                  for c in warm_chunks]
+    if strip != strip_warm:
+        issues.append(
+            f"streamed chunks differ cold vs warm "
+            f"({len(cold_chunks)} vs {len(warm_chunks)} chunks)")
+    for result, chunks, label in ((cold, cold_chunks, "cold"),
+                                  (warm, warm_chunks, "warm")):
+        count = sum(c["count"] for c in chunks)
+        checksum = sum(c["checksum"] for c in chunks) % (1 << 64)
+        issues.extend(summary_mismatches(result, count, checksum,
+                                         label=f"{label} chunks"))
+    return issues
+
+
+def served_differential(
+    n: int = 2048,
+    seed: int = 42,
+    algorithms: Optional[Iterable[str]] = None,
+    datasets: Optional[Dict[str, JoinInput]] = None,
+    morsel_tuples: int = 256,
+) -> List[DifferentialReport]:
+    """Diff served answers against direct pipeline runs, per dataset.
+
+    Returns one :class:`DifferentialReport` per (algorithm, dataset)
+    cell plus one ``serve-structure`` report per dataset, rendered by the
+    same :func:`~repro.exec.differential.render_differential` grid the
+    backend leg uses.
+    """
+    from repro.api import ALGORITHMS, make_join
+
+    algorithms = sorted(ALGORITHMS) if algorithms is None else list(algorithms)
+    datasets = default_datasets(n, seed) if datasets is None else datasets
+    backend = current_backend()
+    reports: List[DifferentialReport] = []
+    for ds_name, join_input in datasets.items():
+        engine = ServeEngine()
+        relation_id = f"diff-{ds_name}"
+        engine.register(relation_id, join_input.r)
+
+        def request() -> ProbeRequest:
+            return ProbeRequest(relation_id=relation_id, probe=join_input.s,
+                                morsel_tuples=morsel_tuples)
+
+        cold = engine.probe_sync(request())
+        warm = engine.probe_sync(request())
+        structure = serve_structural_mismatches(
+            cold.result, warm.result, cold.chunks, warm.chunks)
+        reports.append(DifferentialReport(
+            algorithm="serve-structure", dataset=ds_name,
+            backends=("served-cold", "served-warm"),
+            mismatches=structure, output_count=cold.result.output_count))
+        for algo in algorithms:
+            direct = make_join(algo).run(join_input)
+            mismatches = summary_mismatches(
+                direct, cold.result.output_count,
+                cold.result.output_checksum, label="served")
+            reports.append(DifferentialReport(
+                algorithm=algo, dataset=ds_name,
+                backends=(backend, "served"),
+                mismatches=mismatches, output_count=direct.output_count))
+    return reports

@@ -1,0 +1,231 @@
+"""The asyncio join-service daemon: NDJSON requests over a local socket.
+
+:class:`ServeServer` binds a loopback TCP socket (ephemeral port by
+default) and speaks the protocol in :mod:`repro.serve.protocol`.  Each
+connection reads one request per line; ``probe`` requests are dispatched
+as their own tasks so a slow cold build never blocks other requests on
+the same connection — responses carry the request id, and chunks stream
+back as the engine produces them.  Control ops (``register``, ``stats``,
+``invalidate``, ``ping``, ``shutdown``) are answered inline.
+
+Every failure a request can hit — malformed lines, unknown relations,
+admission refusals, unrecovered faults — is answered with a typed
+``error`` line; the connection itself stays up.  When a trace path is
+configured, every completed probe's full :class:`JoinResult` (trace,
+metrics, fault reports included) is appended to a JSONL artifact, the
+file the serve-smoke CI job uploads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+from typing import Dict, Optional, Set, Union
+
+from repro.errors import ProtocolError, ReproError
+from repro.exec.serialize import append_results_jsonl, result_to_dict
+from repro.faults.plan import plan_from_dicts
+from repro.serve.engine import ProbeRequest, ServeEngine
+from repro.serve.protocol import (
+    decode_message,
+    encode_message,
+    error_response,
+    relation_from_spec,
+    validate_request,
+)
+
+DEFAULT_HOST = "127.0.0.1"
+
+
+class ServeServer:
+    """One daemon instance wrapping a :class:`ServeEngine`."""
+
+    def __init__(
+        self,
+        engine: Optional[ServeEngine] = None,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        trace_path: Optional[Union[str, Path]] = None,
+    ):
+        self.engine = engine or ServeEngine()
+        self.host = host
+        self.port = port
+        self.trace_path = Path(trace_path) if trace_path else None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._tasks: Set[asyncio.Task] = set()
+        self._shutdown = asyncio.Event()
+        self.connections = 0
+        self.traced_results = 0
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    async def start(self) -> "ServeServer":
+        """Bind the socket; ``self.port`` holds the real port afterwards."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until a ``shutdown`` request (or :meth:`shutdown`) arrives."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._shutdown.wait()
+            await self._drain()
+
+    def shutdown(self) -> None:
+        """Ask the serve loop to stop accepting and drain in-flight work."""
+        self._shutdown.set()
+
+    async def _drain(self) -> None:
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    async def close(self) -> None:
+        """Stop the listener and wait for in-flight request tasks."""
+        self.shutdown()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._drain()
+
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self.connections += 1
+        # One writer lock per connection: chunk lines from concurrent
+        # probe tasks interleave whole-line, never mid-line.
+        lock = asyncio.Lock()
+        try:
+            while not self._shutdown.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                stop = await self._handle_line(line, writer, lock)
+                if stop:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_line(self, line: bytes, writer: asyncio.StreamWriter,
+                           lock: asyncio.Lock) -> bool:
+        """Dispatch one request line; True means "close this connection"."""
+        request_id = ""
+        try:
+            message = decode_message(line)
+            request_id = str(message.get("request_id", ""))
+            op = validate_request(message)
+        except ProtocolError as exc:
+            await self._send(writer, lock, error_response(exc, request_id))
+            return False
+        if op == "probe":
+            task = asyncio.ensure_future(
+                self._handle_probe(message, request_id, writer, lock))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+            return False
+        try:
+            if op == "register":
+                response = self._handle_register(message, request_id)
+            elif op == "stats":
+                response = {"type": "stats", "request_id": request_id,
+                            "stats": self.engine.stats()}
+            elif op == "invalidate":
+                relation_id = str(message.get("relation_id", ""))
+                dropped = self.engine.invalidate(relation_id)
+                response = {"type": "invalidated", "request_id": request_id,
+                            "relation_id": relation_id, "dropped": dropped}
+            elif op == "ping":
+                response = {"type": "pong", "request_id": request_id}
+            else:  # shutdown
+                await self._send(writer, lock,
+                                 {"type": "bye", "request_id": request_id})
+                self.shutdown()
+                return True
+        except ReproError as exc:
+            response = error_response(exc, request_id)
+        await self._send(writer, lock, response)
+        return False
+
+    def _handle_register(self, message: Dict, request_id: str) -> Dict:
+        relation_id = str(message.get("relation_id", ""))
+        relation = relation_from_spec(message.get("relation"))
+        version = self.engine.register(relation_id, relation)
+        return {
+            "type": "registered",
+            "request_id": request_id,
+            "relation_id": relation_id,
+            "version": version,
+            "n_entries": len(relation),
+        }
+
+    async def _handle_probe(self, message: Dict, request_id: str,
+                            writer: asyncio.StreamWriter,
+                            lock: asyncio.Lock) -> None:
+        trace_id = str(message.get("trace_id", ""))
+        try:
+            request = self._probe_request(message, trace_id)
+
+            async def emit(chunk: Dict) -> None:
+                await self._send(writer, lock, {
+                    "type": "chunk", "request_id": request_id,
+                    "trace_id": chunk.pop("trace_id", trace_id), **chunk})
+
+            outcome = await self.engine.probe(request, emit=emit)
+        except ReproError as exc:
+            await self._send(writer, lock,
+                             error_response(exc, request_id, trace_id))
+            return
+        result = outcome.result
+        if self.trace_path is not None:
+            append_results_jsonl([result], self.trace_path)
+            self.traced_results += 1
+        await self._send(writer, lock, {
+            "type": "result",
+            "request_id": request_id,
+            "trace_id": result.meta.get("trace_id", trace_id),
+            "cache_hit": bool(result.meta.get("cache_hit")),
+            "n_chunks": len(outcome.chunks),
+            "result": result_to_dict(result),
+        })
+
+    def _probe_request(self, message: Dict, trace_id: str) -> ProbeRequest:
+        probe = relation_from_spec(message.get("probe"))
+        version = message.get("version")
+        if version is not None:
+            version = int(version)
+        morsel_tuples = message.get("morsel_tuples")
+        if morsel_tuples is not None:
+            morsel_tuples = int(morsel_tuples)
+        faults = message.get("faults")
+        plan = plan_from_dicts(faults) if faults else None
+        return ProbeRequest(
+            relation_id=str(message.get("relation_id", "")),
+            probe=probe,
+            version=version,
+            morsel_tuples=morsel_tuples,
+            trace_id=trace_id,
+            faults=plan,
+        )
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, lock: asyncio.Lock,
+                    message: Dict) -> None:
+        try:
+            async with lock:
+                writer.write(encode_message(message))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

@@ -1,0 +1,134 @@
+"""Build-cache semantics: LRU order, invalidation, single flight."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.cache import BuildCache, CachedBuild
+
+
+def entry(rid: str, version: int = 1) -> CachedBuild:
+    return CachedBuild(table=object(), relation_id=rid, version=version,
+                       n_entries=10)
+
+
+def get(cache: BuildCache, rid: str, version: int = 1):
+    return asyncio.run(
+        cache.get_or_build((rid, version), lambda: entry(rid, version)))
+
+
+def test_warm_hit_returns_cached_entry_without_rebuilding():
+    cache = BuildCache(max_entries=2)
+    first, hit, shared = get(cache, "a")
+    again, hit2, _ = get(cache, "a")
+    assert (hit, hit2, shared) == (False, True, False)
+    assert again is first
+    assert cache.info()["builds"] == 1
+    assert cache.info()["hits"] == 1
+
+
+def test_lru_eviction_drops_least_recently_used_first():
+    cache = BuildCache(max_entries=2)
+    get(cache, "a")
+    get(cache, "b")
+    get(cache, "a")          # refresh a: b is now the LRU entry
+    get(cache, "c")          # evicts b
+    assert cache.keys() == (("a", 1), ("c", 1))
+    assert cache.peek(("b", 1)) is None
+    assert cache.info()["evictions"] == 1
+    _, hit, _ = get(cache, "b")   # b must rebuild after eviction
+    assert not hit
+    assert cache.info()["builds"] == 4
+
+
+def test_eviction_order_is_recency_not_insertion():
+    cache = BuildCache(max_entries=3)
+    for rid in ("a", "b", "c"):
+        get(cache, rid)
+    get(cache, "a")
+    get(cache, "b")
+    get(cache, "d")          # evicts c (oldest by recency, not insertion)
+    assert cache.keys() == (("a", 1), ("b", 1), ("d", 1))
+
+
+def test_version_bump_invalidation_targets_one_version():
+    cache = BuildCache(max_entries=4)
+    get(cache, "a", 1)
+    get(cache, "a", 2)
+    get(cache, "b", 1)
+    assert cache.invalidate("a", 1) == 1
+    assert cache.peek(("a", 1)) is None
+    assert cache.peek(("a", 2)) is not None
+    assert cache.peek(("b", 1)) is not None
+    assert cache.invalidate("a") == 1   # remaining version, id-wide drop
+    assert cache.keys() == (("b", 1),)
+    assert cache.info()["invalidations"] == 2
+    assert cache.invalidate("missing") == 0
+
+
+def test_concurrent_cold_requests_build_exactly_once():
+    cache = BuildCache(max_entries=2)
+    builds = 0
+
+    def builder():
+        nonlocal builds
+        builds += 1
+        return entry("a")
+
+    async def race(n):
+        return await asyncio.gather(*[
+            cache.get_or_build(("a", 1), builder) for _ in range(n)])
+
+    results = asyncio.run(race(5))
+    assert builds == 1
+    entries = {id(e) for e, _, _ in results}
+    assert len(entries) == 1
+    assert [hit for _, hit, _ in results] == [False] * 5
+    shared = [s for _, _, s in results]
+    assert shared.count(False) == 1 and shared.count(True) == 4
+    info = cache.info()
+    assert info["builds"] == 1
+    assert info["build_waits"] == 4
+    assert info["misses"] == 5
+
+
+def test_failed_build_propagates_to_all_waiters_and_leaves_key_cold():
+    cache = BuildCache(max_entries=2)
+    attempts = 0
+
+    def failing():
+        nonlocal attempts
+        attempts += 1
+        raise RuntimeError("flaky build")
+
+    async def race():
+        results = await asyncio.gather(
+            *[cache.get_or_build(("a", 1), failing) for _ in range(3)],
+            return_exceptions=True)
+        return results
+
+    results = asyncio.run(race())
+    assert attempts == 1
+    assert all(isinstance(r, RuntimeError) for r in results)
+    assert cache.peek(("a", 1)) is None
+    # The key retries cleanly after the failure.
+    _, hit, shared = get(cache, "a")
+    assert (hit, shared) == (False, False)
+
+
+def test_async_builder_is_awaited():
+    cache = BuildCache(max_entries=2)
+
+    async def builder():
+        await asyncio.sleep(0)
+        return entry("a")
+
+    got, hit, shared = asyncio.run(cache.get_or_build(("a", 1), builder))
+    assert got.relation_id == "a"
+    assert (hit, shared) == (False, False)
+
+
+def test_cache_rejects_nonpositive_bound():
+    with pytest.raises(ConfigError):
+        BuildCache(max_entries=0)

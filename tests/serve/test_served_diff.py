@@ -1,0 +1,83 @@
+"""The served-vs-direct differential leg, incl. the parallel backend."""
+
+import pytest
+
+from repro.data.zipf import ZipfWorkload
+from repro.exec.backend import use_backend
+from repro.serve.diff import served_differential, serve_structural_mismatches
+from repro.serve.engine import ProbeRequest, ServeEngine
+
+N = 1024
+SEED = 42
+
+
+def probe_twice(join_input, morsel_tuples=128):
+    engine = ServeEngine()
+    engine.register("rel", join_input.r)
+
+    def request():
+        return ProbeRequest(relation_id="rel", probe=join_input.s,
+                            morsel_tuples=morsel_tuples)
+
+    return engine.probe_sync(request()), engine.probe_sync(request())
+
+
+def test_served_differential_grid_is_clean():
+    reports = served_differential(n=N, seed=SEED)
+    assert reports, "differential produced no reports"
+    failures = [f"{r.algorithm}/{r.dataset}: {r.mismatches}"
+                for r in reports if not r.ok]
+    assert not failures, "\n".join(failures)
+    # One structural report per dataset plus the full algorithm grid.
+    structural = [r for r in reports if r.algorithm == "serve-structure"]
+    datasets = {r.dataset for r in reports}
+    assert len(structural) == len(datasets)
+    per_dataset = {r.dataset for r in structural}
+    assert per_dataset == datasets
+
+
+def test_structural_checker_flags_a_forged_warm_build():
+    join_input = ZipfWorkload(N, N, 1.0, seed=SEED).generate()
+    cold, warm = probe_twice(join_input)
+    clean = serve_structural_mismatches(cold.result, warm.result,
+                                        cold.chunks, warm.chunks)
+    assert clean == []
+    # Feeding the cold result in the warm slot must trip the checker.
+    forged = serve_structural_mismatches(cold.result, cold.result,
+                                         cold.chunks, cold.chunks)
+    assert any("build" in issue for issue in forged)
+    assert any("cache_hit" in issue for issue in forged)
+
+
+@pytest.mark.parametrize("theta", [0.0, 1.0])
+def test_streamed_chunks_are_deterministic_under_parallel_backend(
+        parallel_pool_env, theta):
+    join_input = ZipfWorkload(N, N, theta, seed=SEED).generate()
+    with use_backend("vector"):
+        vec_cold, vec_warm = probe_twice(join_input)
+    with use_backend("parallel"):
+        par_cold, par_warm = probe_twice(join_input)
+        par_again, _ = probe_twice(join_input)
+
+    def strip(chunks):
+        return [{k: c[k] for k in ("index", "tuples", "count", "checksum")}
+                for c in chunks]
+
+    # Chunk-for-chunk identical across backends, repeats, and cache state.
+    assert strip(par_cold.chunks) == strip(vec_cold.chunks)
+    assert strip(par_again.chunks) == strip(par_cold.chunks)
+    assert strip(par_warm.chunks) == strip(par_cold.chunks)
+    assert par_cold.summary.count == vec_cold.summary.count
+    assert par_cold.summary.checksum == vec_cold.summary.checksum
+
+
+def test_served_differential_is_clean_under_parallel_backend(
+        parallel_pool_env):
+    with use_backend("parallel"):
+        reports = served_differential(n=512, seed=SEED,
+                                      algorithms=["cbase", "csh"])
+    failures = [f"{r.algorithm}/{r.dataset}: {r.mismatches}"
+                for r in reports if not r.ok]
+    assert not failures, "\n".join(failures)
+    assert {r.backends for r in reports
+            if r.algorithm != "serve-structure"} == {("parallel", "served")}

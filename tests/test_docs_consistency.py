@@ -17,7 +17,8 @@ def referenced_paths(text):
 @pytest.mark.parametrize("doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md",
                                  "docs/cost_model.md", "docs/architecture.md",
                                  "docs/api.md", "docs/observability.md",
-                                 "docs/robustness.md", "docs/performance.md"])
+                                 "docs/robustness.md", "docs/performance.md",
+                                 "docs/serving.md"])
 def test_doc_exists_and_nonempty(doc):
     path = ROOT / doc
     assert path.exists(), doc
@@ -110,3 +111,73 @@ def test_experiments_covers_every_table_and_figure():
     for artifact in ("Figure 1", "Figure 4", "Table I", "Scale-up",
                      "Detection", "560"):
         assert artifact in text, artifact
+
+
+def test_serving_doc_covers_the_whole_protocol_surface():
+    """docs/serving.md documents every op, response type, and generator."""
+    from repro.serve.protocol import (
+        PROTOCOL_VERSION,
+        REQUEST_OPS,
+        RESPONSE_TYPES,
+        SPEC_GENERATORS,
+    )
+    text = (ROOT / "docs" / "serving.md").read_text()
+    for op in REQUEST_OPS:
+        assert f"`{op}`" in text, f"request op {op} undocumented"
+    for rtype in RESPONSE_TYPES:
+        assert f"`{rtype}`" in text, f"response type {rtype} undocumented"
+    for generator in SPEC_GENERATORS:
+        assert f"`{generator}`" in text, f"generator {generator} undocumented"
+    assert f"protocol version {PROTOCOL_VERSION}" in text.lower()
+    for section in ("cache", "admission", "fault", "single-flight"):
+        assert section in text.lower(), f"serving.md lacks {section} coverage"
+
+
+def test_serve_cli_flags_are_documented():
+    """Every `repro serve` flag appears in docs/serving.md and the CLI
+    docstring mentions the serve and diff --served entry points."""
+    from repro import cli
+    parser = cli.build_parser()
+    serve_parser = next(
+        action.choices["serve"]
+        for action in parser._subparsers._group_actions)
+    flags = [opt for a in serve_parser._actions for opt in a.option_strings
+             if opt.startswith("--") and opt != "--help"]
+    assert "--smoke" in flags and "--trace-out" in flags
+    serving = (ROOT / "docs" / "serving.md").read_text()
+    for flag in flags:
+        assert f"`{flag}`" in serving, f"serve flag {flag} undocumented"
+    assert "--served" in serving
+    assert "repro serve" in (cli.__doc__ or "")
+    assert "--served" in (cli.__doc__ or "")
+
+
+def test_readme_and_observability_cover_serving():
+    readme = (ROOT / "README.md").read_text()
+    assert "repro serve" in readme
+    assert "docs/serving.md" in readme
+    assert "serve.cache_hit" in (ROOT / "docs" / "observability.md").read_text()
+
+
+def test_ci_hardening_is_in_place_in_both_workflows():
+    """Concurrency groups, cancel-in-progress, and per-job timeouts."""
+    for name in ("ci.yml", "nightly.yml"):
+        text = (ROOT / ".github" / "workflows" / name).read_text()
+        assert "concurrency:" in text, name
+        assert "cancel-in-progress: true" in text, name
+        jobs = text.count("runs-on:")
+        assert jobs > 0 and text.count("timeout-minutes:") == jobs, (
+            f"{name}: every job needs a timeout-minutes")
+
+
+def test_ci_runs_serve_smoke_and_enforces_coverage():
+    ci = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
+    assert "serve-smoke:" in ci
+    assert "repro serve --smoke" in ci
+    assert "diff --served" in ci
+    assert "serve-trace" in ci
+    assert "--cov=repro" in ci
+    assert "--cov-fail-under=" in ci
+    constraints = (ROOT / "constraints.txt").read_text()
+    assert "pytest-cov==" in constraints
+    assert "coverage==" in constraints

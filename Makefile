@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test lint trace-smoke chaos-smoke serve-smoke diff-served bench bench-paper bench-record bench-compare bench-parallel diff-backends examples docs-check all
+.PHONY: install test lint trace-smoke chaos-smoke serve-smoke serve-chaos diff-served bench bench-paper bench-record bench-compare bench-parallel diff-backends examples docs-check all
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -29,6 +29,12 @@ chaos-smoke:
 serve-smoke:
 	$(PYTHON) -m repro serve --smoke --tuples 4096 --theta 1.0 --seed 42 \
 		--trace-out serve-artifacts/serve-trace.jsonl
+
+# Chaos-under-load against the daemon: concurrent fault storm, circuit
+# breaking, mid-stream disconnects, post-storm health (the CI gate).
+serve-chaos:
+	$(PYTHON) -m repro chaos --serve --seed 7 \
+		--health-out serve-artifacts/health.json
 
 # Served-vs-direct differential across the algorithm x dataset grid.
 diff-served:

@@ -12,11 +12,17 @@ Commands:
   JSONL, re-render saved artifacts, and consistency-check phase sums.
 * ``chaos``  — seeded fault-injection sweep: every fault class against
   every algorithm, verifying exact recovery or a typed failure.
+  ``--serve`` points the storm at the daemon instead: concurrent
+  clients with seeded fault scripts (crashes, slow morsels, deadlines,
+  circuit-opening build failures, mid-stream disconnects), asserting
+  every request ends bit-identical or with a typed error and the
+  daemon's post-sweep health is green — the serve-chaos CI job.
 * ``serve``  — join-as-a-service daemon: NDJSON protocol over a local
   socket, hot LRU cache of built hash tables, admission control,
-  streamed probe chunks.  ``--smoke`` runs the end-to-end serving
-  scenario (daemon + client, overlapping requests, injected fault)
-  in-process and exits — the serve-smoke CI job.
+  streamed probe chunks, per-request deadlines, a circuit-breaking
+  build cache, and graceful SIGTERM drain.  ``--smoke`` runs the
+  end-to-end serving scenario (daemon + client, overlapping requests,
+  injected fault) in-process and exits — the serve-smoke CI job.
 
 Examples::
 
@@ -33,6 +39,7 @@ Examples::
     python -m repro trace --all --out traces.jsonl --check
     python -m repro trace --load traces.jsonl --check
     python -m repro chaos --seed 42 --tuples 8192 --theta 1.0
+    python -m repro chaos --serve --seed 7 --clients 4 --requests 20
     python -m repro serve --port 7654 --trace-out serve-trace.jsonl
     python -m repro serve --smoke --trace-out smoke-trace.jsonl
     python -m repro diff --served --tuples 2048
@@ -84,11 +91,16 @@ from repro.faults.plan import DEFAULT_CHAOS_ALGORITHMS
 from repro.faults.report import verify_result_faults
 from repro.obs import render_trace, verify_result_trace
 from repro.serve.admission import AdmissionController, DEFAULT_MORSEL_TUPLES
-from repro.serve.cache import DEFAULT_CACHE_ENTRIES
+from repro.serve.cache import (
+    DEFAULT_CACHE_ENTRIES,
+    DEFAULT_CIRCUIT_RESET_SECONDS,
+    DEFAULT_CIRCUIT_THRESHOLD,
+)
+from repro.serve.chaos import run_serve_chaos
 from repro.serve.diff import served_differential
 from repro.serve.engine import ServeEngine
 from repro.serve.protocol import PROTOCOL_VERSION
-from repro.serve.server import DEFAULT_HOST, ServeServer
+from repro.serve.server import DEFAULT_DRAIN_SECONDS, DEFAULT_HOST, ServeServer
 from repro.serve.smoke import run_smoke
 
 BENCH_COMMANDS = {
@@ -226,6 +238,19 @@ def build_parser() -> argparse.ArgumentParser:
                          default=",".join(DEFAULT_CHAOS_ALGORITHMS),
                          help="comma-separated algorithms to sweep "
                               "(default: cbase,csh,gbase,gsh)")
+    chaos_p.add_argument("--serve", action="store_true",
+                         help="run the chaos-under-load storm against an "
+                              "in-process daemon instead of the pipelines "
+                              "(exit 0 = every request bit-identical or "
+                              "typed, daemon healthy afterwards)")
+    chaos_p.add_argument("--clients", type=int, default=4,
+                         help="concurrent clients for --serve (default 4)")
+    chaos_p.add_argument("--requests", type=int, default=20,
+                         help="probe requests spread across the --serve "
+                              "clients (default 20)")
+    chaos_p.add_argument("--health-out", metavar="FILE",
+                         help="with --serve: write the post-storm health "
+                              "payload and check ledger to a JSON artifact")
 
     serve_p = sub.add_parser(
         "serve", help="run the join-as-a-service daemon")
@@ -250,6 +275,21 @@ def build_parser() -> argparse.ArgumentParser:
                          default=DEFAULT_MORSEL_TUPLES,
                          help="tuples per streamed probe chunk "
                               f"(default {DEFAULT_MORSEL_TUPLES})")
+    serve_p.add_argument("--drain-seconds", type=float,
+                         default=DEFAULT_DRAIN_SECONDS,
+                         help="grace in-flight probes get on SIGTERM/"
+                              "shutdown before cooperative cancellation "
+                              f"(default {DEFAULT_DRAIN_SECONDS:g})")
+    serve_p.add_argument("--circuit-threshold", type=int,
+                         default=DEFAULT_CIRCUIT_THRESHOLD,
+                         help="consecutive cold-build failures that open a "
+                              "relation's circuit "
+                              f"(default {DEFAULT_CIRCUIT_THRESHOLD})")
+    serve_p.add_argument("--circuit-reset-seconds", type=float,
+                         default=DEFAULT_CIRCUIT_RESET_SECONDS,
+                         help="seconds an open circuit waits before "
+                              "admitting a half-open trial build "
+                              f"(default {DEFAULT_CIRCUIT_RESET_SECONDS:g})")
     serve_p.add_argument("--trace-out", metavar="FILE",
                          help="append every completed probe's JoinResult "
                               "(trace + metrics + fault reports) to a "
@@ -441,6 +481,11 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
+    if args.serve:
+        return run_serve_chaos(n=args.tuples, theta=args.theta,
+                               seed=args.seed, clients=args.clients,
+                               requests=args.requests,
+                               health_out=args.health_out)
     algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
     join_input = ZipfWorkload(args.tuples, args.tuples, args.theta,
                               seed=args.seed).generate()
@@ -467,15 +512,30 @@ def _cmd_serve(args) -> int:
             max_morsels=args.max_morsels,
             morsel_tuples=args.morsel_tuples,
         ),
+        circuit_threshold=args.circuit_threshold,
+        circuit_reset_seconds=args.circuit_reset_seconds,
     )
 
     async def serve() -> None:
+        import signal
+
         server = ServeServer(engine=engine, host=args.host, port=args.port,
-                             trace_path=args.trace_out)
+                             trace_path=args.trace_out,
+                             drain_seconds=args.drain_seconds)
         await server.start()
+        # SIGTERM/SIGINT trigger the graceful drain: stop accepting,
+        # give in-flight probes drain_seconds, then cancel them with
+        # typed errors instead of dying mid-write.
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, server.shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # platform without signal handler support
         print(f"repro serve listening on {server.address} "
               f"(NDJSON protocol v{PROTOCOL_VERSION}, "
-              f"cache {args.cache_entries} entries)", flush=True)
+              f"cache {args.cache_entries} entries, "
+              f"drain {args.drain_seconds:g}s)", flush=True)
         await server.serve_until_shutdown()
         await server.close()
         stats = engine.stats()

@@ -26,11 +26,15 @@ import numpy as np
 from repro.cpu.hashing import bits_for, bucket_ids, hash_keys, next_pow2
 from repro.errors import CapacityError
 from repro.exec.backend import dispatch, is_vector
+from repro.exec.cancel import checkpoint
 from repro.exec.counters import OpCounters
 from repro.exec.matching import emit_matches
 from repro.exec.output import JoinOutputBuffer, OutputSummary
 
 _U64_MASK = (1 << 64) - 1
+
+#: Scalar-build entries between cooperative cancellation checkpoints.
+_CHECKPOINT_STRIDE = 16384
 
 
 class ChainedHashTable:
@@ -81,6 +85,7 @@ class ChainedHashTable:
         if hashes is None:
             hashes = hash_keys(keys)
         b = self._bucket_of(hashes)
+        checkpoint(structure="chained-hash-table", phase="build")
         if is_vector():
             nxt = self._build_links_parallel(b)
             if nxt is None:
@@ -101,11 +106,16 @@ class ChainedHashTable:
                     self._chain_lengths = np.bincount(
                         b, minlength=self.n_buckets)
         else:
-            # Literal head insertion, one entry at a time.
+            # Literal head insertion, one entry at a time; a deadline-
+            # bearing request can abandon a huge scalar build between
+            # strides instead of hanging to the end.
             nxt = np.full(n, -1, dtype=np.int64)
             heads = self.heads
             chains = self._chain_lengths
             for i, bucket in enumerate(b.tolist()):
+                if not i % _CHECKPOINT_STRIDE:
+                    checkpoint(structure="chained-hash-table",
+                               phase="build", entry=i)
                 nxt[i] = heads[bucket]
                 heads[bucket] = i
                 chains[bucket] += 1
@@ -216,6 +226,7 @@ class ChainedHashTable:
                 structure="chained-hash-table", state="unbuilt",
                 n_buckets=self.n_buckets,
             )
+        checkpoint(structure="chained-hash-table", phase="probe")
         s_keys = np.asarray(s_keys, dtype=np.uint32)
         s_payloads = np.asarray(s_payloads, dtype=np.uint32)
         ns = s_keys.size
@@ -273,6 +284,12 @@ class ChainedHashTable:
         summary = OutputSummary()
         steps = 0
         while active.size:
+            # One checkpoint per lockstep round: the scalar chain walk is
+            # the slowest kernel, and under heavy skew a single morsel's
+            # rounds dominate a request — this is where a deadline must
+            # be able to fire.
+            checkpoint(structure="chained-hash-table", phase="probe",
+                       chain_steps=steps)
             alive = cursor[active] != -1
             active = active[alive]
             if active.size == 0:

@@ -111,6 +111,47 @@ class ProtocolError(ServeError):
     or an unsupported protocol version)."""
 
 
+class DeadlineExceeded(ServeError):
+    """A request's ``deadline_ms`` budget ran out mid-flight.
+
+    Raised cooperatively at morsel/kernel checkpoints, never by killing
+    the task: the structured context carries the partial progress at the
+    moment the budget expired (``morsels_completed``, ``elapsed_ms``,
+    ``deadline_ms``, partial ``count``/``checksum``) so clients can
+    decide whether to retry with a larger budget.
+    """
+
+
+class RequestCancelled(ServeError):
+    """A request was cancelled cooperatively before it finished.
+
+    The cancellation reason (client disconnect, server drain) is in the
+    structured context; like :class:`DeadlineExceeded`, the error fires
+    at the next checkpoint rather than by interrupting compute.
+    """
+
+
+class CircuitOpen(ServeError):
+    """The build circuit for a ``(relation_id, version)`` key is open.
+
+    After N consecutive cold-build failures the cache stops attempting
+    the build and sheds requests for the key immediately with this
+    error; after the decay window one trial request is admitted
+    (half-open) and a success closes the circuit again.  The context
+    carries the key, the consecutive failure count, and the seconds
+    until the next half-open trial.
+    """
+
+
+class WorkerPoolExhausted(ExecutionError):
+    """The parallel worker pool's respawn budget is spent.
+
+    The pool has already healed as many dead workers as its budget
+    allows; remaining morsels complete inline and subsequent phases
+    degrade to the vector path with a one-time warning.
+    """
+
+
 class UnrecoveredFaultError(ReproError):
     """A fault exhausted its recovery budget.
 

@@ -1,0 +1,136 @@
+"""Cooperative deadlines and cancellation for long-running requests.
+
+A served probe must never wedge the daemon: a request that outlives its
+``deadline_ms`` budget, loses its client mid-stream, or gets caught by a
+server drain has to stop *at the next safe point* and surface a typed
+error — not hang, and not be killed mid-write.  This module provides the
+ambient plumbing, mirroring the fault-scope idiom: the serve engine
+installs a :class:`CancelScope` (a :class:`Deadline` and/or a
+:class:`CancelToken`) around one request, and the compute layers —
+morsel loops, the scalar chain walk, the worker-pool result drain — call
+the module-level :func:`checkpoint`, which is a no-op when no scope is
+active (one contextvar read), so the one-shot pipelines pay nothing.
+
+Deadlines measure *charged* time: wall-clock elapsed plus any simulated
+delay charged via :meth:`Deadline.charge` (the ``slow`` fault kind).
+That is what makes deadline tests deterministic — an injected 10s morsel
+delay trips a 50ms budget without anyone sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Optional
+
+from repro.errors import ConfigError, DeadlineExceeded, RequestCancelled
+
+
+class Deadline:
+    """One request's time budget, in milliseconds of charged time."""
+
+    def __init__(self, budget_ms: float,
+                 clock=time.monotonic):
+        if not (budget_ms > 0):
+            raise ConfigError(
+                f"deadline_ms must be positive, got {budget_ms!r}",
+                deadline_ms=budget_ms)
+        self.budget_ms = float(budget_ms)
+        self._clock = clock
+        self._start = clock()
+        #: Simulated milliseconds charged on top of wall time (slow faults).
+        self.charged_ms = 0.0
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Charged time since the deadline started, in milliseconds."""
+        return (self._clock() - self._start) * 1000.0 + self.charged_ms
+
+    @property
+    def remaining_ms(self) -> float:
+        return self.budget_ms - self.elapsed_ms
+
+    @property
+    def expired(self) -> bool:
+        return self.elapsed_ms >= self.budget_ms
+
+    def charge(self, seconds: float) -> None:
+        """Charge a simulated delay against the budget (no sleeping)."""
+        self.charged_ms += float(seconds) * 1000.0
+
+
+class CancelToken:
+    """A one-way flag set by whoever wants the request stopped."""
+
+    def __init__(self):
+        self.cancelled = False
+        self.reason = ""
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Request cancellation (idempotent; the first reason wins)."""
+        if not self.cancelled:
+            self.cancelled = True
+            self.reason = reason
+
+
+class CancelScope:
+    """The ambient deadline + token pair one request runs under."""
+
+    def __init__(self, deadline: Optional[Deadline] = None,
+                 token: Optional[CancelToken] = None):
+        self.deadline = deadline
+        self.token = token
+
+    def checkpoint(self, **context) -> None:
+        """Raise the typed error if the request should stop now.
+
+        Cancellation wins over deadline expiry: a drain/disconnect is a
+        more specific reason than "the clock also ran out meanwhile".
+        """
+        token = self.token
+        if token is not None and token.cancelled:
+            raise RequestCancelled(
+                f"request cancelled: {token.reason}",
+                reason=token.reason, **context)
+        deadline = self.deadline
+        if deadline is not None and deadline.expired:
+            raise DeadlineExceeded(
+                "deadline exceeded",
+                deadline_ms=deadline.budget_ms,
+                elapsed_ms=round(deadline.elapsed_ms, 3),
+                **context)
+
+
+_ACTIVE_SCOPE: ContextVar[Optional[CancelScope]] = ContextVar(
+    "repro_active_cancel_scope", default=None)
+
+
+def current_cancel_scope() -> Optional[CancelScope]:
+    """The active scope, or None outside any deadline-bearing request."""
+    return _ACTIVE_SCOPE.get()
+
+
+def checkpoint(**context) -> None:
+    """Module-level cooperative checkpoint: cheap no-op with no scope.
+
+    The hot loops call this between morsels / chain-walk rounds /
+    result polls; only requests that actually carry a deadline or a
+    cancel token ever pay more than one contextvar read.
+    """
+    scope = _ACTIVE_SCOPE.get()
+    if scope is not None:
+        scope.checkpoint(**context)
+
+
+@contextmanager
+def cancel_scope(deadline: Optional[Deadline] = None,
+                 token: Optional[CancelToken] = None
+                 ) -> Iterator[CancelScope]:
+    """Install a scope ambiently for the block (the serve engine's use)."""
+    scope = CancelScope(deadline=deadline, token=token)
+    cv_token = _ACTIVE_SCOPE.set(scope)
+    try:
+        yield scope
+    finally:
+        _ACTIVE_SCOPE.reset(cv_token)

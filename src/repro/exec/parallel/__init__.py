@@ -30,14 +30,19 @@ from typing import Optional
 
 from repro.exec.parallel.arena import ArrayRef, SharedArena, shared_memory_probe
 from repro.exec.parallel.pool import (
+    DEFAULT_MAX_RESPAWNS,
     DEFAULT_MIN_PARALLEL_TUPLES,
     MIN_TUPLES_ENV,
+    RESPAWNS_ENV,
     WORKERS_ENV,
     WorkerPool,
     availability,
+    current_liveness,
+    current_pool,
     get_pool,
     min_parallel_tuples,
     reset_availability_cache,
+    respawn_budget,
     shutdown_pool,
     worker_count,
 )
@@ -46,13 +51,24 @@ from repro.exec.parallel.pool import (
 #: queue always holds spare morsels for early finishers to steal.
 MORSELS_PER_WORKER = 2
 
+_warned_exhausted = False
+
+
+def reset_exhaustion_warning() -> None:
+    """Re-arm the warn-once exhaustion message (tests)."""
+    global _warned_exhausted
+    _warned_exhausted = False
+
 
 def morsel_pool(n_tuples: int) -> Optional[WorkerPool]:
     """The pool to run an ``n_tuples``-sized phase on, or None.
 
     None means "stay on the vector path": the parallel backend is not the
-    ambient backend, shared memory is unusable here, or the phase is too
-    small to engage the pool (``REPRO_PARALLEL_MIN_TUPLES``).
+    ambient backend, shared memory is unusable here, the phase is too
+    small to engage the pool (``REPRO_PARALLEL_MIN_TUPLES``), or the
+    pool's worker-respawn budget is exhausted — the last case warns once
+    and degrades every later phase to the (bit-identical) vector
+    rendition, mirroring the GPU -> CPU fallback ladder.
     """
     from repro.exec.backend import PARALLEL, current_backend
     if current_backend() != PARALLEL:
@@ -62,23 +78,41 @@ def morsel_pool(n_tuples: int) -> Optional[WorkerPool]:
         return None
     if n_tuples < min_parallel_tuples():
         return None
-    return get_pool()
+    pool = get_pool()
+    pool.heal()
+    if pool.exhausted:
+        global _warned_exhausted
+        if not _warned_exhausted:
+            _warned_exhausted = True
+            import warnings
+            warnings.warn(
+                "parallel worker pool exhausted its respawn budget "
+                f"({pool.respawns}/{pool.max_respawns} used); degrading "
+                "to the vector backend rendition",
+                RuntimeWarning, stacklevel=2)
+        return None
+    return pool
 
 
 __all__ = [
     "ArrayRef",
+    "DEFAULT_MAX_RESPAWNS",
     "DEFAULT_MIN_PARALLEL_TUPLES",
     "MIN_TUPLES_ENV",
     "MORSELS_PER_WORKER",
+    "RESPAWNS_ENV",
     "SharedArena",
     "WORKERS_ENV",
     "WorkerPool",
     "availability",
+    "current_liveness",
+    "current_pool",
     "get_pool",
     "min_parallel_tuples",
     "morsel_pool",
     "reset_availability_cache",
-    "shared_memory_probe",
+    "reset_exhaustion_warning",
+    "respawn_budget",
     "shutdown_pool",
     "worker_count",
 ]

@@ -22,12 +22,14 @@ from repro.faults.plan import (
     ARTIFACT_CORRUPTION,
     CAPACITY_OVERFLOW,
     DEFAULT_CHAOS_ALGORITHMS,
+    DEFAULT_SLOW_SECONDS,
     EMPTY_PLAN,
     FAULT_KINDS,
     GPU_ALGORITHM_NAMES,
     INJECTION_POINTS,
     KERNEL_ABORT,
     KERNEL_OOM,
+    SLOW,
     WORKER_CRASH,
     FaultPlan,
     FaultSpec,
@@ -69,6 +71,7 @@ __all__ = [
     "CAPACITY_OVERFLOW",
     "DEFAULT_CHAOS_ALGORITHMS",
     "DEFAULT_RECOVERY_POLICY",
+    "DEFAULT_SLOW_SECONDS",
     "EMPTY_PLAN",
     "FAULT_KINDS",
     "FaultEpisode",
@@ -82,6 +85,7 @@ __all__ = [
     "KERNEL_OOM",
     "NullFaultScope",
     "RecoveryPolicy",
+    "SLOW",
     "TaskOutcome",
     "WORKER_CRASH",
     "activate_plan",

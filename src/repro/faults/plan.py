@@ -37,12 +37,17 @@ KERNEL_ABORT = "kernel-abort"
 KERNEL_OOM = "kernel-oom"
 CAPACITY_OVERFLOW = "capacity-overflow"
 ARTIFACT_CORRUPTION = "artifact-corruption"
+SLOW = "slow"
 
 FAULT_KINDS = (WORKER_CRASH, KERNEL_ABORT, KERNEL_OOM, CAPACITY_OVERFLOW,
-               ARTIFACT_CORRUPTION)
+               ARTIFACT_CORRUPTION, SLOW)
 
 INJECTION_POINTS = ("task", "kernel", "phase", "capacity", "detect", "split",
-                    "artifact")
+                    "artifact", "slow")
+
+#: Simulated seconds a ``slow`` spec delays its morsel when the spec
+#: does not say otherwise.
+DEFAULT_SLOW_SECONDS = 0.05
 
 #: Algorithms whose kernels run on the GPU simulator.
 GPU_ALGORITHM_NAMES = ("gbase", "gsh")
@@ -64,6 +69,8 @@ class FaultSpec:
     repeat: int = 1
     #: Restrict the spec to one algorithm's runs (None = any run).
     algorithm: Optional[str] = None
+    #: For ``slow`` specs: the simulated delay charged to the morsel.
+    seconds: float = DEFAULT_SLOW_SECONDS
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
@@ -78,6 +85,9 @@ class FaultSpec:
             raise ConfigError("occurrence is 1-based and must be >= 1")
         if self.repeat < 1:
             raise ConfigError("repeat must be >= 1")
+        if not (self.seconds >= 0):
+            raise ConfigError(
+                f"seconds must be >= 0, got {self.seconds!r}")
 
     def matches(self, algorithm: str, point: str, hit: int) -> bool:
         """True if this spec fires on hit number ``hit`` of ``point``."""
@@ -91,7 +101,9 @@ class FaultSpec:
         """Compact human-readable form."""
         target = f"{self.algorithm}:" if self.algorithm else ""
         times = f"x{self.repeat}" if self.repeat > 1 else ""
-        return f"{target}{self.kind}@{self.point}#{self.occurrence}{times}"
+        delay = f"+{self.seconds:g}s" if self.kind == SLOW else ""
+        return (f"{target}{self.kind}@{self.point}"
+                f"#{self.occurrence}{times}{delay}")
 
 
 @dataclass(frozen=True)
@@ -134,6 +146,8 @@ def spec_to_dict(spec: FaultSpec) -> Dict:
     }
     if spec.algorithm is not None:
         data["algorithm"] = spec.algorithm
+    if spec.kind == SLOW:
+        data["seconds"] = spec.seconds
     return data
 
 
@@ -147,7 +161,8 @@ def spec_from_dict(data: Dict) -> FaultSpec:
     if not isinstance(data, dict):
         raise ConfigError(
             f"fault spec must be an object, got {type(data).__name__}")
-    allowed = {"kind", "point", "occurrence", "repeat", "algorithm"}
+    allowed = {"kind", "point", "occurrence", "repeat", "algorithm",
+               "seconds"}
     unknown = set(data) - allowed
     if unknown:
         raise ConfigError(
@@ -160,6 +175,7 @@ def spec_from_dict(data: Dict) -> FaultSpec:
             occurrence=int(data.get("occurrence", 1)),
             repeat=int(data.get("repeat", 1)),
             algorithm=data.get("algorithm"),
+            seconds=float(data.get("seconds", DEFAULT_SLOW_SECONDS)),
         )
     except KeyError as exc:
         raise ConfigError(
@@ -189,11 +205,19 @@ def injection_point(algorithm: str, kind: str) -> str:
         return {"csh": "detect", "gsh": "split"}.get(algorithm, "capacity")
     if kind == ARTIFACT_CORRUPTION:
         return "artifact"
+    if kind == SLOW:
+        return "slow"
     raise ConfigError(f"unknown fault kind {kind!r}")
 
 
 def kinds_for(algorithm: str) -> Tuple[str, ...]:
-    """Fault classes applicable to an algorithm (OOM is GPU-only)."""
+    """Fault classes applicable to an algorithm (OOM is GPU-only).
+
+    ``slow`` is deliberately absent: its injection point only exists on
+    the serve engine's morsel loop (deadline/cancellation testing), so a
+    pipeline chaos sweep would record no injection for it and fail the
+    exact-recovery contract.
+    """
     if algorithm in GPU_ALGORITHM_NAMES:
         return (WORKER_CRASH, KERNEL_ABORT, KERNEL_OOM, CAPACITY_OVERFLOW,
                 ARTIFACT_CORRUPTION)
@@ -211,6 +235,7 @@ _MAX_OCCURRENCE: Dict[str, int] = {
     "detect": 1,
     "split": 1,
     "artifact": 1,
+    "slow": 1,
 }
 
 

@@ -7,10 +7,11 @@ the request that asked for it (by ``request_id``), so overlapping probes
 
 Ops mirror the protocol: :meth:`register`, :meth:`probe` (returns a
 :class:`ProbeReply` carrying the streamed chunks plus the final
-``result`` or typed ``error`` line), :meth:`stats`, :meth:`invalidate`,
-:meth:`ping`, :meth:`shutdown`.  Error responses are returned, not
-raised — callers inspect :attr:`ProbeReply.error` (the smoke harness
-asserts on the typed payloads directly).
+``result`` or typed ``error`` line; an optional ``deadline_ms`` rides
+along on the request), :meth:`stats`, :meth:`invalidate`, :meth:`ping`,
+:meth:`health`, :meth:`shutdown`.  Error responses are returned, not
+raised — callers inspect :attr:`ProbeReply.error` (the smoke and chaos
+harnesses assert on the typed payloads directly).
 """
 
 from __future__ import annotations
@@ -156,6 +157,7 @@ class ServeClient:
         morsel_tuples: Optional[int] = None,
         trace_id: str = "",
         faults: Optional[List[Dict]] = None,
+        deadline_ms: Optional[float] = None,
     ) -> ProbeReply:
         """One probe request; collects streamed chunks until the final
         ``result`` (or ``error``) line arrives."""
@@ -175,6 +177,8 @@ class ServeClient:
             message["trace_id"] = trace_id
         if faults:
             message["faults"] = faults
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
         queue: asyncio.Queue = asyncio.Queue()
         self._pending[request_id] = queue
         reply = ProbeReply()
@@ -204,6 +208,11 @@ class ServeClient:
 
     async def ping(self) -> Dict:
         return await self._request({"op": "ping"})
+
+    async def health(self) -> Dict:
+        """The daemon's liveness snapshot (``serve.health.*`` metrics)."""
+        response = await self._request({"op": "health"})
+        return response.get("health", response)
 
     async def shutdown(self) -> Dict:
         return await self._request({"op": "shutdown"})

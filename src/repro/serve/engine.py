@@ -37,18 +37,31 @@ from repro.cpu.hashing import next_pow2
 from repro.cpu.segments import split_segments
 from repro.cpu.threads import ThreadPool
 from repro.data.relation import Relation
-from repro.errors import ServeError
+from repro.errors import (
+    CircuitOpen,
+    DeadlineExceeded,
+    RequestCancelled,
+    ServeError,
+)
 from repro.exec.backend import current_backend
+from repro.exec.cancel import CancelToken, Deadline, cancel_scope, checkpoint
 from repro.exec.cost_model import CPUCostModel, DEFAULT_CPU_COST_MODEL
 from repro.exec.counters import OpCounters
 from repro.exec.output import DEFAULT_CAPACITY, JoinOutputBuffer, OutputSummary
 from repro.exec.result import JoinResult
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import SLOW, FaultPlan
 from repro.faults.recovery import run_task_with_recovery
+from repro.faults.report import FailureReport, current_phase_name
 from repro.faults.scope import current_fault_scope, fault_scope
 from repro.obs.trace import Tracer, activate
 from repro.serve.admission import AdmissionController
-from repro.serve.cache import BuildCache, CachedBuild, DEFAULT_CACHE_ENTRIES
+from repro.serve.cache import (
+    BuildCache,
+    CachedBuild,
+    DEFAULT_CACHE_ENTRIES,
+    DEFAULT_CIRCUIT_RESET_SECONDS,
+    DEFAULT_CIRCUIT_THRESHOLD,
+)
 
 #: The engine's pseudo-algorithm name on results and fault reports.
 SERVE_ALGORITHM = "serve"
@@ -81,6 +94,13 @@ class ProbeRequest:
     morsel_tuples: Optional[int] = None
     trace_id: str = ""
     faults: Optional[FaultPlan] = None
+    #: Wall-clock budget for the whole request (build + probe), in
+    #: milliseconds.  None = no deadline.  Expiry surfaces as a typed
+    #: :class:`~repro.errors.DeadlineExceeded` carrying partial progress.
+    deadline_ms: Optional[float] = None
+    #: Cooperative cancellation handle; the server cancels it on client
+    #: disconnect and during forced drain.
+    cancel: Optional[CancelToken] = None
 
 
 @dataclass
@@ -110,8 +130,13 @@ class ServeEngine:
         cost_model: CPUCostModel = DEFAULT_CPU_COST_MODEL,
         output_capacity: int = DEFAULT_CAPACITY,
         n_threads: int = 20,
+        circuit_threshold: int = DEFAULT_CIRCUIT_THRESHOLD,
+        circuit_reset_seconds: float = DEFAULT_CIRCUIT_RESET_SECONDS,
     ):
-        self.cache = BuildCache(max_entries=cache_entries)
+        self.cache = BuildCache(
+            max_entries=cache_entries,
+            circuit_threshold=circuit_threshold,
+            circuit_reset_seconds=circuit_reset_seconds)
         self.admission = admission or AdmissionController()
         self.cost_model = cost_model
         self.output_capacity = output_capacity
@@ -126,6 +151,11 @@ class ServeEngine:
         self.requests = 0
         self.completed = 0
         self.failed = 0
+        # Failure taxonomy: every failed request lands in exactly one of
+        # these (or stays an unclassified `failed`).
+        self.deadline_exceeded = 0
+        self.cancelled = 0
+        self.circuit_shed = 0
 
     # ------------------------------------------------------------------
     # relation registry
@@ -187,6 +217,8 @@ class ServeEngine:
         trace_id = request.trace_id or f"req-{next(self._trace_seq)}"
         morsel_tuples = self.admission.clamp_morsel_tuples(
             request.morsel_tuples)
+        deadline = (Deadline(request.deadline_ms)
+                    if request.deadline_ms is not None else None)
         try:
             # Budget and registry checks happen before a slot is taken:
             # refusals must stay cheap when the server is saturated.
@@ -195,9 +227,23 @@ class ServeEngine:
             version, build_rel = self.resolve(request.relation_id,
                                               request.version)
             async with self.admission.admit():
-                outcome = await self._probe_admitted(
-                    request, build_rel, version, morsel_tuples, n_morsels,
-                    trace_id, emit)
+                with cancel_scope(deadline=deadline, token=request.cancel):
+                    outcome = await self._probe_admitted(
+                        request, build_rel, version, morsel_tuples,
+                        n_morsels, trace_id, emit)
+        except DeadlineExceeded as exc:
+            self.failed += 1
+            self.deadline_exceeded += 1
+            exc.context.setdefault("trace_id", trace_id)
+            raise
+        except (RequestCancelled, asyncio.CancelledError):
+            self.failed += 1
+            self.cancelled += 1
+            raise
+        except CircuitOpen:
+            self.failed += 1
+            self.circuit_shed += 1
+            raise
         except BaseException:
             self.failed += 1
             raise
@@ -231,8 +277,15 @@ class ServeEngine:
                 fault_scope(SERVE_ALGORITHM, plan=request.faults) as faults:
             hit_counter = metrics.counter("serve.cache_hit")
             miss_counter = metrics.counter("serve.cache_miss")
+            checkpoint(stage="admitted", trace_id=trace_id)
             entry, hit, shared = await self.cache.get_or_build(
                 key, lambda: self._build_entry(key, build_rel, result))
+            # A deadline that ran out during the build fires here at the
+            # latest — single-shot vector builds have no interior
+            # checkpoint, so this is what keeps ``deadline_ms=1`` against
+            # a large cold build typed on every backend.
+            checkpoint(stage="built", trace_id=trace_id,
+                       cache_hit=hit, build_shared=shared)
             (hit_counter if hit else miss_counter).inc()
             if shared:
                 metrics.counter("serve.build_shared").inc()
@@ -333,46 +386,76 @@ class ServeEngine:
     ) -> Tuple[OutputSummary, OpCounters, List[OpCounters], List[float]]:
         """Stream the probe side through the cached table, one morsel at
         a time, yielding to the event loop between morsels."""
+        from repro.exec.cancel import current_cancel_scope
+
         scope = current_fault_scope()
+        cancel = current_cancel_scope()
         table = entry.table
         summary = OutputSummary()
         total_counters = OpCounters()
         morsel_counters: List[OpCounters] = []
         morsel_extras: List[float] = []
         n = len(probe_rel)
-        for index in range(n_morsels):
-            a = index * morsel_tuples
-            b = min(a + morsel_tuples, n)
+        try:
+            for index in range(n_morsels):
+                a = index * morsel_tuples
+                b = min(a + morsel_tuples, n)
+                # Seeded slow-morsel delay: charged against the deadline
+                # and priced into the schedule, never slept — determinism
+                # is the whole point of the ``slow`` kind.
+                slow_seconds = 0.0
+                spec = scope.fire("slow", morsel=index)
+                if spec is not None and spec.kind == SLOW:
+                    slow_seconds = spec.seconds
+                    if cancel is not None and cancel.deadline is not None:
+                        cancel.deadline.charge(slow_seconds)
+                    scope.record(FailureReport(
+                        kind=SLOW, point="slow", algorithm=SERVE_ALGORITHM,
+                        phase=current_phase_name(), action="delay",
+                        recovered=True, injected=True,
+                        backoff_seconds=slow_seconds,
+                        context={"morsel": index}))
+                    metrics.counter("serve.slow_morsels").inc()
+                checkpoint(morsel=index, n_morsels=n_morsels)
 
-            def run(counters: OpCounters, attempt: int, a=a, b=b):
-                buf = JoinOutputBuffer(self.output_capacity)
-                return table.probe(
-                    probe_rel.keys[a:b], probe_rel.payloads[a:b], buf,
-                    counters=counters, random_access=True)
+                def run(counters: OpCounters, attempt: int, a=a, b=b):
+                    buf = JoinOutputBuffer(self.output_capacity)
+                    return table.probe(
+                        probe_rel.keys[a:b], probe_rel.payloads[a:b], buf,
+                        counters=counters, random_access=True)
 
-            outcome = run_task_with_recovery(run, scope, points=("task",),
-                                             morsel=index)
-            morsel_counters.append(outcome.counters)
-            morsel_extras.append(
-                sum(self.cost_model.seconds(w) for w in outcome.wasted)
-                + sum(outcome.backoffs))
-            total_counters += outcome.counters
-            chunk_summary: OutputSummary = outcome.value
-            summary.add_pairs_sum(chunk_summary.count, chunk_summary.checksum)
-            metrics.counter("serve.probe_morsels").inc()
-            chunk = {
-                "index": index,
-                "tuples": b - a,
-                "count": chunk_summary.count,
-                "checksum": chunk_summary.checksum,
-                "trace_id": trace_id,
-            }
-            chunks.append(chunk)
-            if emit is not None:
-                await emit(dict(chunk))
-            # One yield per morsel: concurrent requests interleave and
-            # streamed chunks reach clients incrementally.
-            await asyncio.sleep(0)
+                outcome = run_task_with_recovery(
+                    run, scope, points=("task",), morsel=index)
+                morsel_counters.append(outcome.counters)
+                morsel_extras.append(
+                    sum(self.cost_model.seconds(w) for w in outcome.wasted)
+                    + sum(outcome.backoffs) + slow_seconds)
+                total_counters += outcome.counters
+                chunk_summary: OutputSummary = outcome.value
+                summary.add_pairs_sum(chunk_summary.count,
+                                      chunk_summary.checksum)
+                metrics.counter("serve.probe_morsels").inc()
+                chunk = {
+                    "index": index,
+                    "tuples": b - a,
+                    "count": chunk_summary.count,
+                    "checksum": chunk_summary.checksum,
+                    "trace_id": trace_id,
+                }
+                chunks.append(chunk)
+                if emit is not None:
+                    await emit(dict(chunk))
+                # One yield per morsel: concurrent requests interleave and
+                # streamed chunks reach clients incrementally.
+                await asyncio.sleep(0)
+        except (DeadlineExceeded, RequestCancelled) as exc:
+            # Partial-progress counters: how far the request got before
+            # the budget died (chunks already streamed stay valid).
+            exc.context.setdefault("morsels_completed", len(morsel_counters))
+            exc.context.setdefault("n_morsels", n_morsels)
+            exc.context.setdefault("partial_count", summary.count)
+            exc.context.setdefault("partial_checksum", summary.checksum)
+            raise
         return summary, total_counters, morsel_counters, morsel_extras
 
     def probe_sync(self, request: ProbeRequest) -> ProbeOutcome:
@@ -387,9 +470,58 @@ class ServeEngine:
             "requests": self.requests,
             "completed": self.completed,
             "failed": self.failed,
+            "deadline_exceeded": self.deadline_exceeded,
+            "cancelled": self.cancelled,
+            "circuit_shed": self.circuit_shed,
             "relations": {
                 rid: self._latest[rid] for rid in sorted(self._latest)
             },
             "cache": self.cache.info(),
             "admission": self.admission.info(),
+        }
+
+    def health(self) -> Dict[str, object]:
+        """Liveness snapshot (the ``health`` op's payload).
+
+        Flat ``serve.health.*`` metrics plus a per-circuit detail map.
+        The worker-liveness probe is *active*: it reaps and respawns dead
+        workers (within budget) before reporting, so a health check is
+        itself a self-healing event — the chaos harness leans on this to
+        assert "all workers live" after a kill sweep.
+        """
+        from repro.exec.parallel.pool import current_liveness
+
+        cache_info = self.cache.info()
+        admission_info = self.admission.info()
+        liveness = current_liveness(heal=True) or {
+            "workers": 0, "alive": 0, "processes": False,
+            "respawns": 0, "max_respawns": 0, "exhausted": False,
+        }
+        circuits = self.cache.circuits()
+        ok = ((liveness["alive"] >= liveness["workers"]
+               or not liveness["processes"])
+              and not liveness["exhausted"]
+              and not cache_info["open_circuits"])
+        metrics = {
+            "serve.health.cache_entries": cache_info["entries"],
+            "serve.health.cache_max_entries": cache_info["max_entries"],
+            "serve.health.open_circuits": cache_info["open_circuits"],
+            "serve.health.circuit_shed": cache_info["circuit_shed"],
+            "serve.health.inflight": admission_info["inflight"],
+            "serve.health.queued": admission_info["queued"],
+            "serve.health.workers": liveness["workers"],
+            "serve.health.workers_alive": liveness["alive"],
+            "serve.health.worker_respawns": liveness["respawns"],
+            "serve.health.pool_exhausted": int(liveness["exhausted"]),
+            "serve.health.requests": self.requests,
+            "serve.health.completed": self.completed,
+            "serve.health.failed": self.failed,
+            "serve.health.deadline_exceeded": self.deadline_exceeded,
+            "serve.health.cancelled": self.cancelled,
+        }
+        return {
+            "ok": bool(ok),
+            "metrics": metrics,
+            "circuits": circuits,
+            "workers": liveness,
         }

@@ -13,11 +13,18 @@ Requests::
      "version": 2, "morsel_tuples": 8192, "trace_id": "req-7",
      "faults": [{"kind": "worker-crash", "point": "task"}]}
     {"op": "stats"} | {"op": "invalidate", "relation_id": "orders"}
-    {"op": "ping"} | {"op": "shutdown"}
+    {"op": "ping"} | {"op": "health"} | {"op": "shutdown"}
+
+A probe may carry ``"deadline_ms"``: a positive wall-clock budget for
+the whole request; expiry surfaces as a typed ``DeadlineExceeded`` error
+with partial-progress counters.  ``health`` reports cache occupancy,
+circuit-breaker states, worker liveness and admission depth as flat
+``serve.health.*`` metrics.
 
 Responses: ``registered``, ``chunk`` (one streamed probe morsel),
 ``result`` (the full serialized :class:`~repro.exec.result.JoinResult`),
-``stats``, ``invalidated``, ``pong``, ``bye``, and ``error``.  Errors are
+``stats``, ``invalidated``, ``pong``, ``health``, ``bye``, and
+``error``.  Errors are
 *typed*: the payload carries the exception class name, the structured
 context, and — for unrecovered faults — the full
 :class:`~repro.faults.report.FailureReport`, so clients never parse
@@ -46,11 +53,12 @@ from repro.errors import ProtocolError, ReproError
 PROTOCOL_VERSION = 1
 
 #: Every request op the server understands.
-REQUEST_OPS = ("register", "probe", "stats", "invalidate", "ping", "shutdown")
+REQUEST_OPS = ("register", "probe", "stats", "invalidate", "ping", "health",
+               "shutdown")
 
 #: Every response type the server emits.
 RESPONSE_TYPES = ("registered", "chunk", "result", "stats", "invalidated",
-                  "pong", "bye", "error")
+                  "pong", "health", "bye", "error")
 
 #: Generators addressable from a relation spec.
 SPEC_GENERATORS = ("zipf", "uniform", "constant", "inline")

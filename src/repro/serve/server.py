@@ -9,11 +9,19 @@ back as the engine produces them.  Control ops (``register``, ``stats``,
 ``invalidate``, ``ping``, ``shutdown``) are answered inline.
 
 Every failure a request can hit — malformed lines, unknown relations,
-admission refusals, unrecovered faults — is answered with a typed
-``error`` line; the connection itself stays up.  When a trace path is
-configured, every completed probe's full :class:`JoinResult` (trace,
-metrics, fault reports included) is appended to a JSONL artifact, the
-file the serve-smoke CI job uploads.
+admission refusals, expired deadlines, open circuits, unrecovered
+faults — is answered with a typed ``error`` line; the connection itself
+stays up.  When a trace path is configured, every completed probe's full
+:class:`JoinResult` (trace, metrics, fault reports included) is appended
+to a JSONL artifact, the file the serve-smoke CI job uploads.
+
+Shutdown is a **graceful drain**: the listener closes, new probes are
+refused with a typed error, in-flight probes get ``drain_seconds`` to
+finish, then their cancel tokens fire (typed ``RequestCancelled`` at the
+next morsel boundary) and only an unresponsive remainder is hard
+task-cancelled.  A client that disconnects mid-stream cancels its own
+request the same cooperative way — the admission slot is always
+released.
 """
 
 from __future__ import annotations
@@ -22,7 +30,8 @@ import asyncio
 from pathlib import Path
 from typing import Dict, Optional, Set, Union
 
-from repro.errors import ProtocolError, ReproError
+from repro.errors import ProtocolError, ReproError, ServeError
+from repro.exec.cancel import CancelToken
 from repro.exec.serialize import append_results_jsonl, result_to_dict
 from repro.faults.plan import plan_from_dicts
 from repro.serve.engine import ProbeRequest, ServeEngine
@@ -36,6 +45,12 @@ from repro.serve.protocol import (
 
 DEFAULT_HOST = "127.0.0.1"
 
+#: Seconds in-flight probes get to finish before drain cancels them.
+DEFAULT_DRAIN_SECONDS = 5.0
+
+#: Seconds between "tokens cancelled" and hard ``task.cancel()``.
+_FORCE_CANCEL_GRACE_SECONDS = 1.0
+
 
 class ServeServer:
     """One daemon instance wrapping a :class:`ServeEngine`."""
@@ -46,16 +61,23 @@ class ServeServer:
         host: str = DEFAULT_HOST,
         port: int = 0,
         trace_path: Optional[Union[str, Path]] = None,
+        drain_seconds: float = DEFAULT_DRAIN_SECONDS,
     ):
         self.engine = engine or ServeEngine()
         self.host = host
         self.port = port
         self.trace_path = Path(trace_path) if trace_path else None
+        self.drain_seconds = float(drain_seconds)
         self._server: Optional[asyncio.base_events.Server] = None
         self._tasks: Set[asyncio.Task] = set()
+        self._cancel_tokens: Set[CancelToken] = set()
         self._shutdown = asyncio.Event()
+        self.draining = False
         self.connections = 0
         self.traced_results = 0
+        self.disconnects = 0
+        self.drain_refusals = 0
+        self.force_cancelled = 0
 
     @property
     def address(self) -> str:
@@ -81,8 +103,35 @@ class ServeServer:
         self._shutdown.set()
 
     async def _drain(self) -> None:
-        if self._tasks:
-            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        """Graceful drain: wait, then cancel cooperatively, then force.
+
+        1. Stop accepting: the listener closes and new probes are
+           refused with a typed error.
+        2. In-flight probe tasks get ``drain_seconds`` to finish.
+        3. Stragglers' cancel tokens fire — each request raises a typed
+           ``RequestCancelled`` at its next morsel checkpoint, so the
+           client still gets a well-formed error line.
+        4. Anything still alive after a short grace is hard-cancelled.
+        """
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+        tasks = {t for t in self._tasks if not t.done()}
+        if not tasks:
+            return
+        _done, pending = await asyncio.wait(tasks,
+                                            timeout=self.drain_seconds)
+        if not pending:
+            return
+        for token in list(self._cancel_tokens):
+            token.cancel("server drain")
+        _done, pending = await asyncio.wait(
+            pending, timeout=_FORCE_CANCEL_GRACE_SECONDS)
+        for task in pending:
+            self.force_cancelled += 1
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
 
     async def close(self) -> None:
         """Stop the listener and wait for in-flight request tasks."""
@@ -131,6 +180,12 @@ class ServeServer:
             await self._send(writer, lock, error_response(exc, request_id))
             return False
         if op == "probe":
+            if self.draining or self._shutdown.is_set():
+                self.drain_refusals += 1
+                await self._send(writer, lock, error_response(
+                    ServeError("server is draining; not accepting new "
+                               "probes", draining=True), request_id))
+                return False
             task = asyncio.ensure_future(
                 self._handle_probe(message, request_id, writer, lock))
             self._tasks.add(task)
@@ -149,6 +204,12 @@ class ServeServer:
                             "relation_id": relation_id, "dropped": dropped}
             elif op == "ping":
                 response = {"type": "pong", "request_id": request_id}
+            elif op == "health":
+                health = self.engine.health()
+                health["draining"] = self.draining
+                health["disconnects"] = self.disconnects
+                response = {"type": "health", "request_id": request_id,
+                            "health": health}
             else:  # shutdown
                 await self._send(writer, lock,
                                  {"type": "bye", "request_id": request_id})
@@ -175,19 +236,35 @@ class ServeServer:
                             writer: asyncio.StreamWriter,
                             lock: asyncio.Lock) -> None:
         trace_id = str(message.get("trace_id", ""))
+        token = CancelToken()
+        self._cancel_tokens.add(token)
         try:
             request = self._probe_request(message, trace_id)
+            request.cancel = token
 
             async def emit(chunk: Dict) -> None:
+                # Strict: a failed chunk write must abort the request —
+                # the client is gone, so finishing the remaining morsels
+                # would burn the admission slot for nobody.
                 await self._send(writer, lock, {
                     "type": "chunk", "request_id": request_id,
-                    "trace_id": chunk.pop("trace_id", trace_id), **chunk})
+                    "trace_id": chunk.pop("trace_id", trace_id), **chunk},
+                    strict=True)
 
             outcome = await self.engine.probe(request, emit=emit)
+        except (ConnectionResetError, BrokenPipeError):
+            # Mid-stream disconnect: the emit failure already unwound the
+            # morsel loop and released the admission slot; nothing can be
+            # sent back, so just account for it.
+            self.disconnects += 1
+            token.cancel("client disconnected")
+            return
         except ReproError as exc:
             await self._send(writer, lock,
                              error_response(exc, request_id, trace_id))
             return
+        finally:
+            self._cancel_tokens.discard(token)
         result = outcome.result
         if self.trace_path is not None:
             append_results_jsonl([result], self.trace_path)
@@ -211,6 +288,18 @@ class ServeServer:
             morsel_tuples = int(morsel_tuples)
         faults = message.get("faults")
         plan = plan_from_dicts(faults) if faults else None
+        deadline_ms = message.get("deadline_ms")
+        if deadline_ms is not None:
+            try:
+                deadline_ms = float(deadline_ms)
+            except (TypeError, ValueError):
+                raise ProtocolError(
+                    f"deadline_ms must be a positive number, got "
+                    f"{message.get('deadline_ms')!r}") from None
+            if not deadline_ms > 0:
+                raise ProtocolError(
+                    f"deadline_ms must be a positive number, got "
+                    f"{deadline_ms!r}", deadline_ms=deadline_ms)
         return ProbeRequest(
             relation_id=str(message.get("relation_id", "")),
             probe=probe,
@@ -218,14 +307,18 @@ class ServeServer:
             morsel_tuples=morsel_tuples,
             trace_id=trace_id,
             faults=plan,
+            deadline_ms=deadline_ms,
         )
 
     @staticmethod
     async def _send(writer: asyncio.StreamWriter, lock: asyncio.Lock,
-                    message: Dict) -> None:
+                    message: Dict, strict: bool = False) -> None:
+        """Write one response line; connection failures are swallowed
+        unless ``strict`` (the chunk-emit path, which must abort)."""
         try:
             async with lock:
                 writer.write(encode_message(message))
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
-            pass
+            if strict:
+                raise

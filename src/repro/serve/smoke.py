@@ -49,6 +49,9 @@ def _smoke_max_morsels(n: int) -> int:
 class SmokeChecks:
     """Ordered pass/fail ledger the scenario appends to."""
 
+    #: Harness name used in the rendered summary line.
+    label = "serve smoke"
+
     def __init__(self):
         self.checks: List[Tuple[str, bool, str]] = []
 
@@ -72,10 +75,11 @@ class SmokeChecks:
         n_bad = sum(1 for _, ok, _ in self.checks if not ok)
         lines.append("")
         if n_bad:
-            lines.append(f"serve smoke: {n_bad}/{len(self.checks)} "
+            lines.append(f"{self.label}: {n_bad}/{len(self.checks)} "
                          "check(s) FAILED")
         else:
-            lines.append(f"serve smoke: all {len(self.checks)} checks passed")
+            lines.append(f"{self.label}: all {len(self.checks)} "
+                         "checks passed")
         return "\n".join(lines)
 
 

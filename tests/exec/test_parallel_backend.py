@@ -239,3 +239,132 @@ def test_parallel_join_matches_vector_with_real_pool(parallel_pool_env):
             results[backend] = make_join("csh").run(join_input)
     assert compare_results(results[VECTOR], results[PARALLEL]) == []
     assert results[PARALLEL].meta["backend"] == PARALLEL
+
+
+# ------------------------------------------------------------- healing
+
+def test_respawn_budget_env_validation(monkeypatch):
+    from repro.exec.parallel import DEFAULT_MAX_RESPAWNS, RESPAWNS_ENV
+
+    monkeypatch.delenv(RESPAWNS_ENV, raising=False)
+    assert pool_mod.respawn_budget() == DEFAULT_MAX_RESPAWNS
+    monkeypatch.setenv(RESPAWNS_ENV, "0")
+    assert pool_mod.respawn_budget() == 0
+    monkeypatch.setenv(RESPAWNS_ENV, "-1")
+    with pytest.raises(ConfigError):
+        pool_mod.respawn_budget()
+    monkeypatch.setenv(RESPAWNS_ENV, "many")
+    with pytest.raises(ConfigError):
+        pool_mod.respawn_budget()
+
+
+def test_liveness_snapshot_and_inline_kill():
+    import os
+
+    pool = WorkerPool(1)
+    assert pool.liveness() == {
+        "workers": 1, "alive": 1, "processes": False,
+        "respawns": 0, "max_respawns": pool.max_respawns,
+        "exhausted": False,
+    }
+    assert pool.kill_worker(0) is None  # inline pools have no processes
+    assert pool.heal() == 0
+    assert os.getpid()  # inline liveness never touches other processes
+
+
+def test_current_liveness_is_none_without_a_pool():
+    shutdown_pool()
+    assert pool_mod.current_liveness() is None
+    assert pool_mod.current_liveness(heal=True) is None
+
+
+@needs_shm
+def test_heal_respawns_a_killed_worker():
+    pool = WorkerPool(2, max_respawns=3)
+    pool.poll_seconds = 0.05
+    try:
+        pid = pool.kill_worker(0)
+        assert pid is not None
+        assert pool.alive_workers() == 1
+        assert pool.heal() == 1
+        assert pool.alive_workers() == 2
+        assert pool.respawns == 1 and not pool.exhausted
+        # The healed pool still computes.
+        pids = pool.run("worker_identity", [{}, {}])
+        assert all(isinstance(p, int) for p in pids)
+        assert pool.kill_worker(99) is None  # out-of-range is a no-op
+    finally:
+        pool.shutdown()
+
+
+@needs_shm
+def test_dead_workers_mid_run_heal_and_reenqueue_exactly_once():
+    import os
+
+    pool = WorkerPool(2, max_respawns=2)
+    pool.poll_seconds = 0.05
+    try:
+        assert pool.kill_worker(0) is not None
+        assert pool.kill_worker(1) is not None
+        # Every morsel the dead workers would have taken is re-enqueued
+        # (dedup by task id) and computed by the respawned workers.
+        pids = pool.run("worker_identity", [{}, {}, {}, {}])
+        assert len(pids) == 4
+        assert all(isinstance(p, int) and p != os.getpid() for p in pids)
+        assert pool.respawns == 2
+        assert not pool.exhausted
+        assert pool.alive_workers() == 2
+    finally:
+        pool.shutdown()
+
+
+@needs_shm
+def test_exhausted_pool_finishes_morsels_inline():
+    import os
+
+    pool = WorkerPool(2, max_respawns=0)
+    pool.poll_seconds = 0.05
+    try:
+        assert pool.kill_worker(0) is not None
+        assert pool.kill_worker(1) is not None
+        # No respawn budget: the run still answers, computed inline.
+        pids = pool.run("worker_identity", [{}, {}, {}])
+        assert pids == [os.getpid()] * 3
+        assert pool.exhausted
+        assert pool.alive_workers() == 0
+        assert pool.liveness()["exhausted"] is True
+    finally:
+        pool.shutdown()
+
+
+@needs_shm
+def test_morsel_pool_warns_once_and_degrades_when_exhausted(
+        parallel_pool_env):
+    from repro.exec.parallel import reset_exhaustion_warning
+
+    reset_exhaustion_warning()
+    try:
+        with use_backend(PARALLEL):
+            pool = pool_mod.get_pool()
+            pool.exhausted = True
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                assert morsel_pool(1 << 20) is None
+                assert morsel_pool(1 << 20) is None
+        runtime = [w for w in caught
+                   if issubclass(w.category, RuntimeWarning)]
+        assert len(runtime) == 1  # warn once, then degrade silently
+        assert "respawn budget" in str(runtime[0].message)
+    finally:
+        reset_exhaustion_warning()
+
+
+@needs_shm
+def test_current_liveness_heals_killed_workers(parallel_pool_env):
+    pool = pool_mod.get_pool()
+    pool.poll_seconds = 0.05
+    assert pool.kill_worker(0) is not None
+    live = pool_mod.current_liveness(heal=True)
+    assert live["alive"] == 2
+    assert live["respawns"] == 1
+    assert live["exhausted"] is False

@@ -94,3 +94,45 @@ def test_seeded_plans_differ_across_seeds():
         for seed in range(20)
     }
     assert len(set(occurrences.values())) > 1
+
+
+def test_slow_spec_round_trips_with_seconds():
+    from repro.faults.plan import (
+        DEFAULT_SLOW_SECONDS,
+        SLOW,
+        spec_from_dict,
+        spec_to_dict,
+    )
+
+    spec = FaultSpec(kind=SLOW, point="slow", occurrence=2, seconds=1.25)
+    data = spec_to_dict(spec)
+    assert data["seconds"] == 1.25
+    assert spec_from_dict(data) == spec
+    # seconds rides the wire only for slow specs ...
+    crash = spec_to_dict(FaultSpec(kind=WORKER_CRASH, point="task"))
+    assert "seconds" not in crash
+    # ... and an omitted seconds falls back to the default delay.
+    assert spec_from_dict({"kind": SLOW, "point": "slow"}).seconds == \
+        DEFAULT_SLOW_SECONDS
+    assert "+1.25s" in spec.label()
+    assert "s" not in spec_from_dict(crash).label().split("#")[1]
+
+
+def test_slow_spec_validation():
+    from repro.faults.plan import SLOW
+
+    with pytest.raises(ConfigError):
+        FaultSpec(kind=SLOW, point="slow", seconds=-0.5)
+    FaultSpec(kind=SLOW, point="slow", seconds=0.0)  # zero delay is legal
+    assert injection_point("cbase", SLOW) == "slow"
+
+
+def test_slow_is_excluded_from_pipeline_chaos_sweeps():
+    from repro.faults.plan import SLOW
+
+    # The slow point only exists on the serve morsel loop; a pipeline
+    # sweep including it would record no injection and fail the
+    # exact-recovery contract.
+    for algorithm in DEFAULT_CHAOS_ALGORITHMS + ("cbase-npj",):
+        assert SLOW not in kinds_for(algorithm)
+    assert all(s.kind != SLOW for s in seeded_plan(7).specs)

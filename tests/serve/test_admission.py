@@ -1,0 +1,171 @@
+"""Admission control boundary conditions and slot accounting."""
+
+import asyncio
+
+import pytest
+
+from repro.data.zipf import ZipfWorkload
+from repro.errors import (
+    AdmissionError,
+    CircuitOpen,
+    ConfigError,
+    DeadlineExceeded,
+    UnrecoveredFaultError,
+)
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.serve.admission import (
+    AdmissionController,
+    DEFAULT_MORSEL_TUPLES,
+    MAX_MORSEL_TUPLES,
+    MIN_MORSEL_TUPLES,
+)
+from repro.serve.engine import ProbeRequest, ServeEngine
+
+N = 2048
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return ZipfWorkload(N, N, 1.0, seed=42).generate()
+
+
+# ------------------------------------------------------------ validation
+
+def test_constructor_rejects_degenerate_limits():
+    with pytest.raises(ConfigError):
+        AdmissionController(max_inflight=0)
+    with pytest.raises(ConfigError):
+        AdmissionController(max_queue=-1)
+    with pytest.raises(ConfigError):
+        AdmissionController(max_morsels=0)
+    # max_queue=0 is legal: no waiting room, refuse beyond inflight.
+    assert AdmissionController(max_queue=0).max_queue == 0
+
+
+def test_morsel_tuples_clamp_to_hard_bounds():
+    clamp = AdmissionController.clamp_morsel_tuples
+    assert clamp(None) == DEFAULT_MORSEL_TUPLES
+    assert clamp(1) == MIN_MORSEL_TUPLES
+    assert clamp(MIN_MORSEL_TUPLES) == MIN_MORSEL_TUPLES
+    assert clamp(MIN_MORSEL_TUPLES - 1) == MIN_MORSEL_TUPLES
+    assert clamp(MAX_MORSEL_TUPLES) == MAX_MORSEL_TUPLES
+    assert clamp(MAX_MORSEL_TUPLES + 1) == MAX_MORSEL_TUPLES
+    assert clamp(1 << 40) == MAX_MORSEL_TUPLES
+
+
+def test_morsel_count_budget_boundary():
+    admission = AdmissionController(max_morsels=4)
+    # Exactly at budget: admitted.
+    assert admission.morsel_count(4 * 64, 64) == 4
+    assert admission.rejected == 0
+    # One tuple over: one more morsel than the budget allows.
+    with pytest.raises(AdmissionError) as excinfo:
+        admission.morsel_count(4 * 64 + 1, 64)
+    assert excinfo.value.context["n_morsels"] == 5
+    assert excinfo.value.context["max_morsels"] == 4
+    assert admission.rejected == 1
+    # The empty probe needs no morsels at all.
+    assert admission.morsel_count(0, 64) == 0
+
+
+def test_queueing_at_the_inflight_limit_then_refusal():
+    """inflight == max_inflight with queue space queues; once the queue
+    is full too, admission refuses immediately (no waiting)."""
+    admission = AdmissionController(max_inflight=1, max_queue=1)
+
+    async def scenario():
+        release = asyncio.Event()
+        order = []
+
+        async def hold(name):
+            async with admission.admit():
+                order.append(name)
+                await release.wait()
+
+        first = asyncio.ensure_future(hold("first"))
+        await asyncio.sleep(0)
+        assert admission.inflight == 1
+        # Second request queues: within max_queue.
+        second = asyncio.ensure_future(hold("second"))
+        await asyncio.sleep(0)
+        assert admission.queued == 1
+        # Third finds both limits hit: immediate typed refusal.
+        with pytest.raises(AdmissionError) as excinfo:
+            async with admission.admit():
+                pass
+        assert excinfo.value.context["inflight"] == 1
+        assert excinfo.value.context["queued"] == 1
+        release.set()
+        await asyncio.gather(first, second)
+        return excinfo.value, order
+
+    error, order = asyncio.run(scenario())
+    assert order == ["first", "second"]  # the queued request did run
+    assert admission.inflight == 0
+    assert admission.queued == 0
+    assert admission.admitted == 2
+    assert admission.rejected == 1
+
+
+def test_zero_queue_refuses_at_the_inflight_limit():
+    admission = AdmissionController(max_inflight=1, max_queue=0)
+
+    async def scenario():
+        release = asyncio.Event()
+
+        async def hold():
+            async with admission.admit():
+                await release.wait()
+
+        task = asyncio.ensure_future(hold())
+        await asyncio.sleep(0)
+        with pytest.raises(AdmissionError):
+            async with admission.admit():
+                pass
+        release.set()
+        await task
+
+    asyncio.run(scenario())
+    assert admission.admitted == 1
+    assert admission.rejected == 1
+
+
+def test_slot_released_on_every_typed_error_exit(workload):
+    """The admission slot must come back whatever way a request dies."""
+    engine = ServeEngine(circuit_threshold=1, circuit_reset_seconds=3600.0)
+    engine.register("orders", workload.r)
+
+    def attempt(**kwargs):
+        with pytest.raises(Exception) as excinfo:
+            engine.probe_sync(ProbeRequest(
+                relation_id="orders", probe=workload.s, **kwargs))
+        assert engine.admission.inflight == 0
+        assert engine.admission.queued == 0
+        return excinfo.value
+
+    doom = FaultPlan((FaultSpec(kind="capacity-overflow", point="capacity",
+                                repeat=9),))
+    assert isinstance(attempt(faults=doom), UnrecoveredFaultError)
+    # The failed build opened the circuit (threshold 1): shed path.
+    assert isinstance(attempt(), CircuitOpen)
+    engine.cache.invalidate("orders")
+    slow = FaultPlan((FaultSpec(kind="slow", point="slow", occurrence=1,
+                                seconds=60.0),))
+    assert isinstance(attempt(faults=slow, deadline_ms=30_000),
+                      DeadlineExceeded)
+    # And a clean request still gets the slot afterwards.
+    outcome = engine.probe_sync(ProbeRequest(relation_id="orders",
+                                             probe=workload.s))
+    assert outcome.result.output_count > 0
+    assert engine.admission.inflight == 0
+
+
+def test_oversized_probe_is_refused_before_taking_a_slot(workload):
+    engine = ServeEngine(admission=AdmissionController(max_morsels=2))
+    engine.register("orders", workload.r)
+    with pytest.raises(AdmissionError):
+        engine.probe_sync(ProbeRequest(relation_id="orders",
+                                       probe=workload.s, morsel_tuples=64))
+    assert engine.admission.admitted == 0
+    assert engine.admission.rejected == 1
+    assert engine.failed == 1

@@ -1,0 +1,18 @@
+"""The chaos-under-load harness itself stays green end to end."""
+
+import json
+
+from repro.serve.chaos import run_serve_chaos
+
+
+def test_serve_chaos_sweep_is_green_and_writes_health(tmp_path):
+    health_out = tmp_path / "health.json"
+    exit_code = run_serve_chaos(n=2048, theta=1.0, seed=7, clients=2,
+                                requests=6, health_out=health_out,
+                                quiet=True)
+    assert exit_code == 0
+    artifact = json.loads(health_out.read_text())
+    assert artifact["health"]["ok"] is True
+    assert artifact["health"]["metrics"]["serve.health.inflight"] == 0
+    checks = artifact["checks"]
+    assert checks and all(check["ok"] for check in checks)

@@ -152,6 +152,20 @@ def test_serve_cli_flags_are_documented():
     assert "--served" in (cli.__doc__ or "")
 
 
+def test_serving_doc_covers_failure_semantics():
+    """The resilience surface — deadlines, circuits, drain, healing —
+    is documented with its typed error kinds and health metrics."""
+    text = (ROOT / "docs" / "serving.md").read_text()
+    for kind in ("DeadlineExceeded", "CircuitOpen", "RequestCancelled"):
+        assert kind in text, f"serving.md lacks error kind {kind}"
+    for term in ("deadline_ms", "serve.health.", "half-open",
+                 "drain", "self-healing", "`health`"):
+        assert term in text, f"serving.md lacks {term}"
+    robustness = (ROOT / "docs" / "robustness.md").read_text()
+    assert "`slow`" in robustness
+    assert "chaos --serve" in robustness
+
+
 def test_readme_and_observability_cover_serving():
     readme = (ROOT / "README.md").read_text()
     assert "repro serve" in readme
@@ -181,3 +195,16 @@ def test_ci_runs_serve_smoke_and_enforces_coverage():
     constraints = (ROOT / "constraints.txt").read_text()
     assert "pytest-cov==" in constraints
     assert "coverage==" in constraints
+
+
+def test_ci_runs_serve_chaos_with_health_artifact():
+    """The serve-chaos job storms both backends and uploads health."""
+    ci = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
+    assert "serve-chaos:" in ci
+    assert "chaos --serve" in ci
+    assert "--health-out" in ci
+    assert "REPRO_BACKEND=parallel" in ci
+    assert "serve-health" in ci
+    makefile = (ROOT / "Makefile").read_text()
+    assert "serve-chaos:" in makefile
+    assert "chaos --serve" in makefile

@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test lint trace-smoke chaos-smoke serve-smoke serve-chaos diff-served bench bench-paper bench-record bench-compare bench-parallel diff-backends examples docs-check all
+.PHONY: install test lint trace-smoke chaos-smoke serve-smoke serve-chaos spill-chaos diff-served diff-spill bench bench-paper bench-record bench-compare bench-parallel bench-spill diff-backends examples docs-check all
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -40,6 +40,17 @@ serve-chaos:
 diff-served:
 	$(PYTHON) -m repro diff --served --tuples 2048
 
+# Disk-fault ladder + SIGKILL/resume sweep for the spill plane (the CI
+# gate): clean spills bit-identical, faults absorbed or typed, resumed
+# runs matching uninterrupted ones exactly.
+spill-chaos:
+	$(PYTHON) -m repro chaos --spill --seed 42 --tuples 8192 \
+		--artifact-dir spill-artifacts
+
+# Spilled-vs-in-RAM differential (every backend, forced memory budget).
+diff-spill:
+	$(PYTHON) -m repro diff --spill --tuples 4096
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -65,6 +76,11 @@ bench-parallel:
 	REPRO_PARALLEL_MIN_TUPLES=0 $(PYTHON) -m repro diff --tuples 4096 \
 		--backends vector,parallel
 	$(PYTHON) -m repro bench --compare BENCH_seed.json
+
+# Record/gate the spilled scale tier (commit BENCH_spill_seed.json when
+# re-recording; the compare inherits the baseline's spill budget).
+bench-spill:
+	$(PYTHON) -m repro bench --compare BENCH_spill_seed.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

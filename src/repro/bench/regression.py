@@ -91,6 +91,9 @@ class BenchRecord:
     backends: List[str]
     #: Worker-pool size the parallel backend ran with (1 = inline).
     worker_count: int = 1
+    #: When set, every run executed under this memory budget with the
+    #: out-of-core spill plane engaged — the spilled scale tier.
+    spill_budget_bytes: Optional[int] = None
     cases: List[CaseBench] = field(default_factory=list)
 
     def case(self, algorithm: str) -> Optional[CaseBench]:
@@ -147,6 +150,7 @@ def record_bench(
     repeats: int = DEFAULT_REPEATS,
     backends: Sequence[str] = BACKENDS,
     algorithms: Optional[Iterable[str]] = None,
+    spill_budget_bytes: Optional[int] = None,
 ) -> BenchRecord:
     """Execute the bench matrix and collect per-phase median wall times.
 
@@ -154,14 +158,29 @@ def record_bench(
     workload; the median per phase absorbs scheduler noise.  Output counts
     and phase structure are cross-checked between backends while we are at
     it — a bench snapshot of diverging backends would gate on garbage.
+
+    ``spill_budget_bytes`` records the spilled scale tier instead: every
+    run executes inside a fresh ephemeral spill session under that
+    memory budget, so the snapshot prices the out-of-core path (chunk
+    encode/fsync on the way down, validated reads on the way back).
+    Phase structure and outputs are identical to in-RAM by construction,
+    so the same schema and gate apply.
     """
     from repro.api import ALGORITHMS, make_join
     from repro.bench.runner import exec_bench_tuples
+    from repro.store import open_spill_session
 
     if repeats < 1:
         raise VerificationError("repeats must be >= 1")
     n = exec_bench_tuples() if n_tuples is None else int(n_tuples)
-    algorithms = sorted(ALGORITHMS) if algorithms is None else list(algorithms)
+    if algorithms is None:
+        if spill_budget_bytes is not None:
+            from repro.faults.plan import SPILL_ALGORITHM_NAMES
+            algorithms = list(SPILL_ALGORITHM_NAMES)
+        else:
+            algorithms = sorted(ALGORITHMS)
+    else:
+        algorithms = list(algorithms)
     join_input = ZipfWorkload(n, n, theta=theta, seed=seed).generate()
     if PARALLEL in backends:
         from repro.exec.parallel import worker_count
@@ -170,14 +189,22 @@ def record_bench(
         pool_size = 1
     record = BenchRecord(tag=tag, n_tuples=n, theta=theta, seed=seed,
                          repeats=repeats, backends=list(backends),
-                         worker_count=pool_size)
+                         worker_count=pool_size,
+                         spill_budget_bytes=spill_budget_bytes)
     for algo in algorithms:
         walls: Dict[str, Dict[str, List[float]]] = {}
         reference = None
         for backend in backends:
             with use_backend(backend):
                 for _ in range(repeats):
-                    result = make_join(algo).run(join_input)
+                    if spill_budget_bytes is not None:
+                        with open_spill_session(
+                                budget_bytes=spill_budget_bytes,
+                                chunk_bytes=max(spill_budget_bytes // 2,
+                                                4096)):
+                            result = make_join(algo).run(join_input)
+                    else:
+                        result = make_join(algo).run(join_input)
                     for phase in result.phases:
                         walls.setdefault(phase.name, {}).setdefault(
                             backend, []).append(phase.wall_seconds)
@@ -220,6 +247,7 @@ def bench_to_dict(record: BenchRecord) -> Dict:
         "repeats": record.repeats,
         "backends": list(record.backends),
         "worker_count": record.worker_count,
+        "spill_budget_bytes": record.spill_budget_bytes,
         "cases": [
             {
                 "algorithm": c.algorithm,
@@ -260,6 +288,9 @@ def bench_from_dict(data: Dict, source: str = "<dict>") -> BenchRecord:
             repeats=int(data["repeats"]),
             backends=list(data["backends"]),
             worker_count=int(data["worker_count"]),
+            spill_budget_bytes=(
+                int(data["spill_budget_bytes"])
+                if data.get("spill_budget_bytes") is not None else None),
             cases=[
                 CaseBench(
                     algorithm=c["algorithm"],

@@ -3,11 +3,18 @@
 Commands:
 
 * ``run``    — join one generated workload with one or all algorithms.
+  ``--spill-dir`` / ``--memory-budget`` engage the crash-safe
+  out-of-core spill plane (bit-identical to the in-RAM path);
+  ``--resume DIR`` finishes an interrupted spilled run from its
+  durable manifest + checkpoint ledger.
 * ``sweep``  — Figure-4-style zipf sweep.
 * ``bench``  — regenerate one of the paper's tables/figures, or record /
   compare executed wall-time snapshots (the CI regression gate).
 * ``diff``   — backend differential (scalar vs vector vs parallel)
   across the full algorithm x dataset grid (exit 1 on any divergence).
+  ``--spill`` runs the spill column instead: every backend re-joins
+  each dataset under a forced memory budget and must match the in-RAM
+  reference exactly.
 * ``trace``  — per-phase breakdown traces: run-and-render, export to
   JSONL, re-render saved artifacts, and consistency-check phase sums.
 * ``chaos``  — seeded fault-injection sweep: every fault class against
@@ -17,6 +24,12 @@ Commands:
   circuit-opening build failures, mid-stream disconnects), asserting
   every request ends bit-identical or with a typed error and the
   daemon's post-sweep health is green — the serve-chaos CI job.
+  ``--spill`` points the storm at the out-of-core plane instead:
+  seeded disk faults (torn writes, ENOSPC, corrupt chunks, slow IO),
+  ladder exhaustion, and a SIGKILL-and-resume sweep, asserting every
+  scenario ends bit-identical after recovery/resume or with a typed
+  error — the spill-chaos CI job.  All chaos modes exit nonzero when
+  any scenario breaks its contract.
 * ``serve``  — join-as-a-service daemon: NDJSON protocol over a local
   socket, hot LRU cache of built hash tables, admission control,
   streamed probe chunks, per-request deadlines, a circuit-breaking
@@ -40,6 +53,11 @@ Examples::
     python -m repro trace --load traces.jsonl --check
     python -m repro chaos --seed 42 --tuples 8192 --theta 1.0
     python -m repro chaos --serve --seed 7 --clients 4 --requests 20
+    python -m repro run --tuples 262144 --memory-budget 1048576 \
+        --spill-dir /tmp/spill --algorithm cbase
+    python -m repro run --resume /tmp/spill
+    python -m repro diff --spill --tuples 2048
+    python -m repro chaos --spill --seed 42 --artifact-dir chaos-art
     python -m repro serve --port 7654 --trace-out serve-trace.jsonl
     python -m repro serve --smoke --trace-out smoke-trace.jsonl
     python -m repro diff --served --tuples 2048
@@ -80,10 +98,15 @@ from repro.errors import BaselineError, ReproError
 from repro.exec.backend import (
     BACKENDS,
     BACKEND_ENV,
+    current_backend,
     use_backend,
     validate_backend,
 )
-from repro.exec.differential import differential_matrix, render_differential
+from repro.exec.differential import (
+    differential_matrix,
+    render_differential,
+    spill_differential,
+)
 from repro.exec.report import comparison_report, result_report
 from repro.exec.serialize import append_results_jsonl, results_from_jsonl_file
 from repro.faults.chaos import run_chaos
@@ -102,6 +125,14 @@ from repro.serve.engine import ServeEngine
 from repro.serve.protocol import PROTOCOL_VERSION
 from repro.serve.server import DEFAULT_DRAIN_SECONDS, DEFAULT_HOST, ServeServer
 from repro.serve.smoke import run_smoke
+from repro.store import (
+    MEMORY_BUDGET_ENV,
+    SPILL_DIR_ENV,
+    open_spill_session,
+    resume_run,
+    write_run_state,
+)
+from repro.store.chaos import run_spill_chaos
 
 BENCH_COMMANDS = {
     "fig1": run_figure1,
@@ -142,6 +173,25 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--backend", choices=BACKENDS,
                        help="execution backend for this run (default: "
                             f"${BACKEND_ENV}, else vector)")
+    run_p.add_argument("--memory-budget", type=int, metavar="BYTES",
+                       help="resident-bytes budget for the partitioned "
+                            "join inputs; partitions beyond it spill to "
+                            "the durable chunk store (default: "
+                            f"${MEMORY_BUDGET_ENV}, else no spilling)")
+    run_p.add_argument("--spill-dir", metavar="DIR",
+                       help="directory for spilled chunks, the manifest, "
+                            "and the checkpoint ledger (default: "
+                            f"${SPILL_DIR_ENV}, else an ephemeral temp "
+                            "dir); a named dir makes the run resumable")
+    run_p.add_argument("--spill-strict", action="store_true",
+                       help="treat the memory budget as hard: an "
+                            "unwritable chunk is a typed SpillError "
+                            "instead of degrading back to RAM")
+    run_p.add_argument("--resume", metavar="DIR",
+                       help="finish the interrupted spilled run recorded "
+                            "in DIR (revalidates chunks, discards torn "
+                            "ledger tails, re-runs only unfinished "
+                            "partition pairs)")
 
     sweep_p = sub.add_parser("sweep", help="zipf sweep across algorithms")
     sweep_p.add_argument("--tuples", "-n", type=int, default=1 << 16)
@@ -177,6 +227,12 @@ def build_parser() -> argparse.ArgumentParser:
                          default=DEFAULT_REGRESSION_THRESHOLD,
                          help="fractional wall-time regression that fails "
                               "--compare (default 0.25)")
+    bench_p.add_argument("--spill", action="store_true",
+                         help="with --record: capture the spilled scale "
+                              "tier — every run executes under a forced "
+                              "memory budget through the on-disk chunk "
+                              "store (--compare inherits the baseline's "
+                              "spill settings automatically)")
     bench_p.add_argument("--save-candidate", metavar="FILE",
                          help="also write the --compare candidate snapshot "
                               "to FILE (the CI artifact)")
@@ -201,6 +257,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "cached, morsel-streamed serve answers "
                              "against direct pipeline runs (plus the "
                              "cold/warm structural contract)")
+    diff_p.add_argument("--spill", action="store_true",
+                        help="run the spill column instead: every "
+                             "backend re-joins each dataset under a "
+                             "forced memory budget and must match the "
+                             "in-RAM reference bit for bit")
 
     trace_p = sub.add_parser(
         "trace", help="render per-phase breakdown traces")
@@ -251,6 +312,16 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument("--health-out", metavar="FILE",
                          help="with --serve: write the post-storm health "
                               "payload and check ledger to a JSON artifact")
+    chaos_p.add_argument("--spill", action="store_true",
+                         help="run the disk-fault + SIGKILL/resume sweep "
+                              "against the out-of-core spill plane "
+                              "instead (exit 0 = every scenario ends "
+                              "bit-identical after recovery/resume or "
+                              "with a typed error)")
+    chaos_p.add_argument("--artifact-dir", metavar="DIR",
+                         help="with --spill: copy each sweep's manifest, "
+                              "checkpoint ledger, and the check ledger "
+                              "JSON into DIR (the CI artifact)")
 
     serve_p = sub.add_parser(
         "serve", help="run the join-as-a-service daemon")
@@ -308,6 +379,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args) -> int:
+    if args.resume:
+        # The run state pins the backend and workload; CLI workload
+        # flags are ignored on resume by design.
+        result = resume_run(args.resume)
+        print(result_report(result, counters=args.counters))
+        return 0
     if args.backend:
         with use_backend(args.backend):
             args.backend = None
@@ -333,11 +410,37 @@ def _cmd_run(args) -> int:
         save_join_input(join_input, args.save)
         print(f"workload saved to {args.save}")
     if args.all:
+        if args.spill_dir or args.memory_budget is not None \
+                or args.spill_strict:
+            print("error: --all cannot be combined with the spill "
+                  "options; spill one algorithm at a time",
+                  file=sys.stderr)
+            return 2
         results = run_all(join_input)
         verify_all(results.values(), join_input)
         print(comparison_report(list(results.values()), baseline="cbase"))
     else:
-        result = make_join(args.algorithm).run(join_input)
+        with open_spill_session(
+                args.spill_dir, args.memory_budget,
+                strict=True if args.spill_strict else None) as session:
+            if session is not None:
+                # Durable run recipe first, so a crash at ANY later
+                # point leaves a resumable directory behind.
+                workload_state = (
+                    {"kind": "file", "path": args.load} if args.load
+                    else {"kind": "zipf", "n_r": args.tuples,
+                          "n_s": args.tuples, "theta": args.theta,
+                          "seed": args.seed})
+                write_run_state(session.directory, {
+                    "algorithm": args.algorithm,
+                    "backend": current_backend(),
+                    "budget_bytes": session.budget_bytes,
+                    "strict": session.strict,
+                    "chunk_bytes": session.chunk_bytes,
+                    "codec": session.store.codec,
+                    "workload": workload_state,
+                })
+            result = make_join(args.algorithm).run(join_input)
         print(result_report(result, counters=args.counters))
     return 0
 
@@ -370,11 +473,20 @@ def _cmd_bench(args) -> int:
               file=sys.stderr)
         return 2
     if args.record:
-        record = record_bench(args.tag, repeats=args.repeats)
+        spill_budget = None
+        if args.spill:
+            from repro.bench.runner import exec_bench_tuples
+            n = exec_bench_tuples()
+            spill_budget = max(12 * 2 * n // 4, 1)
+        record = record_bench(args.tag, repeats=args.repeats,
+                              spill_budget_bytes=spill_budget)
         path = save_bench(record, bench_path(args.tag, args.dir))
         speedup = record.median_speedup()
         extra = (f", median vector speedup {speedup:.1f}x"
                  if speedup is not None else "")
+        if record.spill_budget_bytes is not None:
+            extra += (f", spilled tier under a "
+                      f"{record.spill_budget_bytes}-byte budget")
         print(f"bench snapshot written to {path} "
               f"({record.n_tuples} tuples, {record.repeats} repeats{extra})")
         return 0
@@ -388,6 +500,8 @@ def _cmd_bench(args) -> int:
             "candidate", n_tuples=baseline.n_tuples, theta=baseline.theta,
             seed=baseline.seed, repeats=args.repeats,
             backends=baseline.backends,
+            algorithms=[c.algorithm for c in baseline.cases],
+            spill_budget_bytes=baseline.spill_budget_bytes,
         )
         if args.save_candidate:
             save_bench(candidate, args.save_candidate)
@@ -415,6 +529,10 @@ def _cmd_bench(args) -> int:
 def _cmd_diff(args) -> int:
     algorithms = ([a.strip() for a in args.algorithms.split(",") if a.strip()]
                   or None)
+    if args.served and args.spill:
+        print("error: --served and --spill are mutually exclusive",
+              file=sys.stderr)
+        return 2
     if args.served:
         reports = served_differential(n=args.tuples, seed=args.seed,
                                       algorithms=algorithms)
@@ -424,6 +542,12 @@ def _cmd_diff(args) -> int:
     if backends:
         for backend in backends:
             validate_backend(backend)
+    if args.spill:
+        reports = spill_differential(n=args.tuples, seed=args.seed,
+                                     algorithms=algorithms,
+                                     backends=tuple(backends) or BACKENDS)
+        print(render_differential(reports))
+        return 0 if all(r.ok for r in reports) else 1
     reports = differential_matrix(n=args.tuples, seed=args.seed,
                                   algorithms=algorithms,
                                   backends=tuple(backends) or BACKENDS)
@@ -481,6 +605,14 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
+    if args.serve and args.spill:
+        print("error: --serve and --spill are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.spill:
+        return run_spill_chaos(n=args.tuples, theta=args.theta,
+                               seed=args.seed,
+                               artifact_dir=args.artifact_dir)
     if args.serve:
         return run_serve_chaos(n=args.tuples, theta=args.theta,
                                seed=args.seed, clients=args.clients,

@@ -30,6 +30,7 @@ from repro.faults.plan import CAPACITY_OVERFLOW
 from repro.faults.report import FailureReport, current_phase_name
 from repro.faults.scope import current_fault_scope, fault_scope
 from repro.obs.trace import Tracer, activate
+from repro.store.spill import current_spill_session
 from repro.types import SeedLike
 
 
@@ -145,9 +146,25 @@ class CSHJoin:
                 part_r.normal.sizes()
             )
 
+            # Out-of-core gate on the NM-join inputs (the skewed side is
+            # joined on the fly during partitioning and never spills).
+            # Zero simulated seconds, and the span stays out of
+            # result.phases so the spilled run keeps the in-RAM phase
+            # structure exactly.
+            norm_r, norm_s = part_r.normal, part_s.normal
+            spill = current_spill_session()
+            if spill is not None:
+                with tracer.span("spill", algo=self.name) as span:
+                    norm_r, norm_s = spill.spill_pair(norm_r, norm_s,
+                                                      label="nm-join")
+                    span.finish(
+                        simulated_seconds=0.0,
+                        spilled_partitions=spill.spilled_partitions,
+                    )
+
             with tracer.span("nm-join", algo=self.name) as span:
                 phase = join_partition_pairs(
-                    part_r.normal, part_s.normal, self.pool,
+                    norm_r, norm_s, self.pool,
                     output_capacity=cfg.output_capacity,
                 )
                 span.finish(
@@ -165,6 +182,8 @@ class CSHJoin:
         result.output_checksum = (
             part_s.summary.checksum + phase.summary.checksum
         ) & ((1 << 64) - 1)
+        if spill is not None:
+            spill.annotate(result)
         metrics.counter("join.output_tuples").inc(result.output_count)
         result.faults = faults.reports
         result.trace = tracer.record()

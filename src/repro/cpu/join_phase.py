@@ -28,7 +28,9 @@ from repro.exec.output import (
     combine_summaries,
 )
 from repro.faults.recovery import run_task_with_recovery
+from repro.faults.report import current_phase_name
 from repro.faults.scope import current_fault_scope
+from repro.store.spill import current_spill_session
 
 
 @dataclass
@@ -86,12 +88,22 @@ def join_partition_pairs(
         s_sizes = part_s.sizes()
         pairs = np.flatnonzero((r_sizes > 0) & (s_sizes > 0))
     scope = current_fault_scope()
+    session = current_spill_session()
+    phase_label = current_phase_name()
     buffers = [JoinOutputBuffer(output_capacity) for _ in range(pool.n_threads)]
     task_counters: List[OpCounters] = []
     extra_seconds: List[float] = []
     success_counters: List[OpCounters] = []
     task_summaries: List[OutputSummary] = []
     for i, p in enumerate(pairs):
+        if session is not None:
+            # Resume path: a pair already in the checkpoint ledger folds
+            # its durable (count, checksum) straight into the summary —
+            # order independence makes the skip exact in any order.
+            done = session.pair_done(phase_label, int(p))
+            if done is not None:
+                task_summaries.append(done)
+                continue
         buffer = buffers[i % len(buffers)]
 
         def run(counters: OpCounters, attempt: int, p=int(p), buffer=buffer):
@@ -109,6 +121,10 @@ def join_partition_pairs(
         extra_seconds.append(extra)
         success_counters.append(outcome.counters)
         task_summaries.append(outcome.value)
+        if session is not None:
+            # Fsync'd checkpoint: after this returns, a crash can no
+            # longer lose the pair — resume will skip it.
+            session.record_pair(phase_label, int(p), outcome.value)
     schedule = pool.queue_phase_seconds(task_counters, extra_seconds)
     summary = combine_summaries(task_summaries)
     return JoinPhaseResult(

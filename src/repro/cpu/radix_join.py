@@ -39,6 +39,7 @@ from repro.exec.output import DEFAULT_CAPACITY
 from repro.exec.result import JoinResult
 from repro.faults.scope import fault_scope
 from repro.obs.trace import Tracer, activate
+from repro.store.spill import current_spill_session
 
 
 @dataclass(frozen=True)
@@ -114,6 +115,22 @@ class CbaseJoin:
                 int(details.get("split_partitions", 0))
             )
 
+            # Out-of-core gate: with an ambient spill session, oversized
+            # partition pairs move to the durable chunk store before the
+            # join phase streams them back.  The spill span charges zero
+            # simulated seconds and is deliberately NOT appended to
+            # result.phases, so a spilled run keeps the exact phase
+            # structure (and trace balance) of the in-RAM run.
+            spill = current_spill_session()
+            if spill is not None:
+                with tracer.span("spill", algo=self.name) as span:
+                    part_r, part_s = spill.spill_pair(part_r, part_s,
+                                                      label="join")
+                    span.finish(
+                        simulated_seconds=0.0,
+                        spilled_partitions=spill.spilled_partitions,
+                    )
+
             with tracer.span("join", algo=self.name) as span:
                 phase = join_partition_pairs(
                     part_r, part_s, self.pool,
@@ -133,6 +150,8 @@ class CbaseJoin:
         result.output_count = phase.summary.count
         result.output_checksum = phase.summary.checksum
         result.meta["join_tasks"] = phase.task_count
+        if spill is not None:
+            spill.annotate(result)
         metrics.counter("join.output_tuples").inc(result.output_count)
         result.faults = faults.reports
         result.trace = tracer.record()

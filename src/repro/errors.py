@@ -152,6 +152,23 @@ class WorkerPoolExhausted(ExecutionError):
     """
 
 
+class SpillError(ReproError):
+    """The out-of-core spill plane failed durably.
+
+    Raised when the chunk store exhausts its recovery ladder (retry →
+    re-spill to a fresh chunk → degrade to in-RAM) on a write, or when a
+    spilled chunk fails checksum validation on every read attempt.  Like
+    :class:`UnrecoveredFaultError`, carries the episode's
+    :class:`~repro.faults.report.FailureReport` in :attr:`report` so the
+    chaos harness and resume driver never parse messages.
+    """
+
+    def __init__(self, message: str = "", report: Optional[object] = None,
+                 **context):
+        super().__init__(message, **context)
+        self.report = report
+
+
 class UnrecoveredFaultError(ReproError):
     """A fault exhausted its recovery budget.
 

@@ -24,8 +24,17 @@ from repro.data.zipf import ZipfWorkload
 from repro.exec.backend import BACKENDS, use_backend
 from repro.exec.result import JoinResult
 
-#: Meta keys allowed to differ between backends (the backend tag itself).
-_BACKEND_ONLY_META = frozenset({"backend"})
+#: Meta keys allowed to differ between backends (the backend tag itself)
+#: and between spilled and in-RAM runs (how a run met its memory budget
+#: is environment, not answer — the join output must still be identical).
+_BACKEND_ONLY_META = frozenset({
+    "backend",
+    "spilled_partitions",
+    "spill_chunks",
+    "spill_degraded",
+    "resumed_pairs",
+    "spill_invalid_chunks",
+})
 
 #: Relative tolerance for simulated seconds (float summation order may
 #: differ across backends in principle; in practice both run the same
@@ -184,6 +193,64 @@ def differential_matrix(
             reports.append(run_differential(
                 lambda a=algo, ji=join_input: make_join(a).run(ji),
                 algorithm=algo, dataset=ds_name, backends=backends,
+            ))
+    return reports
+
+
+def spill_differential(
+    n: int = 2048,
+    seed: int = 42,
+    algorithms: Optional[Iterable[str]] = None,
+    datasets: Optional[Dict[str, JoinInput]] = None,
+    backends: Sequence[str] = BACKENDS,
+) -> List[DifferentialReport]:
+    """The spill column of the differential grid.
+
+    For each dataset and spill-capable algorithm, runs an in-RAM
+    reference and then, on every backend, the same join under a memory
+    budget tight enough to force partitions through the on-disk chunk
+    store (a fresh ephemeral spill session per run).  Every spilled run
+    must be observationally identical to the in-RAM reference — phase
+    structure, counters, simulated seconds, output — and must actually
+    have spilled (a gate that silently stayed in RAM fails the report).
+    """
+    from repro.api import make_join
+    from repro.faults.plan import SPILL_ALGORITHM_NAMES
+    from repro.store import open_spill_session
+
+    algorithms = (list(SPILL_ALGORITHM_NAMES) if algorithms is None
+                  else list(algorithms))
+    datasets = default_datasets(n, seed) if datasets is None else datasets
+    reports = []
+    for ds_name, join_input in datasets.items():
+        total_bytes = 12 * (len(join_input.r) + len(join_input.s))
+        budget = max(total_bytes // 4, 1)
+        for algo in algorithms:
+            with use_backend(backends[0]):
+                reference = make_join(algo).run(join_input)
+            mismatches: List[str] = []
+            for backend in backends:
+                with use_backend(backend):
+                    with open_spill_session(
+                            budget_bytes=budget,
+                            chunk_bytes=max(budget // 2, 4096)):
+                        spilled = make_join(algo).run(join_input)
+                for issue in compare_results(reference, spilled):
+                    mismatches.append(f"[in-RAM vs {backend}+spill] {issue}")
+                # CSH diverts skewed tuples to the on-the-fly join; only
+                # the normal partitions can spill, so a workload whose
+                # tuples are all skewed legitimately never engages.
+                normal_r = int(len(join_input.r)) - int(
+                    reference.meta.get("skewed_r_tuples", 0))
+                if normal_r > 0 and not spilled.meta.get(
+                        "spilled_partitions"):
+                    mismatches.append(
+                        f"[{backend}] spill did not engage under a "
+                        f"{budget}-byte budget")
+            reports.append(DifferentialReport(
+                algorithm=algo, dataset=f"{ds_name}+spill",
+                backends=tuple(backends), mismatches=mismatches,
+                output_count=reference.output_count,
             ))
     return reports
 

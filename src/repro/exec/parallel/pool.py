@@ -365,15 +365,23 @@ class WorkerPool:
         kill -> join.  The final ``kill()`` is what guarantees repeated
         pool cycling (tests, ``REPRO_WORKERS`` changes) cannot leak
         processes or their queue semaphores.
+
+        Safe on a pool that never started: a partially-constructed
+        instance (``__init__`` raised, or a test built one via
+        ``__new__``) has no processes and possibly no attributes at all,
+        and a second call after a completed shutdown finds everything
+        already cleared — both are no-ops, never ``AttributeError``.
         """
-        if not self._procs:
-            return
-        for _ in self._procs:
-            try:
-                self._tasks.put(None)
-            except Exception:  # pragma: no cover - queue already torn down
-                break
-        for proc in self._procs:
+        procs = getattr(self, "_procs", None) or []
+        tasks = getattr(self, "_tasks", None)
+        results = getattr(self, "_results", None)
+        if procs and tasks is not None:
+            for _ in procs:
+                try:
+                    tasks.put(None)
+                except Exception:  # pragma: no cover - queue torn down
+                    break
+        for proc in procs:
             proc.join(timeout=2.0)
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.terminate()
@@ -381,8 +389,11 @@ class WorkerPool:
             if proc.is_alive():  # pragma: no cover - unkillable via TERM
                 proc.kill()
                 proc.join(timeout=1.0)
-        self._drain_stale_results()
-        for q in (self._tasks, self._results):
+        if procs and results is not None:
+            self._drain_stale_results()
+        for q in (tasks, results):
+            if q is None:
+                continue
             try:
                 q.close()
                 q.join_thread()

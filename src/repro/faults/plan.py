@@ -21,6 +21,8 @@ Injection points:
 ``detect``  CSH's sampling skew detector (counter overflow, regrow)
 ``split``   GSH's skew-split phase (overflow, Gbase-style fallback)
 ``artifact`` a JSONL artifact append (torn write, truncated line)
+``store-write`` one chunk-store write (torn write, ENOSPC)
+``store-read``  one chunk-store read (corrupt chunk, slow I/O)
 ========== ==========================================================
 """
 
@@ -38,16 +40,37 @@ KERNEL_OOM = "kernel-oom"
 CAPACITY_OVERFLOW = "capacity-overflow"
 ARTIFACT_CORRUPTION = "artifact-corruption"
 SLOW = "slow"
+TORN_WRITE = "torn-write"
+ENOSPC = "enospc"
+CORRUPT_CHUNK = "corrupt-chunk"
+IO_SLOW = "io-slow"
+
+#: Disk fault classes injected at the chunk-store boundary (the spill
+#: plane).  Excluded from :func:`kinds_for` like ``slow``: their points
+#: only exist when a run actually spills, so the generic pipeline sweep
+#: would record no injection for them; ``repro chaos --spill`` and
+#: :func:`seeded_spill_plan` own them instead.
+DISK_FAULT_KINDS = (TORN_WRITE, ENOSPC, CORRUPT_CHUNK, IO_SLOW)
 
 FAULT_KINDS = (WORKER_CRASH, KERNEL_ABORT, KERNEL_OOM, CAPACITY_OVERFLOW,
-               ARTIFACT_CORRUPTION, SLOW)
+               ARTIFACT_CORRUPTION, SLOW) + DISK_FAULT_KINDS
+
+#: Injection point probed before every chunk-store write / after every
+#: chunk-store read.  Two separate points so a write-class spec (torn
+#: write, ENOSPC) can never be consumed by a read hit and vice versa —
+#: :meth:`FaultSpec.matches` only checks point + hit number.
+STORE_WRITE_POINT = "store-write"
+STORE_READ_POINT = "store-read"
 
 INJECTION_POINTS = ("task", "kernel", "phase", "capacity", "detect", "split",
-                    "artifact", "slow")
+                    "artifact", "slow", STORE_WRITE_POINT, STORE_READ_POINT)
 
 #: Simulated seconds a ``slow`` spec delays its morsel when the spec
 #: does not say otherwise.
 DEFAULT_SLOW_SECONDS = 0.05
+
+#: Simulated seconds an ``io-slow`` spec charges to one chunk read.
+DEFAULT_IO_SLOW_SECONDS = 0.02
 
 #: Algorithms whose kernels run on the GPU simulator.
 GPU_ALGORITHM_NAMES = ("gbase", "gsh")
@@ -101,7 +124,8 @@ class FaultSpec:
         """Compact human-readable form."""
         target = f"{self.algorithm}:" if self.algorithm else ""
         times = f"x{self.repeat}" if self.repeat > 1 else ""
-        delay = f"+{self.seconds:g}s" if self.kind == SLOW else ""
+        delay = (f"+{self.seconds:g}s" if self.kind in (SLOW, IO_SLOW)
+                 else "")
         return (f"{target}{self.kind}@{self.point}"
                 f"#{self.occurrence}{times}{delay}")
 
@@ -146,7 +170,7 @@ def spec_to_dict(spec: FaultSpec) -> Dict:
     }
     if spec.algorithm is not None:
         data["algorithm"] = spec.algorithm
-    if spec.kind == SLOW:
+    if spec.kind in (SLOW, IO_SLOW):
         data["seconds"] = spec.seconds
     return data
 
@@ -207,6 +231,10 @@ def injection_point(algorithm: str, kind: str) -> str:
         return "artifact"
     if kind == SLOW:
         return "slow"
+    if kind in (TORN_WRITE, ENOSPC):
+        return STORE_WRITE_POINT
+    if kind in (CORRUPT_CHUNK, IO_SLOW):
+        return STORE_READ_POINT
     raise ConfigError(f"unknown fault kind {kind!r}")
 
 
@@ -216,7 +244,9 @@ def kinds_for(algorithm: str) -> Tuple[str, ...]:
     ``slow`` is deliberately absent: its injection point only exists on
     the serve engine's morsel loop (deadline/cancellation testing), so a
     pipeline chaos sweep would record no injection for it and fail the
-    exact-recovery contract.
+    exact-recovery contract.  The :data:`DISK_FAULT_KINDS` are absent for
+    the same reason — their store points only exist when a run spills;
+    ``repro chaos --spill`` sweeps them via :func:`seeded_spill_plan`.
     """
     if algorithm in GPU_ALGORITHM_NAMES:
         return (WORKER_CRASH, KERNEL_ABORT, KERNEL_OOM, CAPACITY_OVERFLOW,
@@ -236,6 +266,10 @@ _MAX_OCCURRENCE: Dict[str, int] = {
     "split": 1,
     "artifact": 1,
     "slow": 1,
+    # A spilled chaos run writes and reads at least two chunks (the
+    # harness sizes the budget and chunk bytes to guarantee it).
+    STORE_WRITE_POINT: 2,
+    STORE_READ_POINT: 2,
 }
 
 
@@ -259,3 +293,34 @@ def seeded_plan(
                                    occurrence=occurrence,
                                    algorithm=algorithm))
     return FaultPlan(tuple(specs), name=f"seeded-{seed}")
+
+
+#: Pipelines that route partition pairs through the spill plane (the
+#: Balkesen-lineage CPU joins that partition before joining).
+SPILL_ALGORITHM_NAMES = ("cbase", "csh")
+
+
+def seeded_spill_plan(
+    seed: int,
+    algorithms: Sequence[str] = SPILL_ALGORITHM_NAMES,
+) -> FaultPlan:
+    """Deterministic disk-fault sweep: one spec per disk kind per
+    algorithm, occurrences drawn within the store points' safe ranges.
+
+    Every spec here uses ``repeat=1`` — a single fault the recovery
+    ladder must absorb exactly.  The chaos harness adds its own
+    ``repeat > max_retries`` specs for the ladder-exhaustion scenarios.
+    """
+    rng = random.Random(seed)
+    specs = []
+    for algorithm in algorithms:
+        for kind in DISK_FAULT_KINDS:
+            point = injection_point(algorithm, kind)
+            occurrence = rng.randint(1, _MAX_OCCURRENCE[point])
+            specs.append(FaultSpec(
+                kind=kind, point=point, occurrence=occurrence,
+                algorithm=algorithm,
+                seconds=(DEFAULT_IO_SLOW_SECONDS if kind == IO_SLOW
+                         else DEFAULT_SLOW_SECONDS),
+            ))
+    return FaultPlan(tuple(specs), name=f"seeded-spill-{seed}")

@@ -1,0 +1,46 @@
+"""Crash-safe out-of-core spill plane.
+
+``repro.store`` is the durable substrate under the out-of-core join
+path: a chunked on-disk column store with per-chunk checksums and an
+fsync'd manifest (:mod:`repro.store.chunks`), an append-only fsync'd
+checkpoint ledger with tolerant torn-tail loads
+(:mod:`repro.store.checkpoint`), the ``REPRO_MEMORY_BUDGET``-gated
+partition spiller and its ambient session
+(:mod:`repro.store.spill`), the ``repro run --resume`` driver
+(:mod:`repro.store.resume`), and the kill-and-resume chaos harness
+behind ``repro chaos --spill`` (:mod:`repro.store.chaos`).
+"""
+
+from repro.store.chunks import ChunkInfo, ChunkStore, resolve_codec
+from repro.store.checkpoint import CheckpointLedger
+from repro.store.spill import (
+    DEFAULT_CHUNK_BYTES,
+    MEMORY_BUDGET_ENV,
+    SPILL_CHUNK_BYTES_ENV,
+    SPILL_DIR_ENV,
+    SpilledPartitionedRelation,
+    SpillSession,
+    current_spill_session,
+    memory_budget_from_env,
+    open_spill_session,
+)
+from repro.store.resume import load_run_state, resume_run, write_run_state
+
+__all__ = [
+    "ChunkInfo",
+    "ChunkStore",
+    "CheckpointLedger",
+    "DEFAULT_CHUNK_BYTES",
+    "MEMORY_BUDGET_ENV",
+    "SPILL_CHUNK_BYTES_ENV",
+    "SPILL_DIR_ENV",
+    "SpillSession",
+    "SpilledPartitionedRelation",
+    "current_spill_session",
+    "load_run_state",
+    "memory_budget_from_env",
+    "open_spill_session",
+    "resolve_codec",
+    "resume_run",
+    "write_run_state",
+]

@@ -1,0 +1,150 @@
+"""Fsync'd append-only checkpoint ledger for resumable joins.
+
+One JSONL file per spill directory: a header line describing the run,
+then one line per *completed* partition pair ``{phase, p, count,
+checksum}``.  Every line carries its own CRC32 over the canonical
+payload and is flushed + fsynced before the driver moves on, so the
+ledger can be trusted after a SIGKILL: a crash mid-append leaves at most
+one torn trailing line, which the tolerant loader discards with a
+``RuntimeWarning`` (the pair simply re-runs on resume — re-running a
+completed pair is always safe because the join summary is
+order-independent and the resume path never double-folds).
+
+``REPRO_SPILL_KILL_AFTER`` is the chaos harness's kill switch: when set
+to ``k``, the process SIGKILLs itself immediately after the ``k``-th
+successfully fsynced pair append — the seeded crash points behind
+``repro chaos --spill``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import warnings
+import zlib
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.errors import SpillError
+
+LEDGER_NAME = "checkpoint.jsonl"
+LEDGER_VERSION = 1
+
+#: Chaos kill switch: SIGKILL the process after this many pair appends.
+KILL_AFTER_ENV = "REPRO_SPILL_KILL_AFTER"
+
+
+def _canonical(payload: Dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _line(payload: Dict) -> str:
+    body = _canonical(payload)
+    return _canonical({"crc": zlib.crc32(body.encode("utf-8")),
+                       "payload": payload}) + "\n"
+
+
+def _parse_line(raw: str) -> Optional[Dict]:
+    """Decode one ledger line; None when torn or integrity-damaged."""
+    try:
+        record = json.loads(raw)
+        payload = record["payload"]
+        crc = int(record["crc"])
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+        return None
+    if zlib.crc32(_canonical(payload).encode("utf-8")) != crc:
+        return None
+    return payload
+
+
+class CheckpointLedger:
+    """The append-only pair-completion log of one spill directory."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.appended = 0
+        raw = os.environ.get(KILL_AFTER_ENV, "")
+        try:
+            self._kill_after = int(raw) if raw else 0
+        except ValueError:
+            raise SpillError(
+                f"{KILL_AFTER_ENV} must be an integer, got {raw!r}") from None
+
+    # ------------------------------------------------------------ writes
+
+    def write_header(self, header: Dict) -> None:
+        """Start a fresh ledger (truncates) with one fsynced header line."""
+        payload = dict(header)
+        payload["type"] = "header"
+        payload["ledger_version"] = LEDGER_VERSION
+        self._append(_line(payload), mode="w")
+
+    def append_pair(self, phase: str, p: int, count: int,
+                    checksum: int) -> None:
+        """Durably record one completed partition pair."""
+        self._append(_line({"type": "pair", "phase": phase, "p": int(p),
+                            "count": int(count), "checksum": int(checksum)}))
+        self.appended += 1
+        if self._kill_after and self.appended >= self._kill_after:
+            os.kill(os.getpid(), signal.SIGKILL)  # chaos: die mid-run
+
+    def _append(self, line: str, mode: str = "a") -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, mode, encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    # ------------------------------------------------------------- loads
+
+    def load(self) -> Tuple[Dict, Dict[Tuple[str, int], Tuple[int, int]]]:
+        """Tolerantly read the ledger back.
+
+        Returns ``(header, completed)`` where ``completed`` maps
+        ``(phase, p)`` to the pair's ``(count, checksum)``.  The first
+        torn or CRC-damaged line ends the useful tail: it and anything
+        after it are discarded with a :class:`RuntimeWarning`, because a
+        line after a torn one cannot have been fsynced in order.
+        """
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            raise SpillError(
+                f"no checkpoint ledger at {self.path}; nothing to resume",
+                path=str(self.path)) from None
+        except OSError as exc:
+            raise SpillError(
+                f"checkpoint ledger {self.path} unreadable: {exc}",
+                path=str(self.path)) from exc
+        header: Optional[Dict] = None
+        completed: Dict[Tuple[str, int], Tuple[int, int]] = {}
+        lines = text.split("\n")
+        for index, raw in enumerate(lines):
+            if raw == "":
+                continue
+            torn_tail = index == len(lines) - 1  # no trailing newline
+            payload = None if torn_tail else _parse_line(raw)
+            if payload is None:
+                dropped = sum(1 for rest in lines[index:] if rest != "")
+                warnings.warn(
+                    f"checkpoint ledger {self.path} has a torn or "
+                    f"corrupted line at index {index}; discarding "
+                    f"{dropped} trailing line(s) (affected pairs will "
+                    "re-run)", RuntimeWarning, stacklevel=2)
+                break
+            if payload.get("type") == "header":
+                if payload.get("ledger_version") != LEDGER_VERSION:
+                    raise SpillError(
+                        f"checkpoint ledger {self.path} has version "
+                        f"{payload.get('ledger_version')!r}, this build "
+                        f"reads {LEDGER_VERSION}", path=str(self.path))
+                header = payload
+            elif payload.get("type") == "pair":
+                completed[(str(payload["phase"]), int(payload["p"]))] = (
+                    int(payload["count"]), int(payload["checksum"]))
+        if header is None:
+            raise SpillError(
+                f"checkpoint ledger {self.path} has no intact header",
+                path=str(self.path))
+        return header, completed

@@ -1,0 +1,472 @@
+"""Durable chunked column store: checksummed chunks + fsync'd manifest.
+
+One :class:`ChunkStore` owns a directory of chunk files.  Each chunk is
+one NumPy column (contiguous ``uint32``/``uint64`` data), written to a
+fresh temp file, fsynced, atomically renamed into place, and then
+*verified* by re-reading and checksumming — a torn write can therefore
+never be mistaken for a durable chunk.  The manifest (chunk names,
+dtypes, lengths, CRCs, codec) is JSON written via the same
+temp + fsync + ``os.replace`` dance, so a crash leaves either the old
+manifest or the new one, never a half-written file.
+
+Reads validate each chunk's CRC against the manifest before handing out
+an array; the raw codec returns a read-only ``np.memmap`` so spilled
+columns stay out of the Python heap.  An optional compressed codec is
+available: ``zlib`` (stdlib, always on) or ``zstd`` (gated on the
+``zstandard`` package being importable — a typed
+:class:`~repro.errors.ConfigError` otherwise, never an ImportError).
+
+The store boundary is a fault-injection surface: every write probes the
+``store-write`` point (``torn-write``, ``enospc``) and every read probes
+``store-read`` (``corrupt-chunk``, ``io-slow``), with a bounded-retry
+ladder matching the task engine's policy.  Write exhaustion raises the
+internal :class:`ChunkWriteExhausted` so the spill session can decide
+between degrading the chunk to RAM and a typed
+:class:`~repro.errors.SpillError`; read exhaustion is terminal and
+raises :class:`~repro.errors.SpillError` directly, carrying the
+episode's :class:`~repro.faults.report.FailureReport`.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigError, SpillError
+from repro.faults.plan import (
+    CORRUPT_CHUNK,
+    ENOSPC,
+    IO_SLOW,
+    STORE_READ_POINT,
+    STORE_WRITE_POINT,
+    TORN_WRITE,
+)
+from repro.faults.report import FailureReport, current_phase_name
+from repro.faults.scope import current_fault_scope
+from repro.obs.trace import current_tracer
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+#: Chunk codecs: raw memory-mappable bytes, stdlib zlib, optional zstd.
+CODECS = ("raw", "zlib", "zstd")
+CODEC_ENV = "REPRO_SPILL_CODEC"
+
+_CHUNK_SUFFIX = ".chunk"
+
+
+def resolve_codec(name: Optional[str] = None) -> str:
+    """Validate a codec name (default: ``$REPRO_SPILL_CODEC``, else raw).
+
+    ``zstd`` is only accepted when the ``zstandard`` package is
+    importable; environments without it get a typed ConfigError telling
+    them to use ``zlib`` instead of an ImportError at first write.
+    """
+    name = name or os.environ.get(CODEC_ENV, "") or "raw"
+    if name not in CODECS:
+        raise ConfigError(
+            f"unknown spill codec {name!r}; choose from {CODECS}",
+            codec=name)
+    if name == "zstd":
+        try:
+            import zstandard  # noqa: F401
+        except ImportError:
+            raise ConfigError(
+                "spill codec 'zstd' needs the optional zstandard package "
+                "(pinned in constraints.txt); use 'zlib' here instead",
+                codec=name) from None
+    return name
+
+
+def _encode(payload: bytes, codec: str) -> bytes:
+    if codec == "raw":
+        return payload
+    if codec == "zlib":
+        return zlib.compress(payload, 1)
+    import zstandard
+
+    return zstandard.ZstdCompressor().compress(payload)
+
+
+def _decode(data: bytes, codec: str) -> bytes:
+    if codec == "raw":
+        return data
+    if codec == "zlib":
+        return zlib.decompress(data)
+    import zstandard
+
+    return zstandard.ZstdDecompressor().decompress(data)
+
+
+@dataclass
+class ChunkInfo:
+    """Manifest entry for one durable chunk."""
+
+    name: str
+    dtype: str
+    length: int
+    crc32: int
+    stored_bytes: int
+
+    def to_dict(self) -> Dict:
+        return {"name": self.name, "dtype": self.dtype,
+                "length": self.length, "crc32": self.crc32,
+                "stored_bytes": self.stored_bytes}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ChunkInfo":
+        return cls(name=str(data["name"]), dtype=str(data["dtype"]),
+                   length=int(data["length"]), crc32=int(data["crc32"]),
+                   stored_bytes=int(data["stored_bytes"]))
+
+
+class ChunkWriteExhausted(Exception):
+    """Internal: one chunk's write ladder ran out of retries.
+
+    Carries the episode state so the spill session can either degrade
+    the chunk to RAM (recording a recovered report) or escalate to a
+    typed :class:`~repro.errors.SpillError` (recording an unrecovered
+    one).  Never escapes the store/spill plane.
+    """
+
+    def __init__(self, name: str, kind: str, retries: int,
+                 backoff_seconds: float, injected: bool, error: str):
+        super().__init__(error)
+        self.name = name
+        self.kind = kind
+        self.retries = retries
+        self.backoff_seconds = backoff_seconds
+        self.injected = injected
+        self.error = error
+
+
+def _bump(metric: str, value: float = 1.0) -> None:
+    current_tracer().metrics.counter(metric).inc(value)
+
+
+class ChunkStore:
+    """A directory of checksummed column chunks plus their manifest."""
+
+    def __init__(self, directory: Union[str, Path],
+                 codec: Optional[str] = None, load: bool = False):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.codec = resolve_codec(codec)
+        self.chunks: Dict[str, ChunkInfo] = {}
+        if load:
+            self.load_manifest()
+
+    # ------------------------------------------------------------- paths
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    def chunk_path(self, name: str) -> Path:
+        return self.directory / f"{name}{_CHUNK_SUFFIX}"
+
+    # ------------------------------------------------------------- write
+
+    def write_array(self, name: str, array: np.ndarray) -> ChunkInfo:
+        """Durably persist one column; returns its manifest entry.
+
+        Recovery ladder rung 1 and 2 live here: a failed or torn write
+        is retried up to the ambient policy's ``max_retries``, each
+        attempt re-spilling through a *fresh* temp file (attempt-tagged,
+        so a poisoned temp never lingers into the next try).  Success
+        after retries records one recovered ``FailureReport``; running
+        out raises :class:`ChunkWriteExhausted` for the session's
+        degrade-or-raise decision.
+
+        A matching, validated chunk already in the manifest (same name,
+        same CRC) is reused without rewriting — the resume path's
+        "revalidate and keep" optimization.
+        """
+        scope = current_fault_scope()
+        policy = scope.policy
+        arr = np.ascontiguousarray(array)
+        payload = arr.tobytes()
+        encoded = _encode(payload, self.codec)
+        crc = zlib.crc32(encoded)
+        info = ChunkInfo(name=name, dtype=str(arr.dtype), length=int(arr.size),
+                         crc32=crc, stored_bytes=len(encoded))
+        existing = self.chunks.get(name)
+        if (existing is not None and existing.crc32 == crc
+                and existing.length == info.length
+                and self.validate_chunk(name)):
+            _bump("store.chunks_reused")
+            return existing
+        retries = 0
+        backoff = 0.0
+        injected = False
+        kind = TORN_WRITE
+        errors = []
+        path = self.chunk_path(name)
+        while True:
+            spec = scope.fire(STORE_WRITE_POINT, chunk=name)
+            error = None
+            if spec is not None and spec.kind == ENOSPC:
+                injected = True
+                kind = ENOSPC
+                error = f"injected ENOSPC before chunk write ({spec.label()})"
+            else:
+                data = encoded
+                if spec is not None and spec.kind == TORN_WRITE:
+                    injected = True
+                    kind = TORN_WRITE
+                    data = encoded[: max(len(encoded) // 2, 1)]
+                try:
+                    self._write_file(path, data, attempt=retries)
+                    if zlib.crc32(path.read_bytes()) != crc:
+                        error = (f"chunk {name} failed write verification "
+                                 "(torn write)")
+                except OSError as exc:
+                    kind = (ENOSPC if getattr(exc, "errno", None)
+                            == errno.ENOSPC else TORN_WRITE)
+                    error = f"{type(exc).__name__}: {exc}"
+            if error is None:
+                break
+            retries += 1
+            errors.append(error)
+            backoff += policy.backoff_seconds(retries)
+            _bump("store.write_retries")
+            if retries > policy.max_retries:
+                raise ChunkWriteExhausted(
+                    name=name, kind=kind, retries=retries,
+                    backoff_seconds=backoff, injected=injected,
+                    error=errors[-1])
+        if retries:
+            scope.record(FailureReport(
+                kind=kind, point=STORE_WRITE_POINT,
+                algorithm=scope.algorithm, phase=current_phase_name(),
+                action="re-spill", recovered=True, injected=injected,
+                retries=retries, backoff_seconds=backoff,
+                error=errors[-1], context={"chunk": name}))
+        self.chunks[name] = info
+        _bump("store.chunks_written")
+        _bump("store.bytes_spilled", float(len(encoded)))
+        return info
+
+    def _write_file(self, path: Path, data: bytes, attempt: int = 0) -> None:
+        """One write attempt: fresh temp file, fsync, atomic rename."""
+        tmp = path.with_suffix(f".tmp{attempt}")
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+
+    # -------------------------------------------------------------- read
+
+    def read_array(self, name: str) -> np.ndarray:
+        """Load one validated column (read-only).
+
+        The raw codec memory-maps the chunk file; compressed codecs
+        decode into a read-only buffer.  Every read validates the CRC
+        against the manifest; mismatches (injected or on-disk rot) are
+        retried up to the policy budget and then surface as a typed
+        :class:`~repro.errors.SpillError` carrying the unrecovered
+        report — never a silently wrong array.
+        """
+        scope = current_fault_scope()
+        policy = scope.policy
+        try:
+            info = self.chunks[name]
+        except KeyError:
+            raise SpillError(f"unknown chunk {name!r} (not in manifest)",
+                             chunk=name) from None
+        path = self.chunk_path(name)
+        retries = 0
+        backoff = 0.0
+        injected = False
+        errors = []
+        while True:
+            spec = scope.fire(STORE_READ_POINT, chunk=name)
+            if spec is not None and spec.kind == IO_SLOW:
+                injected = True
+                self._charge_io_slow(spec, name, scope)
+                spec = None
+            error = None
+            view = None
+            try:
+                if self.codec == "raw":
+                    view = np.memmap(path, dtype=np.dtype(info.dtype),
+                                     mode="r")
+                    data = memoryview(view).cast("B")
+                else:
+                    data = path.read_bytes()
+            except (OSError, ValueError) as exc:
+                error = f"{type(exc).__name__}: {exc}"
+            if error is None:
+                if spec is not None and spec.kind == CORRUPT_CHUNK:
+                    # Injected corruption is simulated on the loaded
+                    # copy (the file stays intact), so a bounded re-read
+                    # can actually succeed once the spec stops firing —
+                    # real on-disk rot keeps failing and exhausts below.
+                    injected = True
+                    data = bytearray(data)
+                    data[0] ^= 0xFF
+                if len(data) != info.stored_bytes:
+                    error = (f"chunk {name} is {len(data)} bytes, manifest "
+                             f"says {info.stored_bytes} (torn write)")
+                elif zlib.crc32(data) != info.crc32:
+                    error = f"chunk {name} failed CRC validation"
+            _bump("store.read_validations")
+            if error is None:
+                break
+            retries += 1
+            errors.append(error)
+            backoff += policy.backoff_seconds(retries)
+            _bump("store.read_retries")
+            if retries > policy.max_retries:
+                report = scope.record(FailureReport(
+                    kind=CORRUPT_CHUNK, point=STORE_READ_POINT,
+                    algorithm=scope.algorithm, phase=current_phase_name(),
+                    action="abort", recovered=False, injected=injected,
+                    retries=retries, backoff_seconds=backoff,
+                    error=errors[-1], context={"chunk": name}))
+                raise SpillError(
+                    f"chunk {name} unreadable after {policy.max_retries} "
+                    f"retries: {errors[-1]}", report=report, chunk=name)
+        if retries:
+            scope.record(FailureReport(
+                kind=CORRUPT_CHUNK, point=STORE_READ_POINT,
+                algorithm=scope.algorithm, phase=current_phase_name(),
+                action="re-read", recovered=True, injected=injected,
+                retries=retries, backoff_seconds=backoff,
+                error=errors[-1], context={"chunk": name}))
+        if self.codec == "raw":
+            if isinstance(data, bytearray):
+                # The validated copy diverged from the mapping (injected
+                # corruption path retried into success) — decode the copy.
+                arr = np.frombuffer(bytes(data), dtype=np.dtype(info.dtype))
+            else:
+                arr = view
+        else:
+            arr = np.frombuffer(_decode(bytes(data), self.codec),
+                                dtype=np.dtype(info.dtype))
+        if arr.size != info.length:
+            raise SpillError(
+                f"chunk {name} decoded to {arr.size} elements, manifest "
+                f"says {info.length}", chunk=name)
+        if not isinstance(arr, np.memmap):
+            arr = arr.view()
+            arr.flags.writeable = False
+        return arr
+
+    def _charge_io_slow(self, spec, name: str, scope) -> None:
+        """An ``io-slow`` fire: charge any ambient deadline, never sleep."""
+        from repro.exec.cancel import current_cancel_scope
+
+        cancel = current_cancel_scope()
+        if cancel is not None and cancel.deadline is not None:
+            cancel.deadline.charge(spec.seconds)
+        _bump("store.io_slow_seconds", float(spec.seconds))
+        scope.record(FailureReport(
+            kind=IO_SLOW, point=STORE_READ_POINT,
+            algorithm=scope.algorithm, phase=current_phase_name(),
+            action="charge", recovered=True, injected=True,
+            error=f"injected slow chunk read ({spec.label()})",
+            context={"chunk": name, "seconds": spec.seconds}))
+
+    # --------------------------------------------------------- integrity
+
+    def validate_chunk(self, name: str) -> bool:
+        """True when the chunk file matches its manifest CRC exactly."""
+        info = self.chunks.get(name)
+        if info is None:
+            return False
+        try:
+            data = self.chunk_path(name).read_bytes()
+        except OSError:
+            return False
+        return len(data) == info.stored_bytes and zlib.crc32(data) == info.crc32
+
+    def drop_invalid_chunks(self) -> int:
+        """Forget manifest entries whose files no longer validate.
+
+        The resume path calls this before re-running: dropped chunks are
+        simply re-spilled from the recomputed partitions (rung 2 of the
+        ladder, applied across a crash).
+        """
+        bad = [name for name in self.chunks if not self.validate_chunk(name)]
+        for name in bad:
+            del self.chunks[name]
+        if bad:
+            _bump("store.chunks_invalid", float(len(bad)))
+        return len(bad)
+
+    # ---------------------------------------------------------- manifest
+
+    def write_manifest(self, extra: Optional[Dict] = None) -> Path:
+        """Atomically persist the manifest (temp + fsync + rename)."""
+        payload = {
+            "manifest_version": MANIFEST_VERSION,
+            "codec": self.codec,
+            "chunks": [self.chunks[name].to_dict()
+                       for name in sorted(self.chunks)],
+            "extra": extra or {},
+        }
+        tmp = self.manifest_path.with_suffix(".tmp")
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, (json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n").encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, self.manifest_path)
+        self._fsync_directory()
+        return self.manifest_path
+
+    def load_manifest(self, missing_ok: bool = False) -> Dict:
+        """Read the manifest back; returns its ``extra`` payload.
+
+        ``missing_ok`` treats an absent manifest as an empty store — the
+        resume path uses it because a crash before the first spill
+        completes legitimately leaves no manifest behind.
+        """
+        try:
+            data = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            if missing_ok:
+                self.chunks = {}
+                return {}
+            raise SpillError(
+                f"no spill manifest at {self.manifest_path}; nothing to "
+                "resume", path=str(self.manifest_path)) from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SpillError(
+                f"spill manifest {self.manifest_path} unreadable: {exc}",
+                path=str(self.manifest_path)) from exc
+        version = data.get("manifest_version")
+        if version != MANIFEST_VERSION:
+            raise SpillError(
+                f"spill manifest {self.manifest_path} has version "
+                f"{version!r}, this build reads {MANIFEST_VERSION}",
+                path=str(self.manifest_path), found_version=version)
+        self.codec = resolve_codec(data.get("codec", "raw"))
+        self.chunks = {c["name"]: ChunkInfo.from_dict(c)
+                       for c in data.get("chunks", [])}
+        return dict(data.get("extra", {}))
+
+    def _fsync_directory(self) -> None:
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir fds
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover
+            pass
+        finally:
+            os.close(fd)

@@ -1,0 +1,122 @@
+"""Checkpoint/resume driver: re-run a killed spilled join to completion.
+
+``repro run --spill-dir DIR --memory-budget N`` first writes a small
+``run.json`` into the spill directory describing everything needed to
+reconstruct the run (algorithm, backend, workload recipe, budget).
+After a crash — SIGKILL, power loss, OOM kill — ``repro run --resume
+DIR`` rebuilds the exact run from that state file:
+
+1. revalidate every chunk against the manifest CRCs and drop the ones
+   that no longer check out (they get re-spilled, not trusted);
+2. tolerantly load the checkpoint ledger, discarding any torn tail;
+3. re-run the pipeline with a resume :class:`~repro.store.spill
+   .SpillSession` installed — the partition pass is recomputed
+   (deterministic), still-valid chunks are reused without rewriting,
+   and every pair already in the ledger is skipped, its durable
+   ``(count, checksum)`` folded straight into the join summary.
+
+Because the join summary is an order-independent (count, mod-2^64
+checksum) pair and the partition pass is bit-deterministic, the resumed
+``JoinResult`` matches an uninterrupted run exactly — the property
+``repro chaos --spill`` kill-sweeps assert.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.errors import SpillError
+from repro.store.spill import SpillSession, spill_session
+
+RUN_STATE_NAME = "run.json"
+RUN_STATE_VERSION = 1
+
+
+def write_run_state(directory: Union[str, Path], state: Dict) -> Path:
+    """Durably record the run recipe (atomic temp + fsync + rename)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = dict(state)
+    payload["state_version"] = RUN_STATE_VERSION
+    path = directory / RUN_STATE_NAME
+    tmp = path.with_suffix(".tmp")
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        os.write(fd, (json.dumps(payload, indent=2, sort_keys=True)
+                      + "\n").encode("utf-8"))
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    os.replace(tmp, path)
+    return path
+
+
+def load_run_state(directory: Union[str, Path]) -> Dict:
+    """Read a spill directory's run recipe back (typed errors throughout)."""
+    path = Path(directory) / RUN_STATE_NAME
+    try:
+        state = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise SpillError(
+            f"no run state at {path}; was this directory written by "
+            "'repro run --spill-dir'?", path=str(path)) from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SpillError(f"run state {path} unreadable: {exc}",
+                         path=str(path)) from exc
+    version = state.get("state_version")
+    if version != RUN_STATE_VERSION:
+        raise SpillError(
+            f"run state {path} has version {version!r}, this build reads "
+            f"{RUN_STATE_VERSION}", path=str(path), found_version=version)
+    for key in ("algorithm", "backend", "workload"):
+        if key not in state:
+            raise SpillError(f"run state {path} is missing {key!r}",
+                             path=str(path))
+    return state
+
+
+def _rebuild_input(state: Dict):
+    """Reconstruct the exact JoinInput the interrupted run was joining."""
+    workload = state["workload"]
+    kind = workload.get("kind")
+    if kind == "zipf":
+        from repro.data.zipf import ZipfWorkload
+
+        return ZipfWorkload(int(workload["n_r"]), int(workload["n_s"]),
+                            float(workload["theta"]),
+                            seed=int(workload["seed"])).generate()
+    if kind == "file":
+        from repro.data.io import load_join_input
+
+        return load_join_input(workload["path"])
+    raise SpillError(f"run state has unknown workload kind {kind!r}",
+                     kind=kind)
+
+
+def resume_run(directory: Union[str, Path]):
+    """Finish an interrupted spilled join; returns its ``JoinResult``.
+
+    Safe to call on a directory whose run actually completed — every
+    pair folds from the ledger and no join work re-runs.
+    """
+    from repro.api import make_join
+    from repro.exec.backend import use_backend
+
+    directory = Path(directory)
+    state = load_run_state(directory)
+    join_input = _rebuild_input(state)
+    session = SpillSession(
+        directory,
+        state.get("budget_bytes"),
+        strict=bool(state.get("strict", False)),
+        chunk_bytes=state.get("chunk_bytes"),
+        codec=state.get("codec"),
+        resume=True,
+    )
+    with use_backend(str(state["backend"])):
+        with spill_session(session):
+            result = make_join(str(state["algorithm"])).run(join_input)
+    return result

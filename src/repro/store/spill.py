@@ -1,0 +1,449 @@
+"""Budget-gated partition spilling and the ambient spill session.
+
+When a run's partitioned build/probe sides exceed ``REPRO_MEMORY_BUDGET``
+bytes, the Balkesen-lineage pipelines (Cbase, CSH's NM-join) hand their
+aligned :class:`~repro.cpu.partition.PartitionedRelation` pairs to the
+ambient :class:`SpillSession`, which moves the largest partition *pairs*
+to the durable chunk store until the resident columns fit the budget.
+The replacement :class:`SpilledPartitionedRelation` duck-types the
+in-RAM relation (``fanout`` / ``n`` / ``sizes()`` / ``partition(p)`` /
+``partition_hashes(p)``), streaming identical bytes back through
+whatever backend dispatch is active — which is why a spilled run is
+bit-identical to the in-RAM run on scalar, vector, and parallel alike:
+the join tasks never know where their arrays came from.
+
+The session also owns the checkpoint plane: the join phase consults
+:meth:`SpillSession.pair_done` to skip pairs a previous (killed) run
+already completed, and :meth:`SpillSession.record_pair` durably appends
+each newly completed pair to the fsync'd ledger.  Order independence of
+the join summary (count + mod-2^64 checksum) is what makes the skip
+correct in any completion order.
+
+Recovery ladder at the write boundary (see :mod:`repro.store.chunks`
+for rungs 1–2): when a chunk exhausts its write retries, a non-strict
+session *degrades* the chunk's partitions back to RAM (recovered
+report, ``store.chunks_degraded``); a strict session — or any read-side
+exhaustion — raises a typed :class:`~repro.errors.SpillError` carrying
+the unrecovered report.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigError, SpillError
+from repro.exec.output import OutputSummary
+from repro.faults.plan import STORE_WRITE_POINT
+from repro.faults.report import FailureReport, current_phase_name
+from repro.faults.scope import current_fault_scope
+from repro.obs.trace import current_tracer
+from repro.store.checkpoint import LEDGER_NAME, CheckpointLedger
+from repro.store.chunks import ChunkStore, ChunkWriteExhausted
+
+#: Resident-bytes budget (keys + payloads + hashes of all partitions);
+#: unset, empty, or 0 disables spilling.
+MEMORY_BUDGET_ENV = "REPRO_MEMORY_BUDGET"
+
+#: Where ``repro run`` spills when ``--spill-dir`` is not given.
+SPILL_DIR_ENV = "REPRO_SPILL_DIR"
+
+#: Target bytes per on-disk chunk group (columns of several partitions).
+SPILL_CHUNK_BYTES_ENV = "REPRO_SPILL_CHUNK_BYTES"
+DEFAULT_CHUNK_BYTES = 1 << 20
+
+#: Treat the budget as hard: exhausted chunk writes raise SpillError
+#: instead of degrading the chunk back to RAM.
+SPILL_STRICT_ENV = "REPRO_SPILL_STRICT"
+
+_COLUMNS = ("keys", "pays", "hash")
+
+
+def _positive_int_env(name: str) -> Optional[int]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{name} must be an integer byte count, got {raw!r}") from None
+    if value < 0:
+        raise ConfigError(f"{name} must be >= 0, got {value}")
+    return value or None
+
+
+def memory_budget_from_env() -> Optional[int]:
+    """The ``REPRO_MEMORY_BUDGET`` gate (None = spilling disabled)."""
+    return _positive_int_env(MEMORY_BUDGET_ENV)
+
+
+def _strict_from_env() -> bool:
+    return os.environ.get(SPILL_STRICT_ENV, "").strip().lower() in (
+        "1", "true", "yes", "on")
+
+
+def _bump(metric: str, value: float = 1.0) -> None:
+    current_tracer().metrics.counter(metric).inc(value)
+
+
+class SpilledPartitionedRelation:
+    """A partitioned relation whose largest partitions live on disk.
+
+    Duck-types :class:`~repro.cpu.partition.PartitionedRelation` for the
+    join phase.  Resident partitions are compacted into fresh arrays (so
+    the original full-size columns can be freed); spilled partitions are
+    sliced out of lazily loaded, CRC-validated chunk groups.  A one-slot
+    group cache keeps the resident footprint at a single chunk group —
+    partition pairs are processed in ascending order, so group loads are
+    sequential.
+    """
+
+    def __init__(self, store: ChunkStore, fanout: int, n: int,
+                 sizes: np.ndarray,
+                 kept: Tuple[np.ndarray, np.ndarray, np.ndarray],
+                 kept_map: Dict[int, Tuple[int, int]],
+                 disk_map: Dict[int, Tuple[int, int, int]],
+                 group_chunks: Dict[int, Tuple[str, str, str]]):
+        self._store = store
+        self.fanout = int(fanout)
+        self.n = int(n)
+        self._sizes = sizes
+        self._kept_keys, self._kept_pays, self._kept_hashes = kept
+        self._kept_map = kept_map
+        self._disk_map = disk_map
+        self._group_chunks = group_chunks
+        self._cached_group: Optional[int] = None
+        self._cached_arrays: Optional[Tuple[np.ndarray, ...]] = None
+
+    @property
+    def spilled_partitions(self) -> int:
+        return len(self._disk_map)
+
+    def sizes(self) -> np.ndarray:
+        """Per-partition tuple counts (identical to the in-RAM layout)."""
+        return self._sizes
+
+    def _group_arrays(self, group: int) -> Tuple[np.ndarray, ...]:
+        if self._cached_group != group:
+            names = self._group_chunks[group]
+            self._cached_arrays = tuple(self._store.read_array(name)
+                                        for name in names)
+            self._cached_group = group
+        return self._cached_arrays
+
+    def _slices(self, p: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        p = int(p)
+        if p in self._disk_map:
+            group, offset, length = self._disk_map[p]
+            keys, pays, hashes = self._group_arrays(group)
+            return (keys[offset:offset + length],
+                    pays[offset:offset + length],
+                    hashes[offset:offset + length])
+        offset, length = self._kept_map[p]
+        return (self._kept_keys[offset:offset + length],
+                self._kept_pays[offset:offset + length],
+                self._kept_hashes[offset:offset + length])
+
+    def partition(self, p: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(keys, payloads) of partition ``p`` — RAM or disk, same bytes."""
+        keys, pays, _ = self._slices(p)
+        return keys, pays
+
+    def partition_hashes(self, p: int) -> np.ndarray:
+        """Precomputed hashes of partition ``p``."""
+        return self._slices(p)[2]
+
+
+class SpillSession:
+    """One run's spill state: store, budget, ledger, completed pairs."""
+
+    def __init__(self, directory: Union[str, Path],
+                 budget_bytes: Optional[int], *,
+                 strict: Optional[bool] = None,
+                 chunk_bytes: Optional[int] = None,
+                 codec: Optional[str] = None,
+                 resume: bool = False):
+        self.directory = Path(directory)
+        self.budget_bytes = (None if budget_bytes in (None, 0)
+                             else int(budget_bytes))
+        if self.budget_bytes is not None and self.budget_bytes < 0:
+            raise ConfigError(
+                f"memory budget must be >= 0, got {self.budget_bytes}")
+        self.strict = _strict_from_env() if strict is None else bool(strict)
+        self.chunk_bytes = int(
+            chunk_bytes
+            or _positive_int_env(SPILL_CHUNK_BYTES_ENV)
+            or DEFAULT_CHUNK_BYTES)
+        if self.chunk_bytes <= 0:
+            raise ConfigError(
+                f"spill chunk bytes must be positive, got {self.chunk_bytes}")
+        self.resume = bool(resume)
+        self.store = ChunkStore(self.directory, codec=codec)
+        self.ledger = CheckpointLedger(self.directory / LEDGER_NAME)
+        self.completed: Dict[Tuple[str, int], Tuple[int, int]] = {}
+        self.spilled_partitions = 0
+        self.degraded_chunks = 0
+        self.resumed_pairs = 0
+        self.invalid_chunks = 0
+        if resume:
+            # A crash before the first spill completed legitimately
+            # leaves no manifest and/or no ledger — resume from nothing.
+            self.store.load_manifest(missing_ok=True)
+            self.invalid_chunks = self.store.drop_invalid_chunks()
+            if self.ledger.path.exists():
+                _header, self.completed = self.ledger.load()
+            else:
+                self.ledger.write_header({"resume": True})
+
+    # -------------------------------------------------------- checkpoint
+
+    def begin(self, header: Dict) -> None:
+        """Start a fresh ledger describing this run (no-op on resume)."""
+        if not self.resume:
+            self.ledger.write_header(dict(header))
+
+    def pair_done(self, phase: str, p: int) -> Optional[OutputSummary]:
+        """The checkpointed summary of a completed pair, if any."""
+        entry = self.completed.get((phase, int(p)))
+        if entry is None:
+            return None
+        self.resumed_pairs += 1
+        _bump("store.pairs_resumed")
+        return OutputSummary(count=entry[0], checksum=entry[1])
+
+    def record_pair(self, phase: str, p: int,
+                    summary: OutputSummary) -> None:
+        """Durably checkpoint one newly completed pair."""
+        self.ledger.append_pair(phase, int(p), summary.count,
+                                summary.checksum)
+        self.completed[(phase, int(p))] = (summary.count, summary.checksum)
+
+    # ------------------------------------------------------------- spill
+
+    def spill_pair(self, part_r, part_s, label: str):
+        """Spill the largest partition pairs until the pair fits the budget.
+
+        Returns aligned relations (possibly the originals, when nothing
+        exceeds the budget); always finishes by atomically rewriting the
+        manifest — the manifest-backed checkpoint after the partition
+        pass.
+        """
+        if part_r.fanout != part_s.fanout:
+            raise SpillError(
+                f"fanout mismatch: R has {part_r.fanout}, "
+                f"S has {part_s.fanout}")
+        spilled_ids = self._select_pairs(part_r, part_s)
+        if spilled_ids:
+            part_r = self._spill_relation(part_r, spilled_ids,
+                                          f"{label}-r")
+            part_s = self._spill_relation(part_s, spilled_ids,
+                                          f"{label}-s")
+            self.spilled_partitions += len(spilled_ids)
+            _bump("store.partitions_spilled", float(len(spilled_ids)))
+        self.store.write_manifest(extra={"label": label,
+                                         "budget_bytes": self.budget_bytes,
+                                         "chunk_bytes": self.chunk_bytes})
+        return part_r, part_s
+
+    def _select_pairs(self, part_r, part_s) -> List[int]:
+        """Largest-first pair ids to spill so resident bytes <= budget.
+
+        The decision depends only on partition sizes (deterministic,
+        backend-independent), and is made per *pair* so R[p] and S[p]
+        always land on the same side of the RAM/disk boundary.
+        """
+        if self.budget_bytes is None:
+            return []
+        r_item = (part_r.keys.itemsize + part_r.payloads.itemsize
+                  + part_r.hashes.itemsize)
+        s_item = (part_s.keys.itemsize + part_s.payloads.itemsize
+                  + part_s.hashes.itemsize)
+        pair_bytes = (part_r.sizes().astype(np.int64) * r_item
+                      + part_s.sizes().astype(np.int64) * s_item)
+        resident = int(pair_bytes.sum())
+        if resident <= self.budget_bytes:
+            return []
+        spilled: List[int] = []
+        for p in np.argsort(-pair_bytes, kind="stable"):
+            if resident <= self.budget_bytes:
+                break
+            if pair_bytes[p] == 0:
+                break
+            spilled.append(int(p))
+            resident -= int(pair_bytes[p])
+        return sorted(spilled)
+
+    def _spill_relation(self, part, spilled_ids: List[int], tag: str):
+        """Move one relation's spilled partitions into chunk groups."""
+        sizes = part.sizes()
+        item = (part.keys.itemsize + part.payloads.itemsize
+                + part.hashes.itemsize)
+        disk_ids = [p for p in spilled_ids if sizes[p] > 0]
+        groups: List[List[int]] = []
+        group_bytes = 0
+        for p in disk_ids:
+            p_bytes = int(sizes[p]) * item
+            if not groups or (group_bytes + p_bytes > self.chunk_bytes
+                              and group_bytes > 0):
+                groups.append([])
+                group_bytes = 0
+            groups[-1].append(p)
+            group_bytes += p_bytes
+        disk_map: Dict[int, Tuple[int, int, int]] = {}
+        group_chunks: Dict[int, Tuple[str, str, str]] = {}
+        degraded: List[int] = []
+        for gi, members in enumerate(groups):
+            columns = (
+                np.concatenate([part.partition(p)[0] for p in members]),
+                np.concatenate([part.partition(p)[1] for p in members]),
+                np.concatenate([part.partition_hashes(p) for p in members]),
+            )
+            names = tuple(f"{tag}-g{gi:04d}-{col}" for col in _COLUMNS)
+            if all(self._write_chunk(name, arr)
+                   for name, arr in zip(names, columns)):
+                group_chunks[gi] = names
+                offset = 0
+                for p in members:
+                    disk_map[p] = (gi, offset, int(sizes[p]))
+                    offset += int(sizes[p])
+            else:
+                degraded.extend(members)
+        kept_ids = [p for p in range(part.fanout) if p not in disk_map]
+        kept_map: Dict[int, Tuple[int, int]] = {}
+        offset = 0
+        for p in kept_ids:
+            kept_map[p] = (offset, int(sizes[p]))
+            offset += int(sizes[p])
+        if kept_ids and offset:
+            kept = (
+                np.concatenate([part.partition(p)[0] for p in kept_ids]),
+                np.concatenate([part.partition(p)[1] for p in kept_ids]),
+                np.concatenate([part.partition_hashes(p)
+                                for p in kept_ids]),
+            )
+        else:
+            kept = (np.empty(0, dtype=part.keys.dtype),
+                    np.empty(0, dtype=part.payloads.dtype),
+                    np.empty(0, dtype=part.hashes.dtype))
+        return SpilledPartitionedRelation(
+            store=self.store, fanout=part.fanout, n=part.n,
+            sizes=sizes, kept=kept, kept_map=kept_map,
+            disk_map=disk_map, group_chunks=group_chunks)
+
+    def _write_chunk(self, name: str, array: np.ndarray) -> bool:
+        """Write one chunk through the full recovery ladder.
+
+        Returns False when the chunk degraded to RAM (rung 3); raises a
+        typed :class:`~repro.errors.SpillError` in strict mode (rung 4).
+        """
+        try:
+            self.store.write_array(name, array)
+            return True
+        except ChunkWriteExhausted as exc:
+            scope = current_fault_scope()
+            if self.strict:
+                report = scope.record(FailureReport(
+                    kind=exc.kind, point=STORE_WRITE_POINT,
+                    algorithm=scope.algorithm, phase=current_phase_name(),
+                    action="abort", recovered=False, injected=exc.injected,
+                    retries=exc.retries,
+                    backoff_seconds=exc.backoff_seconds,
+                    error=exc.error, context={"chunk": name}))
+                raise SpillError(
+                    f"chunk {name} unwritable after {exc.retries - 1} "
+                    f"retries under a strict budget: {exc.error}",
+                    report=report, chunk=name) from exc
+            scope.record(FailureReport(
+                kind=exc.kind, point=STORE_WRITE_POINT,
+                algorithm=scope.algorithm, phase=current_phase_name(),
+                action="degrade:ram", recovered=True,
+                injected=exc.injected, retries=exc.retries,
+                backoff_seconds=exc.backoff_seconds,
+                error=exc.error, context={"chunk": name}))
+            self.degraded_chunks += 1
+            _bump("store.chunks_degraded")
+            return False
+
+    # ------------------------------------------------------------- after
+
+    def annotate(self, result) -> None:
+        """Stamp the session's spill facts into ``result.meta``.
+
+        These keys are environment-dependent (whether and how a run
+        spilled), so the differential comparator excludes them the same
+        way it excludes the backend tag.
+        """
+        result.meta["spilled_partitions"] = self.spilled_partitions
+        result.meta["spill_chunks"] = len(self.store.chunks)
+        if self.degraded_chunks:
+            result.meta["spill_degraded"] = self.degraded_chunks
+        if self.resume:
+            result.meta["resumed_pairs"] = self.resumed_pairs
+            if self.invalid_chunks:
+                result.meta["spill_invalid_chunks"] = self.invalid_chunks
+
+
+_ACTIVE_SESSION: ContextVar[Optional[SpillSession]] = ContextVar(
+    "repro_active_spill_session", default=None)
+
+
+def current_spill_session() -> Optional[SpillSession]:
+    """The ambient spill session, or None (spilling disabled)."""
+    return _ACTIVE_SESSION.get()
+
+
+@contextmanager
+def spill_session(session: Optional[SpillSession]) -> Iterator[
+        Optional[SpillSession]]:
+    """Install a session (or None) ambiently for the block."""
+    token = _ACTIVE_SESSION.set(session)
+    try:
+        yield session
+    finally:
+        _ACTIVE_SESSION.reset(token)
+
+
+@contextmanager
+def open_spill_session(
+    directory: Optional[Union[str, Path]] = None,
+    budget_bytes: Optional[int] = None,
+    *,
+    strict: Optional[bool] = None,
+    chunk_bytes: Optional[int] = None,
+    codec: Optional[str] = None,
+    header: Optional[Dict] = None,
+) -> Iterator[Optional[SpillSession]]:
+    """Open, install, and (for anonymous temp dirs) clean up a session.
+
+    The gate: with no explicit ``budget_bytes`` and no
+    ``REPRO_MEMORY_BUDGET`` in the environment, yields None and the run
+    stays fully in RAM.  With a budget but no directory, spills into
+    ``$REPRO_SPILL_DIR`` or an ephemeral temp directory.
+    """
+    if budget_bytes is None:
+        budget_bytes = memory_budget_from_env()
+    if budget_bytes is None and directory is None:
+        yield None
+        return
+    tmp = None
+    if directory is None:
+        directory = os.environ.get(SPILL_DIR_ENV, "") or None
+    if directory is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-spill-")
+        directory = tmp.name
+    try:
+        session = SpillSession(directory, budget_bytes, strict=strict,
+                               chunk_bytes=chunk_bytes, codec=codec)
+        session.begin(dict(header or {}))
+        with spill_session(session):
+            yield session
+    finally:
+        if tmp is not None:
+            tmp.cleanup()

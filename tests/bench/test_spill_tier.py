@@ -1,0 +1,64 @@
+"""The spilled scale tier of the bench harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.regression import (
+    bench_from_dict,
+    bench_to_dict,
+    compare_benches,
+    record_bench,
+)
+from repro.faults.plan import SPILL_ALGORITHM_NAMES
+
+
+@pytest.fixture(scope="module")
+def spill_record():
+    n = 2048
+    budget = max(12 * 2 * n // 4, 1)
+    return record_bench("spill-test", n_tuples=n, repeats=1,
+                        backends=("scalar", "vector"),
+                        spill_budget_bytes=budget)
+
+
+def test_spill_tier_defaults_to_spill_capable_algorithms(spill_record):
+    assert sorted(c.algorithm for c in spill_record.cases) == sorted(
+        SPILL_ALGORITHM_NAMES)
+    assert spill_record.spill_budget_bytes is not None
+
+
+def test_spill_tier_round_trips_through_json(spill_record):
+    data = bench_to_dict(spill_record)
+    assert data["spill_budget_bytes"] == spill_record.spill_budget_bytes
+    back = bench_from_dict(data)
+    assert back.spill_budget_bytes == spill_record.spill_budget_bytes
+    assert [c.algorithm for c in back.cases] == [
+        c.algorithm for c in spill_record.cases]
+
+
+def test_in_ram_baseline_without_the_key_still_loads(spill_record):
+    data = bench_to_dict(spill_record)
+    del data["spill_budget_bytes"]
+    back = bench_from_dict(data)
+    assert back.spill_budget_bytes is None
+
+
+def test_spill_tier_gates_against_itself(spill_record):
+    comparison = compare_benches(spill_record, spill_record)
+    assert comparison.ok
+    # The spilled tier keeps the in-RAM phase structure, so the gate
+    # sees the usual phases — nothing extra, nothing missing.
+    assert not comparison.missing
+
+
+def test_spill_tier_phase_structure_matches_in_ram(spill_record):
+    in_ram = record_bench("ram-test", n_tuples=2048, repeats=1,
+                          backends=("scalar", "vector"),
+                          algorithms=list(SPILL_ALGORITHM_NAMES))
+    for ram_case, spill_case in zip(in_ram.cases, spill_record.cases):
+        assert ram_case.algorithm == spill_case.algorithm
+        assert [p.name for p in ram_case.phases] == [
+            p.name for p in spill_case.phases]
+        assert ram_case.output_count == spill_case.output_count
+        assert ram_case.output_checksum == spill_case.output_checksum

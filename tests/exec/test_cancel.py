@@ -1,0 +1,60 @@
+"""Deadline admission and boundary semantics.
+
+Two edges the serving layer depends on: a zero budget is a
+configuration error refused *at admission* (never a request that is
+born expired and burns a slot before failing), and the budget boundary
+itself is inclusive — a checkpoint at exactly ``elapsed == budget``
+raises, so a charged delay that lands the clock precisely on the
+budget cannot slip through.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, DeadlineExceeded
+from repro.exec.cancel import CancelScope, Deadline, cancel_scope, checkpoint
+
+
+def test_zero_deadline_is_refused_at_admission():
+    with pytest.raises(ConfigError) as excinfo:
+        Deadline(0)
+    assert "deadline_ms" in str(excinfo.value)
+
+
+@pytest.mark.parametrize("bad", [0.0, -1, -0.5, float("nan")])
+def test_non_positive_and_nan_budgets_are_config_errors(bad):
+    # NaN fails the `budget_ms > 0` admission check too — a deadline
+    # that could never expire is as wrong as one already expired.
+    with pytest.raises(ConfigError):
+        Deadline(bad)
+
+
+def test_checkpoint_exactly_at_the_boundary_raises():
+    # Fake clock: no wall time passes, the charge lands elapsed_ms
+    # exactly on budget_ms.  Inclusive semantics: that already expires.
+    deadline = Deadline(50.0, clock=lambda: 0.0)
+    deadline.charge(0.050)  # 50ms charged, elapsed == budget
+    assert deadline.elapsed_ms == deadline.budget_ms
+    assert deadline.expired
+    assert deadline.remaining_ms == 0.0
+    with pytest.raises(DeadlineExceeded) as excinfo:
+        CancelScope(deadline=deadline).checkpoint(site="boundary")
+    assert excinfo.value.context["deadline_ms"] == 50.0
+
+
+def test_one_tick_under_the_boundary_does_not_raise():
+    deadline = Deadline(50.0, clock=lambda: 0.0)
+    deadline.charge(0.049999)
+    assert not deadline.expired
+    CancelScope(deadline=deadline).checkpoint()  # must not raise
+
+
+def test_module_checkpoint_honors_the_boundary_ambiently():
+    deadline = Deadline(10.0, clock=lambda: 0.0)
+    with cancel_scope(deadline=deadline):
+        checkpoint()  # fresh budget: fine
+        deadline.charge(0.010)
+        with pytest.raises(DeadlineExceeded):
+            checkpoint()
+    checkpoint()  # scope gone: no-op again

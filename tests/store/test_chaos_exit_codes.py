@@ -1,0 +1,68 @@
+"""Every ``repro chaos`` mode must exit nonzero when a scenario fails.
+
+CI's chaos jobs gate on the process exit code alone; a harness that
+prints FAILED but returns 0 would go green.  These tests pin the
+contract for all three modes — pipeline, --serve, and --spill — by
+stubbing the harnesses at the CLI boundary.
+"""
+
+from __future__ import annotations
+
+import repro.cli as cli
+
+
+class _Outcome:
+    def __init__(self, ok):
+        self.ok = ok
+        self.n_failed = 0 if ok else 2
+
+    def render(self):
+        return "stub chaos outcome"
+
+
+def test_pipeline_chaos_failure_exits_nonzero(monkeypatch):
+    monkeypatch.setattr(cli, "run_chaos",
+                        lambda *a, **k: _Outcome(ok=False))
+    assert cli.main(["chaos", "--tuples", "64"]) == 1
+    monkeypatch.setattr(cli, "run_chaos",
+                        lambda *a, **k: _Outcome(ok=True))
+    assert cli.main(["chaos", "--tuples", "64"]) == 0
+
+
+def test_serve_chaos_exit_code_passes_through(monkeypatch):
+    calls = {}
+
+    def fake(**kwargs):
+        calls.update(kwargs)
+        return 1
+
+    monkeypatch.setattr(cli, "run_serve_chaos", lambda *a, **k: fake(**k))
+    assert cli.main(["chaos", "--serve", "--tuples", "64"]) == 1
+    monkeypatch.setattr(cli, "run_serve_chaos", lambda *a, **k: 0)
+    assert cli.main(["chaos", "--serve", "--tuples", "64"]) == 0
+
+
+def test_spill_chaos_exit_code_passes_through(monkeypatch):
+    monkeypatch.setattr(cli, "run_spill_chaos", lambda *a, **k: 1)
+    assert cli.main(["chaos", "--spill", "--tuples", "64"]) == 1
+    monkeypatch.setattr(cli, "run_spill_chaos", lambda *a, **k: 0)
+    assert cli.main(["chaos", "--spill", "--tuples", "64"]) == 0
+
+
+def test_serve_and_spill_are_mutually_exclusive(capsys):
+    assert cli.main(["chaos", "--serve", "--spill"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_spill_chaos_receives_artifact_dir(monkeypatch, tmp_path):
+    seen = {}
+
+    def fake(n, theta, seed, artifact_dir):
+        seen.update(n=n, artifact_dir=artifact_dir)
+        return 0
+
+    monkeypatch.setattr(cli, "run_spill_chaos", fake)
+    assert cli.main(["chaos", "--spill", "--tuples", "128",
+                     "--artifact-dir", str(tmp_path)]) == 0
+    assert seen["n"] == 128
+    assert seen["artifact_dir"] == str(tmp_path)

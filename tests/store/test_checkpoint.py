@@ -1,0 +1,71 @@
+"""The fsync'd checkpoint ledger: round trips, torn tails, bad headers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpillError
+from repro.store.checkpoint import LEDGER_NAME, CheckpointLedger
+
+
+def _ledger(tmp_path):
+    return CheckpointLedger(tmp_path / LEDGER_NAME)
+
+
+def test_header_and_pairs_round_trip(tmp_path):
+    ledger = _ledger(tmp_path)
+    ledger.write_header({"algorithm": "cbase"})
+    ledger.append_pair("join", 3, 10, 0xAB)
+    ledger.append_pair("nm-join", 0, 7, 0xCD)
+    header, completed = _ledger(tmp_path).load()
+    assert header["algorithm"] == "cbase"
+    assert completed == {("join", 3): (10, 0xAB), ("nm-join", 0): (7, 0xCD)}
+
+
+def test_rewriting_header_truncates(tmp_path):
+    ledger = _ledger(tmp_path)
+    ledger.write_header({"run": 1})
+    ledger.append_pair("join", 1, 1, 1)
+    ledger.write_header({"run": 2})
+    header, completed = _ledger(tmp_path).load()
+    assert header["run"] == 2
+    assert completed == {}
+
+
+def test_torn_tail_is_discarded_with_a_warning(tmp_path):
+    ledger = _ledger(tmp_path)
+    ledger.write_header({})
+    ledger.append_pair("join", 1, 5, 9)
+    with open(ledger.path, "a", encoding="utf-8") as fh:
+        fh.write('{"crc": 0, "payload": {"type": "pair"')  # no newline
+    with pytest.warns(RuntimeWarning, match="torn or corrupted"):
+        _header, completed = _ledger(tmp_path).load()
+    assert completed == {("join", 1): (5, 9)}
+
+
+def test_corrupt_middle_line_drops_the_rest(tmp_path):
+    ledger = _ledger(tmp_path)
+    ledger.write_header({})
+    ledger.append_pair("join", 1, 5, 9)
+    lines = ledger.path.read_text(encoding="utf-8").splitlines(keepends=True)
+    damaged = lines[1].replace('"count":5', '"count":6')
+    assert damaged != lines[1]
+    ledger.path.write_text(lines[0] + damaged + lines[1], encoding="utf-8")
+    with pytest.warns(RuntimeWarning):
+        _header, completed = _ledger(tmp_path).load()
+    # The damaged line AND the intact one after it are gone: a line
+    # following a torn one cannot have been fsynced in order.
+    assert completed == {}
+
+
+def test_missing_ledger_and_missing_header_are_typed(tmp_path):
+    with pytest.raises(SpillError):
+        _ledger(tmp_path).load()
+    # A file whose only intact content is pairs (no header) is refused.
+    ledger = _ledger(tmp_path)
+    ledger.write_header({})
+    ledger.append_pair("join", 1, 1, 1)
+    lines = ledger.path.read_text(encoding="utf-8").splitlines(keepends=True)
+    ledger.path.write_text(lines[1], encoding="utf-8")
+    with pytest.raises(SpillError):
+        _ledger(tmp_path).load()

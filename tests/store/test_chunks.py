@@ -1,0 +1,177 @@
+"""ChunkStore: durability, validation, codecs, and the fault ladders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SpillError
+from repro.faults.plan import (
+    CORRUPT_CHUNK,
+    ENOSPC,
+    IO_SLOW,
+    STORE_READ_POINT,
+    STORE_WRITE_POINT,
+    TORN_WRITE,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.faults.scope import fault_scope
+from repro.store.chunks import (
+    ChunkStore,
+    ChunkWriteExhausted,
+    MANIFEST_NAME,
+    resolve_codec,
+)
+
+
+def _column(n=257, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2**32, size=n, dtype=np.uint32)
+
+
+@pytest.mark.parametrize("codec", ["raw", "zlib"])
+def test_write_read_round_trip(tmp_path, codec):
+    store = ChunkStore(tmp_path, codec=codec)
+    arr = _column()
+    info = store.write_array("col-a", arr)
+    assert info.length == arr.size and info.dtype == "uint32"
+    back = store.read_array("col-a")
+    np.testing.assert_array_equal(np.asarray(back), arr)
+    assert not back.flags.writeable
+
+
+def test_zstd_codec_is_gated_not_importerror():
+    try:
+        import zstandard  # noqa: F401
+    except ImportError:
+        with pytest.raises(ConfigError) as excinfo:
+            resolve_codec("zstd")
+        assert "zstandard" in str(excinfo.value)
+    else:
+        assert resolve_codec("zstd") == "zstd"
+
+
+def test_unknown_codec_is_a_config_error():
+    with pytest.raises(ConfigError):
+        resolve_codec("lz77")
+
+
+def test_manifest_round_trip_and_version_gate(tmp_path):
+    store = ChunkStore(tmp_path)
+    store.write_array("c0", _column())
+    store.write_manifest(extra={"label": "t"})
+    fresh = ChunkStore(tmp_path)
+    assert fresh.load_manifest() == {"label": "t"}
+    assert "c0" in fresh.chunks
+    # A future manifest version is refused, typed.
+    text = (tmp_path / MANIFEST_NAME).read_text()
+    (tmp_path / MANIFEST_NAME).write_text(
+        text.replace('"manifest_version": 1', '"manifest_version": 99'))
+    with pytest.raises(SpillError):
+        ChunkStore(tmp_path).load_manifest()
+
+
+def test_missing_manifest_typed_unless_missing_ok(tmp_path):
+    store = ChunkStore(tmp_path)
+    with pytest.raises(SpillError):
+        store.load_manifest()
+    assert store.load_manifest(missing_ok=True) == {}
+    assert store.chunks == {}
+
+
+def test_on_disk_rot_is_dropped_and_unreadable(tmp_path):
+    store = ChunkStore(tmp_path)
+    store.write_array("c0", _column())
+    assert store.validate_chunk("c0")
+    path = store.chunk_path("c0")
+    data = bytearray(path.read_bytes())
+    data[0] ^= 0xFF
+    path.write_bytes(bytes(data))
+    assert not store.validate_chunk("c0")
+    with pytest.raises(SpillError):
+        store.read_array("c0")
+    assert store.drop_invalid_chunks() == 1
+    assert "c0" not in store.chunks
+
+
+def test_reuse_skips_rewrite_when_chunk_validates(tmp_path):
+    store = ChunkStore(tmp_path)
+    arr = _column()
+    first = store.write_array("c0", arr)
+    mtime = store.chunk_path("c0").stat().st_mtime_ns
+    again = store.write_array("c0", arr)
+    assert again is first
+    assert store.chunk_path("c0").stat().st_mtime_ns == mtime
+
+
+def test_unknown_chunk_read_is_typed(tmp_path):
+    with pytest.raises(SpillError):
+        ChunkStore(tmp_path).read_array("ghost")
+
+
+@pytest.mark.parametrize("kind", [TORN_WRITE, ENOSPC])
+def test_single_write_fault_recovers_with_report(tmp_path, kind):
+    plan = FaultPlan((FaultSpec(kind=kind, point=STORE_WRITE_POINT),))
+    arr = _column()
+    with fault_scope("cbase", plan=plan) as scope:
+        store = ChunkStore(tmp_path)
+        store.write_array("c0", arr)
+    np.testing.assert_array_equal(np.asarray(store.read_array("c0")), arr)
+    assert len(scope.reports) == 1
+    report = scope.reports[0]
+    assert report.recovered and report.injected
+    assert report.point == STORE_WRITE_POINT
+
+
+def test_write_exhaustion_raises_internal_signal(tmp_path):
+    plan = FaultPlan((FaultSpec(kind=TORN_WRITE, point=STORE_WRITE_POINT,
+                                repeat=99),))
+    with fault_scope("cbase", plan=plan):
+        store = ChunkStore(tmp_path)
+        with pytest.raises(ChunkWriteExhausted) as excinfo:
+            store.write_array("c0", _column())
+    assert excinfo.value.kind == TORN_WRITE
+    assert excinfo.value.injected
+
+
+def test_single_corrupt_read_recovers(tmp_path):
+    store = ChunkStore(tmp_path)
+    arr = _column()
+    store.write_array("c0", arr)
+    plan = FaultPlan((FaultSpec(kind=CORRUPT_CHUNK,
+                                point=STORE_READ_POINT),))
+    with fault_scope("cbase", plan=plan) as scope:
+        back = store.read_array("c0")
+    np.testing.assert_array_equal(np.asarray(back), arr)
+    # The chunk file itself stays intact — corruption was simulated on
+    # the loaded copy only.
+    assert store.validate_chunk("c0")
+    assert any(r.recovered and r.point == STORE_READ_POINT
+               for r in scope.reports)
+
+
+def test_read_exhaustion_is_a_typed_spill_error(tmp_path):
+    store = ChunkStore(tmp_path)
+    store.write_array("c0", _column())
+    plan = FaultPlan((FaultSpec(kind=CORRUPT_CHUNK, point=STORE_READ_POINT,
+                                repeat=99),))
+    with fault_scope("cbase", plan=plan):
+        with pytest.raises(SpillError) as excinfo:
+            store.read_array("c0")
+    assert excinfo.value.report is not None
+    assert not excinfo.value.report.recovered
+
+
+def test_io_slow_charges_the_ambient_deadline(tmp_path):
+    from repro.exec.cancel import Deadline, cancel_scope
+
+    store = ChunkStore(tmp_path)
+    store.write_array("c0", _column())
+    plan = FaultPlan((FaultSpec(kind=IO_SLOW, point=STORE_READ_POINT,
+                                seconds=0.5),))
+    deadline = Deadline(10_000.0, clock=lambda: 0.0)
+    with fault_scope("cbase", plan=plan):
+        with cancel_scope(deadline=deadline):
+            store.read_array("c0")
+    assert deadline.charged_ms == pytest.approx(500.0)

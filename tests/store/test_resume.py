@@ -1,0 +1,137 @@
+"""Run-state persistence and the checkpoint/resume driver."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import make_join
+from repro.data.zipf import ZipfWorkload
+from repro.errors import SpillError
+from repro.exec.differential import compare_results
+from repro.store.resume import (
+    RUN_STATE_NAME,
+    load_run_state,
+    resume_run,
+    write_run_state,
+)
+from repro.store.spill import SpillSession, open_spill_session, spill_session
+
+WORKLOAD = {"kind": "zipf", "n_r": 4096, "n_s": 4096,
+            "theta": 1.0, "seed": 42}
+
+
+def _state(budget):
+    return {"algorithm": "cbase", "backend": "vector",
+            "budget_bytes": budget, "workload": dict(WORKLOAD)}
+
+
+def _workload():
+    return ZipfWorkload(4096, 4096, theta=1.0, seed=42).generate()
+
+
+def _budget():
+    return max(12 * 2 * 4096 // 4, 1)
+
+
+def test_run_state_round_trip(tmp_path):
+    write_run_state(tmp_path, _state(1234))
+    state = load_run_state(tmp_path)
+    assert state["algorithm"] == "cbase"
+    assert state["budget_bytes"] == 1234
+    assert state["state_version"] == 1
+
+
+def test_run_state_typed_errors(tmp_path):
+    with pytest.raises(SpillError):
+        load_run_state(tmp_path)  # missing entirely
+    (tmp_path / RUN_STATE_NAME).write_text("{not json", encoding="utf-8")
+    with pytest.raises(SpillError):
+        load_run_state(tmp_path)
+    (tmp_path / RUN_STATE_NAME).write_text(
+        json.dumps({"state_version": 99}), encoding="utf-8")
+    with pytest.raises(SpillError):
+        load_run_state(tmp_path)
+    write_run_state(tmp_path, {"algorithm": "cbase"})  # missing keys
+    with pytest.raises(SpillError):
+        load_run_state(tmp_path)
+
+
+def test_unknown_workload_kind_is_typed(tmp_path):
+    write_run_state(tmp_path, {"algorithm": "cbase", "backend": "vector",
+                               "workload": {"kind": "ouija"}})
+    with pytest.raises(SpillError):
+        resume_run(tmp_path)
+
+
+def test_resume_of_a_completed_run_folds_every_pair(tmp_path):
+    budget = _budget()
+    workload = _workload()
+    reference = make_join("cbase").run(workload)
+    write_run_state(tmp_path, _state(budget))
+    with open_spill_session(directory=tmp_path, budget_bytes=budget,
+                            header={"algorithm": "cbase"}) as session:
+        first = make_join("cbase").run(workload)
+    assert session.spilled_partitions > 0
+    assert compare_results(reference, first) == []
+    resumed = resume_run(tmp_path)
+    # Every pair folds straight from the ledger; no join work re-runs.
+    assert resumed.matches(reference)
+    assert resumed.meta["resumed_pairs"] > 0
+
+
+def test_resume_before_any_spill_completes_from_nothing(tmp_path):
+    # Crash before the first manifest/ledger write: the directory holds
+    # only run.json.  Resume must run the whole join, not raise.
+    budget = _budget()
+    write_run_state(tmp_path, _state(budget))
+    reference = make_join("cbase").run(_workload())
+    resumed = resume_run(tmp_path)
+    assert resumed.matches(reference)
+    assert resumed.meta["resumed_pairs"] == 0
+
+
+def test_resume_drops_rotted_chunks_and_respills(tmp_path):
+    budget = _budget()
+    workload = _workload()
+    reference = make_join("cbase").run(workload)
+    write_run_state(tmp_path, _state(budget))
+    with open_spill_session(directory=tmp_path, budget_bytes=budget,
+                            header={}):
+        make_join("cbase").run(workload)
+    victim = next(iter(tmp_path.glob("*.chunk")))
+    data = bytearray(victim.read_bytes())
+    data[0] ^= 0xFF
+    victim.write_bytes(bytes(data))
+    resumed = resume_run(tmp_path)
+    assert resumed.matches(reference)
+    assert resumed.meta["spill_invalid_chunks"] >= 1
+
+
+def test_partial_ledger_skips_only_recorded_pairs(tmp_path):
+    budget = _budget()
+    workload = _workload()
+    reference = make_join("cbase").run(workload)
+    write_run_state(tmp_path, _state(budget))
+    with open_spill_session(directory=tmp_path, budget_bytes=budget,
+                            header={}) as session:
+        make_join("cbase").run(workload)
+    total_pairs = len(session.completed)
+    assert total_pairs > 1
+    # Truncate the ledger to header + first pair: simulates a crash
+    # after one checkpointed pair.
+    ledger_path = session.ledger.path
+    lines = ledger_path.read_text(encoding="utf-8").splitlines(
+        keepends=True)
+    ledger_path.write_text("".join(lines[:2]), encoding="utf-8")
+    resumed = resume_run(tmp_path)
+    assert resumed.matches(reference)
+    assert resumed.meta["resumed_pairs"] == 1
+
+
+def test_resume_session_tolerates_missing_ledger(tmp_path):
+    session = SpillSession(tmp_path, budget_bytes=1024, resume=True)
+    assert session.completed == {}
+    with spill_session(session):
+        pass  # installable without error

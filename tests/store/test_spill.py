@@ -1,0 +1,207 @@
+"""The spill session: budget gate, bit-identity, degrade/strict ladder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import make_join
+from repro.data.zipf import ZipfWorkload
+from repro.errors import ConfigError, SpillError
+from repro.exec.backend import BACKENDS, use_backend
+from repro.exec.differential import compare_results, spill_differential
+from repro.faults.plan import (
+    STORE_WRITE_POINT,
+    TORN_WRITE,
+    FaultPlan,
+    FaultSpec,
+    SPILL_ALGORITHM_NAMES,
+    seeded_spill_plan,
+)
+from repro.faults.scope import activate_plan
+from repro.store.spill import (
+    MEMORY_BUDGET_ENV,
+    SpillSession,
+    memory_budget_from_env,
+    open_spill_session,
+)
+
+
+@pytest.fixture
+def workload():
+    return ZipfWorkload(4096, 4096, theta=1.0, seed=42).generate()
+
+
+def _budget(join_input):
+    total = 12 * (len(join_input.r) + len(join_input.s))
+    return max(total // 4, 1)
+
+
+# ------------------------------------------------------------- env gate
+
+
+def test_budget_env_parsing(monkeypatch):
+    monkeypatch.delenv(MEMORY_BUDGET_ENV, raising=False)
+    assert memory_budget_from_env() is None
+    monkeypatch.setenv(MEMORY_BUDGET_ENV, "0")
+    assert memory_budget_from_env() is None  # 0 disables spilling
+    monkeypatch.setenv(MEMORY_BUDGET_ENV, "4096")
+    assert memory_budget_from_env() == 4096
+    monkeypatch.setenv(MEMORY_BUDGET_ENV, "lots")
+    with pytest.raises(ConfigError):
+        memory_budget_from_env()
+    monkeypatch.setenv(MEMORY_BUDGET_ENV, "-1")
+    with pytest.raises(ConfigError):
+        memory_budget_from_env()
+
+
+def test_open_session_yields_none_without_budget(monkeypatch):
+    monkeypatch.delenv(MEMORY_BUDGET_ENV, raising=False)
+    with open_spill_session() as session:
+        assert session is None
+
+
+def test_open_session_reads_budget_from_env(monkeypatch, tmp_path):
+    monkeypatch.setenv(MEMORY_BUDGET_ENV, "8192")
+    with open_spill_session(directory=tmp_path) as session:
+        assert session is not None
+        assert session.budget_bytes == 8192
+
+
+# --------------------------------------------------------- bit identity
+
+
+@pytest.mark.parametrize("algorithm", SPILL_ALGORITHM_NAMES)
+def test_spilled_run_is_bit_identical_to_in_ram(tmp_path, workload,
+                                                algorithm):
+    reference = make_join(algorithm).run(workload)
+    budget = _budget(workload)
+    with open_spill_session(directory=tmp_path, budget_bytes=budget,
+                            chunk_bytes=max(budget // 2, 4096)) as session:
+        spilled = make_join(algorithm).run(workload)
+    assert session.spilled_partitions > 0
+    assert spilled.meta["spilled_partitions"] == session.spilled_partitions
+    assert compare_results(reference, spilled) == []
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_spilled_run_bit_identical_on_every_backend(workload, backend):
+    reference = make_join("cbase").run(workload)
+    budget = _budget(workload)
+    with use_backend(backend):
+        with open_spill_session(budget_bytes=budget,
+                                chunk_bytes=max(budget // 2, 4096)):
+            spilled = make_join("cbase").run(workload)
+    assert compare_results(reference, spilled) == []
+
+
+def test_spill_differential_grid_is_clean():
+    reports = spill_differential(n=1024, seed=42)
+    bad = [r for r in reports if not r.ok]
+    assert not bad, "\n".join(m for r in bad for m in r.mismatches)
+
+
+def test_spilled_run_under_seeded_faults_still_matches(workload):
+    reference = make_join("cbase").run(workload)
+    budget = _budget(workload)
+    plan = seeded_spill_plan(11, algorithms=("cbase",))
+    with activate_plan(plan):
+        with open_spill_session(budget_bytes=budget,
+                                chunk_bytes=max(budget // 2, 4096)):
+            result = make_join("cbase").run(workload)
+    assert result.matches(reference)
+    assert any(r.injected for r in result.faults)
+
+
+def test_generous_budget_never_engages(tmp_path, workload):
+    reference = make_join("cbase").run(workload)
+    with open_spill_session(directory=tmp_path,
+                            budget_bytes=1 << 30) as session:
+        result = make_join("cbase").run(workload)
+    assert session.spilled_partitions == 0
+    assert result.meta["spilled_partitions"] == 0
+    assert compare_results(reference, result) == []
+
+
+# ------------------------------------------------------ recovery ladder
+
+
+def _exhausting_plan():
+    return FaultPlan((FaultSpec(kind=TORN_WRITE, point=STORE_WRITE_POINT,
+                                repeat=99),))
+
+
+def test_write_exhaustion_degrades_to_ram_by_default(workload):
+    reference = make_join("cbase").run(workload)
+    budget = _budget(workload)
+    with activate_plan(_exhausting_plan()):
+        with open_spill_session(budget_bytes=budget) as session:
+            result = make_join("cbase").run(workload)
+    assert session.degraded_chunks > 0
+    assert result.meta["spill_degraded"] == session.degraded_chunks
+    assert result.matches(reference)
+    assert any(r.action == "degrade:ram" and r.recovered
+               for r in result.faults)
+
+
+def test_write_exhaustion_under_strict_budget_is_typed(workload):
+    budget = _budget(workload)
+    with activate_plan(_exhausting_plan()):
+        with open_spill_session(budget_bytes=budget, strict=True):
+            with pytest.raises(SpillError) as excinfo:
+                make_join("cbase").run(workload)
+    assert excinfo.value.report is not None
+    assert not excinfo.value.report.recovered
+
+
+# --------------------------------------------------------- session misc
+
+
+def test_fanout_mismatch_is_typed(tmp_path):
+    from repro.cpu.partition import PartitionedRelation
+
+    def fake(fanout, n=0):
+        return PartitionedRelation(
+            keys=np.empty(n, dtype=np.uint32),
+            payloads=np.empty(n, dtype=np.uint32),
+            offsets=np.zeros(fanout + 1, dtype=np.int64),
+            hashes=np.empty(n, dtype=np.uint64),
+        )
+
+    session = SpillSession(tmp_path, budget_bytes=1)
+    with pytest.raises(SpillError):
+        session.spill_pair(fake(4), fake(8), label="t")
+
+
+def _synthetic(sizes):
+    from repro.cpu.partition import PartitionedRelation
+
+    sizes = np.asarray(sizes, dtype=np.int64)
+    n = int(sizes.sum())
+    offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+    offsets[1:] = np.cumsum(sizes)
+    return PartitionedRelation(
+        keys=np.arange(n, dtype=np.uint32),
+        payloads=np.arange(n, dtype=np.uint32),
+        offsets=offsets,
+        hashes=np.arange(n, dtype=np.uint64),
+    )
+
+
+def test_selection_is_deterministic_and_largest_first(tmp_path):
+    sizes = [100, 5, 50, 0, 200, 17, 60, 3]
+    part_r = _synthetic(sizes)
+    part_s = _synthetic(sizes)
+    # 16 bytes/tuple/side -> 32 bytes per pair tuple; total 13920 bytes.
+    session_a = SpillSession(tmp_path / "a", budget_bytes=4000)
+    session_b = SpillSession(tmp_path / "b", budget_bytes=4000)
+    ids_a = session_a._select_pairs(part_r, part_s)
+    ids_b = session_b._select_pairs(part_r, part_s)
+    assert ids_a == ids_b and ids_a
+    # Largest-first: 200, then 100, then 60 gets resident bytes under
+    # budget (13920 - 6400 - 3200 - 1920 = 2400 <= 4000).
+    assert ids_a == [0, 4, 6]
+    # Empty pairs never spill, even under an impossible budget.
+    ids_tiny = SpillSession(tmp_path / "c",
+                            budget_bytes=1)._select_pairs(part_r, part_s)
+    assert 3 not in ids_tiny

@@ -197,6 +197,71 @@ def test_ci_runs_serve_smoke_and_enforces_coverage():
     assert "coverage==" in constraints
 
 
+def test_robustness_doc_covers_disk_faults_and_spill_recovery():
+    """The disk-fault ladder and checkpoint/resume are documented."""
+    from repro.faults.plan import (
+        DISK_FAULT_KINDS,
+        STORE_READ_POINT,
+        STORE_WRITE_POINT,
+    )
+    text = (ROOT / "docs" / "robustness.md").read_text()
+    assert "Disk faults & spill recovery" in text
+    for kind in DISK_FAULT_KINDS:
+        assert f"`{kind}`" in text, f"disk fault kind {kind} undocumented"
+    for point in (STORE_WRITE_POINT, STORE_READ_POINT):
+        assert f"`{point}`" in text, f"store point {point} undocumented"
+    for term in ("chaos --spill", "--resume", "SpillError", "run.json",
+                 "degrade"):
+        assert term in text, f"robustness.md lacks {term}"
+
+
+def test_performance_doc_covers_the_spill_budget():
+    """docs/performance.md documents every spill knob with its default."""
+    from repro.store.chunks import CODEC_ENV
+    from repro.store.spill import (
+        DEFAULT_CHUNK_BYTES,
+        MEMORY_BUDGET_ENV,
+        SPILL_CHUNK_BYTES_ENV,
+        SPILL_DIR_ENV,
+        SPILL_STRICT_ENV,
+    )
+    text = (ROOT / "docs" / "performance.md").read_text()
+    for env in (MEMORY_BUDGET_ENV, SPILL_DIR_ENV, SPILL_CHUNK_BYTES_ENV,
+                SPILL_STRICT_ENV, CODEC_ENV):
+        assert env in text, f"performance.md lacks {env}"
+    assert str(DEFAULT_CHUNK_BYTES) in text
+    assert "diff --spill" in text
+    assert "bit-identical" in text
+    assert "store.chunks_written" in (
+        ROOT / "docs" / "observability.md").read_text()
+
+
+def test_spill_bench_tier_is_committed_and_wired():
+    """The spilled scale tier has a committed baseline and make targets."""
+    text = (ROOT / "docs" / "performance.md").read_text()
+    assert "BENCH_spill_seed.json" in text
+    assert (ROOT / "BENCH_spill_seed.json").exists()
+    makefile = (ROOT / "Makefile").read_text()
+    for target in ("bench-spill", "spill-chaos"):
+        assert target in text, f"performance.md lacks {target}"
+        assert f"{target}:" in makefile, f"Makefile lacks {target}"
+
+
+def test_ci_runs_spill_chaos_with_manifest_artifact():
+    """The spill-chaos job kill-and-resumes on vector AND parallel and
+    uploads the spill manifests."""
+    ci = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
+    assert "spill-chaos:" in ci
+    assert "chaos --spill" in ci
+    assert "--artifact-dir" in ci
+    assert "spill-manifests" in ci
+    spill_job = ci.split("spill-chaos:")[1]
+    assert spill_job.count("chaos --spill") >= 2, (
+        "spill-chaos must sweep both the vector and parallel backends")
+    assert "REPRO_BACKEND=parallel" in spill_job
+    assert "zstandard==" in (ROOT / "constraints.txt").read_text()
+
+
 def test_ci_runs_serve_chaos_with_health_artifact():
     """The serve-chaos job storms both backends and uploads health."""
     ci = (ROOT / ".github" / "workflows" / "ci.yml").read_text()

@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test lint trace-smoke chaos-smoke serve-smoke serve-chaos spill-chaos diff-served diff-spill bench bench-paper bench-record bench-compare bench-parallel bench-spill diff-backends examples docs-check all
+.PHONY: install test lint trace-smoke chaos-smoke serve-smoke serve-chaos spill-chaos diff-served diff-spill bench bench-paper bench-record bench-compare bench-parallel bench-spill diff-backends plan-gate run-auto examples docs-check all
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -81,6 +81,18 @@ bench-parallel:
 # re-recording; the compare inherits the baseline's spill budget).
 bench-spill:
 	$(PYTHON) -m repro bench --compare BENCH_spill_seed.json
+
+# Planner regret gate over the diff grid (the CI gate): the pick must
+# land within 2x of the measured oracle on every dataset, and planned
+# output must be bit-identical to the same configuration forced by hand.
+plan-gate:
+	REPRO_WORKERS=2 REPRO_PARALLEL_MIN_TUPLES=0 \
+		$(PYTHON) -m repro plan --gate --tuples 20000 --seed 42 \
+		--out plan-artifacts
+
+# One planned end-to-end run: sketch, price candidates, execute argmin.
+run-auto:
+	$(PYTHON) -m repro run --auto --theta 1.0 --tuples 65536
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -73,6 +73,11 @@ class CaseBench:
     output_count: int
     output_checksum: int
     phases: List[PhaseBench] = field(default_factory=list)
+    #: Planner bookkeeping when the bench ran with a planner attached
+    #: (``repro bench --record --auto``): predicted vs realized wall per
+    #: backend and whether the planner would pick this algorithm.  Absent
+    #: (None) on plain benches — same schema version either way.
+    plan: Optional[Dict] = None
 
     def total_wall(self, backend: str) -> float:
         """Sum of per-phase median wall seconds for one backend."""
@@ -151,6 +156,7 @@ def record_bench(
     backends: Sequence[str] = BACKENDS,
     algorithms: Optional[Iterable[str]] = None,
     spill_budget_bytes: Optional[int] = None,
+    planner=None,
 ) -> BenchRecord:
     """Execute the bench matrix and collect per-phase median wall times.
 
@@ -165,6 +171,11 @@ def record_bench(
     encode/fsync on the way down, validated reads on the way back).
     Phase structure and outputs are identical to in-RAM by construction,
     so the same schema and gate apply.
+
+    ``planner`` (a :class:`repro.plan.planner.Planner`) annotates every
+    case with predicted-vs-realized wall costs per backend and the
+    planner's pick — the columns ``repro bench --compare --json``
+    surfaces when plans are present.
     """
     from repro.api import ALGORITHMS, make_join
     from repro.bench.runner import exec_bench_tuples
@@ -191,6 +202,10 @@ def record_bench(
                          repeats=repeats, backends=list(backends),
                          worker_count=pool_size,
                          spill_budget_bytes=spill_budget_bytes)
+    plan_sketch = full_plan = None
+    if planner is not None:
+        plan_sketch = planner.sketch(join_input)
+        full_plan = planner.plan(join_input)
     for algo in algorithms:
         walls: Dict[str, Dict[str, List[float]]] = {}
         reference = None
@@ -232,6 +247,26 @@ def record_bench(
                 counters={k: v for k, v in phase.counters.as_dict().items()
                           if v},
             ))
+        if planner is not None:
+            from repro.exec.backend import PARALLEL as _PAR
+            from repro.plan.candidates import CandidatePoint
+            predicted = {}
+            for backend in backends:
+                point = CandidatePoint(
+                    algo, backend,
+                    pool_size if backend == _PAR else 1)
+                predicted[backend] = planner.predict_point(
+                    plan_sketch, point).predicted_wall_seconds
+            chosen = full_plan.chosen
+            case.plan = {
+                "predicted_wall_seconds": predicted,
+                "realized_wall_seconds": {
+                    b: case.total_wall(b) for b in backends},
+                "picked": (chosen is not None
+                           and chosen.point.algorithm == algo),
+                "picked_point": (chosen.point.label()
+                                 if chosen is not None else None),
+            }
         record.cases.append(case)
     return record
 
@@ -253,6 +288,7 @@ def bench_to_dict(record: BenchRecord) -> Dict:
                 "algorithm": c.algorithm,
                 "output_count": c.output_count,
                 "output_checksum": c.output_checksum,
+                **({"plan": c.plan} if c.plan else {}),
                 "phases": [
                     {
                         "name": p.name,
@@ -296,6 +332,7 @@ def bench_from_dict(data: Dict, source: str = "<dict>") -> BenchRecord:
                     algorithm=c["algorithm"],
                     output_count=int(c["output_count"]),
                     output_checksum=int(c["output_checksum"]),
+                    plan=c.get("plan"),
                     phases=[
                         PhaseBench(
                             name=p["name"],
@@ -422,6 +459,9 @@ class BenchComparison:
     parallel_scaling: Optional[float] = None
     worker_count: int = 1
     deltas: List[PhaseDelta] = field(default_factory=list)
+    #: Per-algorithm planner predicted-vs-realized rows, present when the
+    #: candidate bench ran with a planner attached.
+    planner_rows: List[Dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -454,6 +494,18 @@ class BenchComparison:
                 f"{reg.candidate_seconds:.4f}s ({reg.ratio:.2f}x)")
         for note in self.counter_drift:
             lines.append(f"  note: {note}")
+        for row in self.planner_rows:
+            predicted = row.get("predicted_wall_seconds", {}).get(
+                self.gate_backend)
+            realized = row.get("realized_wall_seconds", {}).get(
+                self.gate_backend)
+            if predicted is None or realized is None:
+                continue
+            mark = " [picked]" if row.get("picked") else ""
+            lines.append(
+                f"  plan: {row.get('algorithm')}: predicted "
+                f"{predicted:.4f}s, realized {realized:.4f}s "
+                f"({self.gate_backend}){mark}")
         lines.append("BENCH COMPARE " + ("OK" if self.ok else "FAILED"))
         return "\n".join(lines)
 
@@ -490,6 +542,10 @@ def compare_benches(
         parallel_scaling=candidate.parallel_scaling(),
         worker_count=candidate.worker_count,
     )
+    for case in candidate.cases:
+        if case.plan:
+            comparison.planner_rows.append(
+                {"algorithm": case.algorithm, **case.plan})
     for base_case in baseline.cases:
         cand_case = candidate.case(base_case.algorithm)
         if cand_case is None:
@@ -576,4 +632,6 @@ def comparison_to_dict(comparison: BenchComparison) -> Dict:
         ],
         "missing": list(comparison.missing),
         "counter_drift": list(comparison.counter_drift),
+        **({"planner": list(comparison.planner_rows)}
+           if comparison.planner_rows else {}),
     }

@@ -36,6 +36,16 @@ Commands:
   build cache, and graceful SIGTERM drain.  ``--smoke`` runs the
   end-to-end serving scenario (daemon + client, overlapping requests,
   injected fault) in-process and exits — the serve-smoke CI job.
+  ``--planner auto`` lets the adaptive planner pick each request's
+  backend and learn from every answer.
+* ``plan``   — the adaptive planner's explain mode: sketch a workload,
+  print the full candidate table (every algorithm x backend x workers
+  point with its predicted cost), the constraints, and the chosen
+  point.  ``--execute`` runs the pick (bit-identical to forcing the
+  same configuration by hand) and learns from the realized walls;
+  ``--gate`` measures planner regret against the observed-best
+  candidate over the diff grid — the plan-gate CI job.  ``repro run
+  --auto`` is the one-shot form: plan, execute, learn.
 
 Examples::
 
@@ -60,7 +70,12 @@ Examples::
     python -m repro chaos --spill --seed 42 --artifact-dir chaos-art
     python -m repro serve --port 7654 --trace-out serve-trace.jsonl
     python -m repro serve --smoke --trace-out smoke-trace.jsonl
+    python -m repro serve --port 7654 --planner auto
     python -m repro diff --served --tuples 2048
+    python -m repro plan --theta 1.0 --tuples 65536
+    python -m repro plan --tuples 65536 --execute --json plan.json
+    python -m repro plan --gate --tuples 20000 --out plan-artifacts
+    python -m repro run --auto --theta 1.0 --tuples 262144
 """
 
 from __future__ import annotations
@@ -113,6 +128,7 @@ from repro.faults.chaos import run_chaos
 from repro.faults.plan import DEFAULT_CHAOS_ALGORITHMS
 from repro.faults.report import verify_result_faults
 from repro.obs import render_trace, verify_result_trace
+from repro.plan import verify_result_plan
 from repro.serve.admission import AdmissionController, DEFAULT_MORSEL_TUPLES
 from repro.serve.cache import (
     DEFAULT_CACHE_ENTRIES,
@@ -158,9 +174,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="zipf factor (default 0.9)")
     run_p.add_argument("--seed", type=int, default=42)
     run_p.add_argument("--algorithm", "-a", choices=sorted(ALGORITHMS),
-                       default="csh")
+                       default=None,
+                       help="algorithm to run (default csh)")
     run_p.add_argument("--all", action="store_true",
                        help="run every algorithm and compare")
+    run_p.add_argument("--auto", action="store_true",
+                       help="let the adaptive planner choose the "
+                            "(algorithm, backend, workers) point; "
+                            "bit-identical to forcing the same "
+                            "configuration by hand, and the realized "
+                            "walls feed the planner's learned "
+                            "corrections (mutually exclusive with "
+                            "--algorithm/--backend/--all)")
     run_p.add_argument("--counters", action="store_true",
                        help="print the operation counters")
     run_p.add_argument("--analytic", action="store_true",
@@ -240,6 +265,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="with --compare: also write the machine-"
                               "readable comparison (verdict, per-phase "
                               "deltas, speedups) to FILE")
+    bench_p.add_argument("--auto", action="store_true",
+                         help="attach the adaptive planner to --record/"
+                              "--compare: every case gains predicted-vs-"
+                              "realized planner cost columns (surfaced "
+                              "by --compare --json when present)")
 
     diff_p = sub.add_parser(
         "diff", help="scalar-vs-vector differential across all algorithms")
@@ -375,6 +405,70 @@ def build_parser() -> argparse.ArgumentParser:
                          help="zipf factor for --smoke (default 1.0)")
     serve_p.add_argument("--seed", type=int, default=42,
                          help="workload seed for --smoke (default 42)")
+    serve_p.add_argument("--planner", choices=("off", "auto"),
+                         default="off",
+                         help="'auto' lets the adaptive planner pick each "
+                              "request's backend from the npj cost model "
+                              "and learn serve-specific corrections from "
+                              "every answer; answers stay bit-identical "
+                              "(default off)")
+
+    plan_p = sub.add_parser(
+        "plan",
+        help="adaptive planner: explain candidate costs, execute the "
+             "pick, or gate planner regret (CI)")
+    plan_p.add_argument("--tuples", "-n", type=int, default=None,
+                        help="tuples per table (default 65536; 20000 "
+                             "with --gate)")
+    plan_p.add_argument("--theta", "-t", type=float, default=0.9,
+                        help="zipf factor (default 0.9)")
+    plan_p.add_argument("--seed", type=int, default=42)
+    plan_p.add_argument("--load", metavar="FILE",
+                        help="plan a saved .npz workload instead of "
+                             "generating one")
+    plan_p.add_argument("--backends", type=str, default="",
+                        help="comma-separated backends to consider "
+                             "(default: all usable on this host)")
+    plan_p.add_argument("--algorithms", type=str, default="",
+                        help="comma-separated algorithms to consider "
+                             "(default: all)")
+    plan_p.add_argument("--max-workers", type=int, default=None,
+                        help="cap on the parallel worker ladder "
+                             "(default: the configured pool size)")
+    plan_p.add_argument("--memory-budget", type=int, metavar="BYTES",
+                        default=None,
+                        help="memory-budget constraint: inputs beyond it "
+                             "are only feasible on spill-capable "
+                             f"algorithms (default: ${MEMORY_BUDGET_ENV})")
+    plan_p.add_argument("--deadline-ms", type=float, default=None,
+                        help="deadline constraint: candidates predicted "
+                             "over this budget are marked infeasible")
+    plan_p.add_argument("--corrections", metavar="FILE",
+                        help="corrections file to load/learn "
+                             "(default: $REPRO_PLAN_CORRECTIONS)")
+    plan_p.add_argument("--learn", metavar="JSONL",
+                        help="fold a JSONL trace artifact's planned runs "
+                             "into the corrections before planning")
+    plan_p.add_argument("--execute", action="store_true",
+                        help="run the chosen point and learn from the "
+                             "realized walls")
+    plan_p.add_argument("--json", metavar="FILE", dest="json_out",
+                        help="also write the candidate table as JSON")
+    plan_p.add_argument("--gate", action="store_true",
+                        help="run the regret gate over the diff grid: "
+                             "measure every candidate, exit 1 if the "
+                             "pick exceeds --regret-threshold times the "
+                             "observed best, or if a planned run is not "
+                             "bit-identical to the forced configuration")
+    plan_p.add_argument("--gate-repeats", type=int, default=2,
+                        help="measurement repeats per candidate in the "
+                             "gate (default 2)")
+    plan_p.add_argument("--regret-threshold", type=float, default=2.0,
+                        help="regret factor the gate tolerates "
+                             "(default 2.0)")
+    plan_p.add_argument("--out", metavar="DIR",
+                        help="with --gate: write plan-candidates.json "
+                             "and regret-report.json artifacts to DIR")
     return parser
 
 
@@ -385,6 +479,10 @@ def _cmd_run(args) -> int:
         result = resume_run(args.resume)
         print(result_report(result, counters=args.counters))
         return 0
+    if args.auto:
+        return _cmd_run_auto(args)
+    if args.algorithm is None:
+        args.algorithm = "csh"
     if args.backend:
         with use_backend(args.backend):
             args.backend = None
@@ -445,6 +543,49 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_run_auto(args) -> int:
+    """``repro run --auto``: plan, execute the argmin, learn."""
+    from repro.plan import Constraints, Planner
+
+    if args.algorithm is not None or args.backend or args.all:
+        print("error: --auto chooses the algorithm and backend itself; "
+              "drop --algorithm/--backend/--all (force a configuration "
+              "by hand to compare — the answers are bit-identical)",
+              file=sys.stderr)
+        return 2
+    if args.analytic or args.spill_dir or args.spill_strict:
+        print("error: --auto cannot be combined with --analytic or the "
+              "spill-session options", file=sys.stderr)
+        return 2
+    if args.load:
+        join_input = load_join_input(args.load)
+    else:
+        join_input = ZipfWorkload(args.tuples, args.tuples, args.theta,
+                                  seed=args.seed).generate()
+    if args.save:
+        save_join_input(join_input, args.save)
+        print(f"workload saved to {args.save}")
+    overrides = {}
+    if args.memory_budget is not None:
+        overrides["memory_budget_bytes"] = args.memory_budget
+    planner = Planner(constraints=Constraints.from_environment(**overrides))
+    plan = planner.plan(join_input)
+    if plan.chosen is None:
+        print(plan.render())
+        print("error: no feasible candidate under the constraints",
+              file=sys.stderr)
+        return 1
+    result = planner.execute(join_input, plan)
+    planner.learn(result)
+    meta = result.meta["plan"]
+    print(f"planned: {plan.chosen.point.label()} "
+          f"(predicted {meta['predicted_wall_seconds']:.4f}s wall, "
+          f"realized {meta['realized_wall_seconds']:.4f}s, "
+          f"{meta['feasible']}/{meta['candidates']} candidates feasible)")
+    print(result_report(result, counters=args.counters))
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     thetas = [float(t) for t in args.thetas.split(",") if t.strip()]
     algorithms = sorted(ALGORITHMS)
@@ -472,6 +613,10 @@ def _cmd_bench(args) -> int:
         print("error: --record and --compare are mutually exclusive",
               file=sys.stderr)
         return 2
+    planner = None
+    if args.auto:
+        from repro.plan import CorrectionStore, Planner
+        planner = Planner(corrections=CorrectionStore())
     if args.record:
         spill_budget = None
         if args.spill:
@@ -479,7 +624,8 @@ def _cmd_bench(args) -> int:
             n = exec_bench_tuples()
             spill_budget = max(12 * 2 * n // 4, 1)
         record = record_bench(args.tag, repeats=args.repeats,
-                              spill_budget_bytes=spill_budget)
+                              spill_budget_bytes=spill_budget,
+                              planner=planner)
         path = save_bench(record, bench_path(args.tag, args.dir))
         speedup = record.median_speedup()
         extra = (f", median vector speedup {speedup:.1f}x"
@@ -502,6 +648,7 @@ def _cmd_bench(args) -> int:
             backends=baseline.backends,
             algorithms=[c.algorithm for c in baseline.cases],
             spill_budget_bytes=baseline.spill_budget_bytes,
+            planner=planner,
         )
         if args.save_candidate:
             save_bench(candidate, args.save_candidate)
@@ -524,6 +671,84 @@ def _cmd_bench(args) -> int:
         return 2
     BENCH_COMMANDS[args.experiment]()
     return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.plan import (
+        Constraints,
+        CorrectionStore,
+        DEFAULT_GATE_TUPLES,
+        Planner,
+        corrections_path_from_env,
+        run_plan_gate,
+    )
+
+    backends = tuple(b.strip() for b in args.backends.split(",")
+                     if b.strip()) or None
+    if backends:
+        for backend in backends:
+            validate_backend(backend)
+    if args.gate:
+        report = run_plan_gate(
+            n_tuples=(args.tuples if args.tuples is not None
+                      else DEFAULT_GATE_TUPLES),
+            seed=args.seed,
+            repeats=args.gate_repeats,
+            threshold=args.regret_threshold,
+            **({"backends": backends} if backends else {}),
+            out_dir=args.out,
+        )
+        print(report.render())
+        if args.out:
+            print(f"artifacts written to {args.out}/plan-candidates.json "
+                  f"and {args.out}/regret-report.json")
+        return 0 if report.ok else 1
+
+    algorithms = tuple(a.strip() for a in args.algorithms.split(",")
+                       if a.strip()) or None
+    overrides = {
+        "backends": backends,
+        "algorithms": algorithms,
+        "max_workers": args.max_workers,
+        "deadline_ms": args.deadline_ms,
+    }
+    if args.memory_budget is not None:
+        overrides["memory_budget_bytes"] = args.memory_budget
+    corrections = CorrectionStore(
+        path=args.corrections if args.corrections
+        else corrections_path_from_env())
+    planner = Planner(corrections=corrections,
+                      constraints=Constraints.from_environment(**overrides))
+    if args.learn:
+        n = corrections.learn_from_jsonl(args.learn)
+        corrections.save()
+        print(f"learned {n} phase observation(s) from {args.learn}")
+    if args.load:
+        join_input = load_join_input(args.load)
+    else:
+        n_tuples = args.tuples if args.tuples is not None else 1 << 16
+        join_input = ZipfWorkload(n_tuples, n_tuples, args.theta,
+                                  seed=args.seed).generate()
+    plan = planner.plan(join_input)
+    print(plan.render())
+    if args.json_out:
+        import json
+        from pathlib import Path
+        out = Path(args.json_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(plan.to_dict(), indent=2,
+                                  sort_keys=True) + "\n", encoding="utf-8")
+        print(f"candidate table written to {out}")
+    if args.execute:
+        if plan.chosen is None:
+            print("error: cannot execute — no feasible candidate",
+                  file=sys.stderr)
+            return 1
+        result = planner.execute(join_input, plan)
+        planner.learn(result)
+        print()
+        print(result_report(result))
+    return 0 if plan.chosen is not None else 1
 
 
 def _cmd_diff(args) -> int:
@@ -586,7 +811,8 @@ def _cmd_trace(args) -> int:
             print(render_trace(result.trace, metrics=not args.no_metrics))
         if args.check:
             for error in (verify_result_trace(result),
-                          verify_result_faults(result)):
+                          verify_result_faults(result),
+                          verify_result_plan(result)):
                 if error is not None:
                     failures.append(error)
     if args.out and not args.load:
@@ -599,8 +825,9 @@ def _cmd_trace(args) -> int:
                 print(f"TRACE CHECK FAILED: {error}")
             return 1
         print(f"trace check OK: {len(results)} result(s), every phase sum "
-              "matches its reported total and every fault report is "
-              "consistent with its trace counters")
+              "matches its reported total, every fault report is "
+              "consistent with its trace counters, and every planned "
+              "result's prediction bookkeeping holds")
     return 0
 
 
@@ -636,8 +863,13 @@ def _cmd_serve(args) -> int:
                          trace_out=args.trace_out)
     import asyncio
 
+    planner = None
+    if args.planner == "auto":
+        from repro.plan import ServeProbePlanner
+        planner = ServeProbePlanner()
     engine = ServeEngine(
         cache_entries=args.cache_entries,
+        planner=planner,
         admission=AdmissionController(
             max_inflight=args.max_inflight,
             max_queue=args.max_queue,
@@ -699,6 +931,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_chaos(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "plan":
+            return _cmd_plan(args)
     except BrokenPipeError:  # output truncated by a closed pipe (| head)
         return 0
     return 2  # pragma: no cover - argparse enforces the choices

@@ -27,8 +27,12 @@ from repro.exec.result import JoinResult
 #: Meta keys allowed to differ between backends (the backend tag itself)
 #: and between spilled and in-RAM runs (how a run met its memory budget
 #: is environment, not answer — the join output must still be identical).
+#: ``plan`` is the planner's bookkeeping: how a configuration was chosen
+#: is environment too, and the plan-gate's bit-identity check relies on
+#: planned-vs-forced runs comparing clean.
 _BACKEND_ONLY_META = frozenset({
     "backend",
+    "plan",
     "spilled_partitions",
     "spill_chunks",
     "spill_degraded",

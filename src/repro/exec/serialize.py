@@ -188,13 +188,23 @@ def results_from_jsonl_file(path: Union[str, Path],
 
 
 def _jsonable_meta(meta: Dict) -> Dict:
-    out = {}
-    for key, value in meta.items():
-        if isinstance(value, (str, int, float, bool)) or value is None:
-            out[key] = value
-        elif isinstance(value, (list, tuple)):
-            out[key] = [int(v) if hasattr(v, "__int__") else v
-                        for v in value]
-        else:
-            out[key] = str(value)
-    return out
+    return {key: _jsonable_value(value) for key, value in meta.items()}
+
+
+def _jsonable_value(value):
+    """Recursively coerce a meta value to plain JSON types.
+
+    Nested dicts (the planner's ``meta["plan"]`` bookkeeping) survive
+    structurally — the trace-history learner and ``trace --check`` read
+    them back from JSONL artifacts.  Anything unrecognized degrades to
+    its string form rather than failing the export.
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable_value(v) for v in value]
+    if hasattr(value, "__int__"):  # numpy integer scalars
+        return int(value)
+    return str(value)

@@ -1,0 +1,198 @@
+"""Sampled workload sketches: the planner's view of a join input.
+
+The planner never joins the real tuples to rank candidates — it predicts
+from a key histogram.  Small inputs get the exact histogram (cheap); big
+inputs get an *estimated* one built from a seeded sample of each side,
+reusing the CSH detector's sketch-based skew estimation
+(:func:`repro.core.csh.detector.detect_skewed_keys`) for the heavy head:
+
+* keys seen at least ``freq_threshold`` times in a sample scale to
+  ``count * n / sample_size`` estimated tuples (the head — this is where
+  skew lives, and skew is what separates the candidate algorithms);
+* the remaining mass is spread over an estimated tail of
+  ``singletons / sample_rate`` distinct synthetic keys.
+
+The estimate preserves the two quantities the cost models are most
+sensitive to — total tuple counts exactly, and heavy-hitter frequencies
+to sampling accuracy — while the learned corrections absorb what the
+tail shape gets wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.analytic import AnalyticWorkload
+from repro.core.csh.detector import detect_skewed_keys
+from repro.data.relation import JoinInput
+from repro.types import SeedLike, make_rng
+
+#: Inputs at or below this many tuples per side sketch exactly — building
+#: the true histogram costs less than joining them would.
+DEFAULT_EXACT_BELOW = 4096
+
+#: Default sampling rate for estimated sketches (5%: cheap on millions of
+#: tuples, and heavy hitters at that rate are detected with near
+#: certainty — the same regime as CSH's 1% detection pass).
+DEFAULT_SAMPLE_RATE = 0.05
+
+#: A sampled key this frequent in the sample is a head key (matches the
+#: CSH detector's default threshold).
+DEFAULT_FREQ_THRESHOLD = 2
+
+
+@dataclass
+class WorkloadSketch:
+    """An (estimated) histogram of one join input, plus how it was made."""
+
+    workload: AnalyticWorkload
+    n_r: int
+    n_s: int
+    exact: bool
+    sample_rate: float
+    sample_size_r: int = 0
+    sample_size_s: int = 0
+    #: Skewed keys the CSH detector reported on the R sample.
+    n_skewed: int = 0
+
+    @property
+    def estimated_output(self) -> int:
+        """Estimated join cardinality of the sketch."""
+        return self.workload.output_count()
+
+    @property
+    def estimated_bytes(self) -> int:
+        """Resident bytes of the partitioned inputs (12 bytes/tuple:
+        key + payload + hash), the spill plane's budget currency."""
+        return 12 * (self.n_r + self.n_s)
+
+    def summary(self) -> dict:
+        """Plan-metadata form of the sketch provenance."""
+        return {
+            "n_r": self.n_r,
+            "n_s": self.n_s,
+            "exact": self.exact,
+            "sample_rate": self.sample_rate,
+            "sample_size_r": self.sample_size_r,
+            "sample_size_s": self.sample_size_s,
+            "skewed_keys": self.n_skewed,
+            "distinct_keys": int(self.workload.keys.size),
+            "estimated_output": self.estimated_output,
+        }
+
+
+def _estimate_side(keys: np.ndarray, sample_rate: float,
+                   freq_threshold: int, rng) -> "tuple[dict, int, int]":
+    """(head key -> estimated count, singleton sample count, sample size)."""
+    n = int(keys.size)
+    sample_size = max(int(round(n * sample_rate)), min(n, 1))
+    if sample_size == 0:
+        return {}, 0, 0
+    sample = keys[rng.integers(0, n, size=sample_size)]
+    uniq, counts = np.unique(sample, return_counts=True)
+    head_mask = counts >= freq_threshold
+    scale = n / sample_size
+    head = {
+        int(k): max(int(round(c * scale)), 1)
+        for k, c in zip(uniq[head_mask], counts[head_mask])
+    }
+    singletons = int(counts[~head_mask].sum())
+    return head, singletons, sample_size
+
+
+def _synthetic_tail_keys(n_keys: int, used: np.ndarray) -> np.ndarray:
+    """``n_keys`` uint32 keys disjoint from ``used`` (sequential from just
+    past the used maximum, wrapping into the low range if need be)."""
+    if n_keys <= 0:
+        return np.empty(0, dtype=np.uint32)
+    start = (int(used.max()) + 1) if used.size else 0
+    candidates = np.arange(start, start + n_keys + used.size,
+                           dtype=np.uint64) % (1 << 32)
+    fresh = candidates[~np.isin(candidates.astype(np.uint32), used)]
+    return fresh[:n_keys].astype(np.uint32)
+
+
+def _spread_tail(total: int, n_keys: int) -> np.ndarray:
+    """Integer counts spreading ``total`` tuples over ``n_keys`` keys."""
+    if n_keys <= 0 or total <= 0:
+        return np.empty(0, dtype=np.int64)
+    counts = np.full(n_keys, total // n_keys, dtype=np.int64)
+    counts[:total % n_keys] += 1
+    return counts
+
+
+def sketch_workload(
+    join_input: JoinInput,
+    sample_rate: float = DEFAULT_SAMPLE_RATE,
+    freq_threshold: int = DEFAULT_FREQ_THRESHOLD,
+    seed: SeedLike = 0,
+    exact_below: int = DEFAULT_EXACT_BELOW,
+) -> WorkloadSketch:
+    """Sketch one join input into an :class:`AnalyticWorkload`.
+
+    Deterministic for a given (input, seed): the planner must make the
+    same choice for the same request every time.
+    """
+    n_r = len(join_input.r)
+    n_s = len(join_input.s)
+    if max(n_r, n_s) <= exact_below:
+        return WorkloadSketch(
+            workload=AnalyticWorkload.from_join_input(join_input,
+                                                      label="exact"),
+            n_r=n_r, n_s=n_s, exact=True, sample_rate=1.0,
+            sample_size_r=n_r, sample_size_s=n_s,
+        )
+
+    rng = make_rng(seed)
+    detection = detect_skewed_keys(join_input.r.keys,
+                                   sample_rate=sample_rate,
+                                   freq_threshold=freq_threshold,
+                                   seed=seed)
+    head_r, single_r, m_r = _estimate_side(join_input.r.keys, sample_rate,
+                                           freq_threshold, rng)
+    head_s, single_s, m_s = _estimate_side(join_input.s.keys, sample_rate,
+                                           freq_threshold, rng)
+    # The head is the union of both sides' frequent keys plus whatever the
+    # CSH detector flagged — a key skewed on either side matters to both.
+    head_keys = sorted(set(head_r) | set(head_s)
+                       | {int(k) for k in detection.skewed_keys})
+    head_arr = np.asarray(head_keys, dtype=np.uint32)
+
+    cr_head = np.asarray([head_r.get(k, 0) for k in head_keys],
+                         dtype=np.int64)
+    cs_head = np.asarray([head_s.get(k, 0) for k in head_keys],
+                         dtype=np.int64)
+    # Clip head mass to the side totals, largest keys keeping their share.
+    for counts, total in ((cr_head, n_r), (cs_head, n_s)):
+        excess = int(counts.sum()) - total
+        while excess > 0 and counts.sum() > 0:
+            i = int(np.argmax(counts))
+            take = min(excess, int(counts[i]))
+            counts[i] -= take
+            excess -= take
+
+    rest_r = n_r - int(cr_head.sum())
+    rest_s = n_s - int(cs_head.sum())
+    # Estimated distinct tail keys: every singleton sample represents
+    # ~1/sample_rate unseen keys of similar rarity.
+    est_tail = int(round(max(single_r, single_s) / sample_rate))
+    n_tail = max(min(est_tail, max(rest_r, rest_s)), 1 if
+                 (rest_r or rest_s) else 0)
+    tail_arr = _synthetic_tail_keys(n_tail, head_arr)
+    n_tail = int(tail_arr.size)
+
+    keys = np.concatenate([head_arr, tail_arr])
+    cr = np.concatenate([cr_head, _spread_tail(rest_r, n_tail)
+                         if n_tail else np.empty(0, dtype=np.int64)])
+    cs = np.concatenate([cs_head, _spread_tail(rest_s, n_tail)
+                         if n_tail else np.empty(0, dtype=np.int64)])
+    cr = np.pad(cr, (0, keys.size - cr.size))
+    cs = np.pad(cs, (0, keys.size - cs.size))
+    workload = AnalyticWorkload(keys, cr, cs, label="sampled-sketch")
+    return WorkloadSketch(
+        workload=workload, n_r=n_r, n_s=n_s, exact=False,
+        sample_rate=sample_rate, sample_size_r=m_r, sample_size_s=m_s,
+        n_skewed=detection.n_skewed,
+    )

@@ -1,0 +1,103 @@
+"""Validation of planner bookkeeping on executed results.
+
+``repro trace --check`` runs :func:`verify_result_plan` alongside the
+trace and fault validators: a result that claims it was planned must
+carry a complete, internally consistent ``meta["plan"]`` — the chosen
+point matches the algorithm that actually ran, realized totals agree
+with the result's own accounting, and every prediction is a finite
+non-negative number.  Results without plan metadata pass trivially
+(hand-forced runs are not planned runs).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+#: Keys every plan-metadata payload must carry.
+REQUIRED_PLAN_KEYS = (
+    "algorithm", "backend", "workers",
+    "predicted_wall_seconds", "predicted_simulated_seconds",
+    "realized_wall_seconds", "realized_simulated_seconds",
+    "phases",
+)
+
+#: Relative tolerance for realized-total bookkeeping checks.
+PLAN_TOLERANCE = 1e-6
+
+
+def _bad_number(value) -> bool:
+    try:
+        v = float(value)
+    except (TypeError, ValueError):
+        return True
+    return not math.isfinite(v) or v < 0
+
+
+def verify_result_plan(result, tolerance: float = PLAN_TOLERANCE
+                       ) -> Optional[str]:
+    """Check a JoinResult's plan metadata for internal consistency.
+
+    Returns ``None`` when the result carries no plan (nothing to check)
+    or the plan's bookkeeping holds; otherwise a human-readable
+    description of the first problem found.
+    """
+    meta = getattr(result, "meta", None) or {}
+    plan = meta.get("plan")
+    if plan is None:
+        return None
+    algorithm = getattr(result, "algorithm", "?")
+    if not isinstance(plan, dict):
+        return (f"{algorithm}: meta['plan'] is {type(plan).__name__}, "
+                "not a dict — it was flattened in serialization")
+    missing = [k for k in REQUIRED_PLAN_KEYS if k not in plan]
+    if missing:
+        return f"{algorithm}: plan metadata is missing {missing}"
+    # The serve layer re-labels its results "serve"; every other planned
+    # result must be the algorithm the plan chose.
+    if algorithm not in (plan["algorithm"], "serve"):
+        return (f"{algorithm}: result ran {algorithm!r} but the plan "
+                f"chose {plan['algorithm']!r}")
+    for key in ("predicted_wall_seconds", "predicted_simulated_seconds",
+                "realized_wall_seconds", "realized_simulated_seconds"):
+        if _bad_number(plan[key]):
+            return (f"{algorithm}: plan {key} is {plan[key]!r}, not a "
+                    "finite non-negative number")
+    phases = plan["phases"]
+    if not isinstance(phases, list) or not phases:
+        return f"{algorithm}: plan phase list is empty"
+    predicted_sum = 0.0
+    for i, phase in enumerate(phases):
+        if not isinstance(phase, dict) or "name" not in phase:
+            return f"{algorithm}: plan phase #{i} is malformed: {phase!r}"
+        for key in ("simulated_seconds", "base_wall_seconds",
+                    "predicted_wall_seconds"):
+            if _bad_number(phase.get(key)):
+                return (f"{algorithm}: plan phase {phase['name']!r} {key} "
+                        f"is {phase.get(key)!r}")
+        predicted_sum += float(phase["predicted_wall_seconds"])
+    total = float(plan["predicted_wall_seconds"])
+    scale = max(abs(total), abs(predicted_sum), 1.0)
+    if abs(total - predicted_sum) > tolerance * scale:
+        return (f"{algorithm}: plan phases predict {predicted_sum!r} s "
+                f"but the plan total claims {total!r} s")
+    # Realized totals must agree with the result's own accounting when
+    # this is the live result (serve results re-time the probe, and
+    # algorithm-level totals no longer apply).
+    if algorithm == plan["algorithm"]:
+        result_sim = getattr(result, "simulated_seconds", None)
+        if result_sim is not None:
+            claimed = float(plan["realized_simulated_seconds"])
+            scale = max(abs(result_sim), abs(claimed), 1.0)
+            if abs(result_sim - claimed) > tolerance * scale:
+                return (f"{algorithm}: plan claims "
+                        f"{claimed!r} realized simulated seconds but the "
+                        f"result reports {result_sim!r}")
+        phase_names = {p.name for p in getattr(result, "phases", [])}
+        if phase_names:
+            extra = [p["name"] for p in phases
+                     if p["name"] not in phase_names]
+            if extra:
+                return (f"{algorithm}: plan predicts phases {extra} the "
+                        f"result never ran (ran: {sorted(phase_names)})")
+    return None

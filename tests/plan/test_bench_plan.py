@@ -1,0 +1,73 @@
+"""Planner columns in the bench pipeline (``repro bench --auto``)."""
+
+import json
+
+import pytest
+
+from repro.bench.regression import (
+    bench_from_dict,
+    bench_to_dict,
+    compare_benches,
+    comparison_to_dict,
+    record_bench,
+)
+from repro.exec.backend import VECTOR
+from repro.plan import CorrectionStore, Planner
+
+
+@pytest.fixture(scope="module")
+def planned_record():
+    planner = Planner(corrections=CorrectionStore(), bootstrap_bench=None)
+    return record_bench("plan-test", n_tuples=800, repeats=1,
+                        backends=(VECTOR,), planner=planner)
+
+
+def test_planned_bench_annotates_every_case(planned_record):
+    assert planned_record.cases
+    for case in planned_record.cases:
+        assert case.plan is not None
+        assert VECTOR in case.plan["predicted_wall_seconds"]
+        assert VECTOR in case.plan["realized_wall_seconds"]
+        assert case.plan["picked_point"] is not None
+    # Exactly one algorithm is the planner's pick.
+    assert sum(1 for c in planned_record.cases if c.plan["picked"]) == 1
+
+
+def test_plan_annotations_round_trip(planned_record):
+    reloaded = bench_from_dict(bench_to_dict(planned_record))
+    for original, back in zip(planned_record.cases, reloaded.cases):
+        assert back.plan == original.plan
+
+
+def test_plannerless_bench_has_no_plan_columns():
+    record = record_bench("plain-test", n_tuples=800, repeats=1,
+                          backends=(VECTOR,))
+    assert all(c.plan is None for c in record.cases)
+    payload = bench_to_dict(record)
+    assert all("plan" not in c for c in payload["cases"])
+
+
+def test_comparison_surfaces_predicted_vs_realized(planned_record):
+    baseline = record_bench("baseline", n_tuples=800, repeats=1,
+                            backends=(VECTOR,))
+    comparison = compare_benches(baseline, planned_record)
+    assert comparison.planner_rows
+    algorithms = {row["algorithm"] for row in comparison.planner_rows}
+    assert algorithms == {c.algorithm for c in planned_record.cases}
+
+    rendered = comparison.render()
+    assert "plan:" in rendered
+    assert "[picked]" in rendered
+
+    payload = comparison_to_dict(comparison)
+    assert payload["planner"] == comparison.planner_rows
+    assert json.loads(json.dumps(payload))["planner"]
+
+
+def test_plannerless_comparison_has_no_planner_key():
+    baseline = record_bench("baseline", n_tuples=800, repeats=1,
+                            backends=(VECTOR,))
+    comparison = compare_benches(baseline, baseline)
+    assert comparison.planner_rows == []
+    assert "planner" not in comparison_to_dict(comparison)
+    assert "plan:" not in comparison.render()

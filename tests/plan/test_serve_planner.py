@@ -1,0 +1,92 @@
+"""``planner: auto`` in the serve engine: per-request backend choice."""
+
+import pytest
+
+from repro.data.zipf import ZipfWorkload
+from repro.exec.backend import BACKENDS, VECTOR
+from repro.exec.differential import compare_results
+from repro.plan import CorrectionStore, ServeProbePlanner, verify_result_plan
+from repro.serve.engine import ProbeRequest, ServeEngine
+
+N = 1024
+SEED = 42
+
+
+@pytest.fixture
+def workload():
+    return ZipfWorkload(N, N, theta=1.0, seed=SEED).generate()
+
+
+def _engine(workload, planner=None):
+    engine = ServeEngine(planner=planner)
+    engine.register("rel", workload.r)
+    return engine
+
+
+def _probe(engine, workload):
+    return engine.probe_sync(
+        ProbeRequest(relation_id="rel", probe=workload.s,
+                     morsel_tuples=128))
+
+
+def test_decision_prices_build_only_when_cold(workload):
+    planner = ServeProbePlanner(corrections=CorrectionStore())
+    cold = planner.plan_probe(workload.r, workload.s, cold=True)
+    warm = planner.plan_probe(workload.r, workload.s, cold=False)
+    assert {p.name for p in cold.phases} == {"build", "probe"}
+    assert {p.name for p in warm.phases} == {"probe"}
+    assert warm.predicted_wall_seconds < cold.predicted_wall_seconds
+    assert cold.backend in BACKENDS
+    assert len(cold.candidates) >= 1
+
+
+def test_decision_is_deterministic(workload):
+    planner = ServeProbePlanner(corrections=CorrectionStore())
+    a = planner.plan_probe(workload.r, workload.s, cold=True)
+    b = planner.plan_probe(workload.r, workload.s, cold=True)
+    assert a.backend == b.backend
+    assert a.predicted_wall_seconds == b.predicted_wall_seconds
+
+
+def test_no_usable_backend_is_a_config_error(workload):
+    from repro.errors import ConfigError
+    planner = ServeProbePlanner(corrections=CorrectionStore(),
+                                backends=("no-such-backend",))
+    with pytest.raises(ConfigError):
+        planner.plan_probe(workload.r, workload.s, cold=True)
+
+
+def test_planned_probe_is_bit_identical_to_plain_serving(workload):
+    planner = ServeProbePlanner(corrections=CorrectionStore())
+    planned = _probe(_engine(workload, planner=planner), workload)
+    plain = _probe(_engine(workload), workload)
+    assert compare_results(planned.result, plain.result) == []
+    assert planned.chunks == plain.chunks
+
+
+def test_planned_probe_stamps_verifiable_bookkeeping(workload):
+    planner = ServeProbePlanner(corrections=CorrectionStore())
+    engine = _engine(workload, planner=planner)
+    cold = _probe(engine, workload)
+    warm = _probe(engine, workload)
+    for outcome, was_cold in ((cold, True), (warm, False)):
+        plan = outcome.result.meta["plan"]
+        assert plan["algorithm"] == "serve"
+        assert plan["cold"] is was_cold
+        assert verify_result_plan(outcome.result) is None
+    assert planner.planned == 2
+    assert planner.observed > 0
+
+
+def test_serve_planner_learns_and_persists(workload, tmp_path):
+    from repro.plan.serve_hook import SAVE_EVERY
+    path = tmp_path / "plan_corrections.json"
+    planner = ServeProbePlanner(
+        corrections=CorrectionStore(path=path),
+        backends=(VECTOR,))
+    engine = _engine(workload, planner=planner)
+    while planner.observed < SAVE_EVERY:
+        _probe(engine, workload)
+    assert path.exists()
+    reloaded = CorrectionStore(path=path)
+    assert reloaded.observations("serve", "probe", VECTOR) > 0

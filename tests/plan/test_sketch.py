@@ -1,0 +1,74 @@
+"""Workload sketches: exact below the threshold, sampled above it.
+
+The sketch is the planner's only view of the input, so these tests pin
+the two invariants the cost models depend on: total tuple counts are
+always exact, and heavy hitters survive sampling.
+"""
+
+import numpy as np
+
+from repro.data.generators import uniform_input
+from repro.data.zipf import ZipfWorkload
+from repro.plan import sketch_workload
+from repro.plan.sketch import DEFAULT_EXACT_BELOW
+
+
+def test_small_inputs_sketch_exactly():
+    ji = uniform_input(500, 500, n_keys=64, seed=3)
+    sketch = sketch_workload(ji)
+    assert sketch.exact
+    assert sketch.n_r == 500 and sketch.n_s == 500
+    assert int(sketch.workload.cr.sum()) == 500
+    assert int(sketch.workload.cs.sum()) == 500
+    # An exact sketch predicts the true join cardinality.
+    from tests.conftest import expected_summary
+    count, _ = expected_summary(ji)
+    assert sketch.estimated_output == count
+
+
+def test_large_inputs_sample_but_keep_totals_exact():
+    n = DEFAULT_EXACT_BELOW * 4
+    ji = ZipfWorkload(n, n, theta=1.0, seed=7).generate()
+    sketch = sketch_workload(ji)
+    assert not sketch.exact
+    assert 0 < sketch.sample_size_r < n
+    # Sampling estimates the histogram, never the totals: the cost
+    # models price partition passes from exact tuple counts.
+    assert int(sketch.workload.cr.sum()) == n
+    assert int(sketch.workload.cs.sum()) == n
+
+
+def test_sampled_sketch_catches_the_heavy_hitter():
+    n = DEFAULT_EXACT_BELOW * 4
+    ji = ZipfWorkload(n, n, theta=1.2, seed=11).generate()
+    sketch = sketch_workload(ji)
+    # Under theta=1.2 the top key owns a large share of R; a 5% sample
+    # cannot miss it, and its estimated count must be the right order.
+    true_top = int(np.bincount(ji.r.keys).max())
+    est_top = int(sketch.workload.cr.max())
+    assert est_top > true_top / 3
+    assert sketch.n_skewed >= 1
+
+
+def test_sketch_is_deterministic_per_seed():
+    n = DEFAULT_EXACT_BELOW * 2
+    ji = ZipfWorkload(n, n, theta=1.0, seed=5).generate()
+    a = sketch_workload(ji, seed=1)
+    b = sketch_workload(ji, seed=1)
+    assert np.array_equal(a.workload.keys, b.workload.keys)
+    assert np.array_equal(a.workload.cr, b.workload.cr)
+    assert a.summary() == b.summary()
+
+
+def test_estimated_bytes_is_the_spill_planes_currency():
+    ji = uniform_input(1000, 2000, n_keys=100, seed=1)
+    sketch = sketch_workload(ji)
+    assert sketch.estimated_bytes == 12 * 3000
+
+
+def test_summary_is_json_shaped():
+    import json
+    ji = uniform_input(300, 300, n_keys=10, seed=2)
+    summary = sketch_workload(ji).summary()
+    assert json.loads(json.dumps(summary)) == summary
+    assert summary["exact"] is True

@@ -98,12 +98,31 @@ def test_performance_doc_matches_the_gate():
 
 
 def test_committed_baseline_referenced_by_ci_exists():
-    """Both workflows and the README point at a baseline that is present."""
+    """CI points at a baseline that is present, and the pip cache key
+    (constraints.txt, via the shared composite action) exists."""
     ci = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
     assert "BENCH_seed.json" in ci
     assert (ROOT / "BENCH_seed.json").exists()
     assert (ROOT / "constraints.txt").exists()
-    assert "constraints.txt" in ci
+    action = (ROOT / ".github" / "actions" / "setup-repro" / "action.yml")
+    assert action.exists(), "the setup-repro composite action is missing"
+    assert "constraints.txt" in action.read_text()
+
+
+def test_workflows_share_the_setup_composite_action():
+    """Every job in both workflows sets up its toolchain through the
+    setup-repro composite action — no per-job setup-python/pip
+    boilerplate left behind."""
+    for name in ("ci.yml", "nightly.yml"):
+        text = (ROOT / ".github" / "workflows" / name).read_text()
+        jobs = text.count("runs-on:")
+        uses = text.count("uses: ./.github/actions/setup-repro")
+        assert uses == jobs, (
+            f"{name}: {jobs} jobs but {uses} setup-repro uses")
+        assert "actions/setup-python" not in text, (
+            f"{name}: python setup belongs in the composite action")
+        assert "pip install" not in text, (
+            f"{name}: dependency installs belong in the composite action")
 
 
 def test_experiments_covers_every_table_and_figure():
@@ -195,6 +214,79 @@ def test_ci_runs_serve_smoke_and_enforces_coverage():
     constraints = (ROOT / "constraints.txt").read_text()
     assert "pytest-cov==" in constraints
     assert "coverage==" in constraints
+
+
+def test_planning_doc_exists_and_covers_the_surface():
+    """docs/planning.md documents candidate enumeration, correction
+    learning, constraint handling, and every `repro plan` flag."""
+    from repro import cli
+    from repro.plan import DEFAULT_REGRET_THRESHOLD
+    from repro.plan.corrections import (
+        CORRECTIONS_ENV,
+        DEFAULT_CORRECTIONS_FILENAME,
+    )
+
+    path = ROOT / "docs" / "planning.md"
+    assert path.exists(), "docs/planning.md is missing"
+    text = path.read_text()
+    assert len(text) > 500
+    for term in ("candidate", "correction", "constraint", "sketch",
+                 "regret", "oracle", "bit-identical", "argmin",
+                 "memory budget", "deadline"):
+        assert term in text.lower(), f"planning.md lacks {term}"
+    assert CORRECTIONS_ENV in text
+    assert DEFAULT_CORRECTIONS_FILENAME in text
+    assert f"{DEFAULT_REGRET_THRESHOLD:g}x" in text
+
+    parser = cli.build_parser()
+    plan_parser = next(
+        action.choices["plan"]
+        for action in parser._subparsers._group_actions)
+    flags = [opt for a in plan_parser._actions for opt in a.option_strings
+             if opt.startswith("--") and opt != "--help"]
+    assert "--gate" in flags and "--execute" in flags
+    for flag in flags:
+        assert f"`{flag}`" in text, f"plan flag {flag} undocumented"
+    # The --auto entry points ride along in the same doc.
+    assert "run --auto" in text
+    assert "bench" in text and "--auto" in text
+    assert "--planner" in text
+
+
+def test_readme_and_observability_cover_the_planner():
+    readme = (ROOT / "README.md").read_text()
+    assert "repro plan" in readme
+    assert "--auto" in readme
+    assert "docs/planning.md" in readme
+    obs = (ROOT / "docs" / "observability.md").read_text()
+    for metric in ("plan.requests", "plan.predicted_wall_seconds",
+                   "plan.realized_wall_seconds"):
+        assert metric in obs, f"observability.md lacks {metric}"
+
+
+def test_ci_runs_the_plan_gate_with_artifacts():
+    """CI gates planner regret on every PR; nightly re-runs at 4x."""
+    ci = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
+    assert "plan-gate:" in ci
+    assert "make plan-gate" in ci
+    assert "make run-auto" in ci
+    assert "plan-candidates.json" in ci
+    assert "regret-report.json" in ci
+    nightly = (ROOT / ".github" / "workflows" / "nightly.yml").read_text()
+    assert "plan --gate" in nightly
+    assert "--tuples 80000" in nightly
+    makefile = (ROOT / "Makefile").read_text()
+    assert "plan-gate:" in makefile
+    assert "run-auto:" in makefile
+    assert "plan --gate" in makefile
+    assert "run --auto" in makefile
+
+
+def test_ci_coverage_floor_and_durations_are_ratcheted():
+    """The coverage ratchet sits at 78 and slow tests are surfaced."""
+    ci = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
+    assert "--cov-fail-under=78" in ci
+    assert "--durations=20" in ci
 
 
 def test_robustness_doc_covers_disk_faults_and_spill_recovery():

@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test lint trace-smoke chaos-smoke serve-smoke serve-chaos spill-chaos diff-served diff-spill bench bench-paper bench-record bench-compare bench-parallel bench-spill diff-backends plan-gate run-auto examples docs-check all
+.PHONY: install test lint trace-smoke chaos-smoke serve-smoke serve-chaos spill-chaos diff-served diff-spill diff-oocore bench bench-paper bench-record bench-compare bench-parallel bench-spill bench-oocore diff-backends plan-gate run-auto examples docs-check all
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -51,6 +51,12 @@ spill-chaos:
 diff-spill:
 	$(PYTHON) -m repro diff --spill --tuples 4096
 
+# Out-of-core differential: every dataset streamed to an on-disk
+# relation store (compressed on the skewed case) and re-joined on every
+# backend with columns paging in lazily — must match in-RAM bit for bit.
+diff-oocore:
+	$(PYTHON) -m repro diff --oocore --tuples 4096
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -81,6 +87,14 @@ bench-parallel:
 # re-recording; the compare inherits the baseline's spill budget).
 bench-spill:
 	$(PYTHON) -m repro bench --compare BENCH_spill_seed.json
+
+# Gate the out-of-core scale tier against its committed baseline: the
+# candidate re-streams the dataset, re-joins it on every backend in
+# fresh measurement children, and re-verifies bit-identity plus the
+# peak-RSS-under-budget claim (re-record with
+# `python -m repro bench --oocore --record --tag seed` and commit).
+bench-oocore:
+	$(PYTHON) -m repro bench --oocore --compare BENCH_oocore_seed.json
 
 # Planner regret gate over the diff grid (the CI gate): the pick must
 # land within 2x of the measured oracle on every dataset, and planned

@@ -6,15 +6,24 @@ Commands:
   ``--spill-dir`` / ``--memory-budget`` engage the crash-safe
   out-of-core spill plane (bit-identical to the in-RAM path);
   ``--resume DIR`` finishes an interrupted spilled run from its
-  durable manifest + checkpoint ledger.
+  durable manifest + checkpoint ledger.  ``--stream DIR`` runs
+  out-of-core end to end: the workload is streamed into an on-disk
+  relation store chunk by chunk and joined with columns paging in
+  lazily instead of ever materializing in RAM.
 * ``sweep``  — Figure-4-style zipf sweep.
 * ``bench``  — regenerate one of the paper's tables/figures, or record /
   compare executed wall-time snapshots (the CI regression gate).
+  ``--oocore`` records/compares the out-of-core scale tier instead: a
+  dataset larger than the memory budget is streamed to disk and joined
+  on every backend in a fresh measurement child, asserting
+  bit-identical answers with peak RSS under the budget.
 * ``diff``   — backend differential (scalar vs vector vs parallel)
   across the full algorithm x dataset grid (exit 1 on any divergence).
   ``--spill`` runs the spill column instead: every backend re-joins
   each dataset under a forced memory budget and must match the in-RAM
-  reference exactly.
+  reference exactly.  ``--oocore`` runs the out-of-core column: every
+  dataset is streamed to a (compressed) on-disk relation store and
+  every backend re-joins it with columns paging in lazily.
 * ``trace``  — per-phase breakdown traces: run-and-render, export to
   JSONL, re-render saved artifacts, and consistency-check phase sums.
 * ``chaos``  — seeded fault-injection sweep: every fault class against
@@ -67,6 +76,10 @@ Examples::
         --spill-dir /tmp/spill --algorithm cbase
     python -m repro run --resume /tmp/spill
     python -m repro diff --spill --tuples 2048
+    python -m repro run --stream /tmp/oocore --tuples 262144 --theta 0.5
+    python -m repro diff --oocore --tuples 2048
+    python -m repro bench --oocore --record --tag seed
+    python -m repro bench --oocore --compare BENCH_oocore_seed.json
     python -m repro chaos --spill --seed 42 --artifact-dir chaos-art
     python -m repro serve --port 7654 --trace-out serve-trace.jsonl
     python -m repro serve --smoke --trace-out smoke-trace.jsonl
@@ -107,7 +120,17 @@ from repro.bench.regression import (
     record_bench,
     save_bench,
 )
+from repro.bench.oocore import (
+    DEFAULT_OOCORE_N_S,
+    compare_oocore_benches,
+    load_oocore_bench,
+    oocore_bench_path,
+    record_oocore_bench,
+    render_oocore,
+    save_oocore_bench,
+)
 from repro.data.io import load_join_input, save_join_input
+from repro.data.stream import stream_zipf_input
 from repro.data.zipf import ZipfWorkload
 from repro.errors import BaselineError, ReproError
 from repro.exec.backend import (
@@ -119,6 +142,7 @@ from repro.exec.backend import (
 )
 from repro.exec.differential import (
     differential_matrix,
+    oocore_differential,
     render_differential,
     spill_differential,
 )
@@ -142,8 +166,12 @@ from repro.serve.protocol import PROTOCOL_VERSION
 from repro.serve.server import DEFAULT_DRAIN_SECONDS, DEFAULT_HOST, ServeServer
 from repro.serve.smoke import run_smoke
 from repro.store import (
+    CODEC_ENV,
     MEMORY_BUDGET_ENV,
+    PAGE_CACHE_ENV,
     SPILL_DIR_ENV,
+    dataset_bytes,
+    open_join_input,
     open_spill_session,
     resume_run,
     write_run_state,
@@ -217,6 +245,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "in DIR (revalidates chunks, discards torn "
                             "ledger tails, re-runs only unfinished "
                             "partition pairs)")
+    run_p.add_argument("--stream", metavar="DIR",
+                       help="run out-of-core: stream the zipf workload "
+                            "into an on-disk relation store at DIR "
+                            "chunk by chunk (an existing store there is "
+                            "reused), then join it with columns paging "
+                            "in lazily instead of materializing in RAM; "
+                            f"${CODEC_ENV} picks the chunk codec and "
+                            f"${PAGE_CACHE_ENV} the per-column segment "
+                            "cache depth")
 
     sweep_p = sub.add_parser("sweep", help="zipf sweep across algorithms")
     sweep_p.add_argument("--tuples", "-n", type=int, default=1 << 16)
@@ -270,6 +307,20 @@ def build_parser() -> argparse.ArgumentParser:
                               "--compare: every case gains predicted-vs-"
                               "realized planner cost columns (surfaced "
                               "by --compare --json when present)")
+    bench_p.add_argument("--oocore", action="store_true",
+                         help="record/compare the out-of-core scale tier "
+                              "instead: stream a dataset larger than the "
+                              "memory budget to disk, join it on every "
+                              "backend in a fresh measurement child, and "
+                              "assert bit-identical answers with peak "
+                              "RSS under the budget "
+                              "(BENCH_oocore_<tag>.json)")
+    bench_p.add_argument("--oocore-tuples", type=int, metavar="N",
+                         help="with --oocore --record: probe-side tuple "
+                              "count for the tier (default "
+                              f"{DEFAULT_OOCORE_N_S}); smaller values "
+                              "make a CI smoke leg, the default is the "
+                              "committed seed scale")
 
     diff_p = sub.add_parser(
         "diff", help="scalar-vs-vector differential across all algorithms")
@@ -291,6 +342,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the spill column instead: every "
                              "backend re-joins each dataset under a "
                              "forced memory budget and must match the "
+                             "in-RAM reference bit for bit")
+    diff_p.add_argument("--oocore", action="store_true",
+                        help="run the out-of-core column instead: every "
+                             "dataset is streamed to an on-disk relation "
+                             "store (compressed on the skewed case) and "
+                             "every backend re-joins it with columns "
+                             "paging in lazily, which must match the "
                              "in-RAM reference bit for bit")
 
     trace_p = sub.add_parser(
@@ -487,6 +545,8 @@ def _cmd_run(args) -> int:
         with use_backend(args.backend):
             args.backend = None
             return _cmd_run(args)
+    if args.stream:
+        return _cmd_run_stream(args)
     if args.analytic:
         wl = AnalyticWorkload.from_zipf(args.tuples, args.tuples,
                                         args.theta, seed=args.seed)
@@ -540,6 +600,34 @@ def _cmd_run(args) -> int:
                 })
             result = make_join(args.algorithm).run(join_input)
         print(result_report(result, counters=args.counters))
+    return 0
+
+
+def _cmd_run_stream(args) -> int:
+    """``repro run --stream DIR``: join straight from a relation store."""
+    from pathlib import Path
+
+    if (args.all or args.analytic or args.load or args.save
+            or args.spill_dir or args.spill_strict
+            or args.memory_budget is not None):
+        print("error: --stream joins one algorithm from its on-disk "
+              "relation store; drop --all/--analytic/--load/--save and "
+              "the spill-session options", file=sys.stderr)
+        return 2
+    directory = Path(args.stream)
+    if not (directory / "manifest.json").exists():
+        stream_zipf_input(directory, args.tuples, args.tuples,
+                          args.theta, seed=args.seed)
+        print(f"streamed zipf(theta={args.theta}) workload "
+              f"({args.tuples} x {args.tuples} tuples) into {directory}")
+    join_input, store = open_join_input(directory)
+    try:
+        result = make_join(args.algorithm).run(join_input)
+    finally:
+        store.close()
+    print(f"out-of-core: {dataset_bytes(directory)} dataset bytes paged "
+          f"lazily from {directory} (codec {store.codec})")
+    print(result_report(result, counters=args.counters))
     return 0
 
 
@@ -613,6 +701,12 @@ def _cmd_bench(args) -> int:
         print("error: --record and --compare are mutually exclusive",
               file=sys.stderr)
         return 2
+    if args.oocore:
+        return _cmd_bench_oocore(args)
+    if args.oocore_tuples is not None:
+        print("error: --oocore-tuples only applies with --oocore",
+              file=sys.stderr)
+        return 2
     planner = None
     if args.auto:
         from repro.plan import CorrectionStore, Planner
@@ -671,6 +765,50 @@ def _cmd_bench(args) -> int:
         return 2
     BENCH_COMMANDS[args.experiment]()
     return 0
+
+
+def _cmd_bench_oocore(args) -> int:
+    """``repro bench --oocore``: the out-of-core scale tier."""
+    if args.spill or args.auto:
+        print("error: --oocore cannot be combined with --spill/--auto",
+              file=sys.stderr)
+        return 2
+    if args.record:
+        n_s = (args.oocore_tuples if args.oocore_tuples is not None
+               else DEFAULT_OOCORE_N_S)
+        # Scale the build side with the probe side so a smoke-sized
+        # tier keeps the seed tier's shape (and its skew behaviour).
+        n_r = max(n_s >> 6, 1 << 10)
+        record = record_oocore_bench(args.tag, n_r=n_r, n_s=n_s)
+        path = save_oocore_bench(record,
+                                 oocore_bench_path(args.tag, args.dir))
+        print(render_oocore(record))
+        print(f"oocore snapshot written to {path}")
+        return 0 if not record.verify() else 1
+    if args.compare:
+        try:
+            baseline = load_oocore_bench(args.compare)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        candidate = record_oocore_bench(
+            "candidate", n_r=baseline.n_r, n_s=baseline.n_s,
+            theta=baseline.theta, seed=baseline.seed,
+            algorithm=baseline.algorithm, codec=baseline.codec,
+            chunk_tuples=baseline.chunk_tuples,
+            cache_segments=baseline.cache_segments,
+            n_threads=baseline.n_threads,
+            budget_bytes=baseline.budget_bytes,
+            backends=[run.backend for run in baseline.runs])
+        if args.save_candidate:
+            save_oocore_bench(candidate, args.save_candidate)
+        comparison = compare_oocore_benches(baseline, candidate,
+                                            threshold=args.threshold)
+        print(comparison.render())
+        return 0 if comparison.ok else 1
+    print("error: --oocore requires --record or --compare",
+          file=sys.stderr)
+    return 2
 
 
 def _cmd_plan(args) -> int:
@@ -754,9 +892,10 @@ def _cmd_plan(args) -> int:
 def _cmd_diff(args) -> int:
     algorithms = ([a.strip() for a in args.algorithms.split(",") if a.strip()]
                   or None)
-    if args.served and args.spill:
-        print("error: --served and --spill are mutually exclusive",
-              file=sys.stderr)
+    if sum(1 for flag in (args.served, args.spill, args.oocore)
+           if flag) > 1:
+        print("error: --served, --spill, and --oocore are mutually "
+              "exclusive", file=sys.stderr)
         return 2
     if args.served:
         reports = served_differential(n=args.tuples, seed=args.seed,
@@ -771,6 +910,12 @@ def _cmd_diff(args) -> int:
         reports = spill_differential(n=args.tuples, seed=args.seed,
                                      algorithms=algorithms,
                                      backends=tuple(backends) or BACKENDS)
+        print(render_differential(reports))
+        return 0 if all(r.ok for r in reports) else 1
+    if args.oocore:
+        reports = oocore_differential(n=args.tuples, seed=args.seed,
+                                      algorithms=algorithms,
+                                      backends=tuple(backends) or BACKENDS)
         print(render_differential(reports))
         return 0 if all(r.ok for r in reports) else 1
     reports = differential_matrix(n=args.tuples, seed=args.seed,

@@ -29,6 +29,7 @@ from repro.exec.result import JoinResult
 from repro.faults.plan import CAPACITY_OVERFLOW
 from repro.faults.report import FailureReport, current_phase_name
 from repro.faults.scope import current_fault_scope, fault_scope
+from repro.obs.rss import peak_rss_bytes
 from repro.obs.trace import Tracer, activate
 from repro.store.spill import current_spill_session
 from repro.types import SeedLike
@@ -185,6 +186,7 @@ class CSHJoin:
         if spill is not None:
             spill.annotate(result)
         metrics.counter("join.output_tuples").inc(result.output_count)
+        result.meta["peak_rss_bytes"] = peak_rss_bytes()
         result.faults = faults.reports
         result.trace = tracer.record()
         return result

@@ -42,6 +42,7 @@ from repro.gpu.gbase.pipeline import run_cpu_fallback
 from repro.gpu.kernel import BlockWork
 from repro.gpu.partitioning import choose_gpu_bits, gsh_partition
 from repro.gpu.simulator import GPUSimulator, cost_model_for
+from repro.obs.rss import peak_rss_bytes
 from repro.obs.trace import Tracer, activate
 from repro.types import SeedLike
 
@@ -206,6 +207,7 @@ class GSHJoin:
                                  cfg.output_capacity)
 
             metrics.counter("join.output_tuples").inc(result.output_count)
+        result.meta["peak_rss_bytes"] = peak_rss_bytes()
         result.faults = faults.reports
         result.trace = tracer.record()
         return result

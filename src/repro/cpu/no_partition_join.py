@@ -30,6 +30,7 @@ from repro.exec.output import DEFAULT_CAPACITY, JoinOutputBuffer, combine_summar
 from repro.exec.result import JoinResult
 from repro.faults.recovery import run_task_with_recovery
 from repro.faults.scope import current_fault_scope, fault_scope
+from repro.obs.rss import peak_rss_bytes
 from repro.obs.trace import Tracer, activate
 
 
@@ -95,6 +96,7 @@ class NoPartitionJoin:
         result.output_count = summary.count
         result.output_checksum = summary.checksum
         metrics.counter("join.output_tuples").inc(result.output_count)
+        result.meta["peak_rss_bytes"] = peak_rss_bytes()
         result.faults = faults.reports
         result.trace = tracer.record()
         return result
@@ -141,25 +143,40 @@ class NoPartitionJoin:
         Each segment is one task for the recovery engine: an injected
         worker crash re-runs the segment, charging the wasted fraction and
         backoff as extra seconds on that segment's thread.
+
+        A lazy (out-of-core) S streams through the same segments: each
+        morsel is paged in and hashed on arrival, so residency stays at
+        one segment's columns instead of the whole probe side.  Hashing
+        is element-wise, which keeps the streamed probe bit-identical —
+        counters, summaries, and simulated seconds all match the in-RAM
+        run.
         """
         cfg = self.config
         scope = current_fault_scope()
-        hashes = hash_keys(s.keys)
+        streaming = getattr(s, "is_lazy", False)
+        hashes = None if streaming else hash_keys(s.keys)
         per_thread = []
         extras = []
         summaries = []
         total = OpCounters()
         for t, (a, b) in enumerate(split_segments(len(s), cfg.n_threads)):
+            if streaming:
+                seg_keys, seg_payloads = s.morsel(a, b)
+                seg_hashes = hash_keys(seg_keys)
+            else:
+                seg_keys, seg_payloads = s.keys[a:b], s.payloads[a:b]
+                seg_hashes = hashes[a:b]
 
-            def run(counters: OpCounters, attempt: int, a=a, b=b):
+            def run(counters: OpCounters, attempt: int, seg_keys=seg_keys,
+                    seg_payloads=seg_payloads, seg_hashes=seg_hashes):
                 # The probe dispatches on the ambient backend: batched
                 # group-wise matching (vector) or the literal chain walk
                 # (scalar).  Counters are identical either way; every
                 # access against the global table is random (uncached).
                 buf = JoinOutputBuffer(cfg.output_capacity)
                 return table.probe(
-                    s.keys[a:b], s.payloads[a:b], buf,
-                    counters=counters, hashes=hashes[a:b],
+                    seg_keys, seg_payloads, buf,
+                    counters=counters, hashes=seg_hashes,
                     random_access=True,
                 )
 

@@ -38,6 +38,7 @@ from repro.exec.cost_model import CPUCostModel, DEFAULT_CPU_COST_MODEL
 from repro.exec.output import DEFAULT_CAPACITY
 from repro.exec.result import JoinResult
 from repro.faults.scope import fault_scope
+from repro.obs.rss import peak_rss_bytes
 from repro.obs.trace import Tracer, activate
 from repro.store.spill import current_spill_session
 
@@ -153,6 +154,7 @@ class CbaseJoin:
         if spill is not None:
             spill.annotate(result)
         metrics.counter("join.output_tuples").inc(result.output_count)
+        result.meta["peak_rss_bytes"] = peak_rss_bytes()
         result.faults = faults.reports
         result.trace = tracer.record()
         return result

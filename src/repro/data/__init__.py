@@ -21,6 +21,11 @@ from repro.data.io import (
 )
 from repro.data.relation import JoinInput, Relation
 from repro.data.sales import SalesWorkload, generate_sales
+from repro.data.stream import (
+    stream_sales_lineitems_input,
+    stream_uniform_input,
+    stream_zipf_input,
+)
 from repro.data.zipf import ZipfWorkload, zipf_probabilities, zipf_rank_counts_approx
 
 __all__ = [
@@ -46,4 +51,7 @@ __all__ = [
     "load_join_input",
     "SalesWorkload",
     "generate_sales",
+    "stream_sales_lineitems_input",
+    "stream_uniform_input",
+    "stream_zipf_input",
 ]

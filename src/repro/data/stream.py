@@ -1,0 +1,200 @@
+"""Streaming workload generators: relations written chunk-by-chunk.
+
+The bulk generators (:meth:`ZipfWorkload.generate`, ``uniform_input``,
+``generate_sales``) materialize full columns before anything reaches
+disk.  The functions here produce the *same tuples* directly into the
+on-disk relation format (:mod:`repro.store.relations`) one chunk at a
+time, so peak memory during generation is O(domain + chunk), never
+O(table).
+
+Bit-identity discipline
+-----------------------
+
+``stream_zipf_input`` and ``stream_uniform_input`` are **bit-identical**
+to their bulk counterparts for the same seed.  This works because every
+random draw they make is chunk-splittable in numpy's Generator:
+``rng.random(n)`` and ``rng.integers(..., dtype=uint64)`` consume whole
+64-bit words per element, so drawing ``n`` values in chunks yields the
+same stream as one bulk call.  The streamed writers replay the bulk
+generators' draw order exactly (zipf: R keys, S keys, R payloads,
+S payloads; uniform: R keys, R payloads, S keys, S payloads).
+
+``stream_sales_lineitems_input`` is its own reference: the bulk sales
+generator draws bounded ``uint32`` integers, which numpy buffers across
+calls (chunked != bulk), so the streamed variant redefines payload
+draws as ``uint64`` and documents its draw order below.  It is
+deterministic in ``(seed, sizes)`` and independent of the chunk size —
+the property the tests pin.
+
+Generation state that is O(key domain) — zipf interval tables, the
+rank-to-key permutation — stays in memory, exactly as in the bulk path;
+only the O(table) columns stream.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+from repro.data.sales import DEFAULT_CUSTOMER_SKEW, DEFAULT_PRODUCT_SKEW
+from repro.data.zipf import ZipfWorkload, zipf_probabilities
+from repro.errors import WorkloadError
+from repro.store.relations import (
+    RelationStreamWriter,
+    resolve_stream_chunk_tuples,
+)
+from repro.types import KEY_DTYPE, PAYLOAD_DTYPE, SeedLike, make_rng
+
+
+def _chunk_sizes(n: int, chunk: int) -> Iterator[int]:
+    pos = 0
+    while pos < n:
+        m = min(chunk, n - pos)
+        yield m
+        pos += m
+
+
+def stream_zipf_input(
+    directory: Union[str, Path],
+    n_r: int,
+    n_s: int,
+    theta: float,
+    n_keys: Optional[int] = None,
+    seed: SeedLike = 0,
+    codec: Optional[str] = None,
+    chunk_tuples: Optional[int] = None,
+) -> Path:
+    """Write a zipf join input to disk, bit-identical to the bulk path.
+
+    ``open_join_input(directory)`` then yields relations whose columns
+    equal ``ZipfWorkload(n_r, n_s, theta, n_keys, seed).generate()``
+    exactly.  Returns the manifest path.
+    """
+    if n_r <= 0 or n_s <= 0:
+        raise WorkloadError("streamed relations must be non-empty")
+    workload = ZipfWorkload(n_r=n_r, n_s=n_s, theta=theta,
+                            n_keys=n_keys, seed=seed)
+    chunk = resolve_stream_chunk_tuples(chunk_tuples)
+    writer = RelationStreamWriter(directory, codec=codec)
+    r_keys = writer.column("r", "R", "keys", KEY_DTYPE)
+    s_keys = writer.column("s", "S", "keys", KEY_DTYPE)
+    r_pays = writer.column("r", "R", "payloads", PAYLOAD_DTYPE)
+    s_pays = writer.column("s", "S", "payloads", PAYLOAD_DTYPE)
+    # Replay generate()'s draw order with the workload's own rng and
+    # interval-search procedure (same-package access to its internals).
+    rng = workload._rng
+    for m in _chunk_sizes(n_r, chunk):
+        r_keys.append(workload._draw_keys(m, rng))
+    for m in _chunk_sizes(n_s, chunk):
+        s_keys.append(workload._draw_keys(m, rng))
+    for m in _chunk_sizes(n_r, chunk):
+        r_pays.append(rng.integers(0, 2**32, size=m,
+                                   dtype=np.uint64).astype(PAYLOAD_DTYPE))
+    for m in _chunk_sizes(n_s, chunk):
+        s_pays.append(rng.integers(0, 2**32, size=m,
+                                   dtype=np.uint64).astype(PAYLOAD_DTYPE))
+    return writer.finish(meta={"theta": workload.theta,
+                               "n_keys": workload.n_keys,
+                               "generator": "zipf"})
+
+
+def stream_uniform_input(
+    directory: Union[str, Path],
+    n_r: int,
+    n_s: int,
+    n_keys: Optional[int] = None,
+    seed: SeedLike = 0,
+    codec: Optional[str] = None,
+    chunk_tuples: Optional[int] = None,
+) -> Path:
+    """Write a uniform join input to disk, bit-identical to the bulk path.
+
+    Matches :func:`repro.data.generators.uniform_input` draw for draw
+    (R keys, R payloads, S keys, S payloads).  Returns the manifest path.
+    """
+    if n_r <= 0 or n_s <= 0:
+        raise WorkloadError("streamed relations must be non-empty")
+    if n_keys is None:
+        n_keys = max(n_r, n_s, 1)
+    chunk = resolve_stream_chunk_tuples(chunk_tuples)
+    rng = make_rng(seed)
+    writer = RelationStreamWriter(directory, codec=codec)
+    r_keys = writer.column("r", "R", "keys", KEY_DTYPE)
+    r_pays = writer.column("r", "R", "payloads", PAYLOAD_DTYPE)
+    s_keys = writer.column("s", "S", "keys", KEY_DTYPE)
+    s_pays = writer.column("s", "S", "payloads", PAYLOAD_DTYPE)
+    for m in _chunk_sizes(n_r, chunk):
+        r_keys.append(rng.integers(0, n_keys, size=m,
+                                   dtype=np.uint64).astype(KEY_DTYPE))
+    for m in _chunk_sizes(n_r, chunk):
+        r_pays.append(rng.integers(0, 2**32, size=m,
+                                   dtype=np.uint64).astype(PAYLOAD_DTYPE))
+    for m in _chunk_sizes(n_s, chunk):
+        s_keys.append(rng.integers(0, n_keys, size=m,
+                                   dtype=np.uint64).astype(KEY_DTYPE))
+    for m in _chunk_sizes(n_s, chunk):
+        s_pays.append(rng.integers(0, 2**32, size=m,
+                                   dtype=np.uint64).astype(PAYLOAD_DTYPE))
+    return writer.finish(meta={"generator": "uniform", "n_keys": n_keys})
+
+
+def stream_sales_lineitems_input(
+    directory: Union[str, Path],
+    n_orders: int = 100_000,
+    n_line_items: int = 400_000,
+    customer_skew: float = DEFAULT_CUSTOMER_SKEW,
+    product_skew: float = DEFAULT_PRODUCT_SKEW,
+    n_products: int = 1_000,
+    seed: SeedLike = 0,
+    codec: Optional[str] = None,
+    chunk_tuples: Optional[int] = None,
+) -> Path:
+    """Write the sales ``line_items ⋈ orders`` input to disk, streamed.
+
+    Draw order (its own reference discipline — see the module
+    docstring): order-id permutation, product-id permutation, then
+    chunked R payloads (order values), S keys (order FKs via interval
+    search), S payloads (product FKs via interval search).  Every
+    chunked draw is ``rng.random`` or ``uint64`` integers, so the
+    result is independent of the chunk size.  Returns the manifest path.
+    """
+    if min(n_orders, n_line_items, n_products) <= 0:
+        raise WorkloadError("all streamed table sizes must be positive")
+    chunk = resolve_stream_chunk_tuples(chunk_tuples)
+    rng = make_rng(seed)
+    # O(domain) generator state, as in the bulk path.
+    order_ids = rng.permutation(n_orders).astype(KEY_DTYPE)
+    product_ids = rng.permutation(n_products).astype(KEY_DTYPE)
+    order_cum = np.cumsum(zipf_probabilities(n_orders, customer_skew / 2))
+    order_cum[-1] = 1.0
+    product_cum = np.cumsum(zipf_probabilities(n_products, product_skew))
+    product_cum[-1] = 1.0
+    writer = RelationStreamWriter(directory, codec=codec)
+    r_keys = writer.column("r", "orders_pk", "keys", KEY_DTYPE)
+    r_pays = writer.column("r", "orders_pk", "payloads", PAYLOAD_DTYPE)
+    s_keys = writer.column("s", "line_items", "keys", KEY_DTYPE)
+    s_pays = writer.column("s", "line_items", "payloads", PAYLOAD_DTYPE)
+    pos = 0
+    for m in _chunk_sizes(n_orders, chunk):
+        r_keys.append(np.arange(pos, pos + m, dtype=KEY_DTYPE))
+        pos += m
+    for m in _chunk_sizes(n_orders, chunk):
+        r_pays.append(rng.integers(100, 100_000, size=m,
+                                   dtype=np.uint64).astype(PAYLOAD_DTYPE))
+    for m in _chunk_sizes(n_line_items, chunk):
+        ranks = np.searchsorted(order_cum, rng.random(m), side="right")
+        s_keys.append(order_ids[ranks])
+    for m in _chunk_sizes(n_line_items, chunk):
+        ranks = np.searchsorted(product_cum, rng.random(m), side="right")
+        s_pays.append(product_ids[ranks].astype(PAYLOAD_DTYPE))
+    return writer.finish(meta={"generator": "sales-stream",
+                               "join": "lineitems-orders"})
+
+
+GENERATORS = {
+    "zipf": stream_zipf_input,
+    "uniform": stream_uniform_input,
+    "sales": stream_sales_lineitems_input,
+}

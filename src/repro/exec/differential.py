@@ -38,6 +38,10 @@ _BACKEND_ONLY_META = frozenset({
     "spill_degraded",
     "resumed_pairs",
     "spill_invalid_chunks",
+    # Peak RSS is a property of the process, not of the join answer:
+    # it legitimately differs across backends and between out-of-core
+    # and in-RAM runs of the same join.
+    "peak_rss_bytes",
 })
 
 #: Relative tolerance for simulated seconds (float summation order may
@@ -256,6 +260,77 @@ def spill_differential(
                 backends=tuple(backends), mismatches=mismatches,
                 output_count=reference.output_count,
             ))
+    return reports
+
+
+def oocore_differential(
+    n: int = 4096,
+    seed: int = 42,
+    algorithms: Optional[Iterable[str]] = None,
+    backends: Sequence[str] = BACKENDS,
+) -> List[DifferentialReport]:
+    """The out-of-core column of the differential grid.
+
+    Streams zipf and uniform workloads to an on-disk relation store
+    (multiple chunks per column, compressed codec on the zipf case),
+    then runs every algorithm on every backend with the input paging in
+    lazily through :class:`~repro.store.relations.MappedRelation`.  Each
+    run must be observationally identical to the same algorithm over the
+    bulk-generated in-RAM input — the streamed generators are
+    bit-identical to the bulk ones, so any divergence is a paging bug,
+    not a workload difference.
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.api import ALGORITHMS, make_join
+    from repro.data.stream import stream_uniform_input, stream_zipf_input
+    from repro.store.relations import open_join_input
+
+    algorithms = sorted(ALGORITHMS) if algorithms is None else list(algorithms)
+    chunk = max(n // 4, 1)
+    cases = {
+        "zipf-1.0": (
+            lambda d: stream_zipf_input(d, n, n, 1.0, seed=seed,
+                                        codec="zlib", chunk_tuples=chunk),
+            lambda: ZipfWorkload(n, n, theta=1.0, seed=seed).generate(),
+        ),
+        "uniform": (
+            lambda d: stream_uniform_input(d, n, n, seed=seed,
+                                           codec="raw", chunk_tuples=chunk),
+            lambda: uniform_input(n, n, seed=seed),
+        ),
+    }
+    reports = []
+    for ds_name, (write, bulk) in cases.items():
+        tmp = Path(tempfile.mkdtemp(prefix=f"repro-oocore-{ds_name}-"))
+        try:
+            write(tmp)
+            reference_input = bulk()
+            for algo in algorithms:
+                with use_backend(backends[0]):
+                    reference = make_join(algo).run(reference_input)
+                mismatches: List[str] = []
+                for backend in backends:
+                    # A fresh lazy view per run: no page cache or
+                    # materialization state carries across backends.
+                    streamed_input, store = open_join_input(tmp)
+                    try:
+                        with use_backend(backend):
+                            streamed = make_join(algo).run(streamed_input)
+                    finally:
+                        store.close()
+                    for issue in compare_results(reference, streamed):
+                        mismatches.append(
+                            f"[in-RAM vs {backend}+oocore] {issue}")
+                reports.append(DifferentialReport(
+                    algorithm=algo, dataset=f"{ds_name}+oocore",
+                    backends=tuple(backends), mismatches=mismatches,
+                    output_count=reference.output_count,
+                ))
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
     return reports
 
 

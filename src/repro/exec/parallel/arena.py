@@ -54,24 +54,71 @@ def shared_memory_probe() -> Optional[str]:
 class ArrayRef:
     """Picklable handle to one arena array.
 
-    Either ``shm_name`` names a shared segment holding the array bytes, or
-    ``array`` carries the ndarray directly (inline pools only — such refs
-    must never cross a process boundary).
+    Either ``shm_name`` names a shared segment holding the array bytes,
+    ``path``/``offset`` locate the bytes in a file every worker can map
+    read-only (the out-of-core zero-copy path), or ``array`` carries the
+    ndarray directly (inline pools only — such refs must never cross a
+    process boundary).
     """
 
     shape: Tuple[int, ...]
     dtype: str
     shm_name: Optional[str] = None
     array: Optional[np.ndarray] = None
+    path: Optional[str] = None
+    offset: int = 0
+
+
+def _memmap_root(array: np.ndarray) -> Optional[np.memmap]:
+    """The file-backed memmap an array views, if any (else None)."""
+    import mmap
+
+    a = array
+    while isinstance(a, np.ndarray):
+        if (isinstance(a, np.memmap)
+                and isinstance(getattr(a, "base", None), mmap.mmap)
+                and getattr(a, "filename", None)):
+            return a
+        a = a.base
+    return None
+
+
+def file_backed_ref(array: np.ndarray) -> Optional[ArrayRef]:
+    """A path/offset ref for a contiguous file-mapped view, else None.
+
+    Out-of-core morsels arrive as slices of raw-codec chunk mappings;
+    instead of copying their bytes into a fresh shared segment, workers
+    can map the chunk file directly — the page cache shares the physical
+    pages, so the morsel crosses the process boundary without a copy.
+    """
+    root = _memmap_root(array)
+    if root is None or root.mode not in ("r", "c"):
+        return None
+    if array.ndim != 1 or not array.flags["C_CONTIGUOUS"]:
+        return None
+    delta = (array.__array_interface__["data"][0]
+             - root.__array_interface__["data"][0])
+    if delta < 0:
+        return None
+    return ArrayRef(shape=tuple(array.shape), dtype=array.dtype.str,
+                    path=str(root.filename),
+                    offset=int(root.offset) + int(delta))
 
 
 class Attachment:
     """Worker-side view of one :class:`ArrayRef` (close, never unlink)."""
 
     def __init__(self, ref: ArrayRef):
+        self._seg = None
+        self._mapped: Optional[np.memmap] = None
         if ref.array is not None:
             self.array = ref.array
-            self._seg = None
+            return
+        if ref.path is not None:
+            mapped = np.memmap(ref.path, dtype=np.dtype(ref.dtype),
+                               mode="r", offset=ref.offset, shape=ref.shape)
+            self.array = mapped
+            self._mapped = mapped
             return
         if _shm_mod is None:  # pragma: no cover - guarded by the probe
             raise ExecutionError(
@@ -88,6 +135,12 @@ class Attachment:
         if self._seg is not None:
             self._seg.close()
             self._seg = None
+        if self._mapped is not None:
+            mapped, self._mapped = self._mapped, None
+            try:
+                mapped._mmap.close()
+            except (BufferError, ValueError, AttributeError):
+                pass
 
 
 class attached:
@@ -131,11 +184,24 @@ class SharedArena:
         self._segments: List[object] = []
 
     def share(self, array: np.ndarray) -> ArrayRef:
-        """Copy an input array into the arena; returns its ref."""
+        """Share an input array with the workers; returns its ref.
+
+        File-mapped inputs (out-of-core morsels under the raw codec)
+        ship as path/offset refs and never touch shared memory —
+        workers map the chunk file themselves and the kernel page cache
+        deduplicates the physical pages.  Everything else is copied
+        into a fresh segment.
+        """
         array = np.ascontiguousarray(array)
         if not self.use_shm:
             return ArrayRef(shape=array.shape, dtype=array.dtype.str,
                             array=array)
+        ref = file_backed_ref(array)
+        if ref is not None:
+            from repro.obs.trace import current_tracer
+            current_tracer().metrics.counter(
+                "store.zero_copy_shares").inc()
+            return ref
         view, ref = self._allocate(array.shape, array.dtype)
         view[...] = array
         return ref

@@ -29,6 +29,7 @@ from repro.faults.plan import KERNEL_ABORT
 from repro.faults.recovery import append_partial_phases
 from repro.faults.report import FailureReport
 from repro.faults.scope import FaultScope, fault_scope
+from repro.obs.rss import peak_rss_bytes
 from repro.obs.trace import Tracer, activate
 from repro.gpu.device import A100, DeviceSpec
 from repro.gpu.gbase.join_kernels import gbase_join_phase
@@ -173,6 +174,7 @@ class GbaseJoin:
                                  cfg.output_capacity)
 
             metrics.counter("join.output_tuples").inc(result.output_count)
+        result.meta["peak_rss_bytes"] = peak_rss_bytes()
         result.faults = faults.reports
         result.trace = tracer.record()
         return result

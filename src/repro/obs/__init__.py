@@ -27,6 +27,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.render import render_trace
+from repro.obs.rss import current_rss_bytes, peak_rss_bytes, reset_peak_rss
 from repro.obs.trace import (
     NullTracer,
     Span,
@@ -48,7 +49,10 @@ __all__ = [
     "TraceRecord",
     "Tracer",
     "activate",
+    "current_rss_bytes",
     "current_tracer",
+    "peak_rss_bytes",
+    "reset_peak_rss",
     "read_jsonl",
     "render_trace",
     "span_from_dict",

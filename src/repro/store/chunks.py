@@ -29,9 +29,11 @@ episode's :class:`~repro.faults.report.FailureReport`.
 
 from __future__ import annotations
 
+import base64
 import errno
 import json
 import os
+import weakref
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -85,24 +87,68 @@ def resolve_codec(name: Optional[str] = None) -> str:
     return name
 
 
-def _encode(payload: bytes, codec: str) -> bytes:
+#: Byte cap on a trained per-column dictionary (zlib's zdict window).
+DICTIONARY_MAX_BYTES = 1 << 15
+
+
+def _encode(payload: bytes, codec: str,
+            dictionary: Optional[bytes] = None) -> bytes:
     if codec == "raw":
         return payload
     if codec == "zlib":
-        return zlib.compress(payload, 1)
+        if dictionary is None:
+            return zlib.compress(payload, 1)
+        comp = zlib.compressobj(1, zlib.DEFLATED, zlib.MAX_WBITS,
+                                zlib.DEF_MEM_LEVEL, 0, dictionary)
+        return comp.compress(payload) + comp.flush()
     import zstandard
 
-    return zstandard.ZstdCompressor().compress(payload)
+    if dictionary is None:
+        return zstandard.ZstdCompressor().compress(payload)
+    return zstandard.ZstdCompressor(
+        dict_data=zstandard.ZstdCompressionDict(dictionary)
+    ).compress(payload)
 
 
-def _decode(data: bytes, codec: str) -> bytes:
+def _decode(data: bytes, codec: str,
+            dictionary: Optional[bytes] = None) -> bytes:
     if codec == "raw":
         return data
     if codec == "zlib":
-        return zlib.decompress(data)
+        if dictionary is None:
+            return zlib.decompress(data)
+        decomp = zlib.decompressobj(zdict=dictionary)
+        return decomp.decompress(data) + decomp.flush()
     import zstandard
 
-    return zstandard.ZstdDecompressor().decompress(data)
+    if dictionary is None:
+        return zstandard.ZstdDecompressor().decompress(data)
+    return zstandard.ZstdDecompressor(
+        dict_data=zstandard.ZstdCompressionDict(dictionary)
+    ).decompress(data)
+
+
+def train_dictionary(sample: bytes, codec: str) -> Optional[bytes]:
+    """A per-column-family compression dictionary from first-chunk bytes.
+
+    ``zlib`` uses the sample tail directly as a preset window (``zdict``);
+    ``zstd`` prefers a properly trained dictionary over sample slices and
+    falls back to raw-content mode when the trainer needs more material
+    than one chunk provides.  ``raw`` has nothing to train — returns None.
+    """
+    if codec == "raw" or not sample:
+        return None
+    if codec == "zlib":
+        return sample[-DICTIONARY_MAX_BYTES:]
+    import zstandard
+
+    try:
+        step = max(len(sample) // 64, 1)
+        samples = [sample[i:i + step] for i in range(0, len(sample), step)]
+        return zstandard.train_dictionary(
+            DICTIONARY_MAX_BYTES, samples).as_bytes()
+    except Exception:
+        return sample[-DICTIONARY_MAX_BYTES:]
 
 
 @dataclass
@@ -114,17 +160,26 @@ class ChunkInfo:
     length: int
     crc32: int
     stored_bytes: int
+    #: Per-column-family dictionary this chunk was encoded with (None =
+    #: dictionary-free; absent from older manifests, which default so).
+    dictionary: Optional[str] = None
 
     def to_dict(self) -> Dict:
-        return {"name": self.name, "dtype": self.dtype,
-                "length": self.length, "crc32": self.crc32,
-                "stored_bytes": self.stored_bytes}
+        payload = {"name": self.name, "dtype": self.dtype,
+                   "length": self.length, "crc32": self.crc32,
+                   "stored_bytes": self.stored_bytes}
+        if self.dictionary is not None:
+            payload["dictionary"] = self.dictionary
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict) -> "ChunkInfo":
+        dictionary = data.get("dictionary")
         return cls(name=str(data["name"]), dtype=str(data["dtype"]),
                    length=int(data["length"]), crc32=int(data["crc32"]),
-                   stored_bytes=int(data["stored_bytes"]))
+                   stored_bytes=int(data["stored_bytes"]),
+                   dictionary=(str(dictionary) if dictionary is not None
+                               else None))
 
 
 class ChunkWriteExhausted(Exception):
@@ -160,8 +215,77 @@ class ChunkStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.codec = resolve_codec(codec)
         self.chunks: Dict[str, ChunkInfo] = {}
+        #: Per-column-family compression dictionaries (family -> bytes),
+        #: persisted base64 in the manifest.
+        self.dictionaries: Dict[str, bytes] = {}
+        self._raw_bytes = 0
+        self._stored_bytes = 0
+        self._mappings: list = []
+        self._closed = False
         if load:
             self.load_manifest()
+
+    # ------------------------------------------------------ fd lifecycle
+
+    def _track_mapping(self, view: np.memmap) -> None:
+        """Remember a handed-out raw-codec mapping for deterministic close.
+
+        ``np.memmap`` holds its file descriptor until the array is garbage
+        collected; long resume/serve runs that keep stores open therefore
+        leak descriptors unless the store releases its mappings itself.
+        Weak references keep the store from pinning the mappings (and
+        their resident pages) alive on its own.
+        """
+        self._mappings.append(weakref.ref(view))
+        if len(self._mappings) > 256:
+            self._mappings = [r for r in self._mappings if r() is not None]
+
+    def release_mappings(self) -> int:
+        """Close every tracked raw-codec mapping; returns how many.
+
+        This is the store's half of the mmap contract: arrays handed
+        out by :meth:`read_array` under the raw codec view the chunk
+        files directly, so once the mappings are released those views
+        are **invalid** — exactly as if the caller had closed the
+        underlying ``mmap`` itself.  Callers therefore close a store
+        only when they are done reading from it (the context-manager
+        form scopes this naturally).  Mappings whose buffers are pinned
+        by exported memoryviews refuse to close (``BufferError``) and
+        are left to garbage collection.
+        """
+        released = 0
+        survivors = []
+        for ref in self._mappings:
+            view = ref()
+            if view is None:
+                continue
+            try:
+                view._mmap.close()
+                released += 1
+            except (BufferError, ValueError, AttributeError):
+                survivors.append(ref)
+        self._mappings = survivors
+        if released:
+            _bump("store.mappings_released", float(released))
+        return released
+
+    def close(self) -> None:
+        """Release mappings and mark the store closed (idempotent).
+
+        Raw-codec views handed out by :meth:`read_array` must not be
+        read afterwards (see :meth:`release_mappings`); materialized
+        copies — everything the compressed codecs return, and every
+        ``materialize()``d column — stay valid.
+        """
+        self.release_mappings()
+        self._closed = True
+
+    def __enter__(self) -> "ChunkStore":
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
 
     # ------------------------------------------------------------- paths
 
@@ -172,9 +296,33 @@ class ChunkStore:
     def chunk_path(self, name: str) -> Path:
         return self.directory / f"{name}{_CHUNK_SUFFIX}"
 
+    # ------------------------------------------------------- dictionaries
+
+    def dictionary_for(self, family: str) -> Optional[bytes]:
+        """The registered dictionary of one column family (None = none)."""
+        return self.dictionaries.get(family)
+
+    def ensure_dictionary(self, family: str, sample: bytes) -> Optional[str]:
+        """Train and register ``family``'s dictionary from first-chunk bytes.
+
+        Returns the family name when a dictionary now exists (already
+        registered, or freshly trained), else None (raw codec, or nothing
+        trainable).  Streaming writers call this on their first chunk and
+        pass the result as ``dict_family`` for every later chunk.
+        """
+        if family in self.dictionaries:
+            return family
+        trained = train_dictionary(sample, self.codec)
+        if trained is None:
+            return None
+        self.dictionaries[family] = trained
+        _bump("store.dictionaries_trained")
+        return family
+
     # ------------------------------------------------------------- write
 
-    def write_array(self, name: str, array: np.ndarray) -> ChunkInfo:
+    def write_array(self, name: str, array: np.ndarray,
+                    dict_family: Optional[str] = None) -> ChunkInfo:
         """Durably persist one column; returns its manifest entry.
 
         Recovery ladder rung 1 and 2 live here: a failed or torn write
@@ -193,10 +341,16 @@ class ChunkStore:
         policy = scope.policy
         arr = np.ascontiguousarray(array)
         payload = arr.tobytes()
-        encoded = _encode(payload, self.codec)
+        dictionary = None
+        if dict_family is not None:
+            dictionary = self.dictionaries.get(dict_family)
+            if dictionary is None:
+                dict_family = None
+        encoded = _encode(payload, self.codec, dictionary)
         crc = zlib.crc32(encoded)
         info = ChunkInfo(name=name, dtype=str(arr.dtype), length=int(arr.size),
-                         crc32=crc, stored_bytes=len(encoded))
+                         crc32=crc, stored_bytes=len(encoded),
+                         dictionary=dict_family)
         existing = self.chunks.get(name)
         if (existing is not None and existing.crc32 == crc
                 and existing.length == info.length
@@ -250,8 +404,14 @@ class ChunkStore:
                 retries=retries, backoff_seconds=backoff,
                 error=errors[-1], context={"chunk": name}))
         self.chunks[name] = info
+        self._raw_bytes += len(payload)
+        self._stored_bytes += len(encoded)
         _bump("store.chunks_written")
         _bump("store.bytes_spilled", float(len(encoded)))
+        _bump("store.bytes_raw", float(len(payload)))
+        if self._stored_bytes:
+            current_tracer().metrics.gauge("store.compression_ratio").set(
+                self._raw_bytes / self._stored_bytes)
         return info
 
     def _write_file(self, path: Path, data: bytes, attempt: int = 0) -> None:
@@ -351,9 +511,21 @@ class ChunkStore:
                 arr = np.frombuffer(bytes(data), dtype=np.dtype(info.dtype))
             else:
                 arr = view
+                self._track_mapping(view)
         else:
-            arr = np.frombuffer(_decode(bytes(data), self.codec),
+            dictionary = None
+            if info.dictionary is not None:
+                dictionary = self.dictionaries.get(info.dictionary)
+                if dictionary is None:
+                    raise SpillError(
+                        f"chunk {name} was encoded with dictionary "
+                        f"{info.dictionary!r}, which this manifest does "
+                        "not carry", chunk=name)
+            arr = np.frombuffer(_decode(bytes(data), self.codec, dictionary),
                                 dtype=np.dtype(info.dtype))
+        _bump("store.pages_in")
+        _bump("store.bytes_paged_in", float(info.length
+                                            * np.dtype(info.dtype).itemsize))
         if arr.size != info.length:
             raise SpillError(
                 f"chunk {name} decoded to {arr.size} elements, manifest "
@@ -416,6 +588,17 @@ class ChunkStore:
                        for name in sorted(self.chunks)],
             "extra": extra or {},
         }
+        if self.dictionaries:
+            # Dictionaries are small (<= 32 KiB) and must survive exactly
+            # as long as the chunks they decode, so they ride inside the
+            # same atomically-replaced manifest, base64 + CRC'd.
+            payload["dictionaries"] = {
+                family: {
+                    "crc32": zlib.crc32(blob),
+                    "data": base64.b64encode(blob).decode("ascii"),
+                }
+                for family, blob in sorted(self.dictionaries.items())
+            }
         tmp = self.manifest_path.with_suffix(".tmp")
         fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
         try:
@@ -457,6 +640,19 @@ class ChunkStore:
         self.codec = resolve_codec(data.get("codec", "raw"))
         self.chunks = {c["name"]: ChunkInfo.from_dict(c)
                        for c in data.get("chunks", [])}
+        self.dictionaries = {}
+        for family, entry in data.get("dictionaries", {}).items():
+            try:
+                blob = base64.b64decode(entry["data"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SpillError(
+                    f"manifest dictionary {family!r} is malformed: {exc}",
+                    path=str(self.manifest_path)) from exc
+            if zlib.crc32(blob) != int(entry.get("crc32", -1)):
+                raise SpillError(
+                    f"manifest dictionary {family!r} failed CRC validation",
+                    path=str(self.manifest_path))
+            self.dictionaries[family] = blob
         return dict(data.get("extra", {}))
 
     def _fsync_directory(self) -> None:

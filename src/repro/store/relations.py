@@ -1,0 +1,493 @@
+"""On-disk relations: chunked column files behind a lazy paging view.
+
+The out-of-core ingest path stores each relation as a sequence of CRC'd
+column chunks (reusing :class:`~repro.store.chunks.ChunkStore`, so the
+torn-write/corruption recovery ladder and the ``zlib``/``zstd`` codecs
+apply unchanged) plus a manifest describing which chunks make up which
+column of which relation.
+
+Three layers live here:
+
+* :class:`RelationStreamWriter` — the producer side.  Generators append
+  column values chunk-by-chunk; nothing requires the full column in
+  memory.  The first chunk of each column family trains that family's
+  compression dictionary (:meth:`ChunkStore.ensure_dictionary`).
+* :class:`SegmentedColumn` — a lazy column.  Slicing pages in only the
+  covered segments; under the ``raw`` codec a within-segment slice is a
+  zero-copy ``np.memmap`` view.  A tiny LRU keeps the working set of
+  decoded segments bounded, which is what keeps peak RSS under
+  ``REPRO_MEMORY_BUDGET`` for datasets larger than the budget.
+* :class:`MappedRelation` — duck-types :class:`~repro.data.relation.Relation`
+  (``len`` / ``name`` / ``nbytes`` / ``keys`` / ``payloads``) so every
+  pipeline accepts it unmodified.  Algorithms that must touch the whole
+  column still can (the property materializes once and caches);
+  streaming-aware consumers call :meth:`MappedRelation.morsel` and never
+  fault in more than a few segments at a time.
+
+Knobs:
+
+* ``REPRO_STREAM_CHUNK_TUPLES`` — tuples per column chunk when writing
+  (default ``1 << 18``; 1 MiB of raw ``uint32`` per chunk).
+* ``REPRO_PAGE_CACHE_SEGMENTS`` — decoded segments kept per column when
+  reading (default 4).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigError, SpillError
+from repro.store.chunks import ChunkStore, _bump
+from repro.types import TUPLE_BYTES
+
+STREAM_CHUNK_ENV = "REPRO_STREAM_CHUNK_TUPLES"
+DEFAULT_STREAM_CHUNK_TUPLES = 1 << 18
+PAGE_CACHE_ENV = "REPRO_PAGE_CACHE_SEGMENTS"
+DEFAULT_PAGE_CACHE_SEGMENTS = 4
+RELATION_FORMAT = "relations"
+RELATION_FORMAT_VERSION = 1
+
+
+def resolve_stream_chunk_tuples(value: Optional[int] = None) -> int:
+    """Tuples per streamed column chunk (arg > env > default)."""
+    if value is None:
+        raw = os.environ.get(STREAM_CHUNK_ENV)
+        if raw is None:
+            return DEFAULT_STREAM_CHUNK_TUPLES
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ConfigError(
+                f"{STREAM_CHUNK_ENV} must be a positive integer, got "
+                f"{raw!r}", var=STREAM_CHUNK_ENV, value=raw) from None
+    if value <= 0:
+        raise ConfigError(
+            f"stream chunk size must be positive, got {value}",
+            var=STREAM_CHUNK_ENV, value=value)
+    return int(value)
+
+
+def resolve_page_cache_segments(value: Optional[int] = None) -> int:
+    """Decoded segments kept resident per column (arg > env > default)."""
+    if value is None:
+        raw = os.environ.get(PAGE_CACHE_ENV)
+        if raw is None:
+            return DEFAULT_PAGE_CACHE_SEGMENTS
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ConfigError(
+                f"{PAGE_CACHE_ENV} must be a positive integer, got "
+                f"{raw!r}", var=PAGE_CACHE_ENV, value=raw) from None
+    if value <= 0:
+        raise ConfigError(
+            f"page cache must keep at least one segment, got {value}",
+            var=PAGE_CACHE_ENV, value=value)
+    return int(value)
+
+
+def column_family(relation: str, column: str) -> str:
+    return f"{relation}-{column}"
+
+
+def _chunk_name(relation: str, column: str, index: int) -> str:
+    return f"{relation}-{column}-c{index:05d}"
+
+
+# ---------------------------------------------------------------- writer
+
+
+class ColumnStreamWriter:
+    """Appends one column's values as chunks; tracks its manifest entry."""
+
+    def __init__(self, store: ChunkStore, relation: str, column: str,
+                 dtype: np.dtype):
+        self._store = store
+        self._relation = relation
+        self._column = column
+        self.dtype = np.dtype(dtype)
+        self.chunk_names: List[str] = []
+        self.n = 0
+        self._family: Optional[str] = None
+        self._started = False
+
+    def append(self, values: np.ndarray) -> None:
+        arr = np.ascontiguousarray(values, dtype=self.dtype)
+        if arr.ndim != 1:
+            raise SpillError(
+                f"column {self._relation}.{self._column} expects 1-D "
+                f"chunks, got shape {arr.shape}")
+        if arr.size == 0:
+            return
+        if not self._started:
+            self._started = True
+            self._family = self._store.ensure_dictionary(
+                column_family(self._relation, self._column), arr.tobytes())
+        name = _chunk_name(self._relation, self._column,
+                           len(self.chunk_names))
+        self._store.write_array(name, arr, dict_family=self._family)
+        self.chunk_names.append(name)
+        self.n += int(arr.size)
+
+    def descriptor(self) -> Dict:
+        return {"dtype": str(self.dtype), "n": self.n,
+                "chunks": list(self.chunk_names)}
+
+
+class RelationStreamWriter:
+    """Streams relations into a chunk store, column chunks at a time.
+
+    Usage::
+
+        writer = RelationStreamWriter(directory, codec="zlib")
+        keys = writer.column("r", "R", "keys", KEY_DTYPE)
+        for chunk in generated_chunks:
+            keys.append(chunk)
+        ...
+        writer.finish(meta={"generator": "zipf", ...})
+
+    ``finish`` validates that every relation carries equal-length
+    ``keys``/``payloads`` columns, writes the manifest (atomic replace,
+    carrying any trained dictionaries), and closes the store.
+    """
+
+    def __init__(self, directory: Union[str, Path],
+                 codec: Optional[str] = None):
+        self.store = ChunkStore(directory, codec=codec)
+        #: role ("r"/"s") -> {"name": ..., "columns": {col: writer}}
+        self._relations: "OrderedDict[str, Dict]" = OrderedDict()
+
+    def column(self, role: str, name: str, column: str,
+               dtype: np.dtype) -> ColumnStreamWriter:
+        entry = self._relations.setdefault(
+            role, {"name": name, "columns": OrderedDict()})
+        if entry["name"] != name:
+            raise SpillError(
+                f"relation role {role!r} already registered as "
+                f"{entry['name']!r}, not {name!r}")
+        cols = entry["columns"]
+        if column not in cols:
+            cols[column] = ColumnStreamWriter(self.store, name, column, dtype)
+        return cols[column]
+
+    def finish(self, meta: Optional[Dict] = None) -> Path:
+        relations = {}
+        for role, entry in self._relations.items():
+            cols = entry["columns"]
+            missing = {"keys", "payloads"} - set(cols)
+            if missing:
+                raise SpillError(
+                    f"relation {entry['name']!r} is missing columns "
+                    f"{sorted(missing)}")
+            lengths = {col: w.n for col, w in cols.items()}
+            if len(set(lengths.values())) != 1:
+                raise SpillError(
+                    f"relation {entry['name']!r} has unequal column "
+                    f"lengths: {lengths}")
+            relations[role] = {
+                "name": entry["name"],
+                "n": lengths["keys"],
+                "columns": {col: w.descriptor() for col, w in cols.items()},
+            }
+        extra = {
+            "format": RELATION_FORMAT,
+            "format_version": RELATION_FORMAT_VERSION,
+            "relations": relations,
+            "meta": dict(meta or {}),
+        }
+        path = self.store.write_manifest(extra)
+        self.store.close()
+        return path
+
+
+# ---------------------------------------------------------------- reader
+
+
+class SegmentedColumn:
+    """A column paged in segment-by-segment from a chunk store.
+
+    Indexing with a step-1 slice loads only the covered segments; a
+    slice inside one raw-codec segment is a zero-copy view of the
+    underlying file mapping.  ``np.asarray(col)`` (the ``__array__``
+    protocol) materializes the full column — lazy consumers should use
+    :meth:`gather` / :meth:`iter_segments` instead.
+    """
+
+    def __init__(self, store: ChunkStore, chunk_names: List[str],
+                 cache_segments: Optional[int] = None):
+        self._store = store
+        self._names = list(chunk_names)
+        infos = []
+        for name in self._names:
+            info = store.chunks.get(name)
+            if info is None:
+                raise SpillError(
+                    f"relation manifest references unknown chunk {name!r}",
+                    chunk=name)
+            infos.append(info)
+        if not infos:
+            raise SpillError("segmented column has no chunks")
+        dtypes = {info.dtype for info in infos}
+        if len(dtypes) != 1:
+            raise SpillError(
+                f"segmented column mixes dtypes {sorted(dtypes)}")
+        self.dtype = np.dtype(infos[0].dtype)
+        self._offsets = np.zeros(len(infos) + 1, dtype=np.int64)
+        np.cumsum([info.length for info in infos], out=self._offsets[1:])
+        self._n = int(self._offsets[-1])
+        self._cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._cache_segments = resolve_page_cache_segments(cache_segments)
+        self.segment_loads = 0
+        self.cache_hits = 0
+        self.materializations = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def n_segments(self) -> int:
+        return len(self._names)
+
+    @property
+    def nbytes(self) -> int:
+        return self._n * self.dtype.itemsize
+
+    def segment_bounds(self, index: int) -> Tuple[int, int]:
+        return int(self._offsets[index]), int(self._offsets[index + 1])
+
+    def segment(self, index: int) -> np.ndarray:
+        """One decoded segment (LRU-cached, read-only)."""
+        if index in self._cache:
+            self._cache.move_to_end(index)
+            self.cache_hits += 1
+            return self._cache[index]
+        arr = self._store.read_array(self._names[index])
+        self.segment_loads += 1
+        self._cache[index] = arr
+        while len(self._cache) > self._cache_segments:
+            self._cache.popitem(last=False)
+        return arr
+
+    def iter_segments(self) -> Iterator[Tuple[int, int, np.ndarray]]:
+        """Yield ``(start, stop, values)`` per segment, in order."""
+        for i in range(len(self._names)):
+            a, b = self.segment_bounds(i)
+            yield a, b, self.segment(i)
+
+    def gather(self, start: int, stop: int) -> np.ndarray:
+        """Values in ``[start, stop)``, paging in only covered segments."""
+        start = max(0, min(int(start), self._n))
+        stop = max(start, min(int(stop), self._n))
+        if start == stop:
+            return np.empty(0, dtype=self.dtype)
+        first = int(np.searchsorted(self._offsets, start, side="right")) - 1
+        last = int(np.searchsorted(self._offsets, stop, side="left")) - 1
+        if first == last:
+            a, _ = self.segment_bounds(first)
+            return self.segment(first)[start - a:stop - a]
+        pieces = []
+        for i in range(first, last + 1):
+            a, b = self.segment_bounds(i)
+            pieces.append(self.segment(i)[max(start, a) - a:
+                                          min(stop, b) - a])
+        return np.concatenate(pieces)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self._n)
+            if step != 1:
+                return self.materialize()[index]
+            return self.gather(start, stop)
+        if isinstance(index, (int, np.integer)):
+            i = int(index)
+            if i < 0:
+                i += self._n
+            if not 0 <= i < self._n:
+                raise IndexError(
+                    f"index {index} out of range for column of {self._n}")
+            seg = int(np.searchsorted(self._offsets, i, side="right")) - 1
+            a, _ = self.segment_bounds(seg)
+            return self.segment(seg)[i - a]
+        return self.materialize()[index]
+
+    def materialize(self) -> np.ndarray:
+        """The full column as one read-only in-memory array."""
+        self.materializations += 1
+        _bump("store.column_materializations")
+        out = np.empty(self._n, dtype=self.dtype)
+        for a, b, values in self.iter_segments():
+            out[a:b] = values
+        out.flags.writeable = False
+        return out
+
+    def __array__(self, dtype=None, copy=None):
+        arr = self.materialize()
+        if dtype is not None and np.dtype(dtype) != arr.dtype:
+            arr = arr.astype(dtype)
+        return arr
+
+
+class MappedRelation:
+    """A relation view that pages its columns in lazily.
+
+    Duck-types :class:`~repro.data.relation.Relation` for every consumer
+    in the repo: ``len()``, ``.name``, ``.nbytes``, ``.keys`` and
+    ``.payloads`` all work, the columns materializing (once, cached) on
+    first touch.  Streaming-aware code checks ``is_lazy`` and walks
+    :meth:`morsel` / :meth:`iter_morsels` instead, keeping residency at
+    a few segments per column.
+    """
+
+    is_lazy = True
+
+    def __init__(self, name: str, keys: SegmentedColumn,
+                 payloads: SegmentedColumn):
+        if len(keys) != len(payloads):
+            raise SpillError(
+                f"relation {name!r}: {len(keys)} keys vs "
+                f"{len(payloads)} payloads")
+        self.name = name
+        self._keys_col = keys
+        self._payloads_col = payloads
+        self._keys_cache: Optional[np.ndarray] = None
+        self._payloads_cache: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self._keys_col)
+
+    @property
+    def nbytes(self) -> int:
+        return len(self) * TUPLE_BYTES
+
+    @property
+    def keys(self) -> np.ndarray:
+        if self._keys_cache is None:
+            self._keys_cache = self._keys_col.materialize()
+        return self._keys_cache
+
+    @property
+    def payloads(self) -> np.ndarray:
+        if self._payloads_cache is None:
+            self._payloads_cache = self._payloads_col.materialize()
+        return self._payloads_cache
+
+    @property
+    def keys_column(self) -> SegmentedColumn:
+        return self._keys_col
+
+    @property
+    def payloads_column(self) -> SegmentedColumn:
+        return self._payloads_col
+
+    def morsel(self, start: int, stop: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(keys, payloads)`` for ``[start, stop)`` without full paging."""
+        if self._keys_cache is not None and self._payloads_cache is not None:
+            return (self._keys_cache[start:stop],
+                    self._payloads_cache[start:stop])
+        return (self._keys_col.gather(start, stop),
+                self._payloads_col.gather(start, stop))
+
+    def iter_morsels(self) -> Iterator[Tuple[int, int, np.ndarray,
+                                             np.ndarray]]:
+        """Yield ``(start, stop, keys, payloads)`` at segment granularity.
+
+        Bounds follow the key column's segments; payload values are
+        gathered to the same bounds (the stream writer chunks both
+        columns identically, so this stays one segment per column).
+        """
+        for a, b, keys in self._keys_col.iter_segments():
+            yield a, b, keys, self._payloads_col.gather(a, b)
+
+    def to_relation(self):
+        """Materialize into a real in-memory :class:`Relation`."""
+        from repro.data.relation import Relation
+        return Relation(np.array(self.keys), np.array(self.payloads),
+                        name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"MappedRelation(name={self.name!r}, n={len(self)}, "
+                f"segments={self._keys_col.n_segments})")
+
+
+# ----------------------------------------------------------------- open
+
+
+def open_relation_store(directory: Union[str, Path],
+                        ) -> Tuple[ChunkStore, Dict]:
+    """Open a relation-format store; returns ``(store, manifest extra)``.
+
+    The codec recorded in the manifest governs decoding — callers never
+    pass one.  Raises a typed :class:`SpillError` when the directory's
+    manifest is not the relation format (e.g. a spill store).
+    """
+    store = ChunkStore(directory, codec="raw")
+    try:
+        extra = store.load_manifest()
+    except SpillError:
+        store.close()
+        raise
+    if extra.get("format") != RELATION_FORMAT:
+        store.close()
+        raise SpillError(
+            f"{Path(directory)} holds {extra.get('format')!r}, not a "
+            f"{RELATION_FORMAT!r} manifest", path=str(directory))
+    version = extra.get("format_version")
+    if version != RELATION_FORMAT_VERSION:
+        store.close()
+        raise SpillError(
+            f"relation manifest version {version!r} unsupported (this "
+            f"build reads {RELATION_FORMAT_VERSION})", path=str(directory))
+    return store, extra
+
+
+def open_join_input(directory: Union[str, Path],
+                    cache_segments: Optional[int] = None):
+    """Open a stored join input lazily.
+
+    Returns ``(join_input, store)`` where the input's relations are
+    :class:`MappedRelation` views over ``store``.  The caller owns the
+    store handle and should ``close()`` it (or use it as a context
+    manager) once the join is done.
+    """
+    from repro.data.relation import JoinInput
+
+    store, extra = open_relation_store(directory)
+    relations = {}
+    for role in ("r", "s"):
+        desc = extra.get("relations", {}).get(role)
+        if desc is None:
+            store.close()
+            raise SpillError(
+                f"relation manifest at {Path(directory)} has no "
+                f"{role!r} relation", path=str(directory))
+        columns = desc.get("columns", {})
+        try:
+            keys = SegmentedColumn(store, columns["keys"]["chunks"],
+                                   cache_segments)
+            payloads = SegmentedColumn(store, columns["payloads"]["chunks"],
+                                       cache_segments)
+        except (KeyError, SpillError) as exc:
+            store.close()
+            if isinstance(exc, SpillError):
+                raise
+            raise SpillError(
+                f"relation {desc.get('name')!r} manifest is missing "
+                f"column descriptors: {exc}", path=str(directory)) from exc
+        relations[role] = MappedRelation(desc["name"], keys, payloads)
+    return (JoinInput(r=relations["r"], s=relations["s"],
+                      meta=dict(extra.get("meta", {}))), store)
+
+
+def dataset_bytes(directory: Union[str, Path]) -> int:
+    """Raw (uncompressed) size of the stored join input, in bytes."""
+    store, extra = open_relation_store(directory)
+    try:
+        return sum(int(desc.get("n", 0)) * TUPLE_BYTES
+                   for desc in extra.get("relations", {}).values())
+    finally:
+        store.close()

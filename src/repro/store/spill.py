@@ -438,6 +438,7 @@ def open_spill_session(
     if directory is None:
         tmp = tempfile.TemporaryDirectory(prefix="repro-spill-")
         directory = tmp.name
+    session = None
     try:
         session = SpillSession(directory, budget_bytes, strict=strict,
                                chunk_bytes=chunk_bytes, codec=codec)
@@ -445,5 +446,10 @@ def open_spill_session(
         with spill_session(session):
             yield session
     finally:
+        if session is not None:
+            # Deterministically release raw-codec mappings (and their
+            # file descriptors) instead of waiting for GC — the fd
+            # lifecycle contract long serve/resume runs rely on.
+            session.store.close()
         if tmp is not None:
             tmp.cleanup()

@@ -1,0 +1,109 @@
+"""Streamed generators: bit-identity with the bulk paths.
+
+The streaming writers' whole contract is that peak memory changes but
+the tuples do not: ``stream_zipf_input``/``stream_uniform_input`` must
+equal their bulk counterparts bit for bit, and the sales streamer (its
+own reference) must be independent of the chunk size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ZipfWorkload,
+    stream_sales_lineitems_input,
+    stream_uniform_input,
+    stream_zipf_input,
+)
+from repro.data.generators import uniform_input
+from repro.data.stream import GENERATORS
+from repro.errors import WorkloadError
+from repro.store import open_join_input
+
+
+def _load(directory):
+    """Materialize a stored join input into plain arrays and close it."""
+    join_input, store = open_join_input(directory)
+    try:
+        return {
+            "r_keys": np.asarray(join_input.r.keys).copy(),
+            "r_payloads": np.asarray(join_input.r.payloads).copy(),
+            "s_keys": np.asarray(join_input.s.keys).copy(),
+            "s_payloads": np.asarray(join_input.s.payloads).copy(),
+            "meta": dict(join_input.meta),
+            "names": (join_input.r.name, join_input.s.name),
+        }
+    finally:
+        store.close()
+
+
+@pytest.mark.parametrize("chunk_tuples", [64, 1000, 1 << 20])
+def test_streamed_zipf_matches_bulk_bit_for_bit(tmp_path, chunk_tuples):
+    n_r, n_s, theta, seed = 700, 2500, 1.05, 11
+    bulk = ZipfWorkload(n_r=n_r, n_s=n_s, theta=theta, seed=seed).generate()
+    stream_zipf_input(tmp_path, n_r, n_s, theta, seed=seed,
+                      chunk_tuples=chunk_tuples)
+    got = _load(tmp_path)
+    np.testing.assert_array_equal(got["r_keys"], bulk.r.keys)
+    np.testing.assert_array_equal(got["r_payloads"], bulk.r.payloads)
+    np.testing.assert_array_equal(got["s_keys"], bulk.s.keys)
+    np.testing.assert_array_equal(got["s_payloads"], bulk.s.payloads)
+    assert got["meta"] == bulk.meta
+    assert got["names"] == ("R", "S")
+
+
+@pytest.mark.parametrize("chunk_tuples", [128, 999])
+def test_streamed_uniform_matches_bulk_bit_for_bit(tmp_path, chunk_tuples):
+    n_r, n_s, seed = 600, 1800, 3
+    bulk = uniform_input(n_r, n_s, seed=seed)
+    stream_uniform_input(tmp_path, n_r, n_s, seed=seed,
+                         chunk_tuples=chunk_tuples)
+    got = _load(tmp_path)
+    np.testing.assert_array_equal(got["r_keys"], bulk.r.keys)
+    np.testing.assert_array_equal(got["r_payloads"], bulk.r.payloads)
+    np.testing.assert_array_equal(got["s_keys"], bulk.s.keys)
+    np.testing.assert_array_equal(got["s_payloads"], bulk.s.payloads)
+    assert got["meta"] == bulk.meta
+
+
+def test_streamed_uniform_honors_explicit_key_domain(tmp_path):
+    stream_uniform_input(tmp_path, 400, 400, n_keys=16, seed=9)
+    got = _load(tmp_path)
+    assert got["r_keys"].max() < 16
+    assert got["s_keys"].max() < 16
+    assert got["meta"]["n_keys"] == 16
+
+
+def test_streamed_sales_is_chunk_size_independent(tmp_path):
+    kwargs = dict(n_orders=500, n_line_items=2000, n_products=40, seed=7)
+    stream_sales_lineitems_input(tmp_path / "a", chunk_tuples=64, **kwargs)
+    stream_sales_lineitems_input(tmp_path / "b", chunk_tuples=1 << 20,
+                                 **kwargs)
+    a, b = _load(tmp_path / "a"), _load(tmp_path / "b")
+    for column in ("r_keys", "r_payloads", "s_keys", "s_payloads"):
+        np.testing.assert_array_equal(a[column], b[column])
+    assert a["meta"] == b["meta"] == {"generator": "sales-stream",
+                                      "join": "lineitems-orders"}
+    # The PK side really is a primary key and the FK side references it.
+    assert np.array_equal(np.sort(a["r_keys"]), np.arange(500))
+    assert a["s_keys"].max() < 500
+
+
+@pytest.mark.parametrize("bad", [
+    lambda d: stream_zipf_input(d, 0, 10, 1.0),
+    lambda d: stream_zipf_input(d, 10, -1, 1.0),
+    lambda d: stream_uniform_input(d, 0, 10),
+    lambda d: stream_sales_lineitems_input(d, n_orders=0),
+    lambda d: stream_sales_lineitems_input(d, n_products=0),
+])
+def test_streamed_generators_reject_empty_tables(tmp_path, bad):
+    with pytest.raises(WorkloadError):
+        bad(tmp_path)
+
+
+def test_generator_registry_names_the_three_streamers():
+    assert GENERATORS == {
+        "zipf": stream_zipf_input,
+        "uniform": stream_uniform_input,
+        "sales": stream_sales_lineitems_input,
+    }

@@ -22,8 +22,9 @@ from repro.exec.parallel import (
     shutdown_pool,
 )
 from repro.exec.parallel import pool as pool_mod
-from repro.exec.parallel.arena import attached
+from repro.exec.parallel.arena import Attachment, attached, file_backed_ref
 from repro.exec.parallel.kernels import KERNELS, run_kernel
+from repro.obs import tracing
 
 _SHM_REASON = shared_memory_probe()
 needs_shm = pytest.mark.skipif(
@@ -70,6 +71,54 @@ def test_shm_arena_handles_zero_size_arrays():
         ref = arena.share(np.empty(0, dtype=np.uint32))
         with attached(ref) as (arr,):
             assert arr.size == 0
+
+
+def test_file_backed_ref_covers_read_only_memmap_slices(tmp_path):
+    data = np.arange(64, dtype=np.uint32)
+    path = tmp_path / "chunk.bin"
+    data.tofile(path)
+    mapped = np.memmap(path, dtype=np.uint32, mode="r")
+    morsel = mapped[3:9]
+    ref = file_backed_ref(morsel)
+    assert ref is not None
+    assert ref.path == str(path)
+    assert ref.offset == 3 * 4  # slice start, in bytes
+    assert ref.shape == (6,) and ref.shm_name is None and ref.array is None
+    # Everything that can't be shipped as a path ref declines to None:
+    # plain arrays, writable mappings, and non-contiguous views.
+    assert file_backed_ref(np.arange(8, dtype=np.uint32)) is None
+    writable = np.memmap(path, dtype=np.uint32, mode="r+")
+    assert file_backed_ref(writable) is None
+    assert file_backed_ref(mapped[::2]) is None
+
+
+def test_attachment_maps_path_refs_and_closes(tmp_path):
+    data = np.arange(32, dtype=np.uint64)
+    path = tmp_path / "chunk.bin"
+    data.tofile(path)
+    mapped = np.memmap(path, dtype=np.uint64, mode="r")
+    ref = file_backed_ref(mapped[10:20])
+    attachment = Attachment(ref)
+    assert np.array_equal(attachment.array, data[10:20])
+    attachment.close()
+    assert attachment.array is None
+    attachment.close()  # idempotent
+
+
+def test_shared_arena_ships_file_mapped_morsels_zero_copy(tmp_path):
+    data = np.arange(128, dtype=np.uint32)
+    path = tmp_path / "chunk.bin"
+    data.tofile(path)
+    mapped = np.memmap(path, dtype=np.uint32, mode="r")
+    # No segment is ever allocated on this path, so the test runs even
+    # where POSIX shared memory does not.
+    with tracing("arena") as tracer, SharedArena(use_shm=True) as arena:
+        ref = arena.share(mapped[16:48])
+        assert ref.path == str(path) and ref.shm_name is None
+        with attached(ref) as (arr,):
+            assert np.array_equal(arr, data[16:48])
+    metrics = tracer.record().metrics
+    assert metrics["store.zero_copy_shares"]["value"] == 1
 
 
 # ----------------------------------------------------------------- pool

@@ -1,0 +1,39 @@
+"""RSS sampling and the peak-RSS stamp on join results."""
+
+import numpy as np
+import pytest
+
+from repro.api import make_join
+from repro.data.generators import uniform_input
+from repro.exec.differential import compare_results
+from repro.obs import current_rss_bytes, peak_rss_bytes, reset_peak_rss
+
+
+def test_rss_sources_report_plausible_bytes():
+    peak = peak_rss_bytes()
+    current = current_rss_bytes()
+    # A live CPython-with-numpy process is at least a few MiB resident.
+    assert peak >= current > 1 << 20
+    # High-water mark never shrinks across consecutive samples.
+    assert peak_rss_bytes() >= peak
+
+
+def test_reset_peak_rss_drops_the_high_water_mark():
+    ballast = np.ones(1 << 22, dtype=np.uint8)  # push the mark up 4 MiB
+    ballast[::4096] = 2  # touch every page
+    before = peak_rss_bytes()
+    del ballast
+    if not reset_peak_rss():
+        pytest.skip("clear_refs denied here; reset is best effort")
+    assert peak_rss_bytes() <= before
+
+
+def test_pipelines_stamp_peak_rss_and_comparison_ignores_it():
+    join_input = uniform_input(200, 800, seed=3)
+    a = make_join("cbase-npj").run(join_input)
+    b = make_join("cbase-npj").run(join_input)
+    assert a.meta["peak_rss_bytes"] > 0
+    # The stamp is a per-process measurement, not part of the answer:
+    # bit-identity comparison must tolerate arbitrary divergence.
+    b.meta["peak_rss_bytes"] = a.meta["peak_rss_bytes"] + 12345
+    assert compare_results(a, b) == []

@@ -1,0 +1,350 @@
+"""The on-disk relation format: streaming writes, lazy paging reads,
+fd lifecycle, codecs (including the gated zstd path), and counters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.stream import stream_zipf_input
+from repro.errors import ConfigError, SpillError
+from repro.faults.plan import (
+    CORRUPT_CHUNK,
+    STORE_READ_POINT,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.faults.scope import fault_scope
+from repro.obs import tracing
+from repro.store.chunks import ChunkStore
+from repro.store.relations import (
+    MappedRelation,
+    RelationStreamWriter,
+    SegmentedColumn,
+    dataset_bytes,
+    open_join_input,
+    open_relation_store,
+    resolve_page_cache_segments,
+    resolve_stream_chunk_tuples,
+)
+from repro.types import KEY_DTYPE, PAYLOAD_DTYPE, TUPLE_BYTES
+
+
+def _has_zstandard() -> bool:
+    try:
+        import zstandard  # noqa: F401
+        return True
+    except ImportError:
+        return False
+
+
+def _write_input(directory, n_r=300, n_s=1000, codec=None, chunk=128,
+                 seed=5):
+    """A small two-relation store written in several chunks per column."""
+    rng = np.random.default_rng(seed)
+    r_keys = rng.integers(0, 64, size=n_r, dtype=np.uint64).astype(KEY_DTYPE)
+    r_pays = rng.integers(0, 2**32, size=n_r,
+                          dtype=np.uint64).astype(PAYLOAD_DTYPE)
+    s_keys = rng.integers(0, 64, size=n_s, dtype=np.uint64).astype(KEY_DTYPE)
+    s_pays = rng.integers(0, 2**32, size=n_s,
+                          dtype=np.uint64).astype(PAYLOAD_DTYPE)
+    writer = RelationStreamWriter(directory, codec=codec)
+    for role, name, keys, pays in (("r", "R", r_keys, r_pays),
+                                   ("s", "S", s_keys, s_pays)):
+        kw = writer.column(role, name, "keys", KEY_DTYPE)
+        pw = writer.column(role, name, "payloads", PAYLOAD_DTYPE)
+        for a in range(0, len(keys), chunk):
+            kw.append(keys[a:a + chunk])
+            pw.append(pays[a:a + chunk])
+    writer.finish(meta={"label": "test"})
+    return (r_keys, r_pays, s_keys, s_pays)
+
+
+@pytest.mark.parametrize("codec", ["raw", "zlib"])
+def test_round_trip_matches_streamed_values(tmp_path, codec):
+    r_keys, r_pays, s_keys, s_pays = _write_input(tmp_path, codec=codec)
+    join_input, store = open_join_input(tmp_path)
+    with store:
+        assert join_input.r.is_lazy and join_input.s.is_lazy
+        assert join_input.meta["label"] == "test"
+        np.testing.assert_array_equal(join_input.r.keys, r_keys)
+        np.testing.assert_array_equal(join_input.r.payloads, r_pays)
+        np.testing.assert_array_equal(join_input.s.keys, s_keys)
+        np.testing.assert_array_equal(join_input.s.payloads, s_pays)
+        assert len(join_input.s) == len(s_keys)
+        assert join_input.s.nbytes == len(s_keys) * TUPLE_BYTES
+    assert dataset_bytes(tmp_path) == (len(r_keys) + len(s_keys)) \
+        * TUPLE_BYTES
+
+
+def test_manifest_codec_governs_decoding_not_the_opener(tmp_path):
+    """Readers open with codec='raw'; the manifest's codec wins."""
+    _, _, s_keys, _ = _write_input(tmp_path, codec="zlib")
+    store, extra = open_relation_store(tmp_path)
+    with store:
+        assert store.codec == "zlib"
+        col = SegmentedColumn(
+            store, extra["relations"]["s"]["columns"]["keys"]["chunks"])
+        np.testing.assert_array_equal(col.materialize(), s_keys)
+
+
+def test_gather_pages_only_covered_segments_with_lru(tmp_path):
+    _, _, s_keys, _ = _write_input(tmp_path, chunk=128)
+    store, extra = open_relation_store(tmp_path)
+    with store:
+        col = SegmentedColumn(
+            store, extra["relations"]["s"]["columns"]["keys"]["chunks"],
+            cache_segments=2)
+        assert col.n_segments == 8  # 1000 tuples / 128 per chunk
+        np.testing.assert_array_equal(col.gather(0, 100), s_keys[:100])
+        assert col.segment_loads == 1
+        np.testing.assert_array_equal(col.gather(10, 120), s_keys[10:120])
+        assert col.segment_loads == 1 and col.cache_hits == 1
+        # A cross-segment gather pages in exactly the covered segments.
+        np.testing.assert_array_equal(col.gather(100, 300), s_keys[100:300])
+        assert col.segment_loads == 3
+        # The LRU never holds more than cache_segments decoded arrays.
+        col.materialize()
+        assert len(col._cache) <= 2
+        np.testing.assert_array_equal(col[900], s_keys[900])
+        np.testing.assert_array_equal(col[5:50], s_keys[5:50])
+        np.testing.assert_array_equal(col[::2], s_keys[::2])
+
+
+def test_raw_within_segment_slice_is_zero_copy(tmp_path):
+    _write_input(tmp_path, codec="raw", chunk=256)
+    join_input, store = open_join_input(tmp_path)
+    with store:
+        keys, _ = join_input.s.morsel(10, 200)
+        root = keys
+        while getattr(root, "base", None) is not None \
+                and isinstance(root.base, np.ndarray):
+            root = root.base
+        assert isinstance(root, np.memmap), (
+            "a within-segment raw morsel must view the file mapping, "
+            "not copy it")
+
+
+def test_mapped_relation_morsels_match_materialized(tmp_path):
+    _, _, s_keys, s_pays = _write_input(tmp_path, codec="zlib", chunk=100)
+    join_input, store = open_join_input(tmp_path)
+    with store:
+        s = join_input.s
+        got_k, got_p = [], []
+        for a, b, keys, pays in s.iter_morsels():
+            assert b - a == len(keys) == len(pays)
+            got_k.append(keys)
+            got_p.append(pays)
+        np.testing.assert_array_equal(np.concatenate(got_k), s_keys)
+        np.testing.assert_array_equal(np.concatenate(got_p), s_pays)
+        rel = s.to_relation()
+        np.testing.assert_array_equal(rel.keys, s_keys)
+        assert rel.name == s.name
+
+
+def test_paging_and_materialization_counters_flow_to_metrics(tmp_path):
+    _write_input(tmp_path, codec="zlib", chunk=100)
+    with tracing("oocore") as tracer:
+        join_input, store = open_join_input(tmp_path)
+        with store:
+            join_input.s.keys_column.materialize()
+    metrics = tracer.record().metrics
+    assert metrics["store.pages_in"]["value"] >= 10
+    assert metrics["store.bytes_paged_in"]["value"] > 0
+    assert metrics["store.column_materializations"]["value"] == 1
+
+
+def _fds_into(directory) -> int:
+    """Open file descriptors of this process pointing into directory."""
+    import os
+    prefix = str(directory)
+    count = 0
+    for fd in os.listdir("/proc/self/fd"):
+        try:
+            if os.readlink(f"/proc/self/fd/{fd}").startswith(prefix):
+                count += 1
+        except OSError:
+            continue
+    return count
+
+
+def test_chunk_store_close_releases_raw_memmap_fds(tmp_path):
+    """Regression: every raw-codec read holds one file descriptor until
+    its np.memmap is garbage collected, so a store whose views are
+    retained (a segment cache, a long-lived session) leaked fds for the
+    store's whole life.  close() must release them deterministically."""
+    store = ChunkStore(tmp_path, codec="raw")
+    arr = np.arange(500, dtype=np.uint32)
+    for i in range(4):
+        store.write_array(f"c{i}", arr)
+    baseline = _fds_into(tmp_path)
+    cache = [store.read_array(f"c{i}") for i in range(4)]
+    assert all(isinstance(v, np.memmap) for v in cache)
+    assert _fds_into(tmp_path) == baseline + 4
+    released = store.release_mappings()
+    assert released == 4
+    assert _fds_into(tmp_path) == baseline
+    # Released views are invalid (the mmap contract) — drop, don't read.
+    del cache
+    # Idempotent: closing again is a no-op, not an error.
+    store.close()
+    store.close()
+
+
+def test_store_close_releases_retained_segment_cache_fds(tmp_path):
+    """The LRU segment cache retains raw mappings; closing the store
+    must still release their descriptors (and publish the counter)."""
+    _write_input(tmp_path, codec="raw", chunk=128)
+    with tracing("fds") as tracer:
+        join_input, store = open_join_input(tmp_path)
+        join_input.s.keys  # fault every segment in as memmaps
+        baseline = _fds_into(tmp_path)
+        assert baseline > 0  # the cache is holding mappings open
+        store.close()
+        assert _fds_into(tmp_path) == 0
+        # Materialized copies survive the close; only raw views die.
+        assert len(join_input.s.keys) == 1000
+    metrics = tracer.record().metrics
+    assert metrics["store.mappings_released"]["value"] >= 1
+
+
+def test_wrong_format_and_version_are_typed(tmp_path):
+    plain = ChunkStore(tmp_path / "spill")
+    plain.write_array("c0", np.arange(10, dtype=np.uint32))
+    plain.write_manifest(extra={"format": "spill"})
+    with pytest.raises(SpillError, match="not a 'relations' manifest"):
+        open_relation_store(tmp_path / "spill")
+
+    stream_zipf_input(tmp_path / "rel", 64, 64, 0.5, seed=1)
+    store, extra = open_relation_store(tmp_path / "rel")
+    store.close()
+    extra["format_version"] = 99
+    bumped = ChunkStore(tmp_path / "rel")
+    bumped.load_manifest()
+    bumped.write_manifest(dict(extra, format_version=99))
+    with pytest.raises(SpillError, match="version 99"):
+        open_relation_store(tmp_path / "rel")
+
+
+def test_writer_validates_roles_and_column_lengths(tmp_path):
+    writer = RelationStreamWriter(tmp_path)
+    writer.column("r", "R", "keys", KEY_DTYPE).append(
+        np.arange(8, dtype=KEY_DTYPE))
+    with pytest.raises(SpillError, match="already registered"):
+        writer.column("r", "OTHER", "keys", KEY_DTYPE)
+    with pytest.raises(SpillError, match="missing columns"):
+        writer.finish()
+    writer.column("r", "R", "payloads", PAYLOAD_DTYPE).append(
+        np.arange(5, dtype=PAYLOAD_DTYPE))
+    with pytest.raises(SpillError, match="unequal column lengths"):
+        writer.finish()
+
+
+def test_segmented_column_rejects_unknown_chunks_and_mixed_dtypes(tmp_path):
+    store = ChunkStore(tmp_path)
+    store.write_array("a", np.arange(4, dtype=np.uint32))
+    store.write_array("b", np.arange(4, dtype=np.uint64))
+    with pytest.raises(SpillError, match="unknown chunk"):
+        SegmentedColumn(store, ["a", "ghost"])
+    with pytest.raises(SpillError, match="mixes dtypes"):
+        SegmentedColumn(store, ["a", "b"])
+    with pytest.raises(SpillError, match="no chunks"):
+        SegmentedColumn(store, [])
+
+
+def test_mapped_relation_rejects_ragged_columns(tmp_path):
+    store = ChunkStore(tmp_path)
+    store.write_array("k", np.arange(4, dtype=KEY_DTYPE))
+    store.write_array("p", np.arange(6, dtype=PAYLOAD_DTYPE))
+    with pytest.raises(SpillError, match="4 keys vs 6 payloads"):
+        MappedRelation("X", SegmentedColumn(store, ["k"]),
+                       SegmentedColumn(store, ["p"]))
+
+
+def test_stream_knobs_resolve_arg_env_default(monkeypatch):
+    assert resolve_stream_chunk_tuples(64) == 64
+    monkeypatch.setenv("REPRO_STREAM_CHUNK_TUPLES", "123")
+    assert resolve_stream_chunk_tuples() == 123
+    monkeypatch.setenv("REPRO_STREAM_CHUNK_TUPLES", "nope")
+    with pytest.raises(ConfigError):
+        resolve_stream_chunk_tuples()
+    with pytest.raises(ConfigError):
+        resolve_stream_chunk_tuples(0)
+    monkeypatch.setenv("REPRO_PAGE_CACHE_SEGMENTS", "2")
+    assert resolve_page_cache_segments() == 2
+    with pytest.raises(ConfigError):
+        resolve_page_cache_segments(-1)
+    monkeypatch.setenv("REPRO_PAGE_CACHE_SEGMENTS", "zero")
+    with pytest.raises(ConfigError):
+        resolve_page_cache_segments()
+
+
+# ------------------------------------------------------------- zstd path
+
+
+def test_zstd_relation_store_is_gated_when_absent(tmp_path, monkeypatch):
+    """Without the optional zstandard package, asking for the codec is a
+    typed ConfigError naming it — never a bare ImportError."""
+    import builtins
+
+    real_import = builtins.__import__
+
+    def no_zstd(name, *args, **kwargs):
+        if name == "zstandard":
+            raise ImportError("No module named 'zstandard'")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", no_zstd)
+    with pytest.raises(ConfigError, match="zstandard"):
+        RelationStreamWriter(tmp_path, codec="zstd")
+
+
+@pytest.mark.skipif(not _has_zstandard(),
+                    reason="optional zstandard package not installed")
+def test_zstd_round_trip_with_trained_dictionary(tmp_path):
+    r_keys, r_pays, s_keys, s_pays = _write_input(tmp_path, codec="zstd")
+    store = ChunkStore(tmp_path, codec="zstd")
+    store.load_manifest()
+    # The stream writer trains one dictionary per column family from the
+    # first chunk; the manifest round-trips them.
+    assert store.dictionary_for("S-keys")
+    store.close()
+    join_input, reader = open_join_input(tmp_path)
+    with reader:
+        np.testing.assert_array_equal(join_input.r.keys, r_keys)
+        np.testing.assert_array_equal(join_input.r.payloads, r_pays)
+        np.testing.assert_array_equal(join_input.s.keys, s_keys)
+        np.testing.assert_array_equal(join_input.s.payloads, s_pays)
+
+
+@pytest.mark.skipif(not _has_zstandard(),
+                    reason="optional zstandard package not installed")
+def test_zstd_corrupt_chunk_recovers_through_the_ladder(tmp_path):
+    """A seeded corrupt-chunk read under zstd recovers via the CRC
+    validation + retry ladder exactly like the raw/zlib codecs."""
+    _write_input(tmp_path, codec="zstd", n_s=400, chunk=100)
+    join_input, store = open_join_input(tmp_path)
+    plan = FaultPlan([FaultSpec(kind=CORRUPT_CHUNK, point=STORE_READ_POINT,
+                                at=0)])
+    with store, fault_scope(plan) as scope:
+        keys = join_input.s.keys
+        assert len(keys) == 400
+    assert scope.reports and scope.reports[0].recovered
+
+
+@pytest.mark.skipif(not _has_zstandard(),
+                    reason="optional zstandard package not installed")
+def test_zstd_streamed_input_joins_bit_identical_to_raw(tmp_path):
+    from repro.api import make_join
+
+    stream_zipf_input(tmp_path / "raw", 256, 2048, 1.0, seed=9,
+                      codec="raw", chunk_tuples=512)
+    stream_zipf_input(tmp_path / "zstd", 256, 2048, 1.0, seed=9,
+                      codec="zstd", chunk_tuples=512)
+    results = []
+    for sub in ("raw", "zstd"):
+        join_input, store = open_join_input(tmp_path / sub)
+        with store:
+            results.append(make_join("cbase-npj").run(join_input))
+    assert results[0].output_count == results[1].output_count
+    assert results[0].output_checksum == results[1].output_checksum

@@ -354,6 +354,72 @@ def test_ci_runs_spill_chaos_with_manifest_artifact():
     assert "zstandard==" in (ROOT / "constraints.txt").read_text()
 
 
+def test_performance_doc_covers_out_of_core_ingest():
+    """docs/performance.md documents every streaming-ingest knob with
+    its default, and observability.md carries the paging metrics."""
+    from repro.store.chunks import CODEC_ENV
+    from repro.store.relations import (
+        DEFAULT_PAGE_CACHE_SEGMENTS,
+        DEFAULT_STREAM_CHUNK_TUPLES,
+        PAGE_CACHE_ENV,
+        STREAM_CHUNK_ENV,
+    )
+    text = (ROOT / "docs" / "performance.md").read_text()
+    for env in (STREAM_CHUNK_ENV, PAGE_CACHE_ENV, CODEC_ENV):
+        assert env in text, f"performance.md lacks {env}"
+    assert str(DEFAULT_STREAM_CHUNK_TUPLES) in text
+    assert str(DEFAULT_PAGE_CACHE_SEGMENTS) in text
+    assert "diff --oocore" in text
+    assert "bench --oocore" in text
+    assert "clear_refs" in text, (
+        "the honest-measurement methodology (VmHWM reset) must be "
+        "documented next to the claim it protects")
+    obs = (ROOT / "docs" / "observability.md").read_text()
+    for metric in ("store.bytes_raw", "store.compression_ratio",
+                   "store.dictionaries_trained", "store.pages_in",
+                   "store.bytes_paged_in", "store.mappings_released",
+                   "store.column_materializations",
+                   "store.zero_copy_shares"):
+        assert metric in obs, f"observability.md lacks {metric}"
+
+
+def test_oocore_bench_tier_is_committed_and_wired():
+    """The out-of-core scale tier has a committed, claim-clean baseline
+    plus make targets, a README row, and both CI legs."""
+    from repro.bench.oocore import load_oocore_bench
+    path = ROOT / "BENCH_oocore_seed.json"
+    assert path.exists()
+    record = load_oocore_bench(path)
+    assert record.verify() == [], (
+        "the committed oocore baseline must satisfy its own claims")
+    assert record.dataset_bytes > record.budget_bytes
+    text = (ROOT / "docs" / "performance.md").read_text()
+    assert "BENCH_oocore_seed.json" in text
+    assert "BENCH_oocore_seed.json" in (ROOT / "README.md").read_text()
+    makefile = (ROOT / "Makefile").read_text()
+    for target in ("bench-oocore", "diff-oocore"):
+        assert target in text, f"performance.md lacks {target}"
+        assert f"{target}:" in makefile, f"Makefile lacks {target}"
+
+
+def test_ci_runs_the_oocore_smoke_and_nightly_legs():
+    """Per-PR oocore smoke (differential + verified tier record + the
+    zstd codec tests) and a nightly full-scale leg beside the spill
+    tier."""
+    ci = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
+    assert "oocore-smoke:" in ci
+    assert "diff --oocore" in ci
+    assert "bench --oocore --record" in ci
+    smoke_job = ci.split("oocore-smoke:")[1].split("spill-chaos:")[0]
+    assert "zstandard" in smoke_job, (
+        "the smoke job must install zstandard so the gated codec tests "
+        "run for real instead of skipping")
+    assert "-k zstd" in smoke_job
+    nightly = (ROOT / ".github" / "workflows" / "nightly.yml").read_text()
+    assert "diff --oocore" in nightly
+    assert "BENCH_oocore_seed.json" in nightly
+
+
 def test_ci_runs_serve_chaos_with_health_artifact():
     """The serve-chaos job storms both backends and uploads health."""
     ci = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
